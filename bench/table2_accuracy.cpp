@@ -1,0 +1,205 @@
+// Table II reproduction: MSE/MAE (x 10^-2) for {Uni, Mul, Mul-Exp} x
+// {ARIMA, LSTM, CNN-LSTM, XGBoost, RPTCN} on containers and machines.
+// ARIMA, being univariate, appears only in the Uni block — as in the paper.
+//
+// Shape targets (paper Section V-B):
+//   * RPTCN has the lowest MSE and MAE in the Mul-Exp block, on both
+//     containers and machines;
+//   * ARIMA is the strongest univariate model on machines;
+//   * Mul-Exp improves on Mul for the TCN-based model.
+#include "bench_common.h"
+
+#include <map>
+
+using namespace rptcn;
+
+namespace {
+
+struct Cell {
+  double mse = 0.0;
+  double mae = 0.0;
+};
+
+std::vector<std::string> models_for(core::Scenario scenario) {
+  if (scenario == core::Scenario::kUni)
+    return {"ARIMA", "LSTM", "CNN-LSTM", "XGBoost", "RPTCN"};
+  return {"LSTM", "XGBoost", "CNN-LSTM", "RPTCN"};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table II — prediction accuracy on the simulated trace");
+
+  const auto sim = bench::make_cluster(bench::default_trace_config(1500, 8));
+  const std::vector<std::size_t> container_ids = {0, 1, 2};
+  const std::vector<std::size_t> machine_ids = {0, 1, 2};
+  const auto prepare = bench::default_prepare();
+
+  const std::vector<core::Scenario> scenarios = {
+      core::Scenario::kUni, core::Scenario::kMul, core::Scenario::kMulExp};
+
+  // results[scenario][model] -> {containers, machines}.
+  std::map<std::string, std::map<std::string, std::pair<Cell, Cell>>> results;
+
+  Stopwatch total_watch;
+  // Two training seeds per entity: single-seed orderings of the neural
+  // models sit inside training noise, seed-averaged ones do not.
+  const std::vector<std::uint64_t> seeds = {42, 1042};
+  for (const auto scenario : scenarios) {
+    for (const auto& model : models_for(scenario)) {
+      Cell containers, machines;
+      const double runs_c =
+          static_cast<double>(container_ids.size() * seeds.size());
+      const double runs_m =
+          static_cast<double>(machine_ids.size() * seeds.size());
+      for (const std::size_t c : container_ids) {
+        for (const std::uint64_t seed : seeds) {
+          auto cfg = bench::default_model_config(seed + c);
+          const auto r = core::run_experiment(sim->container_trace(c),
+                                              "cpu_util_percent", model,
+                                              scenario, prepare, cfg);
+          containers.mse += r.accuracy.mse / runs_c;
+          containers.mae += r.accuracy.mae / runs_c;
+        }
+      }
+      for (const std::size_t m : machine_ids) {
+        for (const std::uint64_t seed : seeds) {
+          auto cfg = bench::default_model_config(seed + 100 + m);
+          const auto r = core::run_experiment(sim->machine_trace(m),
+                                              "cpu_util_percent", model,
+                                              scenario, prepare, cfg);
+          machines.mse += r.accuracy.mse / runs_m;
+          machines.mae += r.accuracy.mae / runs_m;
+        }
+      }
+      results[core::scenario_name(scenario)][model] = {containers, machines};
+      std::cout << "[done] " << core::scenario_name(scenario) << " / " << model
+                << " (" << bench::fmt(total_watch.elapsed_seconds(), 1)
+                << "s elapsed)\n";
+    }
+  }
+
+  // Render in the paper's layout; values x 10^-2 like Table II.
+  AsciiTable table({"scenario", "model", "cont MSE(e-2)", "cont MAE(e-2)",
+                    "mach MSE(e-2)", "mach MAE(e-2)"});
+  CsvTable csv;
+  csv.columns = {"scenario", "model", "cont_mse", "cont_mae", "mach_mse",
+                 "mach_mae"};
+  csv.data.assign(6, {});
+  std::size_t row_id = 0;
+  for (const auto scenario : scenarios) {
+    const auto& name = core::scenario_name(scenario);
+    for (const auto& model : models_for(scenario)) {
+      const auto& [cont, mach] = results[name][model];
+      table.add_row({name, model, bench::fmt(cont.mse * 100.0),
+                     bench::fmt(cont.mae * 100.0), bench::fmt(mach.mse * 100.0),
+                     bench::fmt(mach.mae * 100.0)});
+      csv.data[0].push_back(static_cast<double>(row_id));
+      csv.data[1].push_back(static_cast<double>(row_id));  // index; names in table
+      csv.data[2].push_back(cont.mse);
+      csv.data[3].push_back(cont.mae);
+      csv.data[4].push_back(mach.mse);
+      csv.data[5].push_back(mach.mae);
+      ++row_id;
+    }
+    table.add_separator();
+  }
+  table.set_title("Table II (reproduced; averaged over " +
+                  std::to_string(container_ids.size()) + " containers and " +
+                  std::to_string(machine_ids.size()) + " machines)");
+  table.print(std::cout);
+  bench::emit_csv("table2_accuracy", csv);
+
+  // ---- shape checks ---------------------------------------------------------
+  const auto& mulexp = results["Mul-Exp"];
+  const auto best_in = [&](auto metric, bool containers_group) {
+    std::string best;
+    double best_v = 1e99;
+    for (const auto& [model, cells] : mulexp) {
+      const Cell& cell = containers_group ? cells.first : cells.second;
+      const double v = metric(cell);
+      if (v < best_v) {
+        best_v = v;
+        best = model;
+      }
+    }
+    return best;
+  };
+  const auto mse_of = [](const Cell& c) { return c.mse; };
+  const auto mae_of = [](const Cell& c) { return c.mae; };
+
+  std::cout << "\nshape checks vs the paper:\n";
+  std::cout << "  Mul-Exp best container MSE: " << best_in(mse_of, true)
+            << " (paper: RPTCN)\n";
+  std::cout << "  Mul-Exp best container MAE: " << best_in(mae_of, true)
+            << " (paper: RPTCN)\n";
+  std::cout << "  Mul-Exp best machine MSE:   " << best_in(mse_of, false)
+            << " (paper: RPTCN)\n";
+  std::cout << "  Mul-Exp best machine MAE:   " << best_in(mae_of, false)
+            << " (paper: RPTCN)\n";
+
+  // ARIMA vs the field in the Uni/machines block.
+  {
+    const auto& uni = results["Uni"];
+    std::string best;
+    double best_v = 1e99;
+    for (const auto& [model, cells] : uni)
+      if (cells.second.mse < best_v) {
+        best_v = cells.second.mse;
+        best = model;
+      }
+    std::cout << "  Uni best machine MSE:       " << best
+              << " (paper: ARIMA)\n";
+  }
+
+  // Headline improvement range: RPTCN vs each baseline, overall.
+  {
+    const auto& rp = mulexp.at("RPTCN");
+    double min_imp_mae = 1e99, max_imp_mae = -1e99;
+    for (const auto& [model, cells] : mulexp) {
+      if (model == "RPTCN") continue;
+      for (const bool grp : {true, false}) {
+        const Cell& base = grp ? cells.first : cells.second;
+        const Cell& ours = grp ? rp.first : rp.second;
+        const double imp = core::improvement_percent(base.mae, ours.mae);
+        min_imp_mae = std::min(min_imp_mae, imp);
+        max_imp_mae = std::max(max_imp_mae, imp);
+      }
+    }
+    std::cout << "  RPTCN MAE improvement over Mul-Exp baselines: "
+              << bench::fmt(min_imp_mae, 1) << "% .. "
+              << bench::fmt(max_imp_mae, 1)
+              << "% (paper headline across all blocks: 6.5% .. 89.0%)\n";
+  }
+
+  // Multivariate benefit on containers — the paper's core argument.
+  {
+    const double uni_best = std::min(
+        {results["Uni"].at("LSTM").first.mse,
+         results["Uni"].at("CNN-LSTM").first.mse,
+         results["Uni"].at("RPTCN").first.mse});
+    const double mul_rptcn = results["Mul"].at("RPTCN").first.mse;
+    const double mulexp_rptcn = results["Mul-Exp"].at("RPTCN").first.mse;
+    std::cout << "  container MSE, best-Uni-neural vs RPTCN Mul / Mul-Exp: "
+              << bench::fmt(uni_best * 100.0) << " vs "
+              << bench::fmt(mul_rptcn * 100.0) << " / "
+              << bench::fmt(mulexp_rptcn * 100.0)
+              << (std::min(mul_rptcn, mulexp_rptcn) < uni_best
+                      ? "  — multivariate beats univariate: REPRODUCED"
+                      : "  — NOT reproduced")
+              << "\n";
+  }
+
+  std::cout
+      << "\nnote: every model here gets the same tuning care and early\n"
+         "stopping. Under those conditions the LSTM baselines do not show\n"
+         "the catastrophic Mul-Exp degradation the paper reports (their\n"
+         "machine-block LSTM MSE is 4.5x RPTCN's); the top neural models\n"
+         "land within ~10% of each other and per-entity orderings can flip.\n"
+         "EXPERIMENTS.md discusses this divergence.\n";
+
+  std::cout << "\ntotal wall time: " << bench::fmt(total_watch.elapsed_seconds(), 1)
+            << "s\n";
+  return 0;
+}

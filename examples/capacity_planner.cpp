@@ -1,0 +1,103 @@
+// Capacity planner: the use-case that motivates the paper — a resource
+// manager that reserves CPU ahead of demand. We compare three policies on a
+// simulated container:
+//
+//   * static     — reserve the training-period peak forever;
+//   * reactive   — reserve last-observed usage + headroom (what autoscalers
+//                  without prediction do);
+//   * predictive — reserve RPTCN's one-step forecast + headroom.
+//
+// Metrics: under-provisioned steps (demand > reservation: SLO risk) and
+// mean over-provisioned capacity (wasted cores), over the test split.
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/pipeline.h"
+#include "trace/cluster.h"
+
+int main() {
+  using namespace rptcn;
+
+  trace::TraceConfig trace_cfg;
+  trace_cfg.num_machines = 4;
+  trace_cfg.duration_steps = 1500;
+  trace_cfg.seed = 21;
+  trace::ClusterSimulator sim(trace_cfg);
+  sim.run();
+  const auto& history = sim.container_trace(1);
+
+  core::PipelineConfig cfg;
+  cfg.scenario = core::Scenario::kMulExp;
+  cfg.prepare.window.window = 16;
+  cfg.prepare.window.horizon = 1;
+  cfg.model.nn.max_epochs = 20;
+  core::RptcnPipeline pipeline(cfg);
+  pipeline.fit(history);
+
+  // A second RPTCN trained with pinball loss at tau = 0.9: it forecasts the
+  // 90th percentile of demand directly, so it needs no ad-hoc headroom.
+  core::PipelineConfig qcfg = cfg;
+  qcfg.model.nn.loss = opt::Loss::kPinball;
+  qcfg.model.nn.pinball_tau = 0.9f;
+  core::RptcnPipeline quantile_pipeline(qcfg);
+  quantile_pipeline.fit(history);
+
+  // Ground truth and predictions over the test windows (normalised CPU).
+  const Tensor preds = pipeline.predict_test();
+  const Tensor qpreds = quantile_pipeline.predict_test();
+  const Tensor& truth = pipeline.dataset().test.targets;
+  const std::size_t n = truth.dim(0);
+
+  const double headroom = 0.05;  // 5 percentage points of slack
+  struct Policy {
+    std::string name;
+    std::size_t under = 0;     // SLO-risk steps
+    double over_sum = 0.0;     // wasted reservation
+  };
+  Policy pstatic{"static (train peak)"};
+  Policy reactive{"reactive (last value + headroom)"};
+  Policy predictive{"predictive (RPTCN + headroom)"};
+  Policy quantile{"quantile (RPTCN pinball p90, no headroom)"};
+
+  // Static reservation: peak of the training targets.
+  float train_peak = 0.0f;
+  for (const float v : pipeline.dataset().train.targets.data())
+    train_peak = std::max(train_peak, v);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double demand = truth.at(i, 0);
+    // Reactive: last observed demand = the final window value = previous
+    // target (use previous truth; first step uses the window's last value).
+    const double last_seen = i == 0 ? demand : truth.at(i - 1, 0);
+
+    const auto judge = [&](Policy& p, double reservation) {
+      reservation = std::clamp(reservation, 0.0, 1.2);
+      if (demand > reservation)
+        ++p.under;
+      else
+        p.over_sum += reservation - demand;
+    };
+    judge(pstatic, static_cast<double>(train_peak) + headroom);
+    judge(reactive, last_seen + headroom);
+    judge(predictive, static_cast<double>(preds.at(i, 0)) + headroom);
+    judge(quantile, static_cast<double>(qpreds.at(i, 0)));
+  }
+
+  AsciiTable table({"policy", "SLO-risk steps", "risk %",
+                    "mean over-provision (pp CPU)"});
+  for (const Policy* p : {&pstatic, &reactive, &predictive, &quantile}) {
+    table.add_row({p->name, std::to_string(p->under),
+                   std::to_string(p->under * 100 / n),
+                   std::to_string(p->over_sum / static_cast<double>(n) * 100.0)
+                       .substr(0, 5)});
+  }
+  table.set_title("Proactive allocation on " + sim.container_info(1).id +
+                  " (" + std::to_string(n) + " test steps, headroom 5pp)");
+  table.print(std::cout);
+
+  std::cout << "\nReading: the predictive policy should cut wasted capacity "
+               "versus the static peak reservation while keeping SLO-risk "
+               "steps close to the reactive policy.\n";
+  return 0;
+}

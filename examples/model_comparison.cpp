@@ -1,0 +1,67 @@
+// Model comparison: run every registered forecaster (RPTCN, plain TCN,
+// LSTM, CNN-LSTM, XGBoost, ARIMA) on the same simulated machine under a
+// chosen scenario and print a leaderboard — a minimal version of the
+// paper's Table II for a user's own data.
+//
+// Usage: model_comparison [Uni|Mul|Mul-Exp]   (default Mul-Exp)
+#include <iostream>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "trace/cluster.h"
+
+int main(int argc, char** argv) {
+  using namespace rptcn;
+
+  const std::string scenario_arg = argc > 1 ? argv[1] : "Mul-Exp";
+  const core::Scenario scenario = core::scenario_from_name(scenario_arg);
+
+  trace::TraceConfig trace_cfg;
+  trace_cfg.num_machines = 4;
+  trace_cfg.duration_steps = 1500;
+  trace_cfg.seed = 33;
+  trace::ClusterSimulator sim(trace_cfg);
+  sim.run();
+  const auto& frame = sim.machine_trace(1);
+  std::cout << "entity: " << sim.machine_id(1) << ", scenario "
+            << core::scenario_name(scenario) << "\n";
+
+  core::PrepareOptions prepare;
+  prepare.window.window = 16;
+  prepare.window.horizon = 1;
+
+  models::ModelConfig cfg;
+  cfg.nn.max_epochs = 20;
+  cfg.gbt.n_rounds = 80;
+
+  struct Row {
+    std::string model;
+    models::Accuracy acc;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  for (const auto& name : models::forecaster_names()) {
+    if (name == "ARIMA" && scenario != core::Scenario::kUni) {
+      std::cout << "skipping ARIMA (univariate model, Uni scenario only)\n";
+      continue;
+    }
+    const auto result = core::run_experiment(frame, "cpu_util_percent", name,
+                                             scenario, prepare, cfg);
+    rows.push_back({name, result.accuracy, result.fit_seconds});
+    std::cout << "[done] " << name << "\n";
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.acc.mse < b.acc.mse; });
+
+  AsciiTable table({"rank", "model", "MSE(e-2)", "MAE(e-2)", "fit time (s)"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char mse[32], mae[32], sec[32];
+    std::snprintf(mse, sizeof(mse), "%.4f", rows[i].acc.mse * 100.0);
+    std::snprintf(mae, sizeof(mae), "%.4f", rows[i].acc.mae * 100.0);
+    std::snprintf(sec, sizeof(sec), "%.2f", rows[i].seconds);
+    table.add_row({std::to_string(i + 1), rows[i].model, mse, mae, sec});
+  }
+  table.set_title("Leaderboard (" + core::scenario_name(scenario) + ")");
+  table.print(std::cout);
+  return 0;
+}

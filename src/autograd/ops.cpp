@@ -1,0 +1,792 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace rptcn::ag {
+
+namespace {
+
+using autograd::Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// Build a graph node. If gradients are globally disabled or no parent
+/// requires them, the result is a detached leaf and `make_backward` is not
+/// invoked (saved tensors for backward are never captured).
+template <typename MakeBackward>
+Variable make_node(Tensor value, std::vector<Variable> parents,
+                   const char* op_name, MakeBackward&& make_backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->op = op_name;
+  bool needs_grad = false;
+  if (autograd::grad_enabled()) {
+    for (const auto& p : parents)
+      if (p.defined() && p.requires_grad()) needs_grad = true;
+  }
+  if (needs_grad) {
+    node->requires_grad = true;
+    for (const auto& p : parents)
+      if (p.defined()) node->parents.push_back(p.node());
+    node->backward_fn = make_backward();
+  }
+  return Variable(std::move(node));
+}
+
+void check_defined(const Variable& v, const char* op) {
+  RPTCN_CHECK(v.defined(), op << ": undefined operand");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// arithmetic
+// ---------------------------------------------------------------------------
+
+Variable add(const Variable& a, const Variable& b) {
+  check_defined(a, "add");
+  check_defined(b, "add");
+  Tensor out = rptcn::add(a.value(), b.value());
+  return make_node(std::move(out), {a, b}, "add", [a, b] {
+    return [an = a.node(), bn = b.node()](Node& self) {
+      if (an->requires_grad) an->accumulate(self.grad);
+      if (bn->requires_grad) bn->accumulate(self.grad);
+    };
+  });
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  check_defined(a, "sub");
+  check_defined(b, "sub");
+  Tensor out = rptcn::sub(a.value(), b.value());
+  return make_node(std::move(out), {a, b}, "sub", [a, b] {
+    return [an = a.node(), bn = b.node()](Node& self) {
+      if (an->requires_grad) an->accumulate(self.grad);
+      if (bn->requires_grad) bn->accumulate(rptcn::neg(self.grad));
+    };
+  });
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  check_defined(a, "mul");
+  check_defined(b, "mul");
+  Tensor out = rptcn::mul(a.value(), b.value());
+  return make_node(std::move(out), {a, b}, "mul", [a, b] {
+    return [an = a.node(), bn = b.node()](Node& self) {
+      if (an->requires_grad) an->accumulate(rptcn::mul(self.grad, bn->value));
+      if (bn->requires_grad) bn->accumulate(rptcn::mul(self.grad, an->value));
+    };
+  });
+}
+
+Variable add_scalar(const Variable& a, float s) {
+  check_defined(a, "add_scalar");
+  Tensor out = rptcn::add_scalar(a.value(), s);
+  return make_node(std::move(out), {a}, "add_scalar", [a] {
+    return [an = a.node()](Node& self) { an->accumulate(self.grad); };
+  });
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  check_defined(a, "mul_scalar");
+  Tensor out = rptcn::mul_scalar(a.value(), s);
+  return make_node(std::move(out), {a}, "mul_scalar", [a, s] {
+    return [an = a.node(), s](Node& self) {
+      an->accumulate(rptcn::mul_scalar(self.grad, s));
+    };
+  });
+}
+
+Variable neg(const Variable& a) { return mul_scalar(a, -1.0f); }
+
+// ---------------------------------------------------------------------------
+// linear algebra
+// ---------------------------------------------------------------------------
+
+Variable matmul(const Variable& a, const Variable& b) {
+  check_defined(a, "matmul");
+  check_defined(b, "matmul");
+  Tensor out = rptcn::matmul(a.value(), b.value());
+  return make_node(std::move(out), {a, b}, "matmul", [a, b] {
+    return [an = a.node(), bn = b.node()](Node& self) {
+      // dA = dC * B^T; dB = A^T * dC.
+      if (an->requires_grad)
+        an->accumulate(rptcn::matmul_nt(self.grad, bn->value));
+      if (bn->requires_grad)
+        bn->accumulate(rptcn::matmul_tn(an->value, self.grad));
+    };
+  });
+}
+
+Variable linear(const Variable& x, const Variable& w, const Variable& b) {
+  check_defined(x, "linear");
+  check_defined(w, "linear");
+  RPTCN_CHECK(x.value().rank() == 2 && w.value().rank() == 2,
+              "linear expects x[N,F], w[O,F]");
+  RPTCN_CHECK(x.dim(1) == w.dim(1), "linear feature mismatch: x "
+                                        << x.value().shape_string() << ", w "
+                                        << w.value().shape_string());
+  const std::size_t n = x.dim(0), out_f = w.dim(0);
+  Tensor out = rptcn::matmul_nt(x.value(), w.value());  // [N,O]
+  if (b.defined()) {
+    RPTCN_CHECK(b.value().rank() == 1 && b.dim(0) == out_f,
+                "linear bias shape mismatch");
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < out_f; ++j) out.at(i, j) += b.value().at(j);
+  }
+  return make_node(std::move(out), {x, w, b}, "linear", [x, w, b] {
+    return [xn = x.node(), wn = w.node(),
+            bn = b.defined() ? b.node() : nullptr](Node& self) {
+      // y = x w^T + b: dx = dy w; dw = dy^T x; db = colsum(dy).
+      if (xn->requires_grad)
+        xn->accumulate(rptcn::matmul(self.grad, wn->value));
+      if (wn->requires_grad)
+        wn->accumulate(rptcn::matmul_tn(self.grad, xn->value));
+      if (bn && bn->requires_grad)
+        bn->accumulate(rptcn::sum_cols(self.grad));
+    };
+  });
+}
+
+// ---------------------------------------------------------------------------
+// activations
+// ---------------------------------------------------------------------------
+
+Variable relu(const Variable& a) {
+  check_defined(a, "relu");
+  Tensor out = rptcn::relu(a.value());
+  return make_node(std::move(out), {a}, "relu", [a] {
+    return [an = a.node()](Node& self) {
+      Tensor g = self.grad;
+      const auto pv = an->value.data();
+      auto pg = g.data();
+      for (std::size_t i = 0; i < pg.size(); ++i)
+        if (pv[i] <= 0.0f) pg[i] = 0.0f;
+      an->accumulate(g);
+    };
+  });
+}
+
+Variable sigmoid(const Variable& a) {
+  check_defined(a, "sigmoid");
+  Tensor out = rptcn::sigmoid(a.value());
+  return make_node(std::move(out), {a}, "sigmoid", [a] {
+    return [an = a.node()](Node& self) {
+      // dx = dy * s * (1 - s), where s is the forward output.
+      Tensor g = self.grad;
+      const auto ps = self.value.data();
+      auto pg = g.data();
+      for (std::size_t i = 0; i < pg.size(); ++i)
+        pg[i] *= ps[i] * (1.0f - ps[i]);
+      an->accumulate(g);
+    };
+  });
+}
+
+Variable tanh_v(const Variable& a) {
+  check_defined(a, "tanh");
+  Tensor out = rptcn::tanh_t(a.value());
+  return make_node(std::move(out), {a}, "tanh", [a] {
+    return [an = a.node()](Node& self) {
+      Tensor g = self.grad;
+      const auto ps = self.value.data();
+      auto pg = g.data();
+      for (std::size_t i = 0; i < pg.size(); ++i) pg[i] *= 1.0f - ps[i] * ps[i];
+      an->accumulate(g);
+    };
+  });
+}
+
+// ---------------------------------------------------------------------------
+// shape
+// ---------------------------------------------------------------------------
+
+Variable reshape(const Variable& a, std::vector<std::size_t> shape) {
+  check_defined(a, "reshape");
+  Tensor out = a.value().reshape(shape);
+  return make_node(std::move(out), {a}, "reshape", [a] {
+    return [an = a.node()](Node& self) {
+      an->accumulate(self.grad.reshape(an->value.shape()));
+    };
+  });
+}
+
+// ---------------------------------------------------------------------------
+// dilated causal convolution (paper eqs. 3 and 4)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// y[n,co,t] = b[co] + sum_{ci,k} w[co,ci,k] * x[n,ci,t + k*d - P]
+/// (indices outside [0,T) read as zero — left padding).
+Tensor conv1d_forward(const Tensor& x, const Tensor& w, const Tensor* b,
+                      std::size_t d, std::size_t pad) {
+  const std::size_t n = x.dim(0), cin = x.dim(1), t_in = x.dim(2);
+  const std::size_t cout = w.dim(0), k = w.dim(2);
+  const std::size_t reach = (k - 1) * d;
+  RPTCN_CHECK(t_in + pad >= reach,
+              "conv1d: input too short for kernel reach " << reach);
+  const std::size_t t_out = t_in + pad - reach;
+  Tensor y({n, cout, t_out});
+#pragma omp parallel for collapse(2) schedule(static) if (n * cout > 1)
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t co = 0; co < cout; ++co) {
+      float* yrow = y.raw() + (ni * cout + co) * t_out;
+      if (b != nullptr) {
+        const float bias = b->at(co);
+        for (std::size_t t = 0; t < t_out; ++t) yrow[t] = bias;
+      }
+      for (std::size_t ci = 0; ci < cin; ++ci) {
+        const float* xrow = x.raw() + (ni * cin + ci) * t_in;
+        const float* wrow = w.raw() + (co * cin + ci) * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float wv = wrow[kk];
+          if (wv == 0.0f) continue;
+          // input offset of x relative to output index t
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
+                                     static_cast<std::ptrdiff_t>(pad);
+          const std::size_t t_lo =
+              off < 0 ? static_cast<std::size_t>(-off) : 0u;
+          const std::size_t t_hi = std::min<std::ptrdiff_t>(
+              static_cast<std::ptrdiff_t>(t_out),
+              static_cast<std::ptrdiff_t>(t_in) - off);
+          for (std::size_t t = t_lo; t < t_hi; ++t)
+            yrow[t] += wv * xrow[static_cast<std::size_t>(
+                           static_cast<std::ptrdiff_t>(t) + off)];
+        }
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
+                std::size_t dilation, std::ptrdiff_t left_pad) {
+  check_defined(x, "conv1d");
+  check_defined(w, "conv1d");
+  RPTCN_CHECK(x.value().rank() == 3, "conv1d input must be [N,Cin,T], got "
+                                         << x.value().shape_string());
+  RPTCN_CHECK(w.value().rank() == 3, "conv1d weight must be [Cout,Cin,K], got "
+                                         << w.value().shape_string());
+  RPTCN_CHECK(x.dim(1) == w.dim(1), "conv1d channel mismatch: x "
+                                        << x.value().shape_string() << ", w "
+                                        << w.value().shape_string());
+  RPTCN_CHECK(dilation >= 1, "conv1d dilation must be >= 1");
+  const std::size_t k = w.dim(2);
+  const std::size_t pad = left_pad < 0 ? (k - 1) * dilation
+                                       : static_cast<std::size_t>(left_pad);
+  const Tensor* bias = b.defined() ? &b.value() : nullptr;
+  if (bias != nullptr)
+    RPTCN_CHECK(bias->rank() == 1 && bias->dim(0) == w.dim(0),
+                "conv1d bias must be [Cout]");
+
+  Tensor out = conv1d_forward(x.value(), w.value(), bias, dilation, pad);
+  const std::size_t d = dilation;
+  return make_node(std::move(out), {x, w, b}, "conv1d", [x, w, b, d, pad] {
+    return [xn = x.node(), wn = w.node(),
+            bn = b.defined() ? b.node() : nullptr, d, pad](Node& self) {
+      const Tensor& xv = xn->value;
+      const Tensor& wv = wn->value;
+      const Tensor& dy = self.grad;
+      const std::size_t n = xv.dim(0), cin = xv.dim(1), t_in = xv.dim(2);
+      const std::size_t cout = wv.dim(0), ksz = wv.dim(2);
+      const std::size_t t_out = dy.dim(2);
+
+      if (xn->requires_grad) {
+        Tensor dx = Tensor::zeros(xv.shape());
+#pragma omp parallel for schedule(static) if (n > 1)
+        for (std::size_t ni = 0; ni < n; ++ni) {
+          for (std::size_t co = 0; co < cout; ++co) {
+            const float* gyrow = dy.raw() + (ni * cout + co) * t_out;
+            for (std::size_t ci = 0; ci < cin; ++ci) {
+              float* dxrow = dx.raw() + (ni * cin + ci) * t_in;
+              const float* wrow = wv.raw() + (co * cin + ci) * ksz;
+              for (std::size_t kk = 0; kk < ksz; ++kk) {
+                const float wvv = wrow[kk];
+                if (wvv == 0.0f) continue;
+                const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
+                                           static_cast<std::ptrdiff_t>(pad);
+                const std::size_t t_lo =
+                    off < 0 ? static_cast<std::size_t>(-off) : 0u;
+                const std::size_t t_hi = std::min<std::ptrdiff_t>(
+                    static_cast<std::ptrdiff_t>(t_out),
+                    static_cast<std::ptrdiff_t>(t_in) - off);
+                for (std::size_t t = t_lo; t < t_hi; ++t)
+                  dxrow[static_cast<std::size_t>(
+                      static_cast<std::ptrdiff_t>(t) + off)] += wvv * gyrow[t];
+              }
+            }
+          }
+        }
+        xn->accumulate(dx);
+      }
+
+      if (wn->requires_grad) {
+        Tensor dw = Tensor::zeros(wv.shape());
+#pragma omp parallel for schedule(static) if (cout > 1)
+        for (std::size_t co = 0; co < cout; ++co) {
+          for (std::size_t ni = 0; ni < n; ++ni) {
+            const float* gyrow = dy.raw() + (ni * cout + co) * t_out;
+            for (std::size_t ci = 0; ci < cin; ++ci) {
+              const float* xrow = xv.raw() + (ni * cin + ci) * t_in;
+              float* dwrow = dw.raw() + (co * cin + ci) * ksz;
+              for (std::size_t kk = 0; kk < ksz; ++kk) {
+                const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
+                                           static_cast<std::ptrdiff_t>(pad);
+                const std::size_t t_lo =
+                    off < 0 ? static_cast<std::size_t>(-off) : 0u;
+                const std::size_t t_hi = std::min<std::ptrdiff_t>(
+                    static_cast<std::ptrdiff_t>(t_out),
+                    static_cast<std::ptrdiff_t>(t_in) - off);
+                double s = 0.0;
+                for (std::size_t t = t_lo; t < t_hi; ++t)
+                  s += static_cast<double>(gyrow[t]) *
+                       xrow[static_cast<std::size_t>(
+                           static_cast<std::ptrdiff_t>(t) + off)];
+                dwrow[kk] += static_cast<float>(s);
+              }
+            }
+          }
+        }
+        wn->accumulate(dw);
+      }
+
+      if (bn != nullptr && bn->requires_grad) {
+        Tensor db = Tensor::zeros({cout});
+        for (std::size_t ni = 0; ni < n; ++ni)
+          for (std::size_t co = 0; co < cout; ++co) {
+            const float* gyrow = dy.raw() + (ni * cout + co) * t_out;
+            double s = 0.0;
+            for (std::size_t t = 0; t < t_out; ++t) s += gyrow[t];
+            db.at(co) += static_cast<float>(s);
+          }
+        bn->accumulate(db);
+      }
+    };
+  });
+}
+
+// ---------------------------------------------------------------------------
+// weight normalisation
+// ---------------------------------------------------------------------------
+
+Variable weight_norm(const Variable& v, const Variable& g) {
+  check_defined(v, "weight_norm");
+  check_defined(g, "weight_norm");
+  RPTCN_CHECK(v.value().rank() >= 2, "weight_norm expects rank >= 2");
+  const std::size_t cout = v.dim(0);
+  RPTCN_CHECK(g.value().rank() == 1 && g.dim(0) == cout,
+              "weight_norm gain must be [Cout]");
+  const std::size_t row = v.size() / cout;
+
+  Tensor out(v.value().shape());
+  std::vector<float> norms(cout);
+  {
+    const float* pv = v.value().raw();
+    float* po = out.raw();
+    for (std::size_t c = 0; c < cout; ++c) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < row; ++i) {
+        const float vv = pv[c * row + i];
+        s += static_cast<double>(vv) * vv;
+      }
+      const float nrm = static_cast<float>(std::sqrt(std::max(s, 1e-24)));
+      norms[c] = nrm;
+      const float scale = g.value().at(c) / nrm;
+      for (std::size_t i = 0; i < row; ++i) po[c * row + i] = pv[c * row + i] * scale;
+    }
+  }
+
+  return make_node(std::move(out), {v, g}, "weight_norm",
+                   [v, g, norms = std::move(norms), row, cout] {
+    return [vn = v.node(), gn = g.node(), norms, row, cout](Node& self) {
+      const float* pv = vn->value.raw();
+      const float* pg = self.grad.raw();
+      // Per channel c: w = g_c * v_c / n_c.
+      //   dg_c   = (dw_c . v_c) / n_c
+      //   dv_c   = g_c/n_c * dw_c - g_c (dw_c . v_c) / n_c^3 * v_c
+      Tensor dv = Tensor::zeros(vn->value.shape());
+      Tensor dg = Tensor::zeros({cout});
+      for (std::size_t c = 0; c < cout; ++c) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < row; ++i)
+          dot += static_cast<double>(pg[c * row + i]) * pv[c * row + i];
+        const float n = norms[c];
+        const float gc = gn->value.at(c);
+        dg.at(c) = static_cast<float>(dot / n);
+        const float a = gc / n;
+        const float bcoef = static_cast<float>(gc * dot / (static_cast<double>(n) * n * n));
+        float* pdv = dv.raw() + c * row;
+        for (std::size_t i = 0; i < row; ++i)
+          pdv[i] = a * pg[c * row + i] - bcoef * pv[c * row + i];
+      }
+      if (vn->requires_grad) vn->accumulate(dv);
+      if (gn->requires_grad) gn->accumulate(dg);
+    };
+  });
+}
+
+// ---------------------------------------------------------------------------
+// dropout
+// ---------------------------------------------------------------------------
+
+namespace {
+Variable apply_mask(const Variable& x, Tensor mask, const char* op) {
+  Tensor out = rptcn::mul(x.value(), mask);
+  return make_node(std::move(out), {x}, op, [x, mask = std::move(mask)] {
+    return [xn = x.node(), mask](Node& self) {
+      xn->accumulate(rptcn::mul(self.grad, mask));
+    };
+  });
+}
+}  // namespace
+
+Variable dropout(const Variable& x, float p, Rng& rng, bool training) {
+  check_defined(x, "dropout");
+  RPTCN_CHECK(p >= 0.0f && p < 1.0f, "dropout p must be in [0,1)");
+  if (!training || p == 0.0f) return x;
+  const float scale = 1.0f / (1.0f - p);
+  Tensor mask(x.value().shape());
+  for (auto& m : mask.data()) m = rng.bernoulli(p) ? 0.0f : scale;
+  return apply_mask(x, std::move(mask), "dropout");
+}
+
+Variable spatial_dropout(const Variable& x, float p, Rng& rng, bool training) {
+  check_defined(x, "spatial_dropout");
+  RPTCN_CHECK(x.value().rank() == 3, "spatial_dropout expects [N,C,T]");
+  RPTCN_CHECK(p >= 0.0f && p < 1.0f, "dropout p must be in [0,1)");
+  if (!training || p == 0.0f) return x;
+  const std::size_t n = x.dim(0), c = x.dim(1), t = x.dim(2);
+  const float scale = 1.0f / (1.0f - p);
+  Tensor mask({n, c, t});
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      const float m = rng.bernoulli(p) ? 0.0f : scale;
+      float* row = mask.raw() + (ni * c + ci) * t;
+      for (std::size_t ti = 0; ti < t; ++ti) row[ti] = m;
+    }
+  return apply_mask(x, std::move(mask), "spatial_dropout");
+}
+
+// ---------------------------------------------------------------------------
+// attention building blocks
+// ---------------------------------------------------------------------------
+
+Variable softmax_lastdim_v(const Variable& a) {
+  check_defined(a, "softmax");
+  Tensor out = rptcn::softmax_lastdim(a.value());
+  return make_node(std::move(out), {a}, "softmax", [a] {
+    return [an = a.node()](Node& self) {
+      // Rowwise: dx_i = s_i * (g_i - sum_j g_j s_j).
+      const Tensor& s = self.value;
+      const Tensor& gy = self.grad;
+      const std::size_t last = s.shape().back();
+      const std::size_t rows = s.size() / last;
+      Tensor dx(s.shape());
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float* ps = s.raw() + r * last;
+        const float* pg = gy.raw() + r * last;
+        float* pd = dx.raw() + r * last;
+        double dot = 0.0;
+        for (std::size_t j = 0; j < last; ++j)
+          dot += static_cast<double>(pg[j]) * ps[j];
+        for (std::size_t j = 0; j < last; ++j)
+          pd[j] = ps[j] * (pg[j] - static_cast<float>(dot));
+      }
+      an->accumulate(dx);
+    };
+  });
+}
+
+Variable mul_bcast_channel(const Variable& a, const Variable& z) {
+  check_defined(a, "mul_bcast_channel");
+  check_defined(z, "mul_bcast_channel");
+  RPTCN_CHECK(a.value().rank() == 3 && a.dim(1) == 1,
+              "attention weights must be [N,1,T], got "
+                  << a.value().shape_string());
+  RPTCN_CHECK(z.value().rank() == 3, "features must be [N,C,T]");
+  RPTCN_CHECK(a.dim(0) == z.dim(0) && a.dim(2) == z.dim(2),
+              "mul_bcast_channel shape mismatch: " << a.value().shape_string()
+                                                   << " vs "
+                                                   << z.value().shape_string());
+  const std::size_t n = z.dim(0), c = z.dim(1), t = z.dim(2);
+  Tensor out({n, c, t});
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    const float* arow = a.value().raw() + ni * t;
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      const float* zrow = z.value().raw() + (ni * c + ci) * t;
+      float* orow = out.raw() + (ni * c + ci) * t;
+      for (std::size_t ti = 0; ti < t; ++ti) orow[ti] = arow[ti] * zrow[ti];
+    }
+  }
+  return make_node(std::move(out), {a, z}, "mul_bcast_channel", [a, z] {
+    return [an = a.node(), zn = z.node()](Node& self) {
+      const Tensor& av = an->value;
+      const Tensor& zv = zn->value;
+      const Tensor& gy = self.grad;
+      const std::size_t nb = zv.dim(0), cb = zv.dim(1), tb = zv.dim(2);
+      if (an->requires_grad) {
+        Tensor da = Tensor::zeros(av.shape());
+        for (std::size_t ni = 0; ni < nb; ++ni) {
+          float* darow = da.raw() + ni * tb;
+          for (std::size_t ci = 0; ci < cb; ++ci) {
+            const float* zrow = zv.raw() + (ni * cb + ci) * tb;
+            const float* grow = gy.raw() + (ni * cb + ci) * tb;
+            for (std::size_t ti = 0; ti < tb; ++ti)
+              darow[ti] += grow[ti] * zrow[ti];
+          }
+        }
+        an->accumulate(da);
+      }
+      if (zn->requires_grad) {
+        Tensor dz(zv.shape());
+        for (std::size_t ni = 0; ni < nb; ++ni) {
+          const float* arow = av.raw() + ni * tb;
+          for (std::size_t ci = 0; ci < cb; ++ci) {
+            const float* grow = gy.raw() + (ni * cb + ci) * tb;
+            float* dzrow = dz.raw() + (ni * cb + ci) * tb;
+            for (std::size_t ti = 0; ti < tb; ++ti)
+              dzrow[ti] = grow[ti] * arow[ti];
+          }
+        }
+        zn->accumulate(dz);
+      }
+    };
+  });
+}
+
+Variable sum_lastdim(const Variable& a) {
+  check_defined(a, "sum_lastdim");
+  RPTCN_CHECK(a.value().rank() == 3, "sum_lastdim expects [N,C,T]");
+  const std::size_t n = a.dim(0), c = a.dim(1), t = a.dim(2);
+  Tensor out({n, c});
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      const float* row = a.value().raw() + (ni * c + ci) * t;
+      double s = 0.0;
+      for (std::size_t ti = 0; ti < t; ++ti) s += row[ti];
+      out.at(ni, ci) = static_cast<float>(s);
+    }
+  return make_node(std::move(out), {a}, "sum_lastdim", [a, t] {
+    return [an = a.node(), t](Node& self) {
+      const std::size_t nb = self.grad.dim(0), cb = self.grad.dim(1);
+      Tensor dx(an->value.shape());
+      for (std::size_t ni = 0; ni < nb; ++ni)
+        for (std::size_t ci = 0; ci < cb; ++ci) {
+          const float g = self.grad.at(ni, ci);
+          float* row = dx.raw() + (ni * cb + ci) * t;
+          for (std::size_t ti = 0; ti < t; ++ti) row[ti] = g;
+        }
+      an->accumulate(dx);
+    };
+  });
+}
+
+Variable time_slice(const Variable& x, std::size_t t) {
+  check_defined(x, "time_slice");
+  RPTCN_CHECK(x.value().rank() == 3, "time_slice expects [N,C,T]");
+  const std::size_t n = x.dim(0), c = x.dim(1), tt = x.dim(2);
+  RPTCN_CHECK(t < tt, "time_slice index " << t << " out of T=" << tt);
+  Tensor out({n, c});
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci)
+      out.at(ni, ci) = x.value().at(ni, ci, t);
+  return make_node(std::move(out), {x}, "time_slice", [x, t] {
+    return [xn = x.node(), t](Node& self) {
+      Tensor dx = Tensor::zeros(xn->value.shape());
+      const std::size_t nb = self.grad.dim(0), cb = self.grad.dim(1);
+      for (std::size_t ni = 0; ni < nb; ++ni)
+        for (std::size_t ci = 0; ci < cb; ++ci)
+          dx.at(ni, ci, t) = self.grad.at(ni, ci);
+      xn->accumulate(dx);
+    };
+  });
+}
+
+// ---------------------------------------------------------------------------
+// sequence utilities
+// ---------------------------------------------------------------------------
+
+namespace {
+Tensor reverse_time_tensor(const Tensor& x) {
+  const std::size_t n = x.dim(0), c = x.dim(1), t = x.dim(2);
+  Tensor out({n, c, t});
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      const float* src = x.raw() + (ni * c + ci) * t;
+      float* dst = out.raw() + (ni * c + ci) * t;
+      for (std::size_t ti = 0; ti < t; ++ti) dst[ti] = src[t - 1 - ti];
+    }
+  return out;
+}
+}  // namespace
+
+Variable time_reverse(const Variable& x) {
+  check_defined(x, "time_reverse");
+  RPTCN_CHECK(x.value().rank() == 3, "time_reverse expects [N,C,T]");
+  Tensor out = reverse_time_tensor(x.value());
+  return make_node(std::move(out), {x}, "time_reverse", [x] {
+    return [xn = x.node()](Node& self) {
+      xn->accumulate(reverse_time_tensor(self.grad));  // involution
+    };
+  });
+}
+
+Variable concat_cols(const Variable& a, const Variable& b) {
+  check_defined(a, "concat_cols");
+  check_defined(b, "concat_cols");
+  RPTCN_CHECK(a.value().rank() == 2 && b.value().rank() == 2,
+              "concat_cols expects rank-2 operands");
+  RPTCN_CHECK(a.dim(0) == b.dim(0), "concat_cols batch mismatch");
+  const std::size_t n = a.dim(0), fa = a.dim(1), fb = b.dim(1);
+  Tensor out({n, fa + fb});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy_n(a.value().raw() + i * fa, fa, out.raw() + i * (fa + fb));
+    std::copy_n(b.value().raw() + i * fb, fb, out.raw() + i * (fa + fb) + fa);
+  }
+  return make_node(std::move(out), {a, b}, "concat_cols", [a, b, fa, fb] {
+    return [an = a.node(), bn = b.node(), fa, fb](Node& self) {
+      const std::size_t rows = self.grad.dim(0);
+      if (an->requires_grad) {
+        Tensor da({rows, fa});
+        for (std::size_t i = 0; i < rows; ++i)
+          std::copy_n(self.grad.raw() + i * (fa + fb), fa, da.raw() + i * fa);
+        an->accumulate(da);
+      }
+      if (bn->requires_grad) {
+        Tensor db({rows, fb});
+        for (std::size_t i = 0; i < rows; ++i)
+          std::copy_n(self.grad.raw() + i * (fa + fb) + fa, fb,
+                      db.raw() + i * fb);
+        bn->accumulate(db);
+      }
+    };
+  });
+}
+
+// ---------------------------------------------------------------------------
+// reductions and losses
+// ---------------------------------------------------------------------------
+
+Variable sum_all(const Variable& a) {
+  check_defined(a, "sum_all");
+  Tensor out = Tensor::scalar(rptcn::sum(a.value()));
+  return make_node(std::move(out), {a}, "sum_all", [a] {
+    return [an = a.node()](Node& self) {
+      an->accumulate(Tensor::full(an->value.shape(), self.grad.item()));
+    };
+  });
+}
+
+Variable mean_all(const Variable& a) {
+  check_defined(a, "mean_all");
+  const float inv = 1.0f / static_cast<float>(a.size());
+  Tensor out = Tensor::scalar(rptcn::sum(a.value()) * inv);
+  return make_node(std::move(out), {a}, "mean_all", [a, inv] {
+    return [an = a.node(), inv](Node& self) {
+      an->accumulate(Tensor::full(an->value.shape(), self.grad.item() * inv));
+    };
+  });
+}
+
+Variable mse_loss(const Variable& pred, const Tensor& target) {
+  check_defined(pred, "mse_loss");
+  RPTCN_CHECK(pred.value().same_shape(target),
+              "mse_loss shape mismatch: " << pred.value().shape_string()
+                                          << " vs " << target.shape_string());
+  const std::size_t n = pred.size();
+  double acc = 0.0;
+  {
+    const auto pp = pred.value().data();
+    const auto pt = target.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = static_cast<double>(pp[i]) - pt[i];
+      acc += d * d;
+    }
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc / static_cast<double>(n)));
+  return make_node(std::move(out), {pred}, "mse_loss", [pred, target, n] {
+    return [pn = pred.node(), target, n](Node& self) {
+      const float g = self.grad.item() * 2.0f / static_cast<float>(n);
+      Tensor dx(pn->value.shape());
+      const auto pp = pn->value.data();
+      const auto pt = target.data();
+      auto pd = dx.data();
+      for (std::size_t i = 0; i < n; ++i) pd[i] = g * (pp[i] - pt[i]);
+      pn->accumulate(dx);
+    };
+  });
+}
+
+Variable mae_loss(const Variable& pred, const Tensor& target) {
+  check_defined(pred, "mae_loss");
+  RPTCN_CHECK(pred.value().same_shape(target),
+              "mae_loss shape mismatch: " << pred.value().shape_string()
+                                          << " vs " << target.shape_string());
+  const std::size_t n = pred.size();
+  double acc = 0.0;
+  {
+    const auto pp = pred.value().data();
+    const auto pt = target.data();
+    for (std::size_t i = 0; i < n; ++i)
+      acc += std::fabs(static_cast<double>(pp[i]) - pt[i]);
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc / static_cast<double>(n)));
+  return make_node(std::move(out), {pred}, "mae_loss", [pred, target, n] {
+    return [pn = pred.node(), target, n](Node& self) {
+      const float g = self.grad.item() / static_cast<float>(n);
+      Tensor dx(pn->value.shape());
+      const auto pp = pn->value.data();
+      const auto pt = target.data();
+      auto pd = dx.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        const float d = pp[i] - pt[i];
+        pd[i] = d > 0.0f ? g : (d < 0.0f ? -g : 0.0f);
+      }
+      pn->accumulate(dx);
+    };
+  });
+}
+
+Variable pinball_loss(const Variable& pred, const Tensor& target, float tau) {
+  check_defined(pred, "pinball_loss");
+  RPTCN_CHECK(tau > 0.0f && tau < 1.0f, "tau must be in (0,1)");
+  RPTCN_CHECK(pred.value().same_shape(target),
+              "pinball_loss shape mismatch: " << pred.value().shape_string()
+                                              << " vs "
+                                              << target.shape_string());
+  const std::size_t n = pred.size();
+  double acc = 0.0;
+  {
+    const auto pp = pred.value().data();
+    const auto pt = target.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double diff = static_cast<double>(pt[i]) - pp[i];  // y - yhat
+      acc += diff >= 0.0 ? tau * diff : (tau - 1.0) * diff;
+    }
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc / static_cast<double>(n)));
+  return make_node(std::move(out), {pred}, "pinball_loss",
+                   [pred, target, tau, n] {
+    return [pn = pred.node(), target, tau, n](Node& self) {
+      // d/dyhat of rho_tau(y - yhat): -tau if y > yhat, (1 - tau) if y < yhat.
+      const float g = self.grad.item() / static_cast<float>(n);
+      Tensor dx(pn->value.shape());
+      const auto pp = pn->value.data();
+      const auto pt = target.data();
+      auto pd = dx.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        const float diff = pt[i] - pp[i];
+        pd[i] = diff > 0.0f ? -tau * g : (diff < 0.0f ? (1.0f - tau) * g : 0.0f);
+      }
+      pn->accumulate(dx);
+    };
+  });
+}
+
+}  // namespace rptcn::ag

@@ -1,0 +1,123 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/tensor_ops.h"
+
+namespace rptcn {
+
+namespace autograd {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}
+
+bool grad_enabled() { return g_grad_enabled; }
+
+void Node::accumulate(const Tensor& g) {
+  RPTCN_CHECK(g.same_shape(value), "gradient shape " << g.shape_string()
+                                                     << " != value shape "
+                                                     << value.shape_string());
+  if (!grad_initialized) {
+    grad = g;
+    grad_initialized = true;
+  } else {
+    add_inplace(grad, g);
+  }
+}
+
+}  // namespace autograd
+
+NoGradScope::NoGradScope() : previous_(autograd::g_grad_enabled) {
+  autograd::g_grad_enabled = false;
+}
+
+NoGradScope::~NoGradScope() { autograd::g_grad_enabled = previous_; }
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<autograd::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+bool Variable::requires_grad() const {
+  return node_ != nullptr && node_->requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  RPTCN_CHECK(defined(), "value() on undefined Variable");
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  RPTCN_CHECK(defined(), "mutable_value() on undefined Variable");
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  RPTCN_CHECK(defined(), "grad() on undefined Variable");
+  if (!node_->grad_initialized) {
+    // Lazily materialise a zero gradient so callers can always read it.
+    node_->grad = Tensor::zeros(node_->value.shape());
+    node_->grad_initialized = true;
+  }
+  return node_->grad;
+}
+
+void Variable::zero_grad() {
+  RPTCN_CHECK(defined(), "zero_grad() on undefined Variable");
+  node_->grad = Tensor{};
+  node_->grad_initialized = false;
+}
+
+namespace {
+// Iterative post-order topological sort (avoids deep recursion on long
+// per-timestep chains such as unrolled LSTMs).
+void topo_sort(const std::shared_ptr<autograd::Node>& root,
+               std::vector<autograd::Node*>& order) {
+  std::unordered_set<autograd::Node*> visited;
+  struct Frame {
+    autograd::Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root.get()).second) stack.push_back({root.get(), 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      autograd::Node* parent = top.node->parents[top.next_parent++].get();
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+}  // namespace
+
+void Variable::backward() {
+  RPTCN_CHECK(defined(), "backward() on undefined Variable");
+  RPTCN_CHECK(node_->value.size() == 1,
+              "backward() without seed requires a scalar output, got shape "
+                  << node_->value.shape_string());
+  backward(Tensor::ones(node_->value.shape()));
+}
+
+void Variable::backward(const Tensor& seed) {
+  RPTCN_CHECK(defined(), "backward() on undefined Variable");
+  node_->accumulate(seed);
+  std::vector<autograd::Node*> order;
+  topo_sort(node_, order);
+  // Post-order puts parents before children; sweep children-first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    autograd::Node* n = *it;
+    if (n->backward_fn && n->grad_initialized) n->backward_fn(*n);
+  }
+}
+
+Variable Variable::detach() const {
+  RPTCN_CHECK(defined(), "detach() on undefined Variable");
+  return Variable(node_->value, /*requires_grad=*/false);
+}
+
+}  // namespace rptcn

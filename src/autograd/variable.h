@@ -1,0 +1,99 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// A Variable wraps a shared graph Node holding a value tensor, a lazily
+// allocated gradient tensor, and a closure that pushes the node's gradient
+// back to its parents. Graphs are built define-by-run by the ops in
+// autograd/ops.h and freed when the last Variable referencing them dies.
+//
+// Threading: graph construction and backward are single-threaded (the
+// orchestration thread); the numeric kernels inside ops use OpenMP.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rptcn {
+
+namespace autograd {
+
+struct Node {
+  Tensor value;
+  Tensor grad;                 // allocated on first accumulation
+  bool grad_initialized = false;
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void(Node&)> backward_fn;  // may be empty for leaves
+  const char* op = "leaf";
+
+  /// grad += g, allocating on first use. Shape of g must match value.
+  void accumulate(const Tensor& g);
+};
+
+/// When false (see NoGradScope), ops produce detached results: no parents,
+/// no backward closures. Used for validation/test-time forward passes.
+bool grad_enabled();
+
+}  // namespace autograd
+
+/// RAII guard that disables gradient tracking in its scope.
+class NoGradScope {
+ public:
+  NoGradScope();
+  ~NoGradScope();
+  NoGradScope(const NoGradScope&) = delete;
+  NoGradScope& operator=(const NoGradScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+class Variable {
+ public:
+  /// Undefined variable; defined() is false.
+  Variable() = default;
+
+  /// Wrap a value. requires_grad marks this as a trainable leaf.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  /// Internal: wrap an existing node (used by ops).
+  explicit Variable(std::shared_ptr<autograd::Node> node)
+      : node_(std::move(node)) {}
+
+  bool defined() const { return node_ != nullptr; }
+  bool requires_grad() const;
+
+  const Tensor& value() const;
+  /// Mutable access to the value, for optimizer parameter updates.
+  /// Must only be called between forward passes.
+  Tensor& mutable_value();
+
+  /// Gradient tensor; zeros-shaped if backward has not touched this node.
+  const Tensor& grad() const;
+
+  /// Reset the gradient to "empty" (next accumulation re-initialises it).
+  void zero_grad();
+
+  /// Reverse-mode sweep from this (scalar) variable, seeding with 1.
+  void backward();
+  /// Reverse-mode sweep with an explicit output gradient (any shape).
+  void backward(const Tensor& seed);
+
+  /// Shape helpers forwarding to the value tensor.
+  const std::vector<std::size_t>& shape() const { return value().shape(); }
+  std::size_t size() const { return value().size(); }
+  std::size_t dim(std::size_t i) const { return value().dim(i); }
+
+  /// Detached copy: same value, no graph history.
+  Variable detach() const;
+
+  std::shared_ptr<autograd::Node> node() const { return node_; }
+
+ private:
+  std::shared_ptr<autograd::Node> node_;
+};
+
+}  // namespace rptcn

@@ -1,0 +1,257 @@
+#include "baselines/gbt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace rptcn::baselines {
+
+float RegressionTree::predict(std::span<const float> x) const {
+  RPTCN_DCHECK(!nodes_.empty(), "empty tree");
+  std::size_t i = 0;
+  while (!nodes_[i].is_leaf) {
+    const auto& n = nodes_[i];
+    RPTCN_DCHECK(n.feature < x.size(), "feature index out of range");
+    i = static_cast<std::size_t>(x[n.feature] < n.threshold ? n.left : n.right);
+  }
+  return nodes_[i].weight;
+}
+
+std::size_t RegressionTree::depth() const {
+  // Depth via iterative traversal (trees are tiny).
+  std::size_t max_depth = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  while (!stack.empty()) {
+    const auto [i, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    if (!nodes_[i].is_leaf) {
+      stack.emplace_back(static_cast<std::size_t>(nodes_[i].left), d + 1);
+      stack.emplace_back(static_cast<std::size_t>(nodes_[i].right), d + 1);
+    }
+  }
+  return max_depth;
+}
+
+GradientBoostedTrees::GradientBoostedTrees(const GbtOptions& options)
+    : options_(options) {
+  RPTCN_CHECK(options.n_rounds > 0, "n_rounds must be positive");
+  RPTCN_CHECK(options.learning_rate > 0.0f, "learning_rate must be positive");
+  RPTCN_CHECK(options.max_depth >= 1, "max_depth must be >= 1");
+  RPTCN_CHECK(options.subsample > 0.0f && options.subsample <= 1.0f,
+              "subsample must be in (0,1]");
+  RPTCN_CHECK(options.colsample > 0.0f && options.colsample <= 1.0f,
+              "colsample must be in (0,1]");
+}
+
+struct GradientBoostedTrees::SplitResult {
+  bool found = false;
+  std::size_t feature = 0;
+  float threshold = 0.0f;
+  float gain = 0.0f;
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+};
+
+std::size_t GradientBoostedTrees::build_node(
+    RegressionTree& tree, const std::vector<std::size_t>& rows,
+    const std::vector<std::size_t>& features, std::size_t depth) {
+  const std::size_t node_index = tree.nodes_.size();
+  tree.nodes_.emplace_back();
+
+  double g_total = 0.0, h_total = 0.0;
+  for (const auto r : rows) {
+    g_total += grad_[r];
+    h_total += hess_[r];
+  }
+  const float lambda = options_.lambda;
+  const auto leaf_weight = [&](double g, double h) {
+    return static_cast<float>(-g / (h + lambda));
+  };
+  const auto score = [&](double g, double h) { return g * g / (h + lambda); };
+
+  SplitResult best;
+  if (depth < options_.max_depth && rows.size() >= 2) {
+    [[maybe_unused]] const std::size_t f_count = x_->dim(1);
+    std::vector<std::pair<float, std::size_t>> sorted;
+    sorted.reserve(rows.size());
+    for (const std::size_t f : features) {
+      RPTCN_DCHECK(f < f_count, "feature out of range");
+      sorted.clear();
+      for (const auto r : rows) sorted.emplace_back(x_->at(r, f), r);
+      std::sort(sorted.begin(), sorted.end());
+
+      double g_left = 0.0, h_left = 0.0;
+      for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        g_left += grad_[sorted[i].second];
+        h_left += hess_[sorted[i].second];
+        if (sorted[i].first == sorted[i + 1].first) continue;  // no split here
+        const double g_right = g_total - g_left;
+        const double h_right = h_total - h_left;
+        if (h_left < options_.min_child_weight ||
+            h_right < options_.min_child_weight)
+          continue;
+        const float gain = static_cast<float>(
+            0.5 * (score(g_left, h_left) + score(g_right, h_right) -
+                   score(g_total, h_total)) -
+            options_.gamma);
+        if (gain > best.gain) {
+          best.found = true;
+          best.feature = f;
+          best.threshold = 0.5f * (sorted[i].first + sorted[i + 1].first);
+          best.gain = gain;
+        }
+      }
+    }
+    if (best.found) {
+      for (const auto r : rows) {
+        if (x_->at(r, best.feature) < best.threshold)
+          best.left_rows.push_back(r);
+        else
+          best.right_rows.push_back(r);
+      }
+      // Guard against degenerate splits from threshold midpointing.
+      if (best.left_rows.empty() || best.right_rows.empty()) best.found = false;
+    }
+  }
+
+  if (!best.found) {
+    tree.nodes_[node_index].is_leaf = true;
+    tree.nodes_[node_index].weight = leaf_weight(g_total, h_total);
+    return node_index;
+  }
+
+  const std::size_t left =
+      build_node(tree, best.left_rows, features, depth + 1);
+  const std::size_t right =
+      build_node(tree, best.right_rows, features, depth + 1);
+  auto& node = tree.nodes_[node_index];
+  node.is_leaf = false;
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  node.left = static_cast<std::int32_t>(left);
+  node.right = static_cast<std::int32_t>(right);
+  return node_index;
+}
+
+void GradientBoostedTrees::fit(const Tensor& x, std::span<const float> y,
+                               const Tensor* x_valid,
+                               std::span<const float> y_valid) {
+  RPTCN_CHECK(x.rank() == 2, "GBT features must be [n, f]");
+  const std::size_t n = x.dim(0), f = x.dim(1);
+  RPTCN_CHECK(y.size() == n, "target length mismatch");
+  if (x_valid != nullptr) {
+    RPTCN_CHECK(x_valid->rank() == 2 && x_valid->dim(1) == f,
+                "validation feature mismatch");
+    RPTCN_CHECK(y_valid.size() == x_valid->dim(0),
+                "validation target mismatch");
+  }
+
+  trees_.clear();
+  train_loss_.clear();
+  valid_loss_.clear();
+  x_ = &x;
+  grad_.assign(n, 0.0f);
+  hess_.assign(n, 1.0f);  // squared loss: constant hessian
+
+  Rng rng(options_.seed);
+  std::vector<float> pred(n, options_.base_score);
+  std::vector<float> pred_valid;
+  if (x_valid != nullptr)
+    pred_valid.assign(x_valid->dim(0), options_.base_score);
+
+  double best_valid = std::numeric_limits<double>::infinity();
+  std::size_t rounds_since_best = 0;
+  std::size_t best_round = 0;
+
+  for (std::size_t round = 0; round < options_.n_rounds; ++round) {
+    // Squared loss: g = pred - y, h = 1.
+    for (std::size_t i = 0; i < n; ++i) grad_[i] = pred[i] - y[i];
+
+    // Row subsampling.
+    std::vector<std::size_t> rows;
+    rows.reserve(n);
+    if (options_.subsample < 1.0f) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (rng.bernoulli(options_.subsample)) rows.push_back(i);
+      if (rows.empty()) rows.push_back(rng.uniform_index(n));
+    } else {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), std::size_t{0});
+    }
+    // Column subsampling.
+    std::vector<std::size_t> features;
+    if (options_.colsample < 1.0f) {
+      const auto perm = rng.permutation(f);
+      const auto keep = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::lround(
+                 options_.colsample * static_cast<float>(f))));
+      features.assign(perm.begin(), perm.begin() + keep);
+    } else {
+      features.resize(f);
+      std::iota(features.begin(), features.end(), std::size_t{0});
+    }
+
+    RegressionTree tree;
+    build_node(tree, rows, features, 0);
+
+    // Update predictions with shrinkage.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::span<const float> xi(x.raw() + i * f, f);
+      pred[i] += options_.learning_rate * tree.predict(xi);
+    }
+    double mse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = static_cast<double>(pred[i]) - y[i];
+      mse += e * e;
+    }
+    train_loss_.push_back(mse / static_cast<double>(n));
+
+    trees_.push_back(std::move(tree));
+
+    if (x_valid != nullptr) {
+      const std::size_t nv = x_valid->dim(0);
+      double vmse = 0.0;
+      for (std::size_t i = 0; i < nv; ++i) {
+        std::span<const float> xi(x_valid->raw() + i * f, f);
+        pred_valid[i] += options_.learning_rate * trees_.back().predict(xi);
+        const double e = static_cast<double>(pred_valid[i]) - y_valid[i];
+        vmse += e * e;
+      }
+      vmse /= static_cast<double>(nv);
+      valid_loss_.push_back(vmse);
+      if (vmse < best_valid) {
+        best_valid = vmse;
+        best_round = trees_.size();
+        rounds_since_best = 0;
+      } else if (options_.early_stopping_rounds > 0 &&
+                 ++rounds_since_best >= options_.early_stopping_rounds) {
+        trees_.resize(best_round);  // keep the best prefix
+        break;
+      }
+    }
+  }
+  x_ = nullptr;
+  grad_.clear();
+  hess_.clear();
+}
+
+float GradientBoostedTrees::predict_one(std::span<const float> x) const {
+  float p = options_.base_score;
+  for (const auto& tree : trees_) p += options_.learning_rate * tree.predict(x);
+  return p;
+}
+
+std::vector<float> GradientBoostedTrees::predict(const Tensor& x) const {
+  RPTCN_CHECK(x.rank() == 2, "GBT features must be [n, f]");
+  const std::size_t n = x.dim(0), f = x.dim(1);
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = predict_one({x.raw() + i * f, f});
+  return out;
+}
+
+}  // namespace rptcn::baselines

@@ -1,0 +1,89 @@
+// Gradient-boosted regression trees in the XGBoost style: second-order
+// (gradient + hessian) Newton boosting, exact greedy splits, L2 leaf
+// regularisation, split gain threshold, row/column subsampling, shrinkage
+// and early stopping on a validation set. This is the paper's "XGBoost"
+// baseline, applied to flattened window features.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace rptcn::baselines {
+
+struct GbtOptions {
+  std::size_t n_rounds = 120;
+  float learning_rate = 0.1f;
+  std::size_t max_depth = 4;
+  float lambda = 1.0f;             ///< L2 on leaf weights
+  float gamma = 0.0f;              ///< min split gain
+  float min_child_weight = 1.0f;   ///< min hessian sum per leaf
+  float subsample = 1.0f;          ///< row sampling per round
+  float colsample = 1.0f;          ///< feature sampling per round
+  std::size_t early_stopping_rounds = 10;  ///< 0 disables
+  float base_score = 0.5f;
+  std::uint64_t seed = 7;
+};
+
+/// One regression tree (array-of-nodes layout).
+class RegressionTree {
+ public:
+  struct Node {
+    bool is_leaf = true;
+    std::size_t feature = 0;
+    float threshold = 0.0f;
+    float weight = 0.0f;  ///< leaf value
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  float predict(std::span<const float> x) const;
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+ private:
+  friend class GradientBoostedTrees;
+  std::vector<Node> nodes_;
+};
+
+class GradientBoostedTrees {
+ public:
+  explicit GradientBoostedTrees(const GbtOptions& options = {});
+
+  /// Fit on features x [n, f] and targets y [n]; optional validation pair
+  /// enables early stopping and populates valid_loss_history().
+  void fit(const Tensor& x, std::span<const float> y,
+           const Tensor* x_valid = nullptr,
+           std::span<const float> y_valid = {});
+
+  float predict_one(std::span<const float> x) const;
+  std::vector<float> predict(const Tensor& x) const;
+
+  /// Training / validation MSE after each boosting round (for Figs. 9/10).
+  const std::vector<double>& train_loss_history() const { return train_loss_; }
+  const std::vector<double>& valid_loss_history() const { return valid_loss_; }
+  std::size_t rounds_used() const { return trees_.size(); }
+  const GbtOptions& options() const { return options_; }
+
+ private:
+  struct SplitResult;
+  std::size_t build_node(RegressionTree& tree,
+                         const std::vector<std::size_t>& rows,
+                         const std::vector<std::size_t>& features,
+                         std::size_t depth);
+
+  GbtOptions options_;
+  std::vector<RegressionTree> trees_;
+  std::vector<double> train_loss_;
+  std::vector<double> valid_loss_;
+  // Fit-time scratch (valid only inside fit()).
+  const Tensor* x_ = nullptr;
+  std::vector<float> grad_;
+  std::vector<float> hess_;
+};
+
+}  // namespace rptcn::baselines

@@ -1,0 +1,67 @@
+#include "baselines/linreg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rptcn::baselines {
+
+bool cholesky_solve(std::vector<double>& m, std::vector<double>& rhs,
+                    std::size_t n) {
+  RPTCN_CHECK(m.size() == n * n && rhs.size() == n, "cholesky size mismatch");
+  // In-place lower Cholesky factorisation.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = m[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= m[i * n + k] * m[j * n + k];
+      if (i == j) {
+        if (s <= 0.0) return false;
+        m[i * n + j] = std::sqrt(s);
+      } else {
+        m[i * n + j] = s / m[j * n + j];
+      }
+    }
+  }
+  // Forward substitution L y = rhs.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = rhs[i];
+    for (std::size_t k = 0; k < i; ++k) s -= m[i * n + k] * rhs[k];
+    rhs[i] = s / m[i * n + i];
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = rhs[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= m[k * n + ii] * rhs[k];
+    rhs[ii] = s / m[ii * n + ii];
+  }
+  return true;
+}
+
+std::vector<double> least_squares(std::span<const double> a, std::size_t rows,
+                                  std::size_t cols, std::span<const double> b,
+                                  double ridge) {
+  RPTCN_CHECK(a.size() == rows * cols, "design matrix size mismatch");
+  RPTCN_CHECK(b.size() == rows, "target size mismatch");
+  RPTCN_CHECK(rows >= cols, "least_squares needs rows >= cols");
+  RPTCN_CHECK(ridge >= 0.0, "ridge must be non-negative");
+
+  // Normal equations: (A^T A + ridge I) x = A^T b.
+  std::vector<double> ata(cols * cols, 0.0);
+  std::vector<double> atb(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = a.data() + r * cols;
+    for (std::size_t i = 0; i < cols; ++i) {
+      atb[i] += row[i] * b[r];
+      for (std::size_t j = i; j < cols; ++j) ata[i * cols + j] += row[i] * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols; ++i) {
+    ata[i * cols + i] += ridge;
+    for (std::size_t j = 0; j < i; ++j) ata[i * cols + j] = ata[j * cols + i];
+  }
+  const bool ok = cholesky_solve(ata, atb, cols);
+  RPTCN_CHECK(ok, "normal equations not positive definite; increase ridge");
+  return atb;
+}
+
+}  // namespace rptcn::baselines

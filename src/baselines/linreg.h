@@ -1,0 +1,23 @@
+// Double-precision ordinary least squares via ridge-stabilised normal
+// equations + Cholesky. Small design matrices only (ARIMA estimation uses
+// a few dozen columns), so the O(k^3) solve is negligible.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rptcn::baselines {
+
+/// Solve min ||A x - b||^2 + ridge ||x||^2, A row-major [rows x cols].
+/// Throws CheckError on dimension mismatch or a non-SPD system (which the
+/// ridge term prevents for any ridge > 0).
+std::vector<double> least_squares(std::span<const double> a, std::size_t rows,
+                                  std::size_t cols, std::span<const double> b,
+                                  double ridge = 1e-8);
+
+/// Cholesky solve of an SPD system m x = rhs, m row-major [n x n].
+/// Returns false if m is not positive definite (m is left modified).
+bool cholesky_solve(std::vector<double>& m, std::vector<double>& rhs,
+                    std::size_t n);
+
+}  // namespace rptcn::baselines

@@ -1,0 +1,45 @@
+#include "baselines/naive.h"
+
+#include "common/check.h"
+
+namespace rptcn::baselines {
+
+std::vector<double> last_value_predictions(std::span<const double> series,
+                                           std::size_t start) {
+  RPTCN_CHECK(start >= 1 && start < series.size(), "bad start index");
+  std::vector<double> out;
+  out.reserve(series.size() - start);
+  for (std::size_t t = start; t < series.size(); ++t)
+    out.push_back(series[t - 1]);
+  return out;
+}
+
+std::vector<double> seasonal_naive_predictions(std::span<const double> series,
+                                               std::size_t start,
+                                               std::size_t period) {
+  RPTCN_CHECK(period >= 1, "period must be >= 1");
+  RPTCN_CHECK(start >= period && start < series.size(), "bad start index");
+  std::vector<double> out;
+  out.reserve(series.size() - start);
+  for (std::size_t t = start; t < series.size(); ++t)
+    out.push_back(series[t - period]);
+  return out;
+}
+
+std::vector<double> moving_average_predictions(std::span<const double> series,
+                                               std::size_t start,
+                                               std::size_t window) {
+  RPTCN_CHECK(window >= 1, "window must be >= 1");
+  RPTCN_CHECK(start >= window && start < series.size(), "bad start index");
+  std::vector<double> out;
+  out.reserve(series.size() - start);
+  double acc = 0.0;
+  for (std::size_t t = start - window; t < start; ++t) acc += series[t];
+  for (std::size_t t = start; t < series.size(); ++t) {
+    out.push_back(acc / static_cast<double>(window));
+    acc += series[t] - series[t - window];
+  }
+  return out;
+}
+
+}  // namespace rptcn::baselines

@@ -1,0 +1,24 @@
+// Trivial reference predictors used as sanity floors in benches and tests:
+// any learned model must beat (or match, for near-random-walk series) these.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rptcn::baselines {
+
+/// Persistence forecast: yhat_t = y_{t-1} for t in [start, size).
+std::vector<double> last_value_predictions(std::span<const double> series,
+                                           std::size_t start);
+
+/// Seasonal persistence: yhat_t = y_{t-period}.
+std::vector<double> seasonal_naive_predictions(std::span<const double> series,
+                                               std::size_t start,
+                                               std::size_t period);
+
+/// Rolling mean of the previous `window` values.
+std::vector<double> moving_average_predictions(std::span<const double> series,
+                                               std::size_t start,
+                                               std::size_t window);
+
+}  // namespace rptcn::baselines

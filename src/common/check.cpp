@@ -1,0 +1,13 @@
+#include "common/check.h"
+
+namespace rptcn::detail {
+
+void throw_check_error(const char* cond, const char* file, int line,
+                       const std::string& msg) {
+  std::ostringstream oss;
+  oss << "check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw CheckError(oss.str());
+}
+
+}  // namespace rptcn::detail

@@ -1,0 +1,45 @@
+// Error-handling primitives.
+//
+// RPTCN_CHECK(cond, msg): precondition check that throws rptcn::CheckError.
+// Used at public API boundaries; internal invariants use RPTCN_DCHECK which
+// compiles out in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rptcn {
+
+/// Exception thrown when a RPTCN_CHECK fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_error(const char* cond, const char* file, int line,
+                                    const std::string& msg);
+}  // namespace detail
+
+}  // namespace rptcn
+
+// Always-on check: throws rptcn::CheckError with location info.
+#define RPTCN_CHECK(cond, ...)                                                \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::std::ostringstream rptcn_check_oss_;                                  \
+      rptcn_check_oss_ __VA_OPT__(<< __VA_ARGS__);                            \
+      ::rptcn::detail::throw_check_error(#cond, __FILE__, __LINE__,           \
+                                         rptcn_check_oss_.str());             \
+    }                                                                         \
+  } while (false)
+
+// Debug-only check (active unless NDEBUG).
+#ifdef NDEBUG
+#define RPTCN_DCHECK(cond, ...) \
+  do {                          \
+  } while (false)
+#else
+#define RPTCN_DCHECK(cond, ...) RPTCN_CHECK(cond, __VA_ARGS__)
+#endif

@@ -1,0 +1,88 @@
+#include "common/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace rptcn {
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    if (columns[i] == name) return i;
+  RPTCN_CHECK(false, "no such CSV column: " << name);
+  return 0;  // unreachable
+}
+
+CsvTable read_csv(std::istream& in) {
+  CsvTable table;
+  std::string line;
+  RPTCN_CHECK(static_cast<bool>(std::getline(in, line)), "CSV stream is empty");
+  for (auto& name : split(trim(line), ','))
+    table.columns.emplace_back(trim(name));
+  table.data.assign(table.columns.size(), {});
+
+  std::size_t row = 0;
+  while (std::getline(in, line)) {
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = split(trimmed, ',');
+    RPTCN_CHECK(fields.size() == table.columns.size(),
+                "ragged CSV row " << row << ": got " << fields.size()
+                                  << " fields, expected " << table.columns.size());
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      const auto f = trim(fields[c]);
+      if (f.empty() || to_lower(f) == "nan") {
+        table.data[c].push_back(std::numeric_limits<double>::quiet_NaN());
+      } else {
+        try {
+          table.data[c].push_back(std::stod(std::string(f)));
+        } catch (const std::exception&) {
+          RPTCN_CHECK(false, "unparseable CSV value '" << f << "' at row " << row
+                                                       << " col " << c);
+        }
+      }
+    }
+    ++row;
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  RPTCN_CHECK(in.good(), "cannot open CSV file: " << path);
+  return read_csv(in);
+}
+
+void write_csv(std::ostream& out, const CsvTable& table) {
+  for (std::size_t c = 0; c < table.columns.size(); ++c) {
+    if (c) out << ',';
+    out << table.columns[c];
+  }
+  out << '\n';
+  const std::size_t n = table.rows();
+  for (std::size_t c = 0; c < table.data.size(); ++c)
+    RPTCN_CHECK(table.data[c].size() == n, "CSV columns have unequal lengths");
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < table.data.size(); ++c) {
+      if (c) out << ',';
+      const double v = table.data[c][r];
+      if (std::isnan(v))
+        out << "nan";
+      else
+        out << format_double(v, 6);
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  RPTCN_CHECK(out.good(), "cannot open CSV file for writing: " << path);
+  write_csv(out, table);
+}
+
+}  // namespace rptcn

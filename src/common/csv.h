@@ -1,0 +1,36 @@
+// Minimal column-oriented CSV I/O.
+//
+// The library works with numeric time-series tables only, so the format is
+// deliberately simple: a header row of column names, then rows of decimal
+// numbers. Missing values may be spelled as an empty field or "nan" and are
+// loaded as quiet NaN (the data-cleaning stage handles them).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rptcn {
+
+/// A numeric table, stored column-major.
+struct CsvTable {
+  std::vector<std::string> columns;          ///< column names, in file order
+  std::vector<std::vector<double>> data;     ///< data[c][row]
+
+  std::size_t rows() const { return data.empty() ? 0 : data.front().size(); }
+  std::size_t cols() const { return columns.size(); }
+
+  /// Index of a named column; throws CheckError if absent.
+  std::size_t column_index(const std::string& name) const;
+};
+
+/// Parse a CSV stream. Throws CheckError on ragged rows.
+CsvTable read_csv(std::istream& in);
+/// Load a CSV file. Throws CheckError if the file cannot be opened.
+CsvTable read_csv_file(const std::string& path);
+
+/// Serialize a table (fixed 6-decimal precision; NaN spelled "nan").
+void write_csv(std::ostream& out, const CsvTable& table);
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace rptcn

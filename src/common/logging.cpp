@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace rptcn {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void log_message(LogLevel level, const std::string& msg) {
+  std::cerr << "[rptcn " << level_tag(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace rptcn

@@ -1,0 +1,39 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself logs sparingly (training progress, experiment phases);
+// benches and examples raise the level for narration. Not thread-safe by
+// design — all logging in this codebase happens from the orchestration
+// thread, never inside OpenMP regions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rptcn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_message(LogLevel level, const std::string& msg);
+}
+
+}  // namespace rptcn
+
+#define RPTCN_LOG(level, ...)                                       \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::rptcn::log_level())) {                   \
+      ::std::ostringstream rptcn_log_oss_;                          \
+      rptcn_log_oss_ << __VA_ARGS__;                                \
+      ::rptcn::detail::log_message(level, rptcn_log_oss_.str());    \
+    }                                                               \
+  } while (false)
+
+#define RPTCN_DEBUG(...) RPTCN_LOG(::rptcn::LogLevel::kDebug, __VA_ARGS__)
+#define RPTCN_INFO(...) RPTCN_LOG(::rptcn::LogLevel::kInfo, __VA_ARGS__)
+#define RPTCN_WARN(...) RPTCN_LOG(::rptcn::LogLevel::kWarn, __VA_ARGS__)
+#define RPTCN_ERROR(...) RPTCN_LOG(::rptcn::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,154 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rptcn {
+
+double mean(std::span<const double> xs) {
+  RPTCN_CHECK(!xs.empty(), "mean of empty span");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  RPTCN_CHECK(!xs.empty(), "variance of empty span");
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double covariance(std::span<const double> xs, std::span<const double> ys) {
+  RPTCN_CHECK(xs.size() == ys.size(), "covariance size mismatch");
+  RPTCN_CHECK(!xs.empty(), "covariance of empty span");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double s = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) s += (xs[i] - mx) * (ys[i] - my);
+  return s / static_cast<double>(xs.size());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  const double sx = stddev(xs);
+  const double sy = stddev(ys);
+  if (sx == 0.0 || sy == 0.0) return 0.0;
+  return covariance(xs, ys) / (sx * sy);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  RPTCN_CHECK(!xs.empty(), "quantile of empty span");
+  RPTCN_CHECK(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double min_value(std::span<const double> xs) {
+  RPTCN_CHECK(!xs.empty(), "min of empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  RPTCN_CHECK(!xs.empty(), "max of empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+BoxplotStats boxplot(std::span<const double> xs) {
+  BoxplotStats b;
+  b.min = min_value(xs);
+  b.q1 = quantile(xs, 0.25);
+  b.median = median(xs);
+  b.q3 = quantile(xs, 0.75);
+  b.max = max_value(xs);
+  b.mean = mean(xs);
+  return b;
+}
+
+void RunningStats::push(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  RPTCN_CHECK(hi > lo, "histogram range must be non-empty");
+  RPTCN_CHECK(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::push(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  RPTCN_CHECK(i < counts_.size(), "histogram bin out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+double Histogram::cdf(double x) const {
+  if (total_ == 0) return 0.0;
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bin_high(i) <= x) {
+      acc += counts_[i];
+    } else if (bin_low(i) < x) {
+      // partial bin: assume uniform within bin
+      const double frac = (x - bin_low(i)) / (bin_high(i) - bin_low(i));
+      acc += static_cast<std::size_t>(frac * static_cast<double>(counts_[i]));
+    }
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::vector<double> diff(std::span<const double> xs) {
+  if (xs.size() < 2) return {};
+  std::vector<double> d(xs.size() - 1);
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) d[i] = xs[i + 1] - xs[i];
+  return d;
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  RPTCN_CHECK(xs.size() > lag, "autocorrelation lag exceeds series length");
+  const double m = mean(xs);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    den += (xs[i] - m) * (xs[i] - m);
+    if (i + lag < xs.size()) num += (xs[i] - m) * (xs[i + lag] - m);
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+}  // namespace rptcn

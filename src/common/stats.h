@@ -1,0 +1,92 @@
+// Descriptive statistics over double sequences.
+//
+// All statistical accumulation in the library happens in double even when
+// the underlying data is float32 — correlation screening and trace
+// characterisation need the extra precision.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rptcn {
+
+/// Arithmetic mean. Requires a non-empty span.
+double mean(std::span<const double> xs);
+
+/// Population variance (divides by n). Requires a non-empty span.
+double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Population covariance of two equal-length spans.
+double covariance(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation coefficient (eq. 2 of the paper).
+/// Returns 0 when either series is constant (correlation undefined).
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Linearly interpolated quantile, q in [0, 1]. Sorts a copy.
+double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+double median(std::span<const double> xs);
+
+/// Min / max of a non-empty span.
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Five-number summary plus mean, as used to print the paper's boxplots
+/// (Fig. 2) in text form.
+struct BoxplotStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+};
+BoxplotStats boxplot(std::span<const double> xs);
+
+/// Numerically stable streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void push(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance.
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi]; values outside clamp into edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void push(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  /// Fraction of samples at or below x (empirical CDF on bin granularity).
+  double cdf(double x) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// First-difference of a series: d[i] = xs[i+1] - xs[i].
+std::vector<double> diff(std::span<const double> xs);
+
+/// Lag-k autocorrelation of a series (biased estimator, standard for ACF).
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+}  // namespace rptcn

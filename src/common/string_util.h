@@ -1,0 +1,28 @@
+// Small string helpers used by the CSV reader and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rptcn {
+
+/// Split on a delimiter; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// True if s begins with prefix.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Fixed-precision decimal formatting (no locale surprises).
+std::string format_double(double v, int precision);
+
+}  // namespace rptcn

@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rptcn {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  RPTCN_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  RPTCN_CHECK(row.size() == header_.size(),
+              "row width " << row.size() << " != header width " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_separator() { rows_.emplace_back(); }
+
+void AsciiTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto print_sep = [&] {
+    out << '+';
+    for (auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) out << '-';
+      out << '+';
+    }
+    out << '\n';
+  };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << ' ' << cell;
+      for (std::size_t i = cell.size(); i < widths[c] + 1; ++i) out << ' ';
+      out << '|';
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << title_ << '\n';
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) {
+    if (row.empty())
+      print_sep();
+    else
+      print_row(row);
+  }
+  print_sep();
+}
+
+std::string AsciiTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace rptcn

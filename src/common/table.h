@@ -1,0 +1,35 @@
+// ASCII table printer used by the benches to reproduce the paper's tables
+// as readable console output (and by EXPERIMENTS.md generation).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rptcn {
+
+/// Column-aligned ASCII table with a header row and optional title.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Append one row; must match the header width.
+  void add_row(std::vector<std::string> row);
+  /// Append a horizontal separator at the current position.
+  void add_separator();
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Render to a stream with single-space padding and `|` separators.
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace rptcn

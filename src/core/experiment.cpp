@@ -1,0 +1,56 @@
+#include "core/experiment.h"
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace rptcn::core {
+
+ExperimentResult run_experiment(const data::TimeSeriesFrame& frame,
+                                const std::string& target,
+                                const std::string& model_name,
+                                Scenario scenario,
+                                const PrepareOptions& prepare,
+                                const models::ModelConfig& model_config) {
+  PipelineConfig cfg;
+  cfg.target = target;
+  cfg.model_name = model_name;
+  cfg.scenario = scenario;
+  cfg.prepare = prepare;
+  cfg.model = model_config;
+
+  RptcnPipeline pipeline(cfg);
+  Stopwatch watch;
+  pipeline.fit(frame);
+  const double fit_seconds = watch.elapsed_seconds();
+
+  ExperimentResult result;
+  result.model = model_name;
+  result.scenario = scenario_name(scenario);
+  result.fit_seconds = fit_seconds;
+  result.predictions = pipeline.predict_test();
+  result.targets = pipeline.dataset().test.targets;
+  result.accuracy =
+      models::evaluate_accuracy(result.predictions, result.targets);
+  result.curves = pipeline.curves();
+  result.test_samples = result.targets.dim(0);
+  return result;
+}
+
+AggregateResult aggregate(const std::vector<ExperimentResult>& results) {
+  RPTCN_CHECK(!results.empty(), "aggregate of no results");
+  AggregateResult agg;
+  agg.model = results.front().model;
+  agg.scenario = results.front().scenario;
+  for (const auto& r : results) {
+    RPTCN_CHECK(r.model == agg.model && r.scenario == agg.scenario,
+                "aggregate across mixed model/scenario");
+    agg.mse += r.accuracy.mse;
+    agg.mae += r.accuracy.mae;
+  }
+  agg.entities = results.size();
+  agg.mse /= static_cast<double>(results.size());
+  agg.mae /= static_cast<double>(results.size());
+  return agg;
+}
+
+}  // namespace rptcn::core

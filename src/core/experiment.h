@@ -1,0 +1,42 @@
+// Experiment runner: one (frame, model, scenario) evaluation, the unit from
+// which the Table II / Fig. 8-10 benches are composed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace rptcn::core {
+
+struct ExperimentResult {
+  std::string model;
+  std::string scenario;
+  models::Accuracy accuracy;      ///< test-split MSE/MAE (normalised units)
+  models::TrainCurves curves;     ///< per-epoch losses (empty for ARIMA)
+  double fit_seconds = 0.0;
+  std::size_t test_samples = 0;
+  Tensor predictions;             ///< [S, horizon] test predictions
+  Tensor targets;                 ///< [S, horizon] test targets
+};
+
+/// Train + evaluate one model under one scenario on one entity's frame.
+ExperimentResult run_experiment(const data::TimeSeriesFrame& frame,
+                                const std::string& target,
+                                const std::string& model_name,
+                                Scenario scenario,
+                                const PrepareOptions& prepare,
+                                const models::ModelConfig& model_config);
+
+/// Average accuracy over several entities (the paper reports containers and
+/// machines as groups, not single series).
+struct AggregateResult {
+  std::string model;
+  std::string scenario;
+  double mse = 0.0;
+  double mae = 0.0;
+  std::size_t entities = 0;
+};
+AggregateResult aggregate(const std::vector<ExperimentResult>& results);
+
+}  // namespace rptcn::core

@@ -1,0 +1,45 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rptcn::core {
+
+namespace {
+void check_sizes(std::span<const double> a, std::span<const double> b) {
+  RPTCN_CHECK(a.size() == b.size(), "metric length mismatch: " << a.size()
+                                                               << " vs "
+                                                               << b.size());
+  RPTCN_CHECK(!a.empty(), "metric on empty sequences");
+}
+}  // namespace
+
+double mse(std::span<const double> truth, std::span<const double> predicted) {
+  check_sizes(truth, predicted);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double e = truth[i] - predicted[i];
+    s += e * e;
+  }
+  return s / static_cast<double>(truth.size());
+}
+
+double mae(std::span<const double> truth, std::span<const double> predicted) {
+  check_sizes(truth, predicted);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    s += std::fabs(truth[i] - predicted[i]);
+  return s / static_cast<double>(truth.size());
+}
+
+double rmse(std::span<const double> truth, std::span<const double> predicted) {
+  return std::sqrt(mse(truth, predicted));
+}
+
+double improvement_percent(double baseline, double candidate) {
+  RPTCN_CHECK(baseline != 0.0, "baseline metric is zero");
+  return 100.0 * (baseline - candidate) / baseline;
+}
+
+}  // namespace rptcn::core

@@ -1,0 +1,22 @@
+// Evaluation metrics of the paper (eqs. 9 and 10), on double sequences.
+// Tensor-shaped variants live in models/forecaster.h (evaluate_accuracy).
+#pragma once
+
+#include <span>
+
+namespace rptcn::core {
+
+/// Mean squared error (eq. 9).
+double mse(std::span<const double> truth, std::span<const double> predicted);
+
+/// Mean absolute error (eq. 10).
+double mae(std::span<const double> truth, std::span<const double> predicted);
+
+/// Root mean squared error (convenience).
+double rmse(std::span<const double> truth, std::span<const double> predicted);
+
+/// Relative improvement of `candidate` over `baseline` in percent:
+/// 100 * (baseline - candidate) / baseline. Positive = candidate better.
+double improvement_percent(double baseline, double candidate);
+
+}  // namespace rptcn::core

@@ -1,0 +1,79 @@
+#include "core/pipeline.h"
+
+#include "common/check.h"
+
+namespace rptcn::core {
+
+RptcnPipeline::RptcnPipeline(PipelineConfig config)
+    : config_(std::move(config)) {}
+
+void RptcnPipeline::fit(const data::TimeSeriesFrame& history) {
+  prepared_ = prepare_scenario(history, config_.target, config_.scenario,
+                               config_.prepare);
+  forecaster_ = models::make_forecaster(config_.model_name, config_.model);
+  forecaster_->fit(prepared_.dataset);
+}
+
+bool RptcnPipeline::save_model(const std::string& path) const {
+  RPTCN_CHECK(fitted(), "save_model before fit");
+  return forecaster_->save(path);
+}
+
+void RptcnPipeline::restore(const data::TimeSeriesFrame& history,
+                            const std::string& path) {
+  prepared_ = prepare_scenario(history, config_.target, config_.scenario,
+                               config_.prepare);
+  forecaster_ = models::make_forecaster(config_.model_name, config_.model);
+  RPTCN_CHECK(forecaster_->restore(prepared_.dataset, path),
+              config_.model_name << " does not support weight checkpoints");
+}
+
+std::vector<double> RptcnPipeline::predict_next() const {
+  RPTCN_CHECK(fitted(), "predict_next before fit");
+  const auto& features = prepared_.features;
+  const std::size_t window = config_.prepare.window.window;
+  const std::size_t f = features.indicators();
+  RPTCN_CHECK(features.length() >= window, "history shorter than window");
+
+  // Assemble the most recent window as a single-sample batch.
+  Tensor input({1, f, window});
+  const std::size_t start = features.length() - window;
+  for (std::size_t c = 0; c < f; ++c) {
+    const auto& col = features.column(c);
+    for (std::size_t t = 0; t < window; ++t)
+      input.at(0, c, t) = static_cast<float>(col[start + t]);
+  }
+  const Tensor pred = forecaster_->predict(input);
+
+  std::vector<double> normalised(pred.dim(1));
+  for (std::size_t h = 0; h < normalised.size(); ++h)
+    normalised[h] = pred.at(0, h);
+  return prepared_.scaler.inverse_transform(config_.target, normalised);
+}
+
+Tensor RptcnPipeline::predict_test() const {
+  RPTCN_CHECK(fitted(), "predict_test before fit");
+  return forecaster_->predict(prepared_.dataset.test.inputs);
+}
+
+models::Accuracy RptcnPipeline::test_accuracy() const {
+  return models::evaluate_accuracy(predict_test(),
+                                   prepared_.dataset.test.targets);
+}
+
+const models::TrainCurves& RptcnPipeline::curves() const {
+  RPTCN_CHECK(fitted(), "curves before fit");
+  return forecaster_->curves();
+}
+
+const models::ForecastDataset& RptcnPipeline::dataset() const {
+  RPTCN_CHECK(fitted(), "dataset before fit");
+  return prepared_.dataset;
+}
+
+const data::MinMaxScaler& RptcnPipeline::scaler() const {
+  RPTCN_CHECK(fitted(), "scaler before fit");
+  return prepared_.scaler;
+}
+
+}  // namespace rptcn::core

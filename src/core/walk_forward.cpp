@@ -1,0 +1,121 @@
+#include "core/walk_forward.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "data/correlation.h"
+
+namespace rptcn::core {
+
+namespace {
+
+opt::TrainData take_range(const opt::TrainData& all, std::size_t start,
+                          std::size_t count) {
+  std::vector<std::size_t> idx(count);
+  for (std::size_t i = 0; i < count; ++i) idx[i] = start + i;
+  return {opt::gather_rows(all.inputs, idx),
+          opt::gather_rows(all.targets, idx)};
+}
+
+}  // namespace
+
+WalkForwardResult walk_forward_evaluate(
+    const data::TimeSeriesFrame& frame, const std::string& target,
+    const std::string& model_name, Scenario scenario,
+    const PrepareOptions& prepare, const models::ModelConfig& model_config,
+    const WalkForwardOptions& options) {
+  RPTCN_CHECK(options.folds >= 1, "need at least one fold");
+  RPTCN_CHECK(options.initial_frac > 0.0 && options.initial_frac < 1.0,
+              "initial_frac must be in (0,1)");
+  RPTCN_CHECK(options.valid_frac_of_train > 0.0 &&
+                  options.valid_frac_of_train < 0.5,
+              "valid_frac_of_train must be in (0, 0.5)");
+
+  const std::size_t n = frame.length();
+  const auto initial =
+      static_cast<std::size_t>(std::floor(options.initial_frac *
+                                          static_cast<double>(n)));
+  const std::size_t fold_len = (n - initial) / options.folds;
+  RPTCN_CHECK(fold_len > prepare.window.window + prepare.window.horizon,
+              "folds too short for the window configuration");
+
+  WalkForwardResult result;
+  double mse_acc = 0.0, mae_acc = 0.0;
+  std::size_t samples_acc = 0;
+
+  for (std::size_t f = 0; f < options.folds; ++f) {
+    const std::size_t train_end = initial + f * fold_len;
+    const std::size_t test_end =
+        f + 1 == options.folds ? n : train_end + fold_len;
+
+    // Process the prefix with the same path as prepare_scenario, but split
+    // windows at the fold boundary instead of 6:2:2.
+    const data::TimeSeriesFrame prefix = frame.slice(0, test_end);
+    PrepareOptions fold_prepare = prepare;
+    // Fractions only matter for the internal 6:2:2 split, which we discard;
+    // reuse prepare_scenario for the cleaning/normalising/screening path.
+    PreparedData prepared =
+        prepare_scenario(prefix, target, scenario, fold_prepare);
+
+    // Window index i has its first forecast target at feature index
+    // i + window; the boundary fraction maps the raw fold cut onto the
+    // (possibly shortened) feature frame.
+    const double boundary_frac =
+        static_cast<double>(train_end) / static_cast<double>(test_end);
+    const std::size_t feat_len = prepared.features.length();
+    const auto boundary = static_cast<std::size_t>(
+        std::floor(boundary_frac * static_cast<double>(feat_len)));
+
+    data::WindowOptions wopt = prepare.window;
+    const auto all = data::make_windows(prepared.features, target, wopt);
+    // Train windows: every forecast target strictly before the boundary.
+    std::size_t n_train_total = 0;
+    for (std::size_t i = 0; i < all.samples(); ++i) {
+      if (i * wopt.stride + wopt.window + wopt.horizon <= boundary)
+        ++n_train_total;
+      else
+        break;
+    }
+    const std::size_t n_test = all.samples() - n_train_total;
+    RPTCN_CHECK(n_train_total >= 20 && n_test >= 1,
+                "fold " << f << " leaves too little data");
+    const auto n_valid = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(
+               options.valid_frac_of_train *
+               static_cast<double>(n_train_total))));
+    const std::size_t n_train = n_train_total - n_valid;
+
+    models::ForecastDataset ds;
+    ds.train = take_range(all, 0, n_train);
+    ds.valid = take_range(all, n_train, n_valid);
+    ds.test = take_range(all, n_train_total, n_test);
+    ds.window = wopt.window;
+    ds.horizon = wopt.horizon;
+    ds.target_channel = prepared.features.index_of(target);
+    ds.target_series = prepared.features.column(target);
+    ds.train_len = n_train + wopt.window;
+    ds.valid_len = n_valid;
+
+    auto forecaster = models::make_forecaster(model_name, model_config);
+    Stopwatch watch;
+    forecaster->fit(ds);
+
+    WalkForwardFold fold;
+    fold.fold = f;
+    fold.fit_seconds = watch.elapsed_seconds();
+    fold.test_samples = n_test;
+    fold.accuracy = models::evaluate_accuracy(
+        forecaster->predict(ds.test.inputs), ds.test.targets);
+    mse_acc += fold.accuracy.mse * static_cast<double>(n_test);
+    mae_acc += fold.accuracy.mae * static_cast<double>(n_test);
+    samples_acc += n_test;
+    result.folds.push_back(fold);
+  }
+
+  result.overall.mse = mse_acc / static_cast<double>(samples_acc);
+  result.overall.mae = mae_acc / static_cast<double>(samples_acc);
+  return result;
+}
+
+}  // namespace rptcn::core

@@ -1,0 +1,40 @@
+// Walk-forward (rolling-origin) evaluation: the deployment-faithful way to
+// assess a resource predictor. The series is cut into an initial training
+// span plus F equal folds; for each fold the model is retrained on all data
+// before the fold and evaluated on the fold alone, mimicking a resource
+// manager that periodically refits on fresh history.
+#pragma once
+
+#include "core/scenario.h"
+#include "models/registry.h"
+
+namespace rptcn::core {
+
+struct WalkForwardOptions {
+  std::size_t folds = 4;            ///< evaluation folds after the warmup
+  double initial_frac = 0.5;        ///< share of the series used as warmup
+  double valid_frac_of_train = 0.2; ///< tail of each train span -> validation
+};
+
+struct WalkForwardFold {
+  std::size_t fold = 0;
+  models::Accuracy accuracy;
+  std::size_t test_samples = 0;
+  double fit_seconds = 0.0;
+};
+
+struct WalkForwardResult {
+  std::vector<WalkForwardFold> folds;
+  models::Accuracy overall;  ///< sample-weighted across folds
+};
+
+/// Retrain-and-roll evaluation of one model under one scenario.
+WalkForwardResult walk_forward_evaluate(const data::TimeSeriesFrame& frame,
+                                        const std::string& target,
+                                        const std::string& model_name,
+                                        Scenario scenario,
+                                        const PrepareOptions& prepare,
+                                        const models::ModelConfig& model_config,
+                                        const WalkForwardOptions& options = {});
+
+}  // namespace rptcn::core

@@ -1,0 +1,62 @@
+#include "data/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace rptcn::data {
+
+std::vector<std::vector<double>> correlation_matrix(
+    const TimeSeriesFrame& frame) {
+  const std::size_t k = frame.indicators();
+  std::vector<std::vector<double>> m(k, std::vector<double>(k, 0.0));
+  for (std::size_t i = 0; i < k; ++i) {
+    m[i][i] = 1.0;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double r = pearson(frame.column(i), frame.column(j));
+      m[i][j] = r;
+      m[j][i] = r;
+    }
+  }
+  return m;
+}
+
+std::vector<IndicatorCorrelation> rank_by_correlation(
+    const TimeSeriesFrame& frame, const std::string& target) {
+  const auto& tcol = frame.column(target);
+  std::vector<IndicatorCorrelation> ranked;
+  ranked.reserve(frame.indicators());
+  for (std::size_t i = 0; i < frame.indicators(); ++i) {
+    if (frame.name(i) == target) continue;
+    ranked.push_back({frame.name(i), pearson(tcol, frame.column(i))});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const IndicatorCorrelation& a,
+                      const IndicatorCorrelation& b) {
+                     return std::fabs(a.correlation) > std::fabs(b.correlation);
+                   });
+  ranked.insert(ranked.begin(), {target, 1.0});
+  return ranked;
+}
+
+TimeSeriesFrame select_top_correlated(const TimeSeriesFrame& frame,
+                                      const std::string& target,
+                                      std::size_t count) {
+  RPTCN_CHECK(count >= 1, "must keep at least the target indicator");
+  auto ranked = rank_by_correlation(frame, target);
+  count = std::min(count, ranked.size());
+  std::vector<std::string> keep;
+  keep.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) keep.push_back(ranked[i].name);
+  return frame.select(keep);
+}
+
+TimeSeriesFrame select_top_half(const TimeSeriesFrame& frame,
+                                const std::string& target) {
+  const std::size_t half = (frame.indicators() + 1) / 2;
+  return select_top_correlated(frame, target, half);
+}
+
+}  // namespace rptcn::data

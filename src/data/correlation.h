@@ -1,0 +1,32 @@
+// Pearson correlation analysis and indicator screening
+// (paper Section III-B and Algorithm 1 lines 3-4, Fig. 7).
+#pragma once
+
+#include "data/timeseries.h"
+
+namespace rptcn::data {
+
+/// Full PCC matrix of a frame: m[i][j] = pearson(col_i, col_j) (eq. 2).
+std::vector<std::vector<double>> correlation_matrix(
+    const TimeSeriesFrame& frame);
+
+struct IndicatorCorrelation {
+  std::string name;
+  double correlation;  ///< signed PCC with the target indicator
+};
+
+/// Indicators ranked by |PCC| with the target, target first (|PCC| = 1).
+std::vector<IndicatorCorrelation> rank_by_correlation(
+    const TimeSeriesFrame& frame, const std::string& target);
+
+/// Algorithm 1 line 3-4: keep the top ceil(indicators/2) ranked indicators
+/// (target included), returning a frame with target as first column.
+TimeSeriesFrame select_top_half(const TimeSeriesFrame& frame,
+                                const std::string& target);
+
+/// Keep the top-`count` ranked indicators (target included).
+TimeSeriesFrame select_top_correlated(const TimeSeriesFrame& frame,
+                                      const std::string& target,
+                                      std::size_t count);
+
+}  // namespace rptcn::data

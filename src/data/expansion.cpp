@@ -1,0 +1,104 @@
+#include "data/expansion.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace rptcn::data {
+
+TimeSeriesFrame expand_horizontal(const TimeSeriesFrame& frame,
+                                  const ExpansionOptions& options) {
+  RPTCN_CHECK(options.copies >= 1, "expansion needs at least one copy");
+  RPTCN_CHECK(options.stride >= 1, "expansion stride must be >= 1");
+  const std::size_t drop = (options.copies - 1) * options.stride;
+  RPTCN_CHECK(frame.length() > drop,
+              "frame too short for expansion: length " << frame.length()
+                                                       << ", need > " << drop);
+  const std::size_t out_len = frame.length() - drop;
+
+  TimeSeriesFrame out;
+  for (std::size_t c = 0; c < frame.indicators(); ++c) {
+    const auto& col = frame.column(c);
+    for (std::size_t j = 0; j < options.copies; ++j) {
+      const std::size_t lag = j * options.stride;
+      // Row t of the output corresponds to source time (t + drop); copy j
+      // reads the value lag steps earlier.
+      std::vector<double> vals(out_len);
+      for (std::size_t t = 0; t < out_len; ++t) vals[t] = col[t + drop - lag];
+      std::string name = frame.name(c);
+      if (j > 0) name += ".lag" + std::to_string(lag);
+      out.add(std::move(name), std::move(vals));
+    }
+  }
+  return out;
+}
+
+std::size_t expanded_reach(std::size_t window, const ExpansionOptions& options) {
+  return window + (options.copies - 1) * options.stride;
+}
+
+std::size_t vertical_equivalent_window(std::size_t window,
+                                       const ExpansionOptions& options) {
+  return expanded_reach(window, options);
+}
+
+TimeSeriesFrame expand_with_differences(const TimeSeriesFrame& frame) {
+  RPTCN_CHECK(frame.length() >= 2, "frame too short for differencing");
+  const std::size_t out_len = frame.length() - 1;
+  TimeSeriesFrame out;
+  for (std::size_t c = 0; c < frame.indicators(); ++c) {
+    const auto& col = frame.column(c);
+    std::vector<double> vals(col.begin() + 1, col.end());
+    out.add(frame.name(c), std::move(vals));
+  }
+  for (std::size_t c = 0; c < frame.indicators(); ++c) {
+    const auto& col = frame.column(c);
+    std::vector<double> d(out_len);
+    for (std::size_t t = 0; t < out_len; ++t) d[t] = col[t + 1] - col[t];
+    out.add(frame.name(c) + ".diff", std::move(d));
+  }
+  return out;
+}
+
+TimeSeriesFrame expand_weighted(const TimeSeriesFrame& frame,
+                                const std::string& target,
+                                std::size_t max_copies, std::size_t stride) {
+  RPTCN_CHECK(max_copies >= 1, "max_copies must be >= 1");
+  RPTCN_CHECK(stride >= 1, "stride must be >= 1");
+  const auto& tcol = frame.column(target);
+
+  // Per-indicator copy counts from |PCC|; the target always gets the
+  // maximum (|PCC| = 1).
+  std::vector<std::size_t> copies(frame.indicators());
+  std::size_t worst_drop = 0;
+  for (std::size_t c = 0; c < frame.indicators(); ++c) {
+    const double r = frame.name(c) == target
+                         ? 1.0
+                         : std::fabs(pearson(tcol, frame.column(c)));
+    copies[c] = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::lround(r * static_cast<double>(max_copies))));
+    worst_drop = std::max(worst_drop, (copies[c] - 1) * stride);
+  }
+  RPTCN_CHECK(frame.length() > worst_drop,
+              "frame too short for weighted expansion");
+  const std::size_t out_len = frame.length() - worst_drop;
+
+  TimeSeriesFrame out;
+  for (std::size_t c = 0; c < frame.indicators(); ++c) {
+    const auto& col = frame.column(c);
+    for (std::size_t j = 0; j < copies[c]; ++j) {
+      const std::size_t lag = j * stride;
+      std::vector<double> vals(out_len);
+      for (std::size_t t = 0; t < out_len; ++t)
+        vals[t] = col[t + worst_drop - lag];
+      std::string name = frame.name(c);
+      if (j > 0) name += ".lag" + std::to_string(lag);
+      out.add(std::move(name), std::move(vals));
+    }
+  }
+  return out;
+}
+
+}  // namespace rptcn::data

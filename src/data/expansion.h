@@ -1,0 +1,56 @@
+// Feature-dimension expansion (paper Section III-C, Fig. 4).
+//
+// Horizontal expansion (Fig. 4b, the paper's choice): each indicator r is
+// replicated into `copies` lagged series r_{t}, r_{t-stride}, r_{t-2*stride},
+// ..., widening the feature dimension instead of lengthening the window.
+// This both injects older information (reach grows by (copies-1)*stride)
+// and duplicates recent values, increasing the weight of short-term
+// neighbours — exactly the intuition in the paper.
+//
+// Vertical expansion (Fig. 4a, the alternative) is simply a longer input
+// window; the helper below computes the equivalent window length so the
+// ablation bench can compare both on equal history.
+#pragma once
+
+#include "data/timeseries.h"
+
+namespace rptcn::data {
+
+struct ExpansionOptions {
+  std::size_t copies = 3;  ///< series per indicator (paper eq. 11 uses 3)
+  std::size_t stride = 1;  ///< lag between successive copies
+};
+
+/// Horizontally expand every indicator. Output columns are named
+/// "<name>", "<name>.lag<stride>", "<name>.lag<2*stride>", ... and the
+/// frame is shortened by (copies-1)*stride rows so all columns align.
+TimeSeriesFrame expand_horizontal(const TimeSeriesFrame& frame,
+                                  const ExpansionOptions& options);
+
+/// History reach (timesteps) of a window after horizontal expansion.
+std::size_t expanded_reach(std::size_t window, const ExpansionOptions& options);
+
+/// Vertical-expansion equivalent: the window length whose reach matches
+/// a horizontally expanded window.
+std::size_t vertical_equivalent_window(std::size_t window,
+                                       const ExpansionOptions& options);
+
+// --- extensions proposed in the paper's Discussion / future work ----------
+
+/// Append first-difference columns ("<name>.diff") to every indicator:
+/// diff[t] = col[t] - col[t-1]. The frame is shortened by one row.
+/// ("adding first-order difference information for resource utilization ...
+/// to further improve the accuracy of the model")
+TimeSeriesFrame expand_with_differences(const TimeSeriesFrame& frame);
+
+/// Correlation-weighted horizontal expansion: the number of lagged copies
+/// of each indicator scales with its |PCC| against the target —
+/// max(1, round(|PCC| * max_copies)) copies at the given stride.
+/// ("set different dimension columns according to the correlation weights
+/// of each performance metric with predicted resource")
+TimeSeriesFrame expand_weighted(const TimeSeriesFrame& frame,
+                                const std::string& target,
+                                std::size_t max_copies,
+                                std::size_t stride = 1);
+
+}  // namespace rptcn::data

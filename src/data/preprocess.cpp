@@ -1,0 +1,150 @@
+#include "data/preprocess.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rptcn::data {
+
+std::size_t incomplete_rows(const TimeSeriesFrame& frame) {
+  std::size_t count = 0;
+  for (std::size_t t = 0; t < frame.length(); ++t) {
+    for (std::size_t c = 0; c < frame.indicators(); ++c) {
+      if (std::isnan(frame.column(c)[t])) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+TimeSeriesFrame clean_drop_incomplete(const TimeSeriesFrame& frame) {
+  std::vector<std::size_t> keep;
+  keep.reserve(frame.length());
+  for (std::size_t t = 0; t < frame.length(); ++t) {
+    bool complete = true;
+    for (std::size_t c = 0; c < frame.indicators() && complete; ++c)
+      complete = !std::isnan(frame.column(c)[t]);
+    if (complete) keep.push_back(t);
+  }
+  TimeSeriesFrame out;
+  for (std::size_t c = 0; c < frame.indicators(); ++c) {
+    std::vector<double> vals;
+    vals.reserve(keep.size());
+    for (auto t : keep) vals.push_back(frame.column(c)[t]);
+    out.add(frame.name(c), std::move(vals));
+  }
+  return out;
+}
+
+TimeSeriesFrame clean_interpolate(const TimeSeriesFrame& frame) {
+  TimeSeriesFrame out;
+  const std::size_t n = frame.length();
+  for (std::size_t c = 0; c < frame.indicators(); ++c) {
+    std::vector<double> vals = frame.column(c);
+    // Collect valid indices.
+    std::vector<std::size_t> valid;
+    for (std::size_t t = 0; t < n; ++t)
+      if (!std::isnan(vals[t])) valid.push_back(t);
+    if (valid.empty()) {
+      std::fill(vals.begin(), vals.end(), 0.0);
+      out.add(frame.name(c), std::move(vals));
+      continue;
+    }
+    // Leading/trailing edges: extend nearest valid value.
+    for (std::size_t t = 0; t < valid.front(); ++t) vals[t] = vals[valid.front()];
+    for (std::size_t t = valid.back() + 1; t < n; ++t)
+      vals[t] = vals[valid.back()];
+    // Interior gaps: linear interpolation between bracketing valid samples.
+    for (std::size_t vi = 0; vi + 1 < valid.size(); ++vi) {
+      const std::size_t a = valid[vi], b = valid[vi + 1];
+      if (b == a + 1) continue;
+      const double va = vals[a], vb = vals[b];
+      for (std::size_t t = a + 1; t < b; ++t) {
+        const double frac =
+            static_cast<double>(t - a) / static_cast<double>(b - a);
+        vals[t] = va + frac * (vb - va);
+      }
+    }
+    out.add(frame.name(c), std::move(vals));
+  }
+  return out;
+}
+
+void MinMaxScaler::fit(const TimeSeriesFrame& frame) {
+  fit_range(frame, 0, frame.length());
+}
+
+void MinMaxScaler::fit_range(const TimeSeriesFrame& frame, std::size_t start,
+                             std::size_t count) {
+  RPTCN_CHECK(count > 0, "MinMaxScaler fit on empty range");
+  RPTCN_CHECK(start + count <= frame.length(), "fit range out of bounds");
+  names_.clear();
+  mins_.clear();
+  maxs_.clear();
+  for (std::size_t c = 0; c < frame.indicators(); ++c) {
+    const auto& col = frame.column(c);
+    double lo = col[start], hi = col[start];
+    for (std::size_t t = start; t < start + count; ++t) {
+      RPTCN_CHECK(!std::isnan(col[t]),
+                  "MinMaxScaler.fit on NaN data — clean the frame first");
+      lo = std::min(lo, col[t]);
+      hi = std::max(hi, col[t]);
+    }
+    names_.push_back(frame.name(c));
+    mins_.push_back(lo);
+    maxs_.push_back(hi);
+  }
+}
+
+TimeSeriesFrame MinMaxScaler::transform(const TimeSeriesFrame& frame) const {
+  RPTCN_CHECK(fitted(), "MinMaxScaler used before fit");
+  TimeSeriesFrame out;
+  for (std::size_t c = 0; c < frame.indicators(); ++c) {
+    const std::size_t fi = index_of(frame.name(c));
+    const double lo = mins_[fi];
+    const double range = maxs_[fi] - lo;
+    std::vector<double> vals = frame.column(c);
+    if (range == 0.0) {
+      std::fill(vals.begin(), vals.end(), 0.0);
+    } else {
+      for (auto& v : vals) v = (v - lo) / range;
+    }
+    out.add(frame.name(c), std::move(vals));
+  }
+  return out;
+}
+
+TimeSeriesFrame MinMaxScaler::fit_transform(const TimeSeriesFrame& frame) {
+  fit(frame);
+  return transform(frame);
+}
+
+std::vector<double> MinMaxScaler::inverse_transform(
+    const std::string& name, const std::vector<double>& values) const {
+  RPTCN_CHECK(fitted(), "MinMaxScaler used before fit");
+  const std::size_t fi = index_of(name);
+  const double lo = mins_[fi];
+  const double range = maxs_[fi] - lo;
+  std::vector<double> out = values;
+  for (auto& v : out) v = lo + v * range;
+  return out;
+}
+
+double MinMaxScaler::min_of(const std::string& name) const {
+  return mins_[index_of(name)];
+}
+
+double MinMaxScaler::max_of(const std::string& name) const {
+  return maxs_[index_of(name)];
+}
+
+std::size_t MinMaxScaler::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return i;
+  RPTCN_CHECK(false, "scaler was not fitted on indicator: " << name);
+  return 0;  // unreachable
+}
+
+}  // namespace rptcn::data

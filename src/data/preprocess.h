@@ -1,0 +1,54 @@
+// Data cleaning and normalisation (Algorithm 1, lines 1-2).
+//
+// The paper first "screens the records with complete information" (drops
+// incomplete samples) and then min-max normalises each indicator (eq. 1).
+// We additionally provide linear interpolation as a gentler cleaning mode
+// for gap-y monitoring data.
+#pragma once
+
+#include "data/timeseries.h"
+
+namespace rptcn::data {
+
+/// Count of rows containing at least one NaN.
+std::size_t incomplete_rows(const TimeSeriesFrame& frame);
+
+/// Drop every time index where any indicator is NaN (paper's DataClean).
+TimeSeriesFrame clean_drop_incomplete(const TimeSeriesFrame& frame);
+
+/// Replace NaN runs by linear interpolation between the nearest valid
+/// neighbours (edges extend the nearest valid value). A column that is all
+/// NaN becomes all zero.
+TimeSeriesFrame clean_interpolate(const TimeSeriesFrame& frame);
+
+/// Per-indicator min-max scaler, x_norm = (x - min) / (max - min) (eq. 1).
+/// Constant columns map to 0. Fitted bounds are retained for inverse
+/// transformation of model outputs back to resource units.
+class MinMaxScaler {
+ public:
+  /// Fit bounds on all rows of the frame.
+  void fit(const TimeSeriesFrame& frame);
+  /// Fit bounds on rows [start, start+count) only (leakage-free variant).
+  void fit_range(const TimeSeriesFrame& frame, std::size_t start,
+                 std::size_t count);
+
+  /// Apply eq. 1 per column; clamps nothing (test data may exceed [0,1]).
+  TimeSeriesFrame transform(const TimeSeriesFrame& frame) const;
+  TimeSeriesFrame fit_transform(const TimeSeriesFrame& frame);
+
+  /// Map normalised values of one indicator back to original units.
+  std::vector<double> inverse_transform(const std::string& name,
+                                        const std::vector<double>& values) const;
+
+  bool fitted() const { return !names_.empty(); }
+  double min_of(const std::string& name) const;
+  double max_of(const std::string& name) const;
+
+ private:
+  std::size_t index_of(const std::string& name) const;
+  std::vector<std::string> names_;
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace rptcn::data

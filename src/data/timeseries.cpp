@@ -1,0 +1,85 @@
+#include "data/timeseries.h"
+
+#include "common/check.h"
+
+namespace rptcn::data {
+
+void TimeSeriesFrame::add(std::string name, std::vector<double> values) {
+  RPTCN_CHECK(!has(name), "duplicate indicator name: " << name);
+  if (!series_.empty())
+    RPTCN_CHECK(values.size() == length(),
+                "column " << name << " has length " << values.size()
+                          << ", frame has " << length());
+  names_.push_back(std::move(name));
+  series_.push_back(std::move(values));
+}
+
+const std::string& TimeSeriesFrame::name(std::size_t i) const {
+  RPTCN_CHECK(i < names_.size(), "indicator index out of range");
+  return names_[i];
+}
+
+const std::vector<double>& TimeSeriesFrame::column(std::size_t i) const {
+  RPTCN_CHECK(i < series_.size(), "indicator index out of range");
+  return series_[i];
+}
+
+const std::vector<double>& TimeSeriesFrame::column(
+    const std::string& name) const {
+  return series_[index_of(name)];
+}
+
+std::vector<double>& TimeSeriesFrame::column_mut(std::size_t i) {
+  RPTCN_CHECK(i < series_.size(), "indicator index out of range");
+  return series_[i];
+}
+
+std::size_t TimeSeriesFrame::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return i;
+  RPTCN_CHECK(false, "no such indicator: " << name);
+  return 0;  // unreachable
+}
+
+bool TimeSeriesFrame::has(const std::string& name) const {
+  for (const auto& n : names_)
+    if (n == name) return true;
+  return false;
+}
+
+TimeSeriesFrame TimeSeriesFrame::slice(std::size_t start,
+                                       std::size_t count) const {
+  RPTCN_CHECK(start + count <= length(),
+              "slice [" << start << ", " << (start + count)
+                        << ") out of range for length " << length());
+  TimeSeriesFrame out;
+  for (std::size_t i = 0; i < indicators(); ++i) {
+    std::vector<double> vals(series_[i].begin() + start,
+                             series_[i].begin() + start + count);
+    out.add(names_[i], std::move(vals));
+  }
+  return out;
+}
+
+TimeSeriesFrame TimeSeriesFrame::select(
+    const std::vector<std::string>& keep) const {
+  TimeSeriesFrame out;
+  for (const auto& name : keep) out.add(name, column(name));
+  return out;
+}
+
+CsvTable TimeSeriesFrame::to_csv() const {
+  CsvTable table;
+  table.columns = names_;
+  table.data = series_;
+  return table;
+}
+
+TimeSeriesFrame TimeSeriesFrame::from_csv(const CsvTable& table) {
+  TimeSeriesFrame out;
+  for (std::size_t c = 0; c < table.cols(); ++c)
+    out.add(table.columns[c], table.data[c]);
+  return out;
+}
+
+}  // namespace rptcn::data

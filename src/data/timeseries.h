@@ -1,0 +1,51 @@
+// TimeSeriesFrame: a named collection of equally sampled indicator series
+// (one row of the paper's Table I per column), the common currency between
+// the trace simulator, the preprocessing pipeline, and the models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+
+namespace rptcn::data {
+
+class TimeSeriesFrame {
+ public:
+  TimeSeriesFrame() = default;
+
+  /// Append a column; all columns must have equal length.
+  void add(std::string name, std::vector<double> values);
+
+  std::size_t indicators() const { return names_.size(); }
+  std::size_t length() const {
+    return series_.empty() ? 0 : series_.front().size();
+  }
+  bool empty() const { return series_.empty(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+  const std::string& name(std::size_t i) const;
+
+  /// Column access by index or name (throws CheckError if absent).
+  const std::vector<double>& column(std::size_t i) const;
+  const std::vector<double>& column(const std::string& name) const;
+  std::vector<double>& column_mut(std::size_t i);
+  std::size_t index_of(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  /// Sub-range [start, start+count) of every column.
+  TimeSeriesFrame slice(std::size_t start, std::size_t count) const;
+
+  /// Keep only the named columns, in the given order.
+  TimeSeriesFrame select(const std::vector<std::string>& keep) const;
+
+  /// Conversions to/from the CSV table type.
+  CsvTable to_csv() const;
+  static TimeSeriesFrame from_csv(const CsvTable& table);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> series_;
+};
+
+}  // namespace rptcn::data

@@ -1,0 +1,94 @@
+#include "data/windowing.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rptcn::data {
+
+std::size_t window_count(std::size_t length, const WindowOptions& options) {
+  const std::size_t need = options.window + options.horizon;
+  if (length < need) return 0;
+  return (length - need) / options.stride + 1;
+}
+
+opt::TrainData make_windows(const TimeSeriesFrame& frame,
+                            const std::string& target,
+                            const WindowOptions& options) {
+  RPTCN_CHECK(options.window > 0 && options.horizon > 0 && options.stride > 0,
+              "window, horizon and stride must be positive");
+  const std::size_t f = frame.indicators();
+  const std::size_t s = window_count(frame.length(), options);
+  RPTCN_CHECK(s > 0, "frame of length " << frame.length()
+                                        << " too short for window "
+                                        << options.window << "+horizon "
+                                        << options.horizon);
+  const auto& tcol = frame.column(target);
+
+  opt::TrainData out;
+  out.inputs = Tensor({s, f, options.window});
+  out.targets = Tensor({s, options.horizon});
+  for (std::size_t si = 0; si < s; ++si) {
+    const std::size_t t0 = si * options.stride;
+    for (std::size_t c = 0; c < f; ++c) {
+      const auto& col = frame.column(c);
+      float* row = out.inputs.raw() + (si * f + c) * options.window;
+      for (std::size_t t = 0; t < options.window; ++t)
+        row[t] = static_cast<float>(col[t0 + t]);
+    }
+    for (std::size_t h = 0; h < options.horizon; ++h)
+      out.targets.at(si, h) =
+          static_cast<float>(tcol[t0 + options.window + h]);
+  }
+  return out;
+}
+
+namespace {
+opt::TrainData take_rows(const opt::TrainData& all, std::size_t start,
+                         std::size_t count) {
+  std::vector<std::size_t> idx(count);
+  for (std::size_t i = 0; i < count; ++i) idx[i] = start + i;
+  return {opt::gather_rows(all.inputs, idx), opt::gather_rows(all.targets, idx)};
+}
+}  // namespace
+
+SplitData chrono_split(const opt::TrainData& all, double train_frac,
+                       double valid_frac) {
+  RPTCN_CHECK(train_frac > 0 && valid_frac > 0 &&
+                  train_frac + valid_frac < 1.0,
+              "invalid split fractions");
+  const std::size_t s = all.samples();
+  const auto n_train = static_cast<std::size_t>(
+      std::floor(static_cast<double>(s) * train_frac));
+  const auto n_valid = static_cast<std::size_t>(
+      std::floor(static_cast<double>(s) * valid_frac));
+  RPTCN_CHECK(n_train > 0 && n_valid > 0 && n_train + n_valid < s,
+              "dataset too small to split " << s << " samples");
+  SplitData out;
+  out.train = take_rows(all, 0, n_train);
+  out.valid = take_rows(all, n_train, n_valid);
+  out.test = take_rows(all, n_train + n_valid, s - n_train - n_valid);
+  return out;
+}
+
+SplitData split_then_window(const TimeSeriesFrame& frame,
+                            const std::string& target,
+                            const WindowOptions& options, double train_frac,
+                            double valid_frac) {
+  RPTCN_CHECK(train_frac > 0 && valid_frac > 0 &&
+                  train_frac + valid_frac < 1.0,
+              "invalid split fractions");
+  const std::size_t n = frame.length();
+  const auto n_train = static_cast<std::size_t>(
+      std::floor(static_cast<double>(n) * train_frac));
+  const auto n_valid = static_cast<std::size_t>(
+      std::floor(static_cast<double>(n) * valid_frac));
+  SplitData out;
+  out.train = make_windows(frame.slice(0, n_train), target, options);
+  out.valid = make_windows(frame.slice(n_train, n_valid), target, options);
+  out.test = make_windows(frame.slice(n_train + n_valid, n - n_train - n_valid),
+                          target, options);
+  return out;
+}
+
+}  // namespace rptcn::data

@@ -1,0 +1,45 @@
+// Sliding-window supervised dataset construction and the paper's 6:2:2
+// chronological train/validation/test split.
+#pragma once
+
+#include "data/timeseries.h"
+#include "opt/trainer.h"
+
+namespace rptcn::data {
+
+struct WindowOptions {
+  std::size_t window = 32;  ///< input timesteps per sample
+  std::size_t horizon = 1;  ///< forecast steps (cpu_{m+1..m+k})
+  std::size_t stride = 1;   ///< step between consecutive windows
+};
+
+/// Build supervised windows from a (normalised) frame.
+/// Sample s: inputs = all indicators over [s*stride, s*stride + window),
+/// targets = `target` over the following `horizon` steps.
+/// inputs: [S, F, window], targets: [S, horizon].
+opt::TrainData make_windows(const TimeSeriesFrame& frame,
+                            const std::string& target,
+                            const WindowOptions& options);
+
+/// Number of windows make_windows will produce.
+std::size_t window_count(std::size_t length, const WindowOptions& options);
+
+struct SplitData {
+  opt::TrainData train;
+  opt::TrainData valid;
+  opt::TrainData test;
+};
+
+/// Chronological split of supervised windows (paper ratio 6:2:2).
+SplitData chrono_split(const opt::TrainData& all, double train_frac = 0.6,
+                       double valid_frac = 0.2);
+
+/// Split the raw frame by time, then window each part independently so no
+/// sample straddles a split boundary (stricter variant, avoids any overlap
+/// between train and test windows).
+SplitData split_then_window(const TimeSeriesFrame& frame,
+                            const std::string& target,
+                            const WindowOptions& options,
+                            double train_frac = 0.6, double valid_frac = 0.2);
+
+}  // namespace rptcn::data

@@ -1,0 +1,44 @@
+#include "models/arima_forecaster.h"
+
+#include "common/check.h"
+
+namespace rptcn::models {
+
+ArimaForecaster::ArimaForecaster(const baselines::ArimaOptions& options,
+                                 bool auto_order)
+    : options_(options), auto_order_(auto_order), model_(options) {}
+
+void ArimaForecaster::fit(const ForecastDataset& dataset) {
+  RPTCN_CHECK(!dataset.target_series.empty(),
+              "ARIMA needs the raw target series in the dataset");
+  target_channel_ = dataset.target_channel;
+  horizon_ = dataset.horizon;
+  const std::span<const double> train_series(dataset.target_series.data(),
+                                             dataset.train_len);
+  if (auto_order_) {
+    options_ = baselines::select_arima_order(train_series);
+    model_ = baselines::Arima(options_);
+  }
+  model_.fit(train_series);
+  curves_ = {};  // closed-form estimation: no iterative loss curve
+}
+
+Tensor ArimaForecaster::predict(const Tensor& inputs) {
+  RPTCN_CHECK(model_.fitted(), "predict before fit");
+  RPTCN_CHECK(inputs.rank() == 3, "ARIMA inputs must be [S,F,T]");
+  const std::size_t s = inputs.dim(0), f = inputs.dim(1), t = inputs.dim(2);
+  RPTCN_CHECK(target_channel_ < f, "target channel out of range");
+
+  std::vector<double> history(t);
+  Tensor out({s, horizon_});
+  for (std::size_t i = 0; i < s; ++i) {
+    const float* row = inputs.raw() + (i * f + target_channel_) * t;
+    for (std::size_t j = 0; j < t; ++j) history[j] = row[j];
+    const auto fc = model_.forecast(history, horizon_);
+    for (std::size_t h = 0; h < horizon_; ++h)
+      out.at(i, h) = static_cast<float>(fc[h]);
+  }
+  return out;
+}
+
+}  // namespace rptcn::models

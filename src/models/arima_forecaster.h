@@ -1,0 +1,33 @@
+// ARIMA adapter. Coefficients are estimated once on the training portion of
+// the raw target series; each prediction then runs the ARMA forecast
+// recursion seeded with the target history contained in the input window —
+// giving the same "given this window, forecast the next horizon steps"
+// contract as every other model.
+#pragma once
+
+#include "baselines/arima.h"
+#include "models/forecaster.h"
+
+namespace rptcn::models {
+
+class ArimaForecaster final : public Forecaster {
+ public:
+  /// auto_order: grid-search (p,d,q) on the training series at fit time.
+  explicit ArimaForecaster(const baselines::ArimaOptions& options = {},
+                           bool auto_order = false);
+
+  std::string name() const override { return "ARIMA"; }
+  void fit(const ForecastDataset& dataset) override;
+  Tensor predict(const Tensor& inputs) override;
+
+  const baselines::Arima& model() const { return model_; }
+
+ private:
+  baselines::ArimaOptions options_;
+  bool auto_order_;
+  baselines::Arima model_;
+  std::size_t target_channel_ = 0;
+  std::size_t horizon_ = 1;
+};
+
+}  // namespace rptcn::models

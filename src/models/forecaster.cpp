@@ -1,0 +1,28 @@
+#include "models/forecaster.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rptcn::models {
+
+Accuracy evaluate_accuracy(const Tensor& predictions, const Tensor& targets) {
+  RPTCN_CHECK(predictions.same_shape(targets),
+              "accuracy shape mismatch: " << predictions.shape_string()
+                                          << " vs " << targets.shape_string());
+  RPTCN_CHECK(predictions.size() > 0, "empty prediction tensor");
+  Accuracy acc;
+  const auto p = predictions.data();
+  const auto t = targets.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double e = static_cast<double>(p[i]) - t[i];
+    acc.mse += e * e;
+    acc.mae += std::fabs(e);
+  }
+  const auto n = static_cast<double>(p.size());
+  acc.mse /= n;
+  acc.mae /= n;
+  return acc;
+}
+
+}  // namespace rptcn::models

@@ -1,0 +1,78 @@
+// The common Forecaster interface every model in the paper's Table II
+// implements, so the accuracy/convergence benches can treat RPTCN and the
+// four baselines uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/windowing.h"
+#include "opt/trainer.h"
+
+namespace rptcn::models {
+
+/// Per-epoch (or per-boosting-round) loss curves; what Figs. 9/10 plot.
+struct TrainCurves {
+  std::vector<double> train_loss;
+  std::vector<double> valid_loss;
+};
+
+/// Everything a model may need to fit: supervised windows for the NN/GBT
+/// models plus the raw (normalised) target series for sequential estimators
+/// like ARIMA.
+struct ForecastDataset {
+  opt::TrainData train;
+  opt::TrainData valid;
+  opt::TrainData test;
+  std::vector<double> target_series;  ///< full normalised target, all splits
+  std::size_t train_len = 0;          ///< raw series length of the train part
+  std::size_t valid_len = 0;          ///< raw series length of the valid part
+  std::size_t window = 0;
+  std::size_t horizon = 1;
+  std::size_t target_channel = 0;     ///< index of the target inside features
+};
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Train on the dataset (uses train + valid; never touches test).
+  virtual void fit(const ForecastDataset& dataset) = 0;
+
+  /// inputs [S, F, window] -> predictions [S, horizon].
+  virtual Tensor predict(const Tensor& inputs) = 0;
+
+  /// Loss curves recorded during fit (may be empty for closed-form models).
+  virtual const TrainCurves& curves() const { return curves_; }
+
+  /// Persist trained parameters. Returns false if the model has no notion
+  /// of a weight checkpoint (ARIMA, GBT — refit is cheap for those).
+  virtual bool save(const std::string& path) const {
+    (void)path;
+    return false;
+  }
+  /// Rebuild the model for `dataset`'s shapes and load weights from `path`
+  /// instead of training. Returns false if unsupported.
+  virtual bool restore(const ForecastDataset& dataset,
+                       const std::string& path) {
+    (void)dataset;
+    (void)path;
+    return false;
+  }
+
+ protected:
+  TrainCurves curves_;
+};
+
+/// MSE / MAE (paper eqs. 9-10) between prediction and target tensors of
+/// identical shape, accumulated in double.
+struct Accuracy {
+  double mse = 0.0;
+  double mae = 0.0;
+};
+Accuracy evaluate_accuracy(const Tensor& predictions, const Tensor& targets);
+
+}  // namespace rptcn::models

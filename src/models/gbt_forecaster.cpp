@@ -1,0 +1,53 @@
+#include "models/gbt_forecaster.h"
+
+#include "common/check.h"
+
+namespace rptcn::models {
+
+GbtForecaster::GbtForecaster(const baselines::GbtOptions& options)
+    : options_(options) {}
+
+Tensor GbtForecaster::flatten(const Tensor& inputs) {
+  RPTCN_CHECK(inputs.rank() == 3, "GBT inputs must be [S,F,T]");
+  return inputs.reshape({inputs.dim(0), inputs.dim(1) * inputs.dim(2)});
+}
+
+void GbtForecaster::fit(const ForecastDataset& dataset) {
+  horizon_ = dataset.horizon;
+  const Tensor x_train = flatten(dataset.train.inputs);
+  const Tensor x_valid = flatten(dataset.valid.inputs);
+  const std::size_t n_train = x_train.dim(0);
+  const std::size_t n_valid = x_valid.dim(0);
+
+  boosters_.clear();
+  curves_ = {};
+  for (std::size_t h = 0; h < horizon_; ++h) {
+    std::vector<float> y_train(n_train), y_valid(n_valid);
+    for (std::size_t i = 0; i < n_train; ++i)
+      y_train[i] = dataset.train.targets.at(i, h);
+    for (std::size_t i = 0; i < n_valid; ++i)
+      y_valid[i] = dataset.valid.targets.at(i, h);
+
+    auto booster = std::make_unique<baselines::GradientBoostedTrees>(options_);
+    booster->fit(x_train, y_train, &x_valid, y_valid);
+    if (h == 0) {  // curves from the first-step booster (Fig. 9/10 rows)
+      curves_.train_loss = booster->train_loss_history();
+      curves_.valid_loss = booster->valid_loss_history();
+    }
+    boosters_.push_back(std::move(booster));
+  }
+}
+
+Tensor GbtForecaster::predict(const Tensor& inputs) {
+  RPTCN_CHECK(!boosters_.empty(), "predict before fit");
+  const Tensor x = flatten(inputs);
+  const std::size_t s = x.dim(0);
+  Tensor out({s, horizon_});
+  for (std::size_t h = 0; h < horizon_; ++h) {
+    const auto preds = boosters_[h]->predict(x);
+    for (std::size_t i = 0; i < s; ++i) out.at(i, h) = preds[i];
+  }
+  return out;
+}
+
+}  // namespace rptcn::models

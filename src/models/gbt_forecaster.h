@@ -1,0 +1,31 @@
+// XGBoost-baseline adapter: flattens each [F, window] input into a tabular
+// feature vector and fits one boosted ensemble per horizon step (the
+// "direct" multi-horizon strategy, which is how tabular boosters are
+// normally applied to forecasting).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/gbt.h"
+#include "models/forecaster.h"
+
+namespace rptcn::models {
+
+class GbtForecaster final : public Forecaster {
+ public:
+  explicit GbtForecaster(const baselines::GbtOptions& options = {});
+
+  std::string name() const override { return "XGBoost"; }
+  void fit(const ForecastDataset& dataset) override;
+  Tensor predict(const Tensor& inputs) override;
+
+ private:
+  static Tensor flatten(const Tensor& inputs);  // [S,F,T] -> [S, F*T]
+
+  baselines::GbtOptions options_;
+  std::size_t horizon_ = 0;
+  std::vector<std::unique_ptr<baselines::GradientBoostedTrees>> boosters_;
+};
+
+}  // namespace rptcn::models

@@ -1,0 +1,251 @@
+#include "models/nn_forecasters.h"
+
+#include "autograd/ops.h"
+#include "common/check.h"
+
+namespace rptcn::models {
+
+namespace {
+
+opt::TrainOptions make_train_options(const NnTrainConfig& cfg) {
+  opt::TrainOptions o;
+  o.batch_size = cfg.batch_size;
+  o.max_epochs = cfg.max_epochs;
+  o.patience = cfg.patience;
+  o.clip_norm = cfg.clip_norm;
+  o.seed = cfg.seed;
+  o.loss = cfg.loss;
+  o.pinball_tau = cfg.pinball_tau;
+  o.verbose = cfg.verbose;
+  return o;
+}
+
+/// Shared fit body: construct optimizer, run the trainer, record curves.
+template <typename Net>
+TrainCurves fit_net(Net& net, const NnTrainConfig& cfg,
+                    const ForecastDataset& dataset) {
+  opt::Adam adam(net.parameters(), cfg.learning_rate);
+  const auto forward = [&net](const Variable& x) { return net.forward(x); };
+  const auto history = opt::fit(net, forward, dataset.train, dataset.valid,
+                                adam, make_train_options(cfg));
+  return {history.train_loss, history.valid_loss};
+}
+
+/// Batched inference.
+template <typename Net>
+Tensor predict_net(Net& net, const Tensor& inputs, std::size_t horizon,
+                   std::size_t batch_size) {
+  RPTCN_CHECK(inputs.rank() == 3, "predict expects [S,F,T]");
+  NoGradScope no_grad;
+  net.set_training(false);
+  const std::size_t s = inputs.dim(0);
+  Tensor out({s, horizon});
+  for (std::size_t start = 0; start < s; start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, s);
+    std::vector<std::size_t> idx(end - start);
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = start + i;
+    const Variable x(opt::gather_rows(inputs, idx));
+    const Tensor pred = net.forward(x).value();
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      for (std::size_t h = 0; h < horizon; ++h)
+        out.at(start + i, h) = pred.at(i, h);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RPTCN
+// ---------------------------------------------------------------------------
+
+RptcnForecaster::RptcnForecaster(const NnTrainConfig& train,
+                                 nn::RptcnOptions options)
+    : train_(train), options_(std::move(options)) {}
+
+void RptcnForecaster::build(const ForecastDataset& dataset) {
+  options_.input_features = dataset.train.inputs.dim(1);
+  options_.horizon = dataset.horizon;
+  options_.seed = train_.seed;
+  net_ = std::make_unique<nn::RptcnNet>(options_);
+}
+
+void RptcnForecaster::fit(const ForecastDataset& dataset) {
+  build(dataset);
+  curves_ = fit_net(*net_, train_, dataset);
+}
+
+bool RptcnForecaster::save(const std::string& path) const {
+  RPTCN_CHECK(net_ != nullptr, "save before fit");
+  net_->save(path);
+  return true;
+}
+
+bool RptcnForecaster::restore(const ForecastDataset& dataset, const std::string& path) {
+  build(dataset);
+  net_->load(path);
+  curves_ = {};
+  return true;
+}
+
+Tensor RptcnForecaster::predict(const Tensor& inputs) {
+  RPTCN_CHECK(net_ != nullptr, "predict before fit");
+  return predict_net(*net_, inputs, options_.horizon, train_.batch_size);
+}
+
+// ---------------------------------------------------------------------------
+// Plain TCN (ablation)
+// ---------------------------------------------------------------------------
+
+TcnForecaster::TcnForecaster(const NnTrainConfig& train,
+                             nn::RptcnOptions options)
+    : train_(train), options_(std::move(options)) {
+  options_.use_attention = false;
+  options_.use_fc = false;
+}
+
+void TcnForecaster::build(const ForecastDataset& dataset) {
+  options_.input_features = dataset.train.inputs.dim(1);
+  options_.horizon = dataset.horizon;
+  options_.seed = train_.seed;
+  net_ = std::make_unique<nn::RptcnNet>(options_);
+}
+
+void TcnForecaster::fit(const ForecastDataset& dataset) {
+  build(dataset);
+  curves_ = fit_net(*net_, train_, dataset);
+}
+
+bool TcnForecaster::save(const std::string& path) const {
+  RPTCN_CHECK(net_ != nullptr, "save before fit");
+  net_->save(path);
+  return true;
+}
+
+bool TcnForecaster::restore(const ForecastDataset& dataset, const std::string& path) {
+  build(dataset);
+  net_->load(path);
+  curves_ = {};
+  return true;
+}
+
+Tensor TcnForecaster::predict(const Tensor& inputs) {
+  RPTCN_CHECK(net_ != nullptr, "predict before fit");
+  return predict_net(*net_, inputs, options_.horizon, train_.batch_size);
+}
+
+// ---------------------------------------------------------------------------
+// LSTM
+// ---------------------------------------------------------------------------
+
+LstmForecaster::LstmForecaster(const NnTrainConfig& train,
+                               nn::LstmNetOptions options)
+    : train_(train), options_(options) {}
+
+void LstmForecaster::build(const ForecastDataset& dataset) {
+  options_.input_features = dataset.train.inputs.dim(1);
+  options_.horizon = dataset.horizon;
+  options_.seed = train_.seed;
+  net_ = std::make_unique<nn::LstmNet>(options_);
+}
+
+void LstmForecaster::fit(const ForecastDataset& dataset) {
+  build(dataset);
+  curves_ = fit_net(*net_, train_, dataset);
+}
+
+bool LstmForecaster::save(const std::string& path) const {
+  RPTCN_CHECK(net_ != nullptr, "save before fit");
+  net_->save(path);
+  return true;
+}
+
+bool LstmForecaster::restore(const ForecastDataset& dataset, const std::string& path) {
+  build(dataset);
+  net_->load(path);
+  curves_ = {};
+  return true;
+}
+
+Tensor LstmForecaster::predict(const Tensor& inputs) {
+  RPTCN_CHECK(net_ != nullptr, "predict before fit");
+  return predict_net(*net_, inputs, options_.horizon, train_.batch_size);
+}
+
+// ---------------------------------------------------------------------------
+// BiLSTM
+// ---------------------------------------------------------------------------
+
+BiLstmForecaster::BiLstmForecaster(const NnTrainConfig& train,
+                                   nn::BiLstmNetOptions options)
+    : train_(train), options_(options) {}
+
+void BiLstmForecaster::build(const ForecastDataset& dataset) {
+  options_.input_features = dataset.train.inputs.dim(1);
+  options_.horizon = dataset.horizon;
+  options_.seed = train_.seed;
+  net_ = std::make_unique<nn::BiLstmNet>(options_);
+}
+
+void BiLstmForecaster::fit(const ForecastDataset& dataset) {
+  build(dataset);
+  curves_ = fit_net(*net_, train_, dataset);
+}
+
+bool BiLstmForecaster::save(const std::string& path) const {
+  RPTCN_CHECK(net_ != nullptr, "save before fit");
+  net_->save(path);
+  return true;
+}
+
+bool BiLstmForecaster::restore(const ForecastDataset& dataset, const std::string& path) {
+  build(dataset);
+  net_->load(path);
+  curves_ = {};
+  return true;
+}
+
+Tensor BiLstmForecaster::predict(const Tensor& inputs) {
+  RPTCN_CHECK(net_ != nullptr, "predict before fit");
+  return predict_net(*net_, inputs, options_.horizon, train_.batch_size);
+}
+
+// ---------------------------------------------------------------------------
+// CNN-LSTM
+// ---------------------------------------------------------------------------
+
+CnnLstmForecaster::CnnLstmForecaster(const NnTrainConfig& train,
+                                     nn::CnnLstmOptions options)
+    : train_(train), options_(options) {}
+
+void CnnLstmForecaster::build(const ForecastDataset& dataset) {
+  options_.input_features = dataset.train.inputs.dim(1);
+  options_.horizon = dataset.horizon;
+  options_.seed = train_.seed;
+  net_ = std::make_unique<nn::CnnLstm>(options_);
+}
+
+void CnnLstmForecaster::fit(const ForecastDataset& dataset) {
+  build(dataset);
+  curves_ = fit_net(*net_, train_, dataset);
+}
+
+bool CnnLstmForecaster::save(const std::string& path) const {
+  RPTCN_CHECK(net_ != nullptr, "save before fit");
+  net_->save(path);
+  return true;
+}
+
+bool CnnLstmForecaster::restore(const ForecastDataset& dataset, const std::string& path) {
+  build(dataset);
+  net_->load(path);
+  curves_ = {};
+  return true;
+}
+
+Tensor CnnLstmForecaster::predict(const Tensor& inputs) {
+  RPTCN_CHECK(net_ != nullptr, "predict before fit");
+  return predict_net(*net_, inputs, options_.horizon, train_.batch_size);
+}
+
+}  // namespace rptcn::models

@@ -1,0 +1,36 @@
+#include "models/registry.h"
+
+#include "common/check.h"
+#include "models/arima_forecaster.h"
+#include "models/gbt_forecaster.h"
+
+namespace rptcn::models {
+
+const std::vector<std::string>& forecaster_names() {
+  static const std::vector<std::string> kNames = {
+      "ARIMA", "LSTM", "CNN-LSTM", "XGBoost", "RPTCN", "TCN", "BiLSTM"};
+  return kNames;
+}
+
+std::unique_ptr<Forecaster> make_forecaster(const std::string& name,
+                                            const ModelConfig& config) {
+  if (name == "RPTCN")
+    return std::make_unique<RptcnForecaster>(config.nn, config.rptcn);
+  if (name == "TCN")
+    return std::make_unique<TcnForecaster>(config.nn, config.rptcn);
+  if (name == "LSTM")
+    return std::make_unique<LstmForecaster>(config.nn, config.lstm);
+  if (name == "BiLSTM")
+    return std::make_unique<BiLstmForecaster>(config.nn, config.bilstm);
+  if (name == "CNN-LSTM")
+    return std::make_unique<CnnLstmForecaster>(config.nn, config.cnn_lstm);
+  if (name == "XGBoost")
+    return std::make_unique<GbtForecaster>(config.gbt);
+  if (name == "ARIMA")
+    return std::make_unique<ArimaForecaster>(config.arima,
+                                             config.arima_auto_order);
+  RPTCN_CHECK(false, "unknown forecaster: " << name);
+  return nullptr;  // unreachable
+}
+
+}  // namespace rptcn::models

@@ -1,0 +1,34 @@
+// Forecaster factory, so benches and examples can instantiate models by
+// name ("RPTCN", "TCN", "LSTM", "CNN-LSTM", "XGBoost", "ARIMA").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/arima.h"
+#include "baselines/gbt.h"
+#include "models/forecaster.h"
+#include "models/nn_forecasters.h"
+
+namespace rptcn::models {
+
+struct ModelConfig {
+  NnTrainConfig nn;                ///< shared NN training recipe
+  nn::RptcnOptions rptcn;          ///< RPTCN / TCN architecture
+  nn::LstmNetOptions lstm;         ///< LSTM architecture
+  nn::BiLstmNetOptions bilstm;     ///< BiLSTM architecture
+  nn::CnnLstmOptions cnn_lstm;     ///< CNN-LSTM architecture
+  baselines::GbtOptions gbt;       ///< XGBoost baseline
+  baselines::ArimaOptions arima;   ///< ARIMA baseline
+  bool arima_auto_order = false;
+};
+
+/// Names accepted by make_forecaster, in Table II order.
+const std::vector<std::string>& forecaster_names();
+
+/// Instantiate a forecaster by name; throws CheckError on unknown names.
+std::unique_ptr<Forecaster> make_forecaster(const std::string& name,
+                                            const ModelConfig& config = {});
+
+}  // namespace rptcn::models

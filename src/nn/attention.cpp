@@ -1,0 +1,32 @@
+#include "nn/attention.h"
+
+#include "autograd/ops.h"
+
+namespace rptcn::nn {
+
+namespace {
+Conv1dOptions scorer_options() {
+  Conv1dOptions o;
+  o.kernel_size = 1;
+  o.dilation = 1;
+  o.causal = true;
+  o.bias = true;
+  o.weight_norm = false;
+  return o;
+}
+}  // namespace
+
+TemporalAttention::TemporalAttention(std::size_t channels, Rng& rng)
+    : scorer_(channels, 1, scorer_options(), rng) {
+  register_module("scorer", scorer_);
+}
+
+TemporalAttention::Output TemporalAttention::forward(const Variable& z) const {
+  RPTCN_CHECK(z.value().rank() == 3, "attention expects [N,C,T]");
+  const Variable logits = scorer_.forward(z);        // [N,1,T]
+  const Variable a = ag::softmax_lastdim_v(logits);  // eq. (7)
+  const Variable g = ag::mul_bcast_channel(a, z);    // eq. (8)
+  return {ag::sum_lastdim(g), a};
+}
+
+}  // namespace rptcn::nn

@@ -1,0 +1,31 @@
+// Temporal attention (paper eqs. 7 and 8).
+//
+// Given feature maps z in [N, C, T], a small attention network f_phi (a
+// per-timestep linear scorer) produces logits over time, softmax yields the
+// attention vector a, and the attention glimpse g = a ⊙ z is reduced over
+// time to a fixed-size summary [N, C]. This is what lets RPTCN re-weight
+// "performance indicators at different moments" before the forecast head.
+#pragma once
+
+#include "nn/conv1d.h"
+#include "nn/module.h"
+
+namespace rptcn::nn {
+
+class TemporalAttention : public Module {
+ public:
+  TemporalAttention(std::size_t channels, Rng& rng);
+
+  struct Output {
+    Variable glimpse;  ///< [N, C] time-weighted feature summary
+    Variable weights;  ///< [N, 1, T] attention distribution (sums to 1 over T)
+  };
+
+  /// z: [N, C, T] -> glimpse [N, C] plus the attention weights.
+  Output forward(const Variable& z) const;
+
+ private:
+  Conv1d scorer_;  ///< 1x1 conv = per-timestep linear scorer f_phi
+};
+
+}  // namespace rptcn::nn

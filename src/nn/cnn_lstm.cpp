@@ -1,0 +1,39 @@
+#include "nn/cnn_lstm.h"
+
+#include "autograd/ops.h"
+
+namespace rptcn::nn {
+
+namespace {
+Conv1dOptions conv_options(const CnnLstmOptions& o) {
+  Conv1dOptions c;
+  c.kernel_size = o.kernel_size;
+  c.dilation = 1;
+  c.causal = true;
+  c.bias = true;
+  c.weight_norm = false;
+  return c;
+}
+}  // namespace
+
+CnnLstm::CnnLstm(const CnnLstmOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      conv_(options.input_features, options.conv_channels,
+            conv_options(options), rng_),
+      lstm_(options.conv_channels, options.hidden, rng_),
+      head_(options.hidden, options.horizon, rng_) {
+  RPTCN_CHECK(options.horizon > 0, "horizon must be positive");
+  register_module("conv", conv_);
+  register_module("lstm", lstm_);
+  register_module("head", head_);
+}
+
+Variable CnnLstm::forward(const Variable& x) {
+  Variable h = ag::relu(conv_.forward(x));  // [N, C, T]
+  h = lstm_.forward(h);                     // [N, H]
+  h = ag::dropout(h, options_.dropout, rng_, training());
+  return head_.forward(h);
+}
+
+}  // namespace rptcn::nn

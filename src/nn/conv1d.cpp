@@ -1,0 +1,57 @@
+#include "nn/conv1d.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace rptcn::nn {
+
+Conv1d::Conv1d(std::size_t in_channels, std::size_t out_channels,
+               const Conv1dOptions& options, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      options_(options) {
+  RPTCN_CHECK(in_channels > 0 && out_channels > 0,
+              "Conv1d channels must be positive");
+  RPTCN_CHECK(options.kernel_size > 0, "Conv1d kernel must be positive");
+  RPTCN_CHECK(options.dilation > 0, "Conv1d dilation must be positive");
+
+  // Reference-TCN style initialisation: small normal weights keep the
+  // activation variance flat through the residual stack (He init compounds
+  // ~2x per conv here and makes the first epochs chase a huge output scale).
+  const float init_std =
+      1.0f / std::sqrt(static_cast<float>(in_channels * options.kernel_size) *
+                       4.0f);
+  Tensor w = Tensor::randn({out_channels, in_channels, options.kernel_size},
+                           rng, 0.0f, init_std);
+  if (options_.weight_norm) {
+    // Standard init: g_c = ||v_c|| so the effective weight equals v at t=0.
+    Tensor g({out_channels});
+    const std::size_t row = in_channels * options.kernel_size;
+    for (std::size_t c = 0; c < out_channels; ++c) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < row; ++i) {
+        const float v = w[c * row + i];
+        s += static_cast<double>(v) * v;
+      }
+      g.at(c) = static_cast<float>(std::sqrt(s));
+    }
+    weight_v_ = register_parameter("v", std::move(w));
+    gain_ = register_parameter("g", std::move(g));
+  } else {
+    weight_v_ = register_parameter("weight", std::move(w));
+  }
+  if (options.bias)
+    bias_ = register_parameter("bias", Tensor::zeros({out_channels}));
+}
+
+Variable Conv1d::forward(const Variable& x) const {
+  const Variable w = options_.weight_norm
+                         ? ag::weight_norm(weight_v_, gain_)
+                         : weight_v_;
+  const std::ptrdiff_t pad = options_.causal ? -1 : 0;
+  return ag::conv1d(x, w, bias_, options_.dilation, pad);
+}
+
+}  // namespace rptcn::nn

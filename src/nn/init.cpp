@@ -1,0 +1,30 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rptcn::nn {
+
+Tensor xavier_uniform(std::vector<std::size_t> shape, std::size_t fan_in,
+                      std::size_t fan_out, Rng& rng) {
+  RPTCN_CHECK(fan_in + fan_out > 0, "xavier needs positive fans");
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::rand_uniform(std::move(shape), rng, -a, a);
+}
+
+Tensor he_normal(std::vector<std::size_t> shape, std::size_t fan_in, Rng& rng) {
+  RPTCN_CHECK(fan_in > 0, "he_normal needs positive fan_in");
+  const float s = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::randn(std::move(shape), rng, 0.0f, s);
+}
+
+Tensor lecun_uniform(std::vector<std::size_t> shape, std::size_t fan_in,
+                     Rng& rng) {
+  RPTCN_CHECK(fan_in > 0, "lecun_uniform needs positive fan_in");
+  const float a = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  return Tensor::rand_uniform(std::move(shape), rng, -a, a);
+}
+
+}  // namespace rptcn::nn

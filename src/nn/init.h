@@ -1,0 +1,20 @@
+// Weight initialisation schemes.
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace rptcn::nn {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Tensor xavier_uniform(std::vector<std::size_t> shape, std::size_t fan_in,
+                      std::size_t fan_out, Rng& rng);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)) — for ReLU networks.
+Tensor he_normal(std::vector<std::size_t> shape, std::size_t fan_in, Rng& rng);
+
+/// Uniform in [-1/sqrt(fan_in), 1/sqrt(fan_in)] — the classic LSTM default.
+Tensor lecun_uniform(std::vector<std::size_t> shape, std::size_t fan_in,
+                     Rng& rng);
+
+}  // namespace rptcn::nn

@@ -1,0 +1,24 @@
+#include "nn/linear.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace rptcn::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+               bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  RPTCN_CHECK(in_features > 0 && out_features > 0,
+              "Linear dims must be positive");
+  weight_ = register_parameter(
+      "weight",
+      xavier_uniform({out_features, in_features}, in_features, out_features,
+                     rng));
+  if (bias) bias_ = register_parameter("bias", Tensor::zeros({out_features}));
+}
+
+Variable Linear::forward(const Variable& x) const {
+  return ag::linear(x, weight_, bias_);
+}
+
+}  // namespace rptcn::nn

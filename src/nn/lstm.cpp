@@ -1,0 +1,90 @@
+#include "nn/lstm.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace rptcn::nn {
+
+Lstm::Gate Lstm::make_gate(const char* name, std::size_t input_features,
+                           Rng& rng, float bias_init) {
+  Gate g;
+  g.wx = register_parameter(std::string(name) + ".wx",
+                            lecun_uniform({hidden_, input_features},
+                                          input_features, rng));
+  g.wh = register_parameter(std::string(name) + ".wh",
+                            lecun_uniform({hidden_, hidden_}, hidden_, rng));
+  g.b = register_parameter(std::string(name) + ".b",
+                           Tensor::full({hidden_}, bias_init));
+  return g;
+}
+
+Lstm::Lstm(std::size_t input_features, std::size_t hidden, Rng& rng)
+    : hidden_(hidden) {
+  RPTCN_CHECK(input_features > 0 && hidden > 0, "Lstm dims must be positive");
+  input_gate_ = make_gate("i", input_features, rng, 0.0f);
+  forget_gate_ = make_gate("f", input_features, rng, 1.0f);
+  cell_gate_ = make_gate("g", input_features, rng, 0.0f);
+  output_gate_ = make_gate("o", input_features, rng, 0.0f);
+}
+
+Variable Lstm::gate_pre(const Gate& g, const Variable& xt,
+                        const Variable& h) const {
+  // pre = xt wx^T + h wh^T + b  (bias added once, via the first linear)
+  return ag::add(ag::linear(xt, g.wx, g.b), ag::linear(h, g.wh, Variable{}));
+}
+
+Variable Lstm::forward(const Variable& x) const {
+  RPTCN_CHECK(x.value().rank() == 3, "Lstm expects [N,F,T], got "
+                                         << x.value().shape_string());
+  const std::size_t n = x.dim(0), t_len = x.dim(2);
+  Variable h(Tensor::zeros({n, hidden_}));
+  Variable c(Tensor::zeros({n, hidden_}));
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const Variable xt = ag::time_slice(x, t);  // [N, F]
+    const Variable i = ag::sigmoid(gate_pre(input_gate_, xt, h));
+    const Variable f = ag::sigmoid(gate_pre(forget_gate_, xt, h));
+    const Variable g = ag::tanh_v(gate_pre(cell_gate_, xt, h));
+    const Variable o = ag::sigmoid(gate_pre(output_gate_, xt, h));
+    c = ag::add(ag::mul(f, c), ag::mul(i, g));
+    h = ag::mul(o, ag::tanh_v(c));
+  }
+  return h;
+}
+
+LstmNet::LstmNet(const LstmNetOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      lstm_(options.input_features, options.hidden, rng_),
+      head_(options.hidden, options.horizon, rng_) {
+  RPTCN_CHECK(options.horizon > 0, "horizon must be positive");
+  register_module("lstm", lstm_);
+  register_module("head", head_);
+}
+
+Variable LstmNet::forward(const Variable& x) {
+  Variable h = lstm_.forward(x);
+  h = ag::dropout(h, options_.dropout, rng_, training());
+  return head_.forward(h);
+}
+
+BiLstmNet::BiLstmNet(const BiLstmNetOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      forward_lstm_(options.input_features, options.hidden, rng_),
+      backward_lstm_(options.input_features, options.hidden, rng_),
+      head_(2 * options.hidden, options.horizon, rng_) {
+  RPTCN_CHECK(options.horizon > 0, "horizon must be positive");
+  register_module("fwd", forward_lstm_);
+  register_module("bwd", backward_lstm_);
+  register_module("head", head_);
+}
+
+Variable BiLstmNet::forward(const Variable& x) {
+  const Variable h_fwd = forward_lstm_.forward(x);
+  const Variable h_bwd = backward_lstm_.forward(ag::time_reverse(x));
+  Variable h = ag::concat_cols(h_fwd, h_bwd);
+  h = ag::dropout(h, options_.dropout, rng_, training());
+  return head_.forward(h);
+}
+
+}  // namespace rptcn::nn

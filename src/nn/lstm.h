@@ -1,0 +1,98 @@
+// LSTM baseline (Hochreiter & Schmidhuber), unrolled through the autograd
+// tape. Used both standalone (the paper's LSTM baseline) and inside the
+// CNN-LSTM baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace rptcn::nn {
+
+/// Single-layer LSTM over [N, F, T] sequences, returning the final hidden
+/// state [N, H]. Gates use separate input/recurrent weights per gate;
+/// forget-gate bias is initialised to 1 (standard trick for gradient flow).
+class Lstm : public Module {
+ public:
+  Lstm(std::size_t input_features, std::size_t hidden, Rng& rng);
+
+  /// x: [N, F, T] -> final hidden state [N, H].
+  Variable forward(const Variable& x) const;
+
+  std::size_t hidden_size() const { return hidden_; }
+
+ private:
+  struct Gate {
+    Variable wx;  ///< [H, F]
+    Variable wh;  ///< [H, H]
+    Variable b;   ///< [H]
+  };
+  Gate make_gate(const char* name, std::size_t input_features, Rng& rng,
+                 float bias_init);
+  Variable gate_pre(const Gate& g, const Variable& xt,
+                    const Variable& h) const;
+
+  std::size_t hidden_;
+  Gate input_gate_;
+  Gate forget_gate_;
+  Gate cell_gate_;
+  Gate output_gate_;
+};
+
+struct LstmNetOptions {
+  std::size_t input_features = 1;
+  std::size_t hidden = 32;
+  std::size_t horizon = 1;
+  float dropout = 0.1f;
+  std::uint64_t seed = 42;
+};
+
+/// LSTM regressor: LSTM -> dropout -> linear head [N, horizon].
+class LstmNet : public Module {
+ public:
+  explicit LstmNet(const LstmNetOptions& options);
+
+  /// x: [N, F, T] -> [N, horizon].
+  Variable forward(const Variable& x);
+
+  const LstmNetOptions& options() const { return options_; }
+
+ private:
+  LstmNetOptions options_;
+  Rng rng_;
+  Lstm lstm_;
+  Linear head_;
+};
+
+struct BiLstmNetOptions {
+  std::size_t input_features = 1;
+  std::size_t hidden = 24;
+  std::size_t horizon = 1;
+  float dropout = 0.1f;
+  std::uint64_t seed = 42;
+};
+
+/// Bidirectional LSTM regressor (the related-work baseline of Gupta &
+/// Dinesh 2017): forward and backward passes over the fully observed input
+/// window, concatenated final hidden states, linear head. Valid for
+/// forecasting because the window lies entirely in the past.
+class BiLstmNet : public Module {
+ public:
+  explicit BiLstmNet(const BiLstmNetOptions& options);
+
+  /// x: [N, F, T] -> [N, horizon].
+  Variable forward(const Variable& x);
+
+  const BiLstmNetOptions& options() const { return options_; }
+
+ private:
+  BiLstmNetOptions options_;
+  Rng rng_;
+  Lstm forward_lstm_;
+  Lstm backward_lstm_;
+  Linear head_;
+};
+
+}  // namespace rptcn::nn

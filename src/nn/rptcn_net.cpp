@@ -1,0 +1,70 @@
+#include "nn/rptcn_net.h"
+
+#include "autograd/ops.h"
+
+namespace rptcn::nn {
+
+namespace {
+Conv1dOptions fc_options() {
+  Conv1dOptions o;
+  o.kernel_size = 1;
+  o.dilation = 1;
+  o.causal = true;
+  o.bias = true;
+  o.weight_norm = false;
+  return o;
+}
+}  // namespace
+
+RptcnNet::RptcnNet(const RptcnOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      tcn_(options.input_features, options.tcn, rng_) {
+  RPTCN_CHECK(options.horizon > 0, "horizon must be positive");
+  register_module("tcn", tcn_);
+  const std::size_t backbone_dim = tcn_.output_channels();
+  std::size_t feat_dim = backbone_dim;
+  if (options_.use_fc) {
+    fc_ = std::make_unique<Conv1d>(backbone_dim, options_.fc_dim, fc_options(),
+                                   rng_);
+    register_module("fc", *fc_);
+    feat_dim = options_.fc_dim;
+  }
+  if (options_.use_attention) {
+    attention_ = std::make_unique<TemporalAttention>(feat_dim, rng_);
+    register_module("attention", *attention_);
+  }
+  head_ = std::make_unique<Linear>(feat_dim, options_.horizon, rng_);
+  register_module("head", *head_);
+}
+
+Variable RptcnNet::forward(const Variable& x) {
+  RPTCN_CHECK(x.value().rank() == 3, "RptcnNet expects [N,F,T], got "
+                                         << x.value().shape_string());
+  RPTCN_CHECK(x.dim(1) == options_.input_features,
+              "feature mismatch: got " << x.dim(1) << ", expected "
+                                       << options_.input_features);
+  Variable h = tcn_.forward(x, rng_);  // [N, C, T]
+  if (fc_) h = ag::relu(fc_->forward(h));
+  Variable summary;
+  if (attention_) {
+    auto att = attention_->forward(h);
+    last_attention_ = att.weights.value();
+    // The attention glimpse has no positional signal of its own, so it is
+    // combined residually with the most recent timestep's features: the
+    // attention re-weights history (eqs. 7-8) on top of the standard causal
+    // readout instead of replacing it.
+    summary = ag::add(att.glimpse, ag::time_slice(h, h.dim(2) - 1));
+  } else {
+    // Ablation: summarise with the last timestep (standard TCN readout).
+    last_attention_.reset();
+    summary = ag::time_slice(h, h.dim(2) - 1);
+  }
+  return head_->forward(summary);  // [N, horizon]
+}
+
+std::optional<Tensor> RptcnNet::last_attention_weights() const {
+  return last_attention_;
+}
+
+}  // namespace rptcn::nn

@@ -1,0 +1,17 @@
+#include "opt/early_stopping.h"
+
+namespace rptcn::opt {
+
+bool EarlyStopping::update(double valid_loss) {
+  ++epoch_;
+  if (valid_loss < best_loss_ - min_delta_) {
+    best_loss_ = valid_loss;
+    best_epoch_ = epoch_;
+    bad_epochs_ = 0;
+    return true;
+  }
+  ++bad_epochs_;
+  return false;
+}
+
+}  // namespace rptcn::opt

@@ -1,0 +1,35 @@
+// EarlyStopping with patience, mirroring the Keras callback the paper uses
+// ("EarlyStopping ... patience is 10"). Optionally restores the weights of
+// the best epoch when training stops.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace rptcn::opt {
+
+class EarlyStopping {
+ public:
+  explicit EarlyStopping(std::size_t patience = 10, double min_delta = 0.0)
+      : patience_(patience), min_delta_(min_delta) {}
+
+  /// Report a new validation loss. Returns true if this is the best so far.
+  bool update(double valid_loss);
+
+  /// True once `patience` consecutive epochs failed to improve.
+  bool should_stop() const { return bad_epochs_ > patience_; }
+
+  double best_loss() const { return best_loss_; }
+  std::size_t best_epoch() const { return best_epoch_; }
+  std::size_t epochs_seen() const { return epoch_; }
+
+ private:
+  std::size_t patience_;
+  double min_delta_;
+  double best_loss_ = std::numeric_limits<double>::infinity();
+  std::size_t best_epoch_ = 0;
+  std::size_t bad_epochs_ = 0;
+  std::size_t epoch_ = 0;
+};
+
+}  // namespace rptcn::opt

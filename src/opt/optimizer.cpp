@@ -1,0 +1,120 @@
+#include "opt/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace rptcn::opt {
+
+Optimizer::Optimizer(std::vector<Variable> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  RPTCN_CHECK(!params_.empty(), "optimizer needs at least one parameter");
+  for (const auto& p : params_)
+    RPTCN_CHECK(p.defined() && p.requires_grad(),
+                "optimizer parameters must be trainable leaves");
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+std::size_t Optimizer::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& p : params_) n += p.size();
+  return n;
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  if (momentum_ != 0.0f)
+    for (const auto& p : params_)
+      velocity_.push_back(Tensor::zeros(p.value().shape()));
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& value = params_[i].mutable_value();
+    const Tensor& g = params_[i].grad();
+    if (momentum_ == 0.0f) {
+      axpy(-lr_, g, value);
+    } else {
+      Tensor& v = velocity_[i];
+      scale_inplace(v, momentum_);
+      add_inplace(v, g);
+      axpy(-lr_, v, value);
+    }
+  }
+}
+
+RmsProp::RmsProp(std::vector<Variable> params, float lr, float decay, float eps)
+    : Optimizer(std::move(params), lr), decay_(decay), eps_(eps) {
+  for (const auto& p : params_)
+    sq_avg_.push_back(Tensor::zeros(p.value().shape()));
+}
+
+void RmsProp::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto value = params_[i].mutable_value().data();
+    const auto g = params_[i].grad().data();
+    auto s = sq_avg_[i].data();
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      s[j] = decay_ * s[j] + (1.0f - decay_) * g[j] * g[j];
+      value[j] -= lr_ * g[j] / (std::sqrt(s[j]) + eps_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::zeros(p.value().shape()));
+    v_.push_back(Tensor::zeros(p.value().shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto value = params_[i].mutable_value().data();
+    const auto g = params_[i].grad().data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float clip_grad_norm(std::vector<Variable>& params, float max_norm) {
+  RPTCN_CHECK(max_norm > 0.0f, "clip_grad_norm needs positive max_norm");
+  double total = 0.0;
+  for (const auto& p : params) {
+    const float n = norm2(p.grad());
+    total += static_cast<double>(n) * n;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (auto& p : params) {
+      // grad() returns const; scale through the node's tensor directly.
+      Tensor g = p.grad();
+      scale_inplace(g, scale);
+      p.zero_grad();
+      p.node()->accumulate(g);
+    }
+  }
+  return norm;
+}
+
+}  // namespace rptcn::opt

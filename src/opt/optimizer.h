@@ -1,0 +1,78 @@
+// First-order optimizers over autograd parameters.
+//
+// Each optimizer holds the parameter Variables (shared graph leaves) plus
+// its own per-parameter state buffers, and updates values in place from the
+// accumulated gradients.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rptcn::opt {
+
+class Optimizer {
+ public:
+  Optimizer(std::vector<Variable> params, float lr);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Apply one update from the current gradients.
+  virtual void step() = 0;
+
+  /// Clear gradients of all managed parameters.
+  void zero_grad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  std::size_t parameter_count() const;
+
+ protected:
+  std::vector<Variable> params_;
+  float lr_;
+};
+
+/// SGD with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// RMSProp (Tieleman & Hinton).
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(std::vector<Variable> params, float lr, float decay = 0.9f,
+          float eps = 1e-8f);
+  void step() override;
+
+ private:
+  float decay_;
+  float eps_;
+  std::vector<Tensor> sq_avg_;
+};
+
+/// Adam (Kingma & Ba) with bias correction — the paper's training optimizer.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Scale gradients so their global L2 norm is at most max_norm.
+/// Returns the pre-clip norm.
+float clip_grad_norm(std::vector<Variable>& params, float max_norm);
+
+}  // namespace rptcn::opt

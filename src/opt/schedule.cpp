@@ -1,0 +1,19 @@
+#include "opt/schedule.h"
+
+#include <cmath>
+
+namespace rptcn::opt {
+
+float StepDecay::lr_at(std::size_t epoch, float base_lr) const {
+  const auto steps = epoch / step_epochs_;
+  return base_lr * std::pow(factor_, static_cast<float>(steps));
+}
+
+float CosineDecay::lr_at(std::size_t epoch, float base_lr) const {
+  const float t = std::min(1.0f, static_cast<float>(epoch) /
+                                     static_cast<float>(total_epochs_));
+  const float cos_term = 0.5f * (1.0f + std::cos(static_cast<float>(M_PI) * t));
+  return min_lr_ + (base_lr - min_lr_) * cos_term;
+}
+
+}  // namespace rptcn::opt

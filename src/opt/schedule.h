@@ -1,0 +1,52 @@
+// Learning-rate schedules.
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace rptcn::opt {
+
+/// Interface: lr(epoch) given a base learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float lr_at(std::size_t epoch, float base_lr) const = 0;
+};
+
+/// Constant learning rate.
+class ConstantLr final : public LrSchedule {
+ public:
+  float lr_at(std::size_t, float base_lr) const override { return base_lr; }
+};
+
+/// Multiply by `factor` every `step_epochs`.
+class StepDecay final : public LrSchedule {
+ public:
+  StepDecay(std::size_t step_epochs, float factor)
+      : step_epochs_(step_epochs), factor_(factor) {
+    RPTCN_CHECK(step_epochs > 0, "step_epochs must be positive");
+    RPTCN_CHECK(factor > 0.0f && factor <= 1.0f, "factor must be in (0,1]");
+  }
+  float lr_at(std::size_t epoch, float base_lr) const override;
+
+ private:
+  std::size_t step_epochs_;
+  float factor_;
+};
+
+/// Cosine annealing from base_lr to min_lr over total_epochs.
+class CosineDecay final : public LrSchedule {
+ public:
+  CosineDecay(std::size_t total_epochs, float min_lr = 0.0f)
+      : total_epochs_(total_epochs), min_lr_(min_lr) {
+    RPTCN_CHECK(total_epochs > 0, "total_epochs must be positive");
+  }
+  float lr_at(std::size_t epoch, float base_lr) const override;
+
+ private:
+  std::size_t total_epochs_;
+  float min_lr_;
+};
+
+}  // namespace rptcn::opt

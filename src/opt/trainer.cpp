@@ -1,0 +1,162 @@
+#include "opt/trainer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace rptcn::opt {
+
+Tensor gather_rows(const Tensor& t, const std::vector<std::size_t>& index) {
+  RPTCN_CHECK(t.rank() >= 2, "gather_rows expects rank >= 2");
+  const std::size_t rows = t.dim(0);
+  const std::size_t row_size = t.size() / rows;
+  std::vector<std::size_t> shape = t.shape();
+  shape[0] = index.size();
+  Tensor out(shape);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    RPTCN_CHECK(index[i] < rows, "gather_rows index out of range");
+    std::memcpy(out.raw() + i * row_size, t.raw() + index[i] * row_size,
+                row_size * sizeof(float));
+  }
+  return out;
+}
+
+namespace {
+Variable apply_loss(const Variable& pred, const Tensor& target, Loss loss,
+                    float pinball_tau) {
+  switch (loss) {
+    case Loss::kMse:
+      return ag::mse_loss(pred, target);
+    case Loss::kMae:
+      return ag::mae_loss(pred, target);
+    case Loss::kPinball:
+      return ag::pinball_loss(pred, target, pinball_tau);
+  }
+  RPTCN_CHECK(false, "bad loss enum");
+  return {};
+}
+}  // namespace
+
+double evaluate_loss(const ForwardFn& forward, const TrainData& data,
+                     std::size_t batch_size, Loss loss, float pinball_tau) {
+  RPTCN_CHECK(data.samples() > 0, "evaluate_loss on empty dataset");
+  NoGradScope no_grad;
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t start = 0; start < data.samples(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, data.samples());
+    std::vector<std::size_t> idx(end - start);
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = start + i;
+    const Variable x(gather_rows(data.inputs, idx));
+    const Tensor y = gather_rows(data.targets, idx);
+    const Variable pred = forward(x);
+    const Variable l = apply_loss(pred, y, loss, pinball_tau);
+    total += static_cast<double>(l.value().item()) *
+             static_cast<double>(idx.size());
+    count += idx.size();
+  }
+  return total / static_cast<double>(count);
+}
+
+double evaluate_mse(const ForwardFn& forward, const TrainData& data,
+                    std::size_t batch_size) {
+  return evaluate_loss(forward, data, batch_size, Loss::kMse);
+}
+
+namespace {
+
+std::vector<std::pair<std::string, Tensor>> snapshot(const nn::Module& model) {
+  std::vector<std::pair<std::string, Tensor>> snap;
+  for (const auto& [name, p] : model.named_parameters())
+    snap.emplace_back(name, p.value());
+  return snap;
+}
+
+void restore(nn::Module& model,
+             const std::vector<std::pair<std::string, Tensor>>& snap) {
+  auto params = model.named_parameters();
+  RPTCN_CHECK(params.size() == snap.size(), "snapshot size mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i)
+    params[i].second.mutable_value() = snap[i].second;
+}
+
+}  // namespace
+
+TrainHistory fit(nn::Module& model, const ForwardFn& forward,
+                 const TrainData& train, const TrainData& valid,
+                 Optimizer& optimizer, const TrainOptions& options) {
+  RPTCN_CHECK(train.samples() > 0, "empty training set");
+  RPTCN_CHECK(valid.samples() > 0, "empty validation set");
+  RPTCN_CHECK(options.batch_size > 0, "batch_size must be positive");
+
+  Rng shuffle_rng(options.seed);
+  EarlyStopping stopper(options.patience);
+  TrainHistory history;
+  std::vector<std::pair<std::string, Tensor>> best_snapshot;
+  const float base_lr = optimizer.lr();
+  auto params = model.parameters();
+
+  for (std::size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    if (options.schedule != nullptr)
+      optimizer.set_lr(options.schedule->lr_at(epoch, base_lr));
+
+    model.set_training(true);
+    std::vector<std::size_t> order(train.samples());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (options.shuffle) order = shuffle_rng.permutation(train.samples());
+
+    double epoch_loss = 0.0;
+    std::size_t seen = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      const std::size_t end =
+          std::min(start + options.batch_size, order.size());
+      const std::vector<std::size_t> idx(order.begin() + start,
+                                         order.begin() + end);
+      const Variable x(gather_rows(train.inputs, idx));
+      const Tensor y = gather_rows(train.targets, idx);
+
+      optimizer.zero_grad();
+      const Variable pred = forward(x);
+      Variable loss = apply_loss(pred, y, options.loss, options.pinball_tau);
+      loss.backward();
+      if (options.clip_norm > 0.0f)
+        clip_grad_norm(params, options.clip_norm);
+      optimizer.step();
+
+      epoch_loss += static_cast<double>(loss.value().item()) *
+                    static_cast<double>(idx.size());
+      seen += idx.size();
+    }
+    history.train_loss.push_back(epoch_loss / static_cast<double>(seen));
+
+    model.set_training(false);
+    const double vloss = evaluate_loss(forward, valid, options.batch_size,
+                                       options.loss, options.pinball_tau);
+    history.valid_loss.push_back(vloss);
+
+    const bool improved = stopper.update(vloss);
+    if (improved && options.restore_best) best_snapshot = snapshot(model);
+    if (options.verbose)
+      RPTCN_INFO("epoch " << (epoch + 1) << ": train "
+                          << history.train_loss.back() << ", valid " << vloss
+                          << (improved ? " *" : ""));
+    if (stopper.should_stop()) {
+      history.stopped_early = true;
+      break;
+    }
+  }
+
+  history.best_epoch = stopper.best_epoch();
+  history.best_valid_loss = stopper.best_loss();
+  if (options.restore_best && !best_snapshot.empty())
+    restore(model, best_snapshot);
+  optimizer.set_lr(base_lr);
+  model.set_training(false);
+  return history;
+}
+
+}  // namespace rptcn::opt

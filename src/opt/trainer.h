@@ -1,0 +1,72 @@
+// Mini-batch trainer: the paper's training loop (Adam + MSE + EarlyStopping
+// with patience 10), generic over any Module with a [N,F,T] -> [N,horizon]
+// forward function.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/module.h"
+#include "opt/early_stopping.h"
+#include "opt/optimizer.h"
+#include "opt/schedule.h"
+
+namespace rptcn::opt {
+
+/// Supervised windows: inputs [S, F, T], targets [S, horizon].
+struct TrainData {
+  Tensor inputs;
+  Tensor targets;
+
+  std::size_t samples() const { return inputs.empty() ? 0 : inputs.dim(0); }
+};
+
+/// Training objective. kPinball turns the network into a tau-quantile
+/// forecaster (capacity-planning extension).
+enum class Loss { kMse, kMae, kPinball };
+
+struct TrainOptions {
+  Loss loss = Loss::kMse;
+  float pinball_tau = 0.9f;        ///< only used with Loss::kPinball
+  std::size_t batch_size = 32;
+  std::size_t max_epochs = 40;
+  std::size_t patience = 10;       ///< EarlyStopping patience (paper value 10)
+  bool restore_best = true;        ///< roll back to the best-validation epoch
+  bool shuffle = true;
+  float clip_norm = 0.0f;          ///< 0 disables gradient clipping
+  std::uint64_t seed = 7;          ///< batch-shuffle stream
+  const LrSchedule* schedule = nullptr;  ///< optional; nullptr = constant
+  bool verbose = false;            ///< log per-epoch losses
+};
+
+struct TrainHistory {
+  std::vector<double> train_loss;  ///< mean training MSE per epoch
+  std::vector<double> valid_loss;  ///< validation MSE per epoch
+  std::size_t best_epoch = 0;      ///< 1-based epoch of best validation loss
+  double best_valid_loss = 0.0;
+  bool stopped_early = false;
+};
+
+/// Forward function type: batched inputs -> predictions.
+using ForwardFn = std::function<Variable(const Variable&)>;
+
+/// Gather rows `index[...]` of a [S, ...] tensor into a new batch tensor.
+Tensor gather_rows(const Tensor& t, const std::vector<std::size_t>& index);
+
+/// Mean MSE of `forward` over a dataset (no gradients, eval mode is the
+/// caller's responsibility).
+double evaluate_mse(const ForwardFn& forward, const TrainData& data,
+                    std::size_t batch_size);
+
+/// Mean loss of `forward` over a dataset under an arbitrary objective.
+double evaluate_loss(const ForwardFn& forward, const TrainData& data,
+                     std::size_t batch_size, Loss loss,
+                     float pinball_tau = 0.9f);
+
+/// Train `model` on `train`, early-stopping on `valid`. Uses MSE loss.
+TrainHistory fit(nn::Module& model, const ForwardFn& forward,
+                 const TrainData& train, const TrainData& valid,
+                 Optimizer& optimizer, const TrainOptions& options);
+
+}  // namespace rptcn::opt

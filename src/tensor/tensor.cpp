@@ -1,0 +1,148 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace rptcn {
+
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : shape_(std::move(shape)), data_(shape_size(shape_), fill) {
+  for (auto d : shape_) RPTCN_CHECK(d > 0, "zero-extent dimension in shape");
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape), 0.0f);
+}
+
+Tensor Tensor::ones(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  return Tensor(std::move(shape), value);
+}
+
+Tensor Tensor::scalar(float value) { return full({1}, value); }
+
+Tensor Tensor::from(std::vector<std::size_t> shape, std::vector<float> values) {
+  RPTCN_CHECK(shape_size(shape) == values.size(),
+              "value count " << values.size() << " does not match shape size "
+                             << shape_size(shape));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, float mean,
+                     float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_)
+    v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(std::vector<std::size_t> shape, Rng& rng, float lo,
+                            float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::arange(std::size_t n) {
+  Tensor t({n});
+  for (std::size_t i = 0; i < n; ++i) t.data_[i] = static_cast<float>(i);
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  RPTCN_CHECK(i < shape_.size(), "dim index " << i << " out of rank " << rank());
+  return shape_[i];
+}
+
+Tensor Tensor::reshape(std::vector<std::size_t> new_shape) const {
+  RPTCN_CHECK(shape_size(new_shape) == data_.size(),
+              "reshape to incompatible size: " << shape_size(new_shape)
+                                               << " != " << data_.size());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+std::size_t Tensor::offset2(std::size_t i, std::size_t j) const {
+  RPTCN_DCHECK(rank() == 2, "rank-2 access on rank-" << rank() << " tensor");
+  RPTCN_DCHECK(i < shape_[0] && j < shape_[1], "index out of range");
+  return i * shape_[1] + j;
+}
+
+std::size_t Tensor::offset3(std::size_t i, std::size_t j, std::size_t k) const {
+  RPTCN_DCHECK(rank() == 3, "rank-3 access on rank-" << rank() << " tensor");
+  RPTCN_DCHECK(i < shape_[0] && j < shape_[1] && k < shape_[2],
+               "index out of range");
+  return (i * shape_[1] + j) * shape_[2] + k;
+}
+
+std::size_t Tensor::offset4(std::size_t i, std::size_t j, std::size_t k,
+                            std::size_t l) const {
+  RPTCN_DCHECK(rank() == 4, "rank-4 access on rank-" << rank() << " tensor");
+  RPTCN_DCHECK(i < shape_[0] && j < shape_[1] && k < shape_[2] && l < shape_[3],
+               "index out of range");
+  return ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l;
+}
+
+float& Tensor::at(std::size_t i) {
+  RPTCN_DCHECK(rank() == 1, "rank-1 access on rank-" << rank() << " tensor");
+  RPTCN_DCHECK(i < shape_[0], "index out of range");
+  return data_[i];
+}
+float Tensor::at(std::size_t i) const {
+  return const_cast<Tensor*>(this)->at(i);
+}
+float& Tensor::at(std::size_t i, std::size_t j) { return data_[offset2(i, j)]; }
+float Tensor::at(std::size_t i, std::size_t j) const {
+  return data_[offset2(i, j)];
+}
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k) {
+  return data_[offset3(i, j, k)];
+}
+float Tensor::at(std::size_t i, std::size_t j, std::size_t k) const {
+  return data_[offset3(i, j, k)];
+}
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
+  return data_[offset4(i, j, k, l)];
+}
+float Tensor::at(std::size_t i, std::size_t j, std::size_t k,
+                 std::size_t l) const {
+  return data_[offset4(i, j, k, l)];
+}
+
+float Tensor::item() const {
+  RPTCN_CHECK(data_.size() == 1,
+              "item() on tensor with " << data_.size() << " elements");
+  return data_[0];
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream oss;
+  oss << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) oss << ", ";
+    oss << shape_[i];
+  }
+  oss << ']';
+  return oss.str();
+}
+
+}  // namespace rptcn

@@ -1,0 +1,108 @@
+// Dense row-major float32 tensor.
+//
+// Design notes:
+//  * Value semantics, contiguous std::vector<float> storage. Models in this
+//    reproduction are small (thousands to low millions of elements), so the
+//    simplicity of copies-by-value beats a strided-view design; hot paths
+//    (GEMM, dilated conv) operate on raw spans and never copy.
+//  * Rank is dynamic (vector<size_t> shape); the NN layers use ranks 1–3.
+//  * All shape errors are RPTCN_CHECK failures (throwing), never UB.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rptcn {
+
+class Rng;
+
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, no elements).
+  Tensor() = default;
+
+  /// Tensor of the given shape, filled with `fill`.
+  explicit Tensor(std::vector<std::size_t> shape, float fill = 0.0f);
+
+  // -- factories ------------------------------------------------------------
+  static Tensor zeros(std::vector<std::size_t> shape);
+  static Tensor ones(std::vector<std::size_t> shape);
+  static Tensor full(std::vector<std::size_t> shape, float value);
+  /// Rank-0-like scalar, stored as shape {1}.
+  static Tensor scalar(float value);
+  /// Build from explicit values (row-major); size must match the shape.
+  static Tensor from(std::vector<std::size_t> shape, std::vector<float> values);
+  /// i.i.d. N(mean, stddev^2) entries.
+  static Tensor randn(std::vector<std::size_t> shape, Rng& rng,
+                      float mean = 0.0f, float stddev = 1.0f);
+  /// i.i.d. U[lo, hi) entries.
+  static Tensor rand_uniform(std::vector<std::size_t> shape, Rng& rng, float lo,
+                             float hi);
+  /// {0, 1, ..., n-1} as a rank-1 tensor.
+  static Tensor arange(std::size_t n);
+
+  // -- shape ---------------------------------------------------------------
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  /// Extent of dimension i; throws if i >= rank().
+  std::size_t dim(std::size_t i) const;
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Reinterpret with a new shape of identical element count (copies value
+  /// semantics; data layout is unchanged).
+  Tensor reshape(std::vector<std::size_t> new_shape) const;
+
+  // -- element access --------------------------------------------------------
+  std::span<float> data() { return {data_.data(), data_.size()}; }
+  std::span<const float> data() const { return {data_.data(), data_.size()}; }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  float& operator[](std::size_t flat) {
+    RPTCN_DCHECK(flat < data_.size(), "flat index out of range");
+    return data_[flat];
+  }
+  float operator[](std::size_t flat) const {
+    RPTCN_DCHECK(flat < data_.size(), "flat index out of range");
+    return data_[flat];
+  }
+
+  /// Checked multi-dimensional accessors for ranks 1–4.
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+  float& at(std::size_t i, std::size_t j);
+  float at(std::size_t i, std::size_t j) const;
+  float& at(std::size_t i, std::size_t j, std::size_t k);
+  float at(std::size_t i, std::size_t j, std::size_t k) const;
+  float& at(std::size_t i, std::size_t j, std::size_t k, std::size_t l);
+  float at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const;
+
+  /// Scalar value of a single-element tensor.
+  float item() const;
+
+  /// Fill all elements with a value.
+  void fill(float value);
+
+  /// Human-readable shape, e.g. "[2, 3, 5]".
+  std::string shape_string() const;
+
+ private:
+  std::size_t offset2(std::size_t i, std::size_t j) const;
+  std::size_t offset3(std::size_t i, std::size_t j, std::size_t k) const;
+  std::size_t offset4(std::size_t i, std::size_t j, std::size_t k,
+                      std::size_t l) const;
+
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Total element count implied by a shape.
+std::size_t shape_size(const std::vector<std::size_t>& shape);
+
+}  // namespace rptcn

@@ -1,0 +1,85 @@
+#include "tensor/tensor_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace rptcn {
+
+namespace {
+constexpr char kMagic[4] = {'R', 'P', 'T', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  RPTCN_CHECK(in.good(), "truncated tensor stream");
+  return v;
+}
+}  // namespace
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(t.rank()));
+  for (auto d : t.shape()) write_pod(out, static_cast<std::uint64_t>(d));
+  out.write(reinterpret_cast<const char*>(t.raw()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+  RPTCN_CHECK(out.good(), "tensor write failed");
+}
+
+Tensor read_tensor(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  RPTCN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
+              "bad tensor magic");
+  const auto version = read_pod<std::uint32_t>(in);
+  RPTCN_CHECK(version == kVersion, "unsupported tensor version " << version);
+  const auto rank = read_pod<std::uint32_t>(in);
+  std::vector<std::size_t> shape(rank);
+  for (auto& d : shape) d = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.raw()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  RPTCN_CHECK(in.good(), "truncated tensor data");
+  return t;
+}
+
+void write_tensors_file(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& items) {
+  std::ofstream out(path, std::ios::binary);
+  RPTCN_CHECK(out.good(), "cannot open for writing: " << path);
+  write_pod(out, static_cast<std::uint64_t>(items.size()));
+  for (const auto& [name, tensor] : items) {
+    write_pod(out, static_cast<std::uint64_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_tensor(out, tensor);
+  }
+}
+
+std::vector<std::pair<std::string, Tensor>> read_tensors_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RPTCN_CHECK(in.good(), "cannot open for reading: " << path);
+  const auto count = read_pod<std::uint64_t>(in);
+  std::vector<std::pair<std::string, Tensor>> items;
+  items.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto len = read_pod<std::uint64_t>(in);
+    std::string name(len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(len));
+    RPTCN_CHECK(in.good(), "truncated tensor name");
+    items.emplace_back(std::move(name), read_tensor(in));
+  }
+  return items;
+}
+
+}  // namespace rptcn

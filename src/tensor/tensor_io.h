@@ -1,0 +1,25 @@
+// Binary tensor serialization (model checkpoints).
+//
+// Format: magic "RPTN", u32 version, u32 rank, u64 dims..., float32 data.
+// Little-endian host order — checkpoints are a single-machine convenience,
+// not an interchange format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rptcn {
+
+void write_tensor(std::ostream& out, const Tensor& t);
+Tensor read_tensor(std::istream& in);
+
+/// Save/load a named set of tensors (e.g. all parameters of a model).
+void write_tensors_file(const std::string& path,
+                        const std::vector<std::pair<std::string, Tensor>>& items);
+std::vector<std::pair<std::string, Tensor>> read_tensors_file(
+    const std::string& path);
+
+}  // namespace rptcn

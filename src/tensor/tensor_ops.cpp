@@ -1,0 +1,263 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rptcn {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  RPTCN_CHECK(a.same_shape(b), op << ": shape mismatch " << a.shape_string()
+                                  << " vs " << b.shape_string());
+}
+
+template <typename F>
+Tensor zip(const Tensor& a, const Tensor& b, F&& f, const char* op) {
+  check_same_shape(a, b, op);
+  Tensor out(a.shape());
+  const auto pa = a.data();
+  const auto pb = b.data();
+  auto po = out.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return zip(a, b, [](float x, float y) { return x + y; }, "add");
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return zip(a, b, [](float x, float y) { return x - y; }, "sub");
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return zip(a, b, [](float x, float y) { return x * y; }, "mul");
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return zip(a, b, [](float x, float y) { return x / y; }, "div");
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return map(a, [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return map(a, [s](float x) { return x * s; });
+}
+Tensor neg(const Tensor& a) {
+  return map(a, [](float x) { return -x; });
+}
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  check_same_shape(x, y, "axpy");
+  const auto px = x.data();
+  auto py = y.data();
+  for (std::size_t i = 0; i < px.size(); ++i) py[i] += alpha * px[i];
+}
+
+void scale_inplace(Tensor& y, float s) {
+  for (auto& v : y.data()) v *= s;
+}
+
+void add_inplace(Tensor& y, const Tensor& x) { axpy(1.0f, x, y); }
+
+Tensor map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out(a.shape());
+  const auto pa = a.data();
+  auto po = out.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+Tensor relu(const Tensor& a) {
+  return map(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor sigmoid(const Tensor& a) {
+  return map(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor tanh_t(const Tensor& a) {
+  return map(a, [](float x) { return std::tanh(x); });
+}
+Tensor exp_t(const Tensor& a) {
+  return map(a, [](float x) { return std::exp(x); });
+}
+Tensor log_t(const Tensor& a) {
+  return map(a, [](float x) { return std::log(x); });
+}
+Tensor sqrt_t(const Tensor& a) {
+  return map(a, [](float x) { return std::sqrt(x); });
+}
+Tensor square(const Tensor& a) {
+  return map(a, [](float x) { return x * x; });
+}
+Tensor abs_t(const Tensor& a) {
+  return map(a, [](float x) { return std::fabs(x); });
+}
+
+float sum(const Tensor& a) {
+  double s = 0.0;
+  for (float v : a.data()) s += v;
+  return static_cast<float>(s);
+}
+
+float mean(const Tensor& a) {
+  RPTCN_CHECK(a.size() > 0, "mean of empty tensor");
+  return sum(a) / static_cast<float>(a.size());
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (float v : a.data()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float norm2(const Tensor& a) {
+  double s = 0.0;
+  for (float v : a.data()) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+Tensor sum_rows(const Tensor& a) {
+  RPTCN_CHECK(a.rank() == 2, "sum_rows expects rank 2");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({m});
+  for (std::size_t i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += a.at(i, j);
+    out.at(i) = static_cast<float>(s);
+  }
+  return out;
+}
+
+Tensor sum_cols(const Tensor& a) {
+  RPTCN_CHECK(a.rank() == 2, "sum_cols expects rank 2");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) out.at(j) += a.at(i, j);
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  RPTCN_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects rank-2 tensors");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  RPTCN_CHECK(b.dim(0) == k, "matmul inner-dimension mismatch: "
+                                 << a.shape_string() << " x " << b.shape_string());
+  Tensor c({m, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  // i-k-j loop order: unit-stride access on B and C rows; OpenMP over rows.
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  RPTCN_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_tn expects rank-2 tensors");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  RPTCN_CHECK(b.dim(0) == m, "matmul_tn outer-dimension mismatch");
+  Tensor c({k, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  // C[kk,j] = sum_i A[i,kk] * B[i,j]
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      float* crow = pc + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  RPTCN_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_nt expects rank-2 tensors");
+  const std::size_t m = a.dim(0), n = a.dim(1), k = b.dim(0);
+  RPTCN_CHECK(b.dim(1) == n, "matmul_nt inner-dimension mismatch");
+  Tensor c({m, k});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * n;
+    float* crow = pc + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* brow = pb + kk * n;
+      double s = 0.0;
+      for (std::size_t j = 0; j < n; ++j) s += static_cast<double>(arow[j]) * brow[j];
+      crow[kk] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  RPTCN_CHECK(a.rank() == 2, "transpose2d expects rank 2");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  return out;
+}
+
+Tensor matvec(const Tensor& a, const Tensor& x) {
+  RPTCN_CHECK(a.rank() == 2 && x.rank() == 1, "matvec expects (2-D, 1-D)");
+  RPTCN_CHECK(a.dim(1) == x.dim(0), "matvec dimension mismatch");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor y({m});
+  for (std::size_t i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += static_cast<double>(a.at(i, j)) * x.at(j);
+    y.at(i) = static_cast<float>(s);
+  }
+  return y;
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  RPTCN_CHECK(a.rank() >= 1, "softmax of rank-0 tensor");
+  const std::size_t last = a.shape().back();
+  const std::size_t rows = a.size() / last;
+  Tensor out(a.shape());
+  const float* pa = a.raw();
+  float* po = out.raw();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* in = pa + r * last;
+    float* o = po + r * last;
+    float mx = in[0];
+    for (std::size_t j = 1; j < last; ++j) mx = std::max(mx, in[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < last; ++j) {
+      o[j] = std::exp(in[j] - mx);
+      denom += o[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < last; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (!a.same_shape(b)) return false;
+  const auto pa = a.data();
+  const auto pb = b.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const float tol = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tol) return false;
+    if (std::isnan(pa[i]) != std::isnan(pb[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace rptcn

@@ -1,0 +1,76 @@
+// Raw (non-autograd) tensor math.
+//
+// These kernels are the numeric substrate shared by the autograd layer and
+// the classical baselines. GEMM is cache-blocked and OpenMP-parallel; the
+// elementwise kernels are simple loops the compiler vectorises.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace rptcn {
+
+// -- elementwise binary (shapes must match exactly) --------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+// -- scalar ops ---------------------------------------------------------------
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+Tensor neg(const Tensor& a);
+
+// -- in-place helpers ---------------------------------------------------------
+/// y += alpha * x (shapes must match).
+void axpy(float alpha, const Tensor& x, Tensor& y);
+/// y *= s.
+void scale_inplace(Tensor& y, float s);
+/// y += x.
+void add_inplace(Tensor& y, const Tensor& x);
+
+// -- unary maps ---------------------------------------------------------------
+Tensor map(const Tensor& a, const std::function<float(float)>& f);
+Tensor relu(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor tanh_t(const Tensor& a);
+Tensor exp_t(const Tensor& a);
+Tensor log_t(const Tensor& a);
+Tensor sqrt_t(const Tensor& a);
+Tensor square(const Tensor& a);
+Tensor abs_t(const Tensor& a);
+
+// -- reductions ----------------------------------------------------------------
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_abs(const Tensor& a);
+/// L2 norm of all elements.
+float norm2(const Tensor& a);
+/// Row sums of a 2-D tensor -> rank-1 [rows].
+Tensor sum_rows(const Tensor& a);
+/// Column sums of a 2-D tensor -> rank-1 [cols].
+Tensor sum_cols(const Tensor& a);
+
+// -- linear algebra -------------------------------------------------------------
+/// C = A[m,k] * B[k,n]; cache-blocked, OpenMP over row blocks.
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A^T[m,k]^T * B -> (k x n) given A[m,k], B[m,n].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C = A * B^T -> (m x k) given A[m,n], B[k,n].
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// 2-D transpose.
+Tensor transpose2d(const Tensor& a);
+/// Matrix-vector product: A[m,n] * x[n] -> [m].
+Tensor matvec(const Tensor& a, const Tensor& x);
+
+// -- softmax ---------------------------------------------------------------------
+/// Numerically stable softmax over the last dimension (any rank >= 1).
+Tensor softmax_lastdim(const Tensor& a);
+
+// -- comparison (for tests) --------------------------------------------------------
+/// True iff shapes match and every |a-b| <= atol + rtol*|b|.
+bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+}  // namespace rptcn

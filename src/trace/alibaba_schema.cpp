@@ -1,0 +1,126 @@
+#include "trace/alibaba_schema.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "trace/indicators.h"
+
+namespace rptcn::trace {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+struct Row {
+  double time_stamp = 0.0;
+  IndicatorSample sample;
+};
+
+double parse_field(std::string_view field, std::size_t line_no) {
+  const auto trimmed = trim(field);
+  if (trimmed.empty()) return kNan;
+  try {
+    return std::stod(std::string(trimmed));
+  } catch (const std::exception&) {
+    RPTCN_CHECK(false, "unparseable numeric field '" << trimmed << "' at line "
+                                                     << line_no);
+  }
+  return kNan;  // unreachable
+}
+
+EntityFrames assemble(std::map<std::string, std::vector<Row>>&& rows_by_id) {
+  EntityFrames out;
+  for (auto& [id, rows] : rows_by_id) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row& a, const Row& b) {
+                       return a.time_stamp < b.time_stamp;
+                     });
+    data::TimeSeriesFrame frame;
+    for (std::size_t k = 0; k < kIndicatorCount; ++k) {
+      std::vector<double> col;
+      col.reserve(rows.size());
+      for (const Row& r : rows) col.push_back(r.sample.values[k]);
+      frame.add(indicator_names()[k], std::move(col));
+    }
+    out.emplace(id, std::move(frame));
+  }
+  return out;
+}
+
+}  // namespace
+
+EntityFrames load_alibaba_container_usage(std::istream& in) {
+  std::map<std::string, std::vector<Row>> by_id;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto t = trim(line);
+    if (t.empty()) continue;
+    const auto fields = split(t, ',');
+    RPTCN_CHECK(fields.size() == 11,
+                "container_usage row needs 11 fields, got " << fields.size()
+                                                            << " at line "
+                                                            << line_no);
+    Row row;
+    row.time_stamp = parse_field(fields[2], line_no);
+    row.sample[Indicator::kCpuUtilPercent] = parse_field(fields[3], line_no);
+    row.sample[Indicator::kMemUtilPercent] = parse_field(fields[4], line_no);
+    row.sample[Indicator::kCpi] = parse_field(fields[5], line_no);
+    row.sample[Indicator::kMemGps] = parse_field(fields[6], line_no);
+    row.sample[Indicator::kMpki] = parse_field(fields[7], line_no);
+    row.sample[Indicator::kNetIn] = parse_field(fields[8], line_no);
+    row.sample[Indicator::kNetOut] = parse_field(fields[9], line_no);
+    row.sample[Indicator::kDiskIoPercent] = parse_field(fields[10], line_no);
+    by_id[std::string(trim(fields[0]))].push_back(row);
+  }
+  return assemble(std::move(by_id));
+}
+
+EntityFrames load_alibaba_container_usage_file(const std::string& path) {
+  std::ifstream in(path);
+  RPTCN_CHECK(in.good(), "cannot open: " << path);
+  return load_alibaba_container_usage(in);
+}
+
+EntityFrames load_alibaba_machine_usage(std::istream& in) {
+  std::map<std::string, std::vector<Row>> by_id;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto t = trim(line);
+    if (t.empty()) continue;
+    const auto fields = split(t, ',');
+    RPTCN_CHECK(fields.size() == 9,
+                "machine_usage row needs 9 fields, got " << fields.size()
+                                                         << " at line "
+                                                         << line_no);
+    Row row;
+    row.time_stamp = parse_field(fields[1], line_no);
+    row.sample[Indicator::kCpuUtilPercent] = parse_field(fields[2], line_no);
+    row.sample[Indicator::kMemUtilPercent] = parse_field(fields[3], line_no);
+    row.sample[Indicator::kCpi] = kNan;  // not reported at machine level
+    row.sample[Indicator::kMemGps] = parse_field(fields[4], line_no);
+    row.sample[Indicator::kMpki] = parse_field(fields[5], line_no);
+    row.sample[Indicator::kNetIn] = parse_field(fields[6], line_no);
+    row.sample[Indicator::kNetOut] = parse_field(fields[7], line_no);
+    row.sample[Indicator::kDiskIoPercent] = parse_field(fields[8], line_no);
+    by_id[std::string(trim(fields[0]))].push_back(row);
+  }
+  return assemble(std::move(by_id));
+}
+
+EntityFrames load_alibaba_machine_usage_file(const std::string& path) {
+  std::ifstream in(path);
+  RPTCN_CHECK(in.good(), "cannot open: " << path);
+  return load_alibaba_machine_usage(in);
+}
+
+}  // namespace rptcn::trace

@@ -1,0 +1,95 @@
+#include "trace/characterize.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rptcn::trace {
+
+std::vector<BoxplotStats> cpu_boxplots_per_interval(
+    const ClusterSimulator& sim, std::size_t steps_per_interval) {
+  RPTCN_CHECK(steps_per_interval > 0, "interval must be positive");
+  const auto avg = sim.cluster_average_cpu();
+  std::vector<BoxplotStats> out;
+  for (std::size_t start = 0; start + 1 < avg.size();
+       start += steps_per_interval) {
+    const std::size_t end = std::min(start + steps_per_interval, avg.size());
+    out.push_back(
+        boxplot(std::span<const double>(avg.data() + start, end - start)));
+  }
+  return out;
+}
+
+double fraction_time_below(const ClusterSimulator& sim, double threshold) {
+  const auto avg = sim.cluster_average_cpu();
+  std::size_t below = 0;
+  for (double v : avg)
+    if (v < threshold) ++below;
+  return static_cast<double>(below) / static_cast<double>(avg.size());
+}
+
+std::vector<double> fraction_machines_below_per_interval(
+    const ClusterSimulator& sim, double threshold,
+    std::size_t steps_per_interval) {
+  RPTCN_CHECK(steps_per_interval > 0, "interval must be positive");
+  const std::size_t steps = sim.config().duration_steps;
+  const std::string cpu_name =
+      indicator_names()[static_cast<std::size_t>(Indicator::kCpuUtilPercent)];
+  std::vector<double> out;
+  for (std::size_t start = 0; start + 1 < steps; start += steps_per_interval) {
+    const std::size_t end = std::min(start + steps_per_interval, steps);
+    std::size_t below = 0;
+    for (std::size_t m = 0; m < sim.num_machines(); ++m) {
+      const auto& cpu = sim.machine_trace(m).column(cpu_name);
+      double s = 0.0;
+      for (std::size_t t = start; t < end; ++t) s += cpu[t];
+      const double avg = s / static_cast<double>(end - start) / 100.0;
+      if (avg < threshold) ++below;
+    }
+    out.push_back(static_cast<double>(below) /
+                  static_cast<double>(sim.num_machines()));
+  }
+  return out;
+}
+
+double fraction_machines_below(const ClusterSimulator& sim, double threshold) {
+  const std::string cpu_name =
+      indicator_names()[static_cast<std::size_t>(Indicator::kCpuUtilPercent)];
+  std::size_t below = 0;
+  for (std::size_t m = 0; m < sim.num_machines(); ++m) {
+    const auto& cpu = sim.machine_trace(m).column(cpu_name);
+    if (mean(cpu) / 100.0 < threshold) ++below;
+  }
+  return static_cast<double>(below) /
+         static_cast<double>(sim.num_machines());
+}
+
+std::vector<SeriesSummary> summarize_frame(const data::TimeSeriesFrame& frame) {
+  std::vector<SeriesSummary> out;
+  for (std::size_t c = 0; c < frame.indicators(); ++c) {
+    const auto& col = frame.column(c);
+    SeriesSummary s;
+    s.indicator = frame.name(c);
+    s.mean = mean(col);
+    s.stddev = stddev(col);
+    s.min = min_value(col);
+    s.max = max_value(col);
+    s.lag1_autocorr = autocorrelation(col, 1);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t mutation_points(const std::vector<double>& series, double jump,
+                            std::size_t lag) {
+  RPTCN_CHECK(lag >= 1, "lag must be >= 1");
+  RPTCN_CHECK(series.size() > lag, "series too short");
+  const double sd = stddev(series);
+  if (sd == 0.0) return 0;
+  std::size_t count = 0;
+  for (std::size_t t = lag; t < series.size(); ++t)
+    if (std::fabs(series[t] - series[t - lag]) > jump * sd) ++count;
+  return count;
+}
+
+}  // namespace rptcn::trace

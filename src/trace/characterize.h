@@ -1,0 +1,44 @@
+// Trace characterisation — the statistics behind the paper's Figs. 1-3.
+#pragma once
+
+#include "common/stats.h"
+#include "trace/cluster.h"
+
+namespace rptcn::trace {
+
+/// Fig. 2: boxplot of the cluster-average CPU fraction per fixed-size time
+/// interval (the paper uses 6-hour buckets).
+std::vector<BoxplotStats> cpu_boxplots_per_interval(
+    const ClusterSimulator& sim, std::size_t steps_per_interval);
+
+/// Fraction of time steps where the cluster-average CPU is below `threshold`
+/// (paper claim: avg < 0.6 for >= 75 % of the time).
+double fraction_time_below(const ClusterSimulator& sim, double threshold);
+
+/// Fig. 3: per-interval fraction of machines whose average CPU over the
+/// interval is below `threshold` (paper claim: > 80 % of machines < 50 %).
+std::vector<double> fraction_machines_below_per_interval(
+    const ClusterSimulator& sim, double threshold,
+    std::size_t steps_per_interval);
+
+/// Overall fraction of machines whose whole-trace average CPU is below
+/// `threshold`.
+double fraction_machines_below(const ClusterSimulator& sim, double threshold);
+
+/// Summary of one container's dynamics (Fig. 1 in text form): per-indicator
+/// mean, stddev, min, max, and lag-1 autocorrelation.
+struct SeriesSummary {
+  std::string indicator;
+  double mean = 0, stddev = 0, min = 0, max = 0, lag1_autocorr = 0;
+};
+std::vector<SeriesSummary> summarize_frame(const data::TimeSeriesFrame& frame);
+
+/// Count of "mutation points": steps where the series moves by more than
+/// `jump` times its standard deviation within `lag` samples — the
+/// high-dynamics measure that motivates the paper. lag > 1 captures abrupt
+/// sustained shifts that smoothed utilisation counters spread over a few
+/// samples.
+std::size_t mutation_points(const std::vector<double>& series, double jump,
+                            std::size_t lag = 1);
+
+}  // namespace rptcn::trace

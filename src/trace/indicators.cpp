@@ -1,0 +1,39 @@
+#include "trace/indicators.h"
+
+#include "common/check.h"
+
+namespace rptcn::trace {
+
+namespace {
+const std::array<std::string, kIndicatorCount> kNames = {
+    "cpu_util_percent", "mem_util_percent", "cpi",     "mem_gps",
+    "mpki",             "net_in",           "net_out", "disk_io_percent"};
+
+const std::array<std::string, kIndicatorCount> kMeanings = {
+    "cpu utilization percent",
+    "memory utilization percent",
+    "cycles per instruction",
+    "normalised memory gigabyte per second",
+    "misses per kilo instructions",
+    "normalised incoming network traffic",
+    "normalised outgoing network traffic",
+    "disk io percent"};
+}  // namespace
+
+const std::string& indicator_name(Indicator indicator) {
+  const auto i = static_cast<std::size_t>(indicator);
+  RPTCN_CHECK(i < kIndicatorCount, "bad indicator");
+  return kNames[i];
+}
+
+const std::string& indicator_meaning(Indicator indicator) {
+  const auto i = static_cast<std::size_t>(indicator);
+  RPTCN_CHECK(i < kIndicatorCount, "bad indicator");
+  return kMeanings[i];
+}
+
+const std::array<std::string, kIndicatorCount>& indicator_names() {
+  return kNames;
+}
+
+}  // namespace rptcn::trace

@@ -1,0 +1,42 @@
+// The eight monitoring indicators of the paper's Table I.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace rptcn::trace {
+
+enum class Indicator : std::size_t {
+  kCpuUtilPercent = 0,   ///< cpu utilization percent
+  kMemUtilPercent = 1,   ///< memory utilization percent
+  kCpi = 2,              ///< cycles per instruction
+  kMemGps = 3,           ///< normalised memory gigabytes per second
+  kMpki = 4,             ///< misses per kilo instructions
+  kNetIn = 5,            ///< normalised incoming network traffic
+  kNetOut = 6,           ///< normalised outgoing network traffic
+  kDiskIoPercent = 7,    ///< disk io percent
+};
+
+inline constexpr std::size_t kIndicatorCount = 8;
+
+/// Canonical column name as used by the paper (Table I).
+const std::string& indicator_name(Indicator indicator);
+/// Human-readable description (Table I "Meaning" column).
+const std::string& indicator_meaning(Indicator indicator);
+/// All eight names, in enum order.
+const std::array<std::string, kIndicatorCount>& indicator_names();
+
+/// One sample of all eight indicators.
+struct IndicatorSample {
+  std::array<double, kIndicatorCount> values{};
+
+  double& operator[](Indicator i) {
+    return values[static_cast<std::size_t>(i)];
+  }
+  double operator[](Indicator i) const {
+    return values[static_cast<std::size_t>(i)];
+  }
+};
+
+}  // namespace rptcn::trace

@@ -1,0 +1,194 @@
+#include "trace/workload_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rptcn::trace {
+
+namespace {
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+/// Smooth 0->1 ramp between lo and hi.
+double smoothstep(double x, double lo, double hi) {
+  const double t = clamp01((x - lo) / (hi - lo));
+  return t * t * (3.0 - 2.0 * t);
+}
+}  // namespace
+
+WorkloadParams sample_params(WorkloadClass workload_class, Rng& rng) {
+  WorkloadParams p;
+  p.workload_class = workload_class;
+  switch (workload_class) {
+    case WorkloadClass::kOnlineService:
+      p.base_level = rng.uniform(0.15, 0.40);
+      p.diurnal_amplitude = rng.uniform(0.08, 0.20);
+      p.noise_sigma = rng.uniform(0.02, 0.05);
+      p.mutation_rate = rng.uniform(0.001, 0.004);
+      p.burst_rate = rng.uniform(0.003, 0.008);
+      break;
+    case WorkloadClass::kBatchJob:
+      p.base_level = rng.uniform(0.10, 0.30);
+      p.diurnal_amplitude = rng.uniform(0.0, 0.05);
+      p.noise_sigma = rng.uniform(0.03, 0.07);
+      p.mutation_rate = rng.uniform(0.003, 0.008);  // frequent phase changes
+      p.burst_rate = rng.uniform(0.004, 0.010);
+      break;
+    case WorkloadClass::kStreaming:
+      p.base_level = rng.uniform(0.20, 0.45);
+      p.diurnal_amplitude = rng.uniform(0.03, 0.10);
+      p.noise_sigma = rng.uniform(0.015, 0.04);
+      p.mutation_rate = rng.uniform(0.0005, 0.002);
+      p.burst_rate = rng.uniform(0.002, 0.006);
+      break;
+  }
+  p.ar_coefficient = rng.uniform(0.75, 0.92);
+  return p;
+}
+
+WorkloadModel::WorkloadModel(const WorkloadParams& params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  RPTCN_CHECK(params.steps_per_day > 0, "steps_per_day must be positive");
+  cpu_smoothed_ = params.base_level;
+  cpu_visible_ = params.base_level;
+  prev_cpu_ = params.base_level;
+  // Slow non-stationary drift (load growth, code deployments): the late
+  // trace visits levels never seen early on, which is what makes real
+  // multi-day traces hard and separates models that generalise from models
+  // that memorise absolute levels.
+  trend_per_step_ = rng_.uniform(-0.00008, 0.00014);
+  mem_walk_ = rng_.uniform(-0.05, 0.15);
+}
+
+void WorkloadModel::update_regime() {
+  if (regime_steps_left_ > 0) {
+    --regime_steps_left_;
+    return;
+  }
+  // Pick the next regime; dwell times are geometric-ish uniform draws.
+  const double u = rng_.uniform();
+  if (u < 0.15) {
+    regime_ = Regime::kIdle;
+    regime_steps_left_ = static_cast<std::size_t>(rng_.uniform(30, 200));
+  } else if (u < 0.75) {
+    regime_ = Regime::kSteady;
+    regime_steps_left_ = static_cast<std::size_t>(rng_.uniform(100, 600));
+  } else if (u < 0.90) {
+    regime_ = Regime::kRamp;
+    regime_steps_left_ = static_cast<std::size_t>(rng_.uniform(50, 150));
+  } else {
+    regime_ = Regime::kBurst;
+    regime_steps_left_ = static_cast<std::size_t>(rng_.uniform(10, 60));
+  }
+}
+
+double WorkloadModel::regime_target() const {
+  switch (regime_) {
+    case Regime::kIdle:
+      return 0.05;
+    case Regime::kSteady:
+      return params_.base_level;
+    case Regime::kRamp:
+      // Drift above base while the ramp lasts.
+      return params_.base_level * 1.6;
+    case Regime::kBurst:
+      return std::min(0.95, params_.base_level + 0.35);
+    case Regime::kShifted:
+      return params_.base_level;
+  }
+  return params_.base_level;
+}
+
+IndicatorSample WorkloadModel::step(double contention) {
+  RPTCN_CHECK(contention >= 0.0 && contention <= 1.0,
+              "contention must be in [0,1]");
+  update_regime();
+
+  // Persistent mutation points (the sudden level shifts of Fig. 8).
+  if (rng_.bernoulli(params_.mutation_rate)) {
+    const double magnitude = rng_.uniform(0.15, 0.45);
+    shift_offset_ = rng_.bernoulli(0.5) ? magnitude : -magnitude;
+  }
+  // Short exponential-decay bursts.
+  if (rng_.bernoulli(params_.burst_rate))
+    burst_level_ = rng_.uniform(0.15, 0.5);
+  burst_level_ *= 0.9;
+
+  // AR(1) noise.
+  ar_state_ = params_.ar_coefficient * ar_state_ +
+              rng_.normal(0.0, params_.noise_sigma);
+
+  // Non-stationary drift: deterministic trend plus a slow random walk.
+  level_drift_ = std::clamp(
+      level_drift_ + trend_per_step_ + rng_.normal(0.0, 0.0008), -0.2, 0.3);
+
+  // Diurnal component (online services only have a meaningful one).
+  const double day_phase = 2.0 * M_PI * static_cast<double>(t_) /
+                           static_cast<double>(params_.steps_per_day);
+  const double diurnal = params_.diurnal_amplitude * std::sin(day_phase);
+
+  cpu_demand_ =
+      clamp01(regime_target() + level_drift_ + diurnal + shift_offset_ +
+              burst_level_ + ar_state_);
+
+  // Co-location interference: heavy machine pressure throttles the container
+  // (it gets less CPU than it demands) and degrades its memory system.
+  const double throttle = 1.0 - 0.4 * smoothstep(contention, 0.7, 1.0);
+  const double cpu = clamp01(cpu_demand_ * throttle);
+  const double contention_excess = std::max(0.0, contention - 0.6);
+
+  // The reported CPU utilisation is the *previous* sampling interval's
+  // usage (utilisation counters aggregate over the interval just ended)
+  // plus measurement noise, while the hardware memory-system counters below
+  // reflect the current interval. This one-interval reporting delay gives
+  // mpki/cpi/mem_gps a genuine lead over the reported CPU series — the
+  // mechanism behind the paper's observation that multivariate input
+  // out-predicts the univariate history at burst onsets.
+  cpu_visible_ = clamp01(prev_cpu_ + rng_.normal(0.0, 0.015));
+
+  // EMAs used for lagged couplings.
+  cpu_smoothed_ = 0.6 * cpu_smoothed_ + 0.4 * cpu;
+  mem_walk_ = std::clamp(mem_walk_ + rng_.normal(0.0, 0.004), -0.15, 0.45);
+  disk_phase_ *= 0.85;
+  if (rng_.bernoulli(params_.workload_class == WorkloadClass::kBatchJob
+                         ? 0.01
+                         : 0.004))
+    disk_phase_ = rng_.uniform(0.2, 0.8);
+
+  IndicatorSample s;
+  s[Indicator::kCpuUtilPercent] = 100.0 * cpu_visible_;
+
+  // Memory-system indicators: coupled to the *current* interval's CPU
+  // activity. Each counter is individually noisy (hardware counters are
+  // sampled/multiplexed), so no single indicator reveals the state — the
+  // information is spread across mpki/cpi/mem_gps and must be combined.
+  // Noise magnitudes keep the |PCC| ranking mpki > cpi > mem_gps (Fig. 7).
+  s[Indicator::kMpki] = std::max(
+      0.0, 2.0 + 28.0 * cpu + 9.0 * contention_excess + rng_.normal(0.0, 2.2));
+  s[Indicator::kCpi] = std::max(
+      0.3, 0.9 + 1.5 * cpu + 1.8 * contention_excess + rng_.normal(0.0, 0.20));
+  s[Indicator::kMemGps] =
+      clamp01(0.08 + 0.7 * (0.6 * cpu + 0.4 * cpu_smoothed_) +
+              rng_.normal(0.0, 0.11));
+
+  // Weaker couplings.
+  s[Indicator::kMemUtilPercent] =
+      100.0 * clamp01(0.35 + mem_walk_ + 0.08 * cpu_smoothed_ +
+                      rng_.normal(0.0, 0.012));
+  const bool online = params_.workload_class == WorkloadClass::kOnlineService;
+  const double request_proxy = online ? 0.45 * cpu_smoothed_ : 0.08;
+  s[Indicator::kNetIn] =
+      clamp01(request_proxy + rng_.normal(0.0, online ? 0.09 : 0.03));
+  s[Indicator::kNetOut] =
+      clamp01(0.7 * s[Indicator::kNetIn] + rng_.normal(0.0, 0.05));
+  s[Indicator::kDiskIoPercent] =
+      100.0 * clamp01(disk_phase_ + 0.08 * cpu_smoothed_ +
+                      std::fabs(rng_.normal(0.0, 0.04)));
+
+  prev_cpu_ = cpu;
+  ++t_;
+  return s;
+}
+
+}  // namespace rptcn::trace

@@ -1,0 +1,85 @@
+// Per-container stochastic workload model.
+//
+// Calibrated to the qualitative properties the paper reports for Alibaba
+// trace v2018:
+//  * high-dynamic, weakly periodic CPU usage with abrupt mutation points
+//    (Fig. 1, Fig. 8): a regime-switching Markov chain over workload states
+//    plus AR(1) noise and Poisson level-shift events;
+//  * strong cross-indicator correlation with CPU in the order
+//    mpki > cpi > mem_gps (Fig. 7 top-4 = cpu, mpki, cpi, mem_gps), with
+//    mem_util / net / disk progressively weaker;
+//  * co-location interference: machine-level contention raises cpi/mpki of
+//    every resident container (Section II).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "trace/indicators.h"
+
+namespace rptcn::trace {
+
+/// Workload archetypes co-located in the simulated cluster.
+enum class WorkloadClass {
+  kOnlineService,  ///< diurnal request-driven load, latency-sensitive
+  kBatchJob,       ///< phase-structured compute with sharp starts/stops
+  kStreaming,      ///< steady medium load with occasional spikes
+};
+
+/// Behavioural regimes of the Markov chain.
+enum class Regime { kIdle, kSteady, kRamp, kBurst, kShifted };
+
+struct WorkloadParams {
+  WorkloadClass workload_class = WorkloadClass::kOnlineService;
+  double base_level = 0.25;       ///< resting CPU fraction (0..1)
+  double diurnal_amplitude = 0.1; ///< daily sinusoid amplitude
+  double noise_sigma = 0.03;      ///< AR(1) innovation stddev
+  double ar_coefficient = 0.85;   ///< AR(1) persistence
+  double mutation_rate = 0.002;   ///< per-step probability of a level shift
+  double burst_rate = 0.004;      ///< per-step probability of a short burst
+  std::size_t steps_per_day = 8640;  ///< 10 s sampling -> 8640 steps/day
+};
+
+/// Draw randomised-but-plausible parameters for a workload class.
+WorkloadParams sample_params(WorkloadClass workload_class, Rng& rng);
+
+/// One container's generative model. step() advances one sampling interval
+/// and emits all eight Table-I indicators; `contention` in [0,1] is the
+/// machine-level pressure from co-located workloads at this step.
+class WorkloadModel {
+ public:
+  WorkloadModel(const WorkloadParams& params, std::uint64_t seed);
+
+  IndicatorSample step(double contention);
+
+  /// CPU demand (0..1) the model would like next step — used by the cluster
+  /// to compute machine pressure before interference feedback.
+  double cpu_demand() const { return cpu_demand_; }
+
+  Regime regime() const { return regime_; }
+  const WorkloadParams& params() const { return params_; }
+
+ private:
+  void update_regime();
+  double regime_target() const;
+
+  WorkloadParams params_;
+  Rng rng_;
+  std::size_t t_ = 0;
+
+  Regime regime_ = Regime::kSteady;
+  std::size_t regime_steps_left_ = 0;
+  double shift_offset_ = 0.0;    ///< persistent level shift (mutation points)
+  double trend_per_step_ = 0.0;  ///< deterministic drift rate
+  double level_drift_ = 0.0;     ///< accumulated non-stationary drift
+  double burst_level_ = 0.0;     ///< decaying short burst
+  double ar_state_ = 0.0;        ///< AR(1) noise state
+  double cpu_demand_ = 0.0;
+  double cpu_visible_ = 0.0;     ///< lagged utilisation-counter response
+  double cpu_smoothed_ = 0.0;    ///< EMA of cpu, drives mem/net coupling
+  double mem_walk_ = 0.0;        ///< slow memory random walk
+  double disk_phase_ = 0.0;      ///< disk burst envelope
+  double prev_cpu_ = 0.0;
+};
+
+}  // namespace rptcn::trace

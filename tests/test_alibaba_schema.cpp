@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "trace/alibaba_schema.h"
+#include "trace/indicators.h"
+
+namespace rptcn::trace {
+namespace {
+
+TEST(AlibabaSchema, ParsesContainerUsage) {
+  // Two containers, rows deliberately out of time order.
+  std::istringstream in(
+      "c_1,m_1,20,30.0,40.0,1.2,0.3,10.0,0.1,0.2,5.0\n"
+      "c_2,m_1,10,50.0,60.0,1.5,0.4,20.0,0.2,0.3,6.0\n"
+      "c_1,m_1,10,25.0,39.0,1.1,0.2,9.0,0.1,0.1,4.0\n");
+  const auto frames = load_alibaba_container_usage(in);
+  ASSERT_EQ(frames.size(), 2u);
+  const auto& c1 = frames.at("c_1");
+  ASSERT_EQ(c1.length(), 2u);
+  // Sorted by timestamp: t=10 row first.
+  EXPECT_DOUBLE_EQ(c1.column("cpu_util_percent")[0], 25.0);
+  EXPECT_DOUBLE_EQ(c1.column("cpu_util_percent")[1], 30.0);
+  EXPECT_DOUBLE_EQ(c1.column("mpki")[1], 10.0);
+  EXPECT_DOUBLE_EQ(c1.column("disk_io_percent")[0], 4.0);
+  EXPECT_EQ(c1.indicators(), kIndicatorCount);
+}
+
+TEST(AlibabaSchema, EmptyFieldsBecomeNan) {
+  std::istringstream in("c_1,m_1,10,30.0,,1.2,0.3,10.0,0.1,0.2,5.0\n");
+  const auto frames = load_alibaba_container_usage(in);
+  EXPECT_TRUE(std::isnan(frames.at("c_1").column("mem_util_percent")[0]));
+}
+
+TEST(AlibabaSchema, RejectsWrongColumnCount) {
+  std::istringstream in("c_1,m_1,10,30.0\n");
+  EXPECT_THROW(load_alibaba_container_usage(in), CheckError);
+}
+
+TEST(AlibabaSchema, RejectsGarbageNumbers) {
+  std::istringstream in("c_1,m_1,ten,30.0,40.0,1.2,0.3,10.0,0.1,0.2,5.0\n");
+  EXPECT_THROW(load_alibaba_container_usage(in), CheckError);
+}
+
+TEST(AlibabaSchema, ParsesMachineUsageWithNanCpi) {
+  std::istringstream in(
+      "m_1,10,45.0,55.0,0.4,12.0,0.3,0.4,7.0\n"
+      "m_1,20,46.0,56.0,0.5,13.0,0.3,0.4,8.0\n");
+  const auto frames = load_alibaba_machine_usage(in);
+  ASSERT_EQ(frames.size(), 1u);
+  const auto& m1 = frames.at("m_1");
+  ASSERT_EQ(m1.length(), 2u);
+  EXPECT_DOUBLE_EQ(m1.column("cpu_util_percent")[1], 46.0);
+  EXPECT_TRUE(std::isnan(m1.column("cpi")[0]));  // absent at machine level
+  EXPECT_DOUBLE_EQ(m1.column("mem_gps")[0], 0.4);
+}
+
+TEST(AlibabaSchema, SkipsBlankLines) {
+  std::istringstream in(
+      "\nc_1,m_1,10,30.0,40.0,1.2,0.3,10.0,0.1,0.2,5.0\n\n");
+  const auto frames = load_alibaba_container_usage(in);
+  EXPECT_EQ(frames.at("c_1").length(), 1u);
+}
+
+TEST(AlibabaSchema, MissingFileThrows) {
+  EXPECT_THROW(load_alibaba_container_usage_file("/nonexistent/x.csv"),
+               CheckError);
+  EXPECT_THROW(load_alibaba_machine_usage_file("/nonexistent/x.csv"),
+               CheckError);
+}
+
+TEST(AlibabaSchema, FrameFeedsThePipelineShape) {
+  // A loaded frame has exactly the Table-I layout the pipeline expects.
+  std::ostringstream rows;
+  for (int t = 0; t < 50; ++t)
+    rows << "c_9,m_1," << t * 10 << "," << 30 + t % 5 << ",40,1.2,0.3,10,0.1,0.2,5\n";
+  std::istringstream in(rows.str());
+  const auto frames = load_alibaba_container_usage(in);
+  const auto& frame = frames.at("c_9");
+  EXPECT_EQ(frame.indicators(), kIndicatorCount);
+  EXPECT_TRUE(frame.has("cpu_util_percent"));
+  EXPECT_TRUE(frame.has("mpki"));
+  EXPECT_EQ(frame.length(), 50u);
+}
+
+}  // namespace
+}  // namespace rptcn::trace

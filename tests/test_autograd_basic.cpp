@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace rptcn {
+namespace {
+
+TEST(Autograd, LeafProperties) {
+  Variable x(Tensor::scalar(2.0f), /*requires_grad=*/true);
+  EXPECT_TRUE(x.defined());
+  EXPECT_TRUE(x.requires_grad());
+  EXPECT_FLOAT_EQ(x.value().item(), 2.0f);
+  EXPECT_FLOAT_EQ(x.grad().item(), 0.0f);  // lazily zero before backward
+}
+
+TEST(Autograd, UndefinedVariableThrows) {
+  Variable v;
+  EXPECT_FALSE(v.defined());
+  EXPECT_THROW(v.value(), CheckError);
+  EXPECT_THROW(v.backward(), CheckError);
+}
+
+TEST(Autograd, AddBackward) {
+  Variable a(Tensor::scalar(2.0f), true);
+  Variable b(Tensor::scalar(3.0f), true);
+  Variable c = ag::add(a, b);
+  EXPECT_FLOAT_EQ(c.value().item(), 5.0f);
+  c.backward();
+  EXPECT_FLOAT_EQ(a.grad().item(), 1.0f);
+  EXPECT_FLOAT_EQ(b.grad().item(), 1.0f);
+}
+
+TEST(Autograd, MulBackwardUsesOtherOperand) {
+  Variable a(Tensor::scalar(2.0f), true);
+  Variable b(Tensor::scalar(3.0f), true);
+  Variable c = ag::mul(a, b);
+  c.backward();
+  EXPECT_FLOAT_EQ(a.grad().item(), 3.0f);
+  EXPECT_FLOAT_EQ(b.grad().item(), 2.0f);
+}
+
+TEST(Autograd, SubAndNeg) {
+  Variable a(Tensor::scalar(5.0f), true);
+  Variable b(Tensor::scalar(3.0f), true);
+  Variable c = ag::sub(a, b);
+  c.backward();
+  EXPECT_FLOAT_EQ(a.grad().item(), 1.0f);
+  EXPECT_FLOAT_EQ(b.grad().item(), -1.0f);
+
+  Variable d(Tensor::scalar(5.0f), true);
+  ag::neg(d).backward();
+  EXPECT_FLOAT_EQ(d.grad().item(), -1.0f);
+}
+
+TEST(Autograd, ChainRule) {
+  // y = (2x + 1)^2 at x=3 -> y=49, dy/dx = 2*(2x+1)*2 = 28.
+  Variable x(Tensor::scalar(3.0f), true);
+  Variable inner = ag::add_scalar(ag::mul_scalar(x, 2.0f), 1.0f);
+  Variable y = ag::mul(inner, inner);
+  EXPECT_FLOAT_EQ(y.value().item(), 49.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 28.0f);
+}
+
+TEST(Autograd, ReuseAccumulatesGradient) {
+  // y = x * x + x: dy/dx = 2x + 1.
+  Variable x(Tensor::scalar(4.0f), true);
+  Variable y = ag::add(ag::mul(x, x), x);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 9.0f);
+}
+
+TEST(Autograd, ZeroGradResets) {
+  Variable x(Tensor::scalar(2.0f), true);
+  ag::mul(x, x).backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 4.0f);
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad().item(), 0.0f);
+  ag::mul(x, x).backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 4.0f);  // no stale accumulation
+}
+
+TEST(Autograd, BackwardWithoutZeroGradAccumulates) {
+  Variable x(Tensor::scalar(2.0f), true);
+  ag::mul(x, x).backward();
+  ag::mul(x, x).backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 8.0f);
+}
+
+TEST(Autograd, BackwardRequiresScalarWithoutSeed) {
+  Variable x(Tensor::ones({3}), true);
+  Variable y = ag::mul_scalar(x, 2.0f);
+  EXPECT_THROW(y.backward(), CheckError);
+  y.backward(Tensor::ones({3}));
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(Autograd, NoGradScopeDetachesResults) {
+  Variable x(Tensor::scalar(2.0f), true);
+  {
+    NoGradScope guard;
+    Variable y = ag::mul(x, x);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  Variable z = ag::mul(x, x);
+  EXPECT_TRUE(z.requires_grad());
+}
+
+TEST(Autograd, NoGradScopeNests) {
+  Variable x(Tensor::scalar(2.0f), true);
+  {
+    NoGradScope a;
+    {
+      NoGradScope b;
+      EXPECT_FALSE(ag::mul(x, x).requires_grad());
+    }
+    EXPECT_FALSE(ag::mul(x, x).requires_grad());
+  }
+  EXPECT_TRUE(ag::mul(x, x).requires_grad());
+}
+
+TEST(Autograd, DetachStopsGradient) {
+  Variable x(Tensor::scalar(3.0f), true);
+  Variable y = ag::mul(x, x).detach();
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_FLOAT_EQ(y.value().item(), 9.0f);
+}
+
+TEST(Autograd, ConstantsGetNoGradient) {
+  Variable x(Tensor::scalar(3.0f), true);
+  Variable c(Tensor::scalar(2.0f), false);
+  Variable y = ag::mul(x, c);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 2.0f);
+  EXPECT_FLOAT_EQ(c.grad().item(), 0.0f);
+}
+
+TEST(Autograd, LinearForwardMatchesManual) {
+  // x [2,3] * w[2,3]^T + b[2].
+  Variable x(Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6}), true);
+  Variable w(Tensor::from({2, 3}, {1, 0, 0, 0, 1, 0}), true);
+  Variable b(Tensor::from({2}, {10, 20}), true);
+  Variable y = ag::linear(x, w, b);
+  EXPECT_FLOAT_EQ(y.value().at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(y.value().at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(y.value().at(1, 0), 14.0f);
+  EXPECT_FLOAT_EQ(y.value().at(1, 1), 25.0f);
+}
+
+TEST(Autograd, LinearBiasGradIsColumnSum) {
+  Rng rng(3);
+  Variable x(Tensor::randn({4, 3}, rng), false);
+  Variable w(Tensor::randn({2, 3}, rng), true);
+  Variable b(Tensor::zeros({2}), true);
+  Variable y = ag::sum_all(ag::linear(x, w, b));
+  y.backward();
+  // d(sum y)/db_j = N (each row contributes 1).
+  EXPECT_FLOAT_EQ(b.grad()[0], 4.0f);
+  EXPECT_FLOAT_EQ(b.grad()[1], 4.0f);
+}
+
+TEST(Autograd, MatmulShapesChecked) {
+  Variable a(Tensor({2, 3}), true);
+  Variable b(Tensor({4, 2}), true);
+  EXPECT_THROW(ag::matmul(a, b), CheckError);
+}
+
+TEST(Autograd, ReluZeroesNegativeGradient) {
+  Variable x(Tensor::from({3}, {-1.0f, 0.5f, 2.0f}), true);
+  ag::sum_all(ag::relu(x)).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 1.0f);
+}
+
+TEST(Autograd, MseLossValueAndGradient) {
+  Variable pred(Tensor::from({2}, {1.0f, 3.0f}), true);
+  const Tensor target = Tensor::from({2}, {0.0f, 1.0f});
+  Variable loss = ag::mse_loss(pred, target);
+  EXPECT_NEAR(loss.value().item(), (1.0f + 4.0f) / 2.0f, 1e-6);
+  loss.backward();
+  EXPECT_NEAR(pred.grad()[0], 2.0f * 1.0f / 2.0f, 1e-6);
+  EXPECT_NEAR(pred.grad()[1], 2.0f * 2.0f / 2.0f, 1e-6);
+}
+
+TEST(Autograd, MaeLossValueAndGradient) {
+  Variable pred(Tensor::from({2}, {1.0f, -3.0f}), true);
+  const Tensor target = Tensor::from({2}, {0.0f, 1.0f});
+  Variable loss = ag::mae_loss(pred, target);
+  EXPECT_NEAR(loss.value().item(), (1.0f + 4.0f) / 2.0f, 1e-6);
+  loss.backward();
+  EXPECT_FLOAT_EQ(pred.grad()[0], 0.5f);
+  EXPECT_FLOAT_EQ(pred.grad()[1], -0.5f);
+}
+
+TEST(Autograd, LossShapeMismatchThrows) {
+  Variable pred(Tensor({3}), true);
+  EXPECT_THROW(ag::mse_loss(pred, Tensor({2})), CheckError);
+  EXPECT_THROW(ag::mae_loss(pred, Tensor({2})), CheckError);
+}
+
+TEST(Autograd, MeanAllGradient) {
+  Variable x(Tensor::ones({4}), true);
+  ag::mean_all(x).backward();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 0.25f);
+}
+
+TEST(Autograd, ReshapeGradientFlows) {
+  Variable x(Tensor::from({2, 2}, {1, 2, 3, 4}), true);
+  Variable y = ag::reshape(x, {4});
+  ag::sum_all(ag::mul(y, y)).backward();
+  EXPECT_FLOAT_EQ(x.grad().at(1, 1), 8.0f);
+}
+
+TEST(Autograd, TimeSliceSelectsAndScatters) {
+  Variable x(Tensor::from({1, 2, 3}, {1, 2, 3, 4, 5, 6}), true);
+  Variable s = ag::time_slice(x, 1);
+  EXPECT_FLOAT_EQ(s.value().at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s.value().at(0, 1), 5.0f);
+  ag::sum_all(s).backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0, 0), 0.0f);
+  EXPECT_THROW(ag::time_slice(x, 3), CheckError);
+}
+
+TEST(Autograd, DropoutEvalIsIdentity) {
+  Rng rng(5);
+  Variable x(Tensor::ones({10}), true);
+  Variable y = ag::dropout(x, 0.5f, rng, /*training=*/false);
+  EXPECT_TRUE(allclose(y.value(), x.value()));
+}
+
+TEST(Autograd, DropoutTrainingScalesSurvivors) {
+  Rng rng(5);
+  Variable x(Tensor::ones({1000}), true);
+  Variable y = ag::dropout(x, 0.5f, rng, /*training=*/true);
+  int zeros = 0;
+  for (float v : y.value().data()) {
+    if (v == 0.0f)
+      ++zeros;
+    else
+      EXPECT_FLOAT_EQ(v, 2.0f);
+  }
+  EXPECT_NEAR(zeros / 1000.0, 0.5, 0.08);
+  // Backward uses the same mask.
+  ag::sum_all(y).backward();
+  for (std::size_t i = 0; i < 1000; ++i)
+    EXPECT_FLOAT_EQ(x.grad()[i], y.value()[i] == 0.0f ? 0.0f : 2.0f);
+}
+
+TEST(Autograd, SpatialDropoutZeroesWholeChannels) {
+  Rng rng(11);
+  Variable x(Tensor::ones({2, 8, 5}), true);
+  Variable y = ag::spatial_dropout(x, 0.5f, rng, /*training=*/true);
+  for (std::size_t n = 0; n < 2; ++n)
+    for (std::size_t c = 0; c < 8; ++c) {
+      const float first = y.value().at(n, c, 0);
+      for (std::size_t t = 1; t < 5; ++t)
+        EXPECT_FLOAT_EQ(y.value().at(n, c, t), first);  // whole channel
+      EXPECT_TRUE(first == 0.0f || first == 2.0f);
+    }
+}
+
+TEST(Autograd, DropoutRejectsBadProbability) {
+  Rng rng(1);
+  Variable x(Tensor::ones({2}), true);
+  EXPECT_THROW(ag::dropout(x, 1.0f, rng, true), CheckError);
+  EXPECT_THROW(ag::dropout(x, -0.1f, rng, true), CheckError);
+}
+
+TEST(Autograd, DeepChainDoesNotOverflowStack) {
+  // 10k-node chain exercises the iterative topological sort.
+  Variable x(Tensor::scalar(1.0f), true);
+  Variable y = x;
+  for (int i = 0; i < 10000; ++i) y = ag::add_scalar(y, 0.0001f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 1.0f);
+  EXPECT_NEAR(y.value().item(), 2.0f, 1e-2);
+}
+
+}  // namespace
+}  // namespace rptcn

@@ -1,0 +1,272 @@
+// Finite-difference verification of every differentiable op's backward,
+// including the paper-critical dilated causal convolution and weight norm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+
+namespace rptcn {
+namespace {
+
+using ag::gradcheck;
+
+Tensor away_from_zero(std::vector<std::size_t> shape, Rng& rng,
+                      float margin = 0.2f) {
+  Tensor t = Tensor::randn(shape, rng);
+  for (auto& v : t.data())
+    if (std::fabs(v) < margin) v = v < 0 ? v - margin : v + margin;
+  return t;
+}
+
+TEST(GradCheck, Add) {
+  Rng rng(1);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) { return ag::add(in[0], in[1]); },
+      {Tensor::randn({3, 4}, rng), Tensor::randn({3, 4}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, Sub) {
+  Rng rng(2);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) { return ag::sub(in[0], in[1]); },
+      {Tensor::randn({5}, rng), Tensor::randn({5}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, Mul) {
+  Rng rng(3);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) { return ag::mul(in[0], in[1]); },
+      {Tensor::randn({2, 3}, rng), Tensor::randn({2, 3}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, ScalarOps) {
+  Rng rng(4);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        return ag::add_scalar(ag::mul_scalar(in[0], -2.5f), 0.7f);
+      },
+      {Tensor::randn({4}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, Matmul) {
+  Rng rng(5);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) { return ag::matmul(in[0], in[1]); },
+      {Tensor::randn({3, 4}, rng), Tensor::randn({4, 2}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, LinearWithBias) {
+  Rng rng(6);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        return ag::linear(in[0], in[1], in[2]);
+      },
+      {Tensor::randn({4, 3}, rng), Tensor::randn({2, 3}, rng),
+       Tensor::randn({2}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, LinearWithoutBias) {
+  Rng rng(7);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        return ag::linear(in[0], in[1], Variable{});
+      },
+      {Tensor::randn({2, 5}, rng), Tensor::randn({3, 5}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  Rng rng(8);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) { return ag::relu(in[0]); },
+      {away_from_zero({4, 4}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, Sigmoid) {
+  Rng rng(9);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) { return ag::sigmoid(in[0]); },
+      {Tensor::randn({6}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, Tanh) {
+  Rng rng(10);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) { return ag::tanh_v(in[0]); },
+      {Tensor::randn({6}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, Reshape) {
+  Rng rng(11);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        return ag::mul(ag::reshape(in[0], {6}), ag::reshape(in[0], {6}));
+      },
+      {Tensor::randn({2, 3}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, SoftmaxLastdim) {
+  Rng rng(12);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        // Weighted sum to make the output depend non-trivially on softmax.
+        Variable s = ag::softmax_lastdim_v(in[0]);
+        return ag::mul(s, in[1]);
+      },
+      {Tensor::randn({2, 5}, rng), Tensor::randn({2, 5}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, MulBcastChannel) {
+  Rng rng(13);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        return ag::mul_bcast_channel(in[0], in[1]);
+      },
+      {Tensor::randn({2, 1, 4}, rng), Tensor::randn({2, 3, 4}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, SumLastdim) {
+  Rng rng(14);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        Variable s = ag::sum_lastdim(in[0]);
+        return ag::mul(s, s);
+      },
+      {Tensor::randn({2, 3, 4}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, TimeSlice) {
+  Rng rng(15);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        Variable s = ag::time_slice(in[0], 2);
+        return ag::mul(s, s);
+      },
+      {Tensor::randn({2, 3, 5}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, MeanAll) {
+  Rng rng(16);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        return ag::mean_all(ag::mul(in[0], in[0]));
+      },
+      {Tensor::randn({3, 3}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, MseLoss) {
+  Rng rng(17);
+  const Tensor target = Tensor::randn({4, 2}, rng);
+  const auto r = gradcheck(
+      [target](const std::vector<Variable>& in) {
+        return ag::mse_loss(in[0], target);
+      },
+      {Tensor::randn({4, 2}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, MaeLossAwayFromTies) {
+  Rng rng(18);
+  const Tensor target = Tensor::zeros({4});
+  const auto r = gradcheck(
+      [target](const std::vector<Variable>& in) {
+        return ag::mae_loss(in[0], target);
+      },
+      {away_from_zero({4}, rng, 0.5f)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, WeightNorm) {
+  Rng rng(19);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        Variable w = ag::weight_norm(in[0], in[1]);
+        return ag::mul(w, w);
+      },
+      {Tensor::randn({3, 2, 2}, rng), Tensor::randn({3}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// Dilated causal conv sweep over (Cin, Cout, K, dilation, T).
+struct ConvCase {
+  std::size_t cin, cout, k, dilation, t;
+};
+
+class ConvGradCheck : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradCheck, CausalConvMatchesFiniteDifferences) {
+  const auto c = GetParam();
+  Rng rng(c.cin * 100 + c.cout * 10 + c.k + c.dilation + c.t);
+  const std::size_t dilation = c.dilation;
+  const auto r = gradcheck(
+      [dilation](const std::vector<Variable>& in) {
+        return ag::conv1d(in[0], in[1], in[2], dilation);
+      },
+      {Tensor::randn({2, c.cin, c.t}, rng),
+       Tensor::randn({c.cout, c.cin, c.k}, rng), Tensor::randn({c.cout}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConvGradCheck,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 4}, ConvCase{1, 2, 3, 1, 6},
+                      ConvCase{3, 2, 3, 2, 8}, ConvCase{2, 2, 2, 4, 10},
+                      ConvCase{2, 3, 3, 1, 5}, ConvCase{4, 1, 3, 2, 7}));
+
+TEST(GradCheck, ConvWithoutBias) {
+  Rng rng(20);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        return ag::conv1d(in[0], in[1], Variable{}, 2);
+      },
+      {Tensor::randn({1, 2, 6}, rng), Tensor::randn({2, 2, 3}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, ConvValidPadding) {
+  Rng rng(21);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        return ag::conv1d(in[0], in[1], Variable{}, 1, /*left_pad=*/0);
+      },
+      {Tensor::randn({1, 2, 8}, rng), Tensor::randn({1, 2, 3}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(GradCheck, CompositePipelineRptcnStyle) {
+  // Conv -> relu-free (to avoid kinks) tanh -> attention-style softmax
+  // weighting -> reduction: the RPTCN datapath in miniature.
+  Rng rng(22);
+  const auto r = gradcheck(
+      [](const std::vector<Variable>& in) {
+        Variable h = ag::conv1d(in[0], in[1], Variable{}, 1);  // [1,2,T]
+        h = ag::tanh_v(h);
+        Variable logits = ag::conv1d(h, in[2], Variable{}, 1);  // [1,1,T]
+        Variable a = ag::softmax_lastdim_v(logits);
+        return ag::sum_lastdim(ag::mul_bcast_channel(a, h));
+      },
+      {Tensor::randn({1, 2, 5}, rng), Tensor::randn({2, 2, 2}, rng),
+       Tensor::randn({1, 2, 1}, rng)});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace
+}  // namespace rptcn

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gbt.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rptcn::baselines {
+namespace {
+
+TEST(Gbt, FitsStepFunctionExactly) {
+  // y = 1[x >= 0]: a single depth-1 tree can represent this.
+  const std::size_t n = 100;
+  Tensor x({n, 1});
+  std::vector<float> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = static_cast<float>(i) - 50.0f;
+    y[i] = x.at(i, 0) >= 0.0f ? 1.0f : 0.0f;
+  }
+  GbtOptions opt;
+  opt.n_rounds = 60;
+  opt.max_depth = 1;
+  opt.learning_rate = 0.3f;
+  opt.lambda = 0.0f;
+  GradientBoostedTrees gbt(opt);
+  gbt.fit(x, y);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(gbt.predict_one({x.raw() + i, 1}), y[i], 0.05f);
+}
+
+TEST(Gbt, TrainLossMonotoneNonIncreasing) {
+  Rng rng(1);
+  const std::size_t n = 200;
+  Tensor x = Tensor::randn({n, 3}, rng);
+  std::vector<float> y(n);
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] = x.at(i, 0) * 0.5f + x.at(i, 1) * x.at(i, 1);
+  GbtOptions opt;
+  opt.n_rounds = 40;
+  GradientBoostedTrees gbt(opt);
+  gbt.fit(x, y);
+  const auto& hist = gbt.train_loss_history();
+  ASSERT_EQ(hist.size(), 40u);
+  for (std::size_t i = 1; i < hist.size(); ++i)
+    EXPECT_LE(hist[i], hist[i - 1] + 1e-9);
+  EXPECT_LT(hist.back(), hist.front() * 0.3);
+}
+
+TEST(Gbt, LearnsNonlinearFunction) {
+  Rng rng(2);
+  const std::size_t n = 400;
+  Tensor x = Tensor::rand_uniform({n, 2}, rng, -1.0f, 1.0f);
+  std::vector<float> y(n);
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] = std::sin(3.0f * x.at(i, 0)) + x.at(i, 1);
+  GbtOptions opt;
+  opt.n_rounds = 150;
+  opt.max_depth = 4;
+  GradientBoostedTrees gbt(opt);
+  gbt.fit(x, y);
+  double mse = 0.0;
+  const auto preds = gbt.predict(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = preds[i] - y[i];
+    mse += e * e;
+  }
+  EXPECT_LT(mse / n, 0.02);
+}
+
+TEST(Gbt, EarlyStoppingTruncatesEnsemble) {
+  // Pure-noise target: validation loss cannot keep improving.
+  Rng rng(3);
+  Tensor x = Tensor::randn({150, 4}, rng);
+  Tensor xv = Tensor::randn({60, 4}, rng);
+  std::vector<float> y(150), yv(60);
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+  for (auto& v : yv) v = static_cast<float>(rng.normal());
+  GbtOptions opt;
+  opt.n_rounds = 300;
+  opt.early_stopping_rounds = 5;
+  GradientBoostedTrees gbt(opt);
+  gbt.fit(x, y, &xv, yv);
+  EXPECT_LT(gbt.rounds_used(), 300u);
+  EXPECT_FALSE(gbt.valid_loss_history().empty());
+}
+
+TEST(Gbt, ValidationHistoryTracksEnsemble) {
+  Rng rng(4);
+  Tensor x = Tensor::randn({100, 2}, rng);
+  Tensor xv = Tensor::randn({40, 2}, rng);
+  std::vector<float> y(100), yv(40);
+  for (std::size_t i = 0; i < 100; ++i) y[i] = x.at(i, 0);
+  for (std::size_t i = 0; i < 40; ++i) yv[i] = xv.at(i, 0);
+  GbtOptions opt;
+  opt.n_rounds = 30;
+  opt.early_stopping_rounds = 0;
+  GradientBoostedTrees gbt(opt);
+  gbt.fit(x, y, &xv, yv);
+  ASSERT_EQ(gbt.valid_loss_history().size(), 30u);
+  EXPECT_LT(gbt.valid_loss_history().back(),
+            gbt.valid_loss_history().front());
+}
+
+TEST(Gbt, SubsamplingStillLearns) {
+  Rng rng(5);
+  Tensor x = Tensor::randn({300, 3}, rng);
+  std::vector<float> y(300);
+  for (std::size_t i = 0; i < 300; ++i) y[i] = 2.0f * x.at(i, 1);
+  GbtOptions opt;
+  opt.n_rounds = 80;
+  opt.subsample = 0.7f;
+  opt.colsample = 0.67f;
+  opt.seed = 42;
+  GradientBoostedTrees gbt(opt);
+  gbt.fit(x, y);
+  EXPECT_LT(gbt.train_loss_history().back(), 0.2);
+}
+
+TEST(Gbt, DeterministicGivenSeed) {
+  Rng rng(6);
+  Tensor x = Tensor::randn({100, 3}, rng);
+  std::vector<float> y(100);
+  for (std::size_t i = 0; i < 100; ++i) y[i] = x.at(i, 0) - x.at(i, 2);
+  GbtOptions opt;
+  opt.n_rounds = 20;
+  opt.subsample = 0.8f;
+  opt.seed = 7;
+  GradientBoostedTrees a(opt), b(opt);
+  a.fit(x, y);
+  b.fit(x, y);
+  const auto pa = a.predict(x);
+  const auto pb = b.predict(x);
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_FLOAT_EQ(pa[i], pb[i]);
+}
+
+TEST(Gbt, MinChildWeightLimitsSplits) {
+  Rng rng(7);
+  Tensor x = Tensor::randn({50, 1}, rng);
+  std::vector<float> y(50);
+  for (std::size_t i = 0; i < 50; ++i) y[i] = x.at(i, 0);
+  GbtOptions opt;
+  opt.n_rounds = 1;
+  opt.min_child_weight = 1000.0f;  // no split can satisfy this
+  GradientBoostedTrees gbt(opt);
+  gbt.fit(x, y);
+  // Prediction must be a single leaf = shrunk mean.
+  const float p0 = gbt.predict_one({x.raw(), 1});
+  for (std::size_t i = 1; i < 50; ++i)
+    EXPECT_FLOAT_EQ(gbt.predict_one({x.raw() + i, 1}), p0);
+}
+
+TEST(Gbt, GammaPrunesLowGainSplits) {
+  Rng rng(8);
+  Tensor x = Tensor::randn({80, 1}, rng);
+  std::vector<float> y(80);
+  for (auto& v : y) v = static_cast<float>(rng.normal(0.0, 0.01));  // ~flat
+  GbtOptions opt;
+  opt.n_rounds = 1;
+  opt.gamma = 100.0f;
+  GradientBoostedTrees gbt(opt);
+  gbt.fit(x, y);
+  const float p0 = gbt.predict_one({x.raw(), 1});
+  for (std::size_t i = 1; i < 80; ++i)
+    EXPECT_FLOAT_EQ(gbt.predict_one({x.raw() + i, 1}), p0);
+}
+
+TEST(Gbt, RejectsInvalidInput) {
+  GbtOptions opt;
+  GradientBoostedTrees gbt(opt);
+  Tensor x({4, 2});
+  std::vector<float> y(3);
+  EXPECT_THROW(gbt.fit(x, y), CheckError);
+  EXPECT_THROW(gbt.fit(Tensor({4}), std::vector<float>(4)), CheckError);
+}
+
+TEST(Gbt, RejectsInvalidOptions) {
+  GbtOptions opt;
+  opt.n_rounds = 0;
+  EXPECT_THROW(GradientBoostedTrees{opt}, CheckError);
+  opt = {};
+  opt.subsample = 0.0f;
+  EXPECT_THROW(GradientBoostedTrees{opt}, CheckError);
+  opt = {};
+  opt.learning_rate = -1.0f;
+  EXPECT_THROW(GradientBoostedTrees{opt}, CheckError);
+}
+
+TEST(Gbt, PredictWithoutTreesGivesBaseScore) {
+  GbtOptions opt;
+  opt.base_score = 0.25f;
+  GradientBoostedTrees gbt(opt);
+  const float x[2] = {1.0f, 2.0f};
+  EXPECT_FLOAT_EQ(gbt.predict_one({x, 2}), 0.25f);
+}
+
+TEST(Gbt, BaseScoreShiftsAllPredictions) {
+  Rng rng(31);
+  Tensor x = Tensor::randn({60, 2}, rng);
+  std::vector<float> y(60, 5.0f);  // constant target far from base
+  GbtOptions opt;
+  opt.n_rounds = 50;
+  opt.base_score = 0.0f;
+  GradientBoostedTrees gbt(opt);
+  gbt.fit(x, y);
+  // Boosting must close the 5.0 gap from base 0.
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(gbt.predict_one({x.raw() + i * 2, 2}), 5.0f, 0.1f);
+}
+
+TEST(Gbt, ColsampleRestrictsButStillLearns) {
+  // Target depends only on feature 0; colsample 0.5 of 2 features means
+  // each round sees one feature, yet across rounds the signal is found.
+  Rng rng(32);
+  Tensor x = Tensor::randn({200, 2}, rng);
+  std::vector<float> y(200);
+  for (std::size_t i = 0; i < 200; ++i) y[i] = x.at(i, 0);
+  GbtOptions opt;
+  opt.n_rounds = 120;
+  opt.colsample = 0.5f;
+  opt.seed = 3;
+  GradientBoostedTrees gbt(opt);
+  gbt.fit(x, y);
+  EXPECT_LT(gbt.train_loss_history().back(), 0.1);
+}
+
+TEST(Gbt, TreeDepthRespectsLimit) {
+  Rng rng(9);
+  const std::size_t n = 256;
+  Tensor x = Tensor::randn({n, 4}, rng);
+  std::vector<float> y(n);
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] = static_cast<float>(rng.normal());
+  for (std::size_t depth = 1; depth <= 4; ++depth) {
+    GbtOptions opt;
+    opt.n_rounds = 1;
+    opt.max_depth = depth;
+    opt.lambda = 0.0f;
+    GradientBoostedTrees gbt(opt);
+    gbt.fit(x, y);
+    // With max_depth d, a tree has at most 2^(d+1)-1 nodes.
+    EXPECT_LE(gbt.rounds_used(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace rptcn::baselines

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace rptcn {
+namespace {
+
+TEST(Csv, ParsesHeaderAndRows) {
+  std::istringstream in("a,b,c\n1,2,3\n4,5,6\n");
+  const auto t = read_csv(in);
+  ASSERT_EQ(t.cols(), 3u);
+  ASSERT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns[0], "a");
+  EXPECT_DOUBLE_EQ(t.data[1][1], 5.0);
+}
+
+TEST(Csv, TrimsWhitespace) {
+  std::istringstream in(" a , b \n 1.5 , 2.5 \n");
+  const auto t = read_csv(in);
+  EXPECT_EQ(t.columns[0], "a");
+  EXPECT_DOUBLE_EQ(t.data[0][0], 1.5);
+}
+
+TEST(Csv, SkipsBlankLines) {
+  std::istringstream in("a\n1\n\n2\n");
+  const auto t = read_csv(in);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Csv, NanSpellings) {
+  std::istringstream in("a,b\nnan,\n");
+  const auto t = read_csv(in);
+  EXPECT_TRUE(std::isnan(t.data[0][0]));
+  EXPECT_TRUE(std::isnan(t.data[1][0]));
+}
+
+TEST(Csv, ScientificNotationAndSigns) {
+  std::istringstream in("a,b,c\n1e-3,-2.5E2,+0.5\n");
+  const auto t = read_csv(in);
+  EXPECT_DOUBLE_EQ(t.data[0][0], 1e-3);
+  EXPECT_DOUBLE_EQ(t.data[1][0], -250.0);
+  EXPECT_DOUBLE_EQ(t.data[2][0], 0.5);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  std::istringstream in("a,b\n1\n");
+  EXPECT_THROW(read_csv(in), CheckError);
+}
+
+TEST(Csv, RejectsGarbageValues) {
+  std::istringstream in("a\nhello\n");
+  EXPECT_THROW(read_csv(in), CheckError);
+}
+
+TEST(Csv, RejectsEmptyStream) {
+  std::istringstream in("");
+  EXPECT_THROW(read_csv(in), CheckError);
+}
+
+TEST(Csv, RoundTrip) {
+  CsvTable t;
+  t.columns = {"x", "y"};
+  t.data = {{1.25, 2.5, std::nan("")}, {-1.0, 0.0, 3.5}};
+  std::ostringstream out;
+  write_csv(out, t);
+  std::istringstream in(out.str());
+  const auto back = read_csv(in);
+  ASSERT_EQ(back.cols(), 2u);
+  ASSERT_EQ(back.rows(), 3u);
+  EXPECT_DOUBLE_EQ(back.data[0][0], 1.25);
+  EXPECT_TRUE(std::isnan(back.data[0][2]));
+  EXPECT_DOUBLE_EQ(back.data[1][2], 3.5);
+}
+
+TEST(Csv, ColumnIndexLookup) {
+  CsvTable t;
+  t.columns = {"cpu", "mem"};
+  t.data = {{1.0}, {2.0}};
+  EXPECT_EQ(t.column_index("mem"), 1u);
+  EXPECT_THROW(t.column_index("disk"), CheckError);
+}
+
+TEST(Csv, WriteRejectsUnequalColumns) {
+  CsvTable t;
+  t.columns = {"a", "b"};
+  t.data = {{1.0, 2.0}, {3.0}};
+  std::ostringstream out;
+  EXPECT_THROW(write_csv(out, t), CheckError);
+}
+
+TEST(Csv, FileRoundTrip) {
+  CsvTable t;
+  t.columns = {"v"};
+  t.data = {{42.0}};
+  const std::string path = ::testing::TempDir() + "/rptcn_csv_test.csv";
+  write_csv_file(path, t);
+  const auto back = read_csv_file(path);
+  EXPECT_DOUBLE_EQ(back.data[0][0], 42.0);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/rptcn.csv"), CheckError);
+}
+
+}  // namespace
+}  // namespace rptcn

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace rptcn {
+namespace {
+
+TEST(Stats, MeanKnownValues) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanRejectsEmpty) {
+  const std::vector<double> xs;
+  EXPECT_THROW(mean(xs), CheckError);
+}
+
+TEST(Stats, VarianceKnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  const std::vector<double> xs(10, 3.14);
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, CovarianceOfIndependentShifts) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_DOUBLE_EQ(covariance(xs, ys), 2.0 * variance(xs));
+}
+
+TEST(Stats, PearsonPerfectPositive) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x + 1.0);
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(-2.0 * x);
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantIsZero) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys(5, 7.0);
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonIsSymmetric) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(rng.normal() + 0.5 * xs.back());
+  }
+  EXPECT_NEAR(pearson(xs, ys), pearson(ys, xs), 1e-12);
+  EXPECT_GT(pearson(xs, ys), 0.2);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Stats, QuantileRejectsOutOfRange) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(quantile(xs, -0.1), CheckError);
+  EXPECT_THROW(quantile(xs, 1.1), CheckError);
+}
+
+TEST(Stats, BoxplotOrdering) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal());
+  const auto b = boxplot(xs);
+  EXPECT_LE(b.min, b.q1);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.q3, b.max);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(9);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(rng.uniform(-5, 5));
+    rs.push(xs.back());
+  }
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_value(xs));
+}
+
+TEST(Stats, RunningStatsEmpty) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(Stats, HistogramBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.push(0.5);
+  h.push(9.5);
+  h.push(5.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  Histogram h(0.0, 1.0, 4);
+  h.push(-100.0);
+  h.push(100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Stats, HistogramCdfMonotone) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) h.push(rng.uniform());
+  double prev = 0.0;
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    const double c = h.cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(h.cdf(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(h.cdf(0.5), 0.5, 0.05);
+}
+
+TEST(Stats, DiffKnownValues) {
+  const std::vector<double> xs = {1.0, 4.0, 9.0, 16.0};
+  const auto d = diff(xs);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+  EXPECT_DOUBLE_EQ(d[2], 7.0);
+}
+
+TEST(Stats, DiffShortSeries) {
+  EXPECT_TRUE(diff(std::vector<double>{1.0}).empty());
+}
+
+TEST(Stats, AutocorrelationLagZeroIsOne) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(Stats, AutocorrelationAr1IsPositive) {
+  Rng rng(13);
+  std::vector<double> xs{0.0};
+  for (int i = 0; i < 2000; ++i)
+    xs.push_back(0.9 * xs.back() + rng.normal(0.0, 0.1));
+  EXPECT_GT(autocorrelation(xs, 1), 0.7);
+}
+
+TEST(Stats, AutocorrelationWhiteNoiseNearZero) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.05);
+}
+
+// Property sweep: pearson is scale/shift invariant.
+class PearsonInvariance
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(PearsonInvariance, ScaleShiftInvariant) {
+  const auto [scale, shift] = GetParam();
+  Rng rng(19);
+  std::vector<double> xs, ys, ys2;
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(0.7 * xs.back() + 0.3 * rng.normal());
+  }
+  for (double y : ys) ys2.push_back(scale * y + shift);
+  const double sign = scale > 0 ? 1.0 : -1.0;
+  EXPECT_NEAR(pearson(xs, ys2), sign * pearson(xs, ys), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transforms, PearsonInvariance,
+    ::testing::Values(std::pair{2.0, 0.0}, std::pair{2.0, 5.0},
+                      std::pair{0.01, -3.0}, std::pair{-1.0, 0.0}));
+
+}  // namespace
+}  // namespace rptcn

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table.h"
+
+namespace rptcn {
+namespace {
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtil, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, SplitEmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtil, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(to_lower("NaN"), "nan");
+  EXPECT_EQ(to_lower("abc123"), "abc123");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("cpu_util", "cpu"));
+  EXPECT_FALSE(starts_with("cpu", "cpu_util"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 4), "-0.5000");
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    RPTCN_CHECK(false, "reason " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("reason 42"), std::string::npos);
+    EXPECT_NE(what.find("check failed"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  RPTCN_CHECK(1 + 1 == 2);
+  RPTCN_CHECK(true, "never shown");
+}
+
+TEST(Logging, LevelFiltering) {
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  RPTCN_INFO("suppressed");  // must not crash
+  set_log_level(old_level);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  Stopwatch w;
+  EXPECT_GE(w.elapsed_seconds(), 0.0);
+  w.reset();
+  EXPECT_GE(w.elapsed_ms(), 0.0);
+}
+
+TEST(AsciiTable, RendersAlignedCells) {
+  AsciiTable t({"model", "mse"});
+  t.add_row({"RPTCN", "0.29"});
+  t.add_row({"LSTM", "0.31"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("RPTCN"), std::string::npos);
+  EXPECT_NE(s.find("| model"), std::string::npos);
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(AsciiTable, TitleAndSeparators) {
+  AsciiTable t({"a"});
+  t.set_title("Table II");
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  EXPECT_EQ(s.find("Table II"), 0u);
+  EXPECT_EQ(t.rows(), 3u);
+}
+
+TEST(AsciiTable, RejectsWrongWidth) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+}
+
+TEST(AsciiTable, RejectsEmptyHeader) {
+  EXPECT_THROW(AsciiTable({}), CheckError);
+}
+
+}  // namespace
+}  // namespace rptcn

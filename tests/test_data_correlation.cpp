@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/correlation.h"
+
+namespace rptcn::data {
+namespace {
+
+/// Frame with engineered correlation strengths against "cpu".
+TimeSeriesFrame correlated_frame(std::size_t n = 400) {
+  Rng rng(77);
+  std::vector<double> cpu(n), strong(n), medium(n), weak(n), noise(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cpu[i] = rng.normal();
+    strong[i] = 0.95 * cpu[i] + 0.05 * rng.normal();
+    medium[i] = 0.6 * cpu[i] + 0.4 * rng.normal();
+    weak[i] = 0.2 * cpu[i] + 0.8 * rng.normal();
+    noise[i] = rng.normal();
+  }
+  TimeSeriesFrame f;
+  f.add("noise", std::move(noise));
+  f.add("weak", std::move(weak));
+  f.add("cpu", std::move(cpu));
+  f.add("strong", std::move(strong));
+  f.add("medium", std::move(medium));
+  return f;
+}
+
+TEST(Correlation, MatrixIsSymmetricWithUnitDiagonal) {
+  const auto f = correlated_frame();
+  const auto m = correlation_matrix(f);
+  ASSERT_EQ(m.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(m[i][i], 1.0, 1e-12);
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(m[i][j], m[j][i], 1e-12);
+      EXPECT_LE(std::fabs(m[i][j]), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Correlation, RankingOrdersByAbsoluteCorrelation) {
+  const auto ranked = rank_by_correlation(correlated_frame(), "cpu");
+  ASSERT_EQ(ranked.size(), 5u);
+  EXPECT_EQ(ranked[0].name, "cpu");
+  EXPECT_DOUBLE_EQ(ranked[0].correlation, 1.0);
+  EXPECT_EQ(ranked[1].name, "strong");
+  EXPECT_EQ(ranked[2].name, "medium");
+  EXPECT_EQ(ranked[3].name, "weak");
+  EXPECT_EQ(ranked[4].name, "noise");
+}
+
+TEST(Correlation, NegativeCorrelationRanksByMagnitude) {
+  Rng rng(5);
+  std::vector<double> cpu(300), anti(300), mild(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    cpu[i] = rng.normal();
+    anti[i] = -0.9 * cpu[i] + 0.1 * rng.normal();
+    mild[i] = 0.3 * cpu[i] + 0.7 * rng.normal();
+  }
+  TimeSeriesFrame f;
+  f.add("cpu", std::move(cpu));
+  f.add("anti", std::move(anti));
+  f.add("mild", std::move(mild));
+  const auto ranked = rank_by_correlation(f, "cpu");
+  EXPECT_EQ(ranked[1].name, "anti");  // |−0.9| beats |0.3|
+  EXPECT_LT(ranked[1].correlation, 0.0);
+}
+
+TEST(Correlation, SelectTopHalfPutsTargetFirst) {
+  // 5 indicators -> top half = ceil(5/2) = 3 kept.
+  const auto kept = select_top_half(correlated_frame(), "cpu");
+  ASSERT_EQ(kept.indicators(), 3u);
+  EXPECT_EQ(kept.name(0), "cpu");
+  EXPECT_EQ(kept.name(1), "strong");
+  EXPECT_EQ(kept.name(2), "medium");
+}
+
+TEST(Correlation, SelectTopCorrelatedClampsCount) {
+  const auto all = select_top_correlated(correlated_frame(), "cpu", 99);
+  EXPECT_EQ(all.indicators(), 5u);
+  const auto one = select_top_correlated(correlated_frame(), "cpu", 1);
+  EXPECT_EQ(one.indicators(), 1u);
+  EXPECT_EQ(one.name(0), "cpu");
+  EXPECT_THROW(select_top_correlated(correlated_frame(), "cpu", 0), CheckError);
+}
+
+TEST(Correlation, UnknownTargetThrows) {
+  EXPECT_THROW(rank_by_correlation(correlated_frame(), "gpu"), CheckError);
+}
+
+TEST(Correlation, ConstantColumnGetsZeroCorrelation) {
+  TimeSeriesFrame f;
+  f.add("cpu", {1.0, 2.0, 3.0});
+  f.add("flat", {5.0, 5.0, 5.0});
+  const auto ranked = rank_by_correlation(f, "cpu");
+  EXPECT_DOUBLE_EQ(ranked[1].correlation, 0.0);
+}
+
+}  // namespace
+}  // namespace rptcn::data

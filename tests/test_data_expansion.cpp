@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "data/expansion.h"
+
+namespace rptcn::data {
+namespace {
+
+TimeSeriesFrame ramp_frame(std::size_t n = 10) {
+  TimeSeriesFrame f;
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<double>(i);
+    b[i] = 100.0 + static_cast<double>(i);
+  }
+  f.add("a", std::move(a));
+  f.add("b", std::move(b));
+  return f;
+}
+
+TEST(Expansion, WidensFeaturesAndShortensFrame) {
+  ExpansionOptions opt;
+  opt.copies = 3;
+  opt.stride = 1;
+  const auto e = expand_horizontal(ramp_frame(10), opt);
+  EXPECT_EQ(e.indicators(), 6u);      // 2 indicators x 3 copies
+  EXPECT_EQ(e.length(), 8u);          // drop (copies-1)*stride = 2 rows
+}
+
+TEST(Expansion, ColumnNamesEncodeLags) {
+  ExpansionOptions opt;
+  opt.copies = 3;
+  opt.stride = 2;
+  const auto e = expand_horizontal(ramp_frame(12), opt);
+  EXPECT_EQ(e.name(0), "a");
+  EXPECT_EQ(e.name(1), "a.lag2");
+  EXPECT_EQ(e.name(2), "a.lag4");
+  EXPECT_EQ(e.name(3), "b");
+}
+
+TEST(Expansion, LaggedCopiesShiftExactly) {
+  // Row t of copy lag-L must equal the original at (t + drop - L).
+  ExpansionOptions opt;
+  opt.copies = 3;
+  opt.stride = 1;
+  const auto e = expand_horizontal(ramp_frame(10), opt);
+  // Output row 0 corresponds to source time 2 (the paper's eq. 11 layout:
+  // r_t, r_{t-1}, r_{t-2}).
+  EXPECT_DOUBLE_EQ(e.column("a")[0], 2.0);
+  EXPECT_DOUBLE_EQ(e.column("a.lag1")[0], 1.0);
+  EXPECT_DOUBLE_EQ(e.column("a.lag2")[0], 0.0);
+  EXPECT_DOUBLE_EQ(e.column("a")[7], 9.0);
+  EXPECT_DOUBLE_EQ(e.column("a.lag2")[7], 7.0);
+}
+
+TEST(Expansion, SingleCopyIsIdentity) {
+  ExpansionOptions opt;
+  opt.copies = 1;
+  const auto e = expand_horizontal(ramp_frame(5), opt);
+  EXPECT_EQ(e.indicators(), 2u);
+  EXPECT_EQ(e.length(), 5u);
+  EXPECT_DOUBLE_EQ(e.column("a")[4], 4.0);
+}
+
+TEST(Expansion, RejectsDegenerateOptions) {
+  ExpansionOptions bad;
+  bad.copies = 0;
+  EXPECT_THROW(expand_horizontal(ramp_frame(5), bad), CheckError);
+  bad.copies = 2;
+  bad.stride = 0;
+  EXPECT_THROW(expand_horizontal(ramp_frame(5), bad), CheckError);
+}
+
+TEST(Expansion, RejectsTooShortFrame) {
+  ExpansionOptions opt;
+  opt.copies = 4;
+  opt.stride = 2;  // needs length > 6
+  EXPECT_THROW(expand_horizontal(ramp_frame(6), opt), CheckError);
+}
+
+TEST(Expansion, ReachMath) {
+  // Fig. 4b: window 4, 3 copies, stride 1 -> history reach t-5..t (6 steps).
+  ExpansionOptions opt;
+  opt.copies = 3;
+  opt.stride = 1;
+  EXPECT_EQ(expanded_reach(4, opt), 6u);
+  EXPECT_EQ(vertical_equivalent_window(4, opt), 6u);
+  opt.stride = 3;
+  EXPECT_EQ(expanded_reach(4, opt), 10u);
+}
+
+// Property: every expanded column is a pure shift of its source.
+class ExpansionSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ExpansionSweep, AllCopiesAreShifts) {
+  const auto [copies, stride] = GetParam();
+  ExpansionOptions opt;
+  opt.copies = copies;
+  opt.stride = stride;
+  const std::size_t n = 40;
+  const auto src = ramp_frame(n);
+  const auto e = expand_horizontal(src, opt);
+  const std::size_t drop = (copies - 1) * stride;
+  ASSERT_EQ(e.length(), n - drop);
+  for (std::size_t j = 0; j < copies; ++j) {
+    const std::string name =
+        j == 0 ? "a" : "a.lag" + std::to_string(j * stride);
+    const auto& col = e.column(name);
+    for (std::size_t t = 0; t < e.length(); ++t)
+      ASSERT_DOUBLE_EQ(col[t], src.column("a")[t + drop - j * stride]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ExpansionSweep,
+                         ::testing::Values(std::pair{2u, 1u}, std::pair{3u, 1u},
+                                           std::pair{3u, 2u}, std::pair{5u, 3u},
+                                           std::pair{1u, 1u}));
+
+}  // namespace
+}  // namespace rptcn::data

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "data/preprocess.h"
+
+namespace rptcn::data {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TimeSeriesFrame make_frame() {
+  TimeSeriesFrame f;
+  f.add("cpu", {10.0, 20.0, kNan, 40.0, 50.0});
+  f.add("mem", {1.0, kNan, 3.0, 4.0, 5.0});
+  return f;
+}
+
+TEST(Frame, AddAndLookup) {
+  const auto f = make_frame();
+  EXPECT_EQ(f.indicators(), 2u);
+  EXPECT_EQ(f.length(), 5u);
+  EXPECT_EQ(f.index_of("mem"), 1u);
+  EXPECT_TRUE(f.has("cpu"));
+  EXPECT_FALSE(f.has("disk"));
+  EXPECT_THROW(f.index_of("disk"), CheckError);
+}
+
+TEST(Frame, RejectsDuplicatesAndLengthMismatch) {
+  TimeSeriesFrame f;
+  f.add("a", {1.0, 2.0});
+  EXPECT_THROW(f.add("a", {3.0, 4.0}), CheckError);
+  EXPECT_THROW(f.add("b", {1.0}), CheckError);
+}
+
+TEST(Frame, SliceAndSelect) {
+  const auto f = make_frame();
+  const auto s = f.slice(1, 3);
+  EXPECT_EQ(s.length(), 3u);
+  EXPECT_DOUBLE_EQ(s.column("cpu")[0], 20.0);
+  EXPECT_THROW(f.slice(3, 4), CheckError);
+
+  const auto sel = f.select({"mem"});
+  EXPECT_EQ(sel.indicators(), 1u);
+  EXPECT_EQ(sel.name(0), "mem");
+}
+
+TEST(Frame, CsvRoundTrip) {
+  const auto f = make_frame();
+  const auto back = TimeSeriesFrame::from_csv(f.to_csv());
+  EXPECT_EQ(back.indicators(), 2u);
+  EXPECT_DOUBLE_EQ(back.column("cpu")[0], 10.0);
+}
+
+TEST(Clean, CountsIncompleteRows) {
+  EXPECT_EQ(incomplete_rows(make_frame()), 2u);
+}
+
+TEST(Clean, DropIncompleteKeepsOnlyCompleteRows) {
+  const auto c = clean_drop_incomplete(make_frame());
+  EXPECT_EQ(c.length(), 3u);
+  EXPECT_DOUBLE_EQ(c.column("cpu")[0], 10.0);
+  EXPECT_DOUBLE_EQ(c.column("cpu")[1], 40.0);
+  EXPECT_DOUBLE_EQ(c.column("mem")[2], 5.0);
+}
+
+TEST(Clean, DropOnCleanFrameIsIdentity) {
+  TimeSeriesFrame f;
+  f.add("x", {1.0, 2.0, 3.0});
+  const auto c = clean_drop_incomplete(f);
+  EXPECT_EQ(c.length(), 3u);
+}
+
+TEST(Clean, InterpolateFillsInteriorGapsLinearly) {
+  TimeSeriesFrame f;
+  f.add("x", {0.0, kNan, kNan, 3.0});
+  const auto c = clean_interpolate(f);
+  EXPECT_DOUBLE_EQ(c.column("x")[1], 1.0);
+  EXPECT_DOUBLE_EQ(c.column("x")[2], 2.0);
+}
+
+TEST(Clean, InterpolateExtendsEdges) {
+  TimeSeriesFrame f;
+  f.add("x", {kNan, 5.0, kNan});
+  const auto c = clean_interpolate(f);
+  EXPECT_DOUBLE_EQ(c.column("x")[0], 5.0);
+  EXPECT_DOUBLE_EQ(c.column("x")[2], 5.0);
+}
+
+TEST(Clean, InterpolateAllNanBecomesZero) {
+  TimeSeriesFrame f;
+  f.add("x", {kNan, kNan});
+  const auto c = clean_interpolate(f);
+  EXPECT_DOUBLE_EQ(c.column("x")[0], 0.0);
+  EXPECT_DOUBLE_EQ(c.column("x")[1], 0.0);
+}
+
+TEST(Scaler, NormalisesToUnitInterval) {
+  TimeSeriesFrame f;
+  f.add("x", {10.0, 20.0, 30.0});
+  MinMaxScaler s;
+  const auto n = s.fit_transform(f);
+  EXPECT_DOUBLE_EQ(n.column("x")[0], 0.0);
+  EXPECT_DOUBLE_EQ(n.column("x")[1], 0.5);
+  EXPECT_DOUBLE_EQ(n.column("x")[2], 1.0);
+  EXPECT_DOUBLE_EQ(s.min_of("x"), 10.0);
+  EXPECT_DOUBLE_EQ(s.max_of("x"), 30.0);
+}
+
+TEST(Scaler, ConstantColumnMapsToZero) {
+  TimeSeriesFrame f;
+  f.add("x", {7.0, 7.0});
+  MinMaxScaler s;
+  const auto n = s.fit_transform(f);
+  EXPECT_DOUBLE_EQ(n.column("x")[0], 0.0);
+}
+
+TEST(Scaler, InverseTransformRoundTrips) {
+  TimeSeriesFrame f;
+  f.add("cpu", {5.0, 15.0, 45.0, 25.0});
+  MinMaxScaler s;
+  const auto n = s.fit_transform(f);
+  const auto back = s.inverse_transform("cpu", n.column("cpu"));
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(back[i], f.column("cpu")[i], 1e-12);
+}
+
+TEST(Scaler, TransformExtrapolatesBeyondFitRange) {
+  TimeSeriesFrame fit_frame;
+  fit_frame.add("x", {0.0, 10.0});
+  MinMaxScaler s;
+  s.fit(fit_frame);
+  TimeSeriesFrame test_frame;
+  test_frame.add("x", {20.0});
+  EXPECT_DOUBLE_EQ(s.transform(test_frame).column("x")[0], 2.0);
+}
+
+TEST(Scaler, FitRangeIgnoresLaterRows) {
+  TimeSeriesFrame f;
+  f.add("x", {0.0, 1.0, 100.0});
+  MinMaxScaler s;
+  s.fit_range(f, 0, 2);
+  EXPECT_DOUBLE_EQ(s.max_of("x"), 1.0);
+}
+
+TEST(Scaler, TransformsColumnSubsetsByName) {
+  TimeSeriesFrame fit_frame;
+  fit_frame.add("cpu", {0.0, 100.0});
+  fit_frame.add("mem", {0.0, 50.0});
+  MinMaxScaler s;
+  s.fit(fit_frame);
+  // A frame holding only one of the fitted indicators still transforms.
+  TimeSeriesFrame sub;
+  sub.add("mem", {25.0});
+  EXPECT_DOUBLE_EQ(s.transform(sub).column("mem")[0], 0.5);
+}
+
+TEST(Scaler, ErrorsOnMisuse) {
+  MinMaxScaler s;
+  TimeSeriesFrame f;
+  f.add("x", {1.0, kNan});
+  EXPECT_THROW(s.fit(f), CheckError);  // NaN data must be cleaned first
+  TimeSeriesFrame ok;
+  ok.add("x", {1.0, 2.0});
+  EXPECT_THROW(s.transform(ok), CheckError);  // not fitted
+  s.fit(ok);
+  EXPECT_THROW(s.min_of("y"), CheckError);  // unknown indicator
+}
+
+}  // namespace
+}  // namespace rptcn::data

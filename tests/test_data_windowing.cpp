@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "data/windowing.h"
+
+namespace rptcn::data {
+namespace {
+
+TimeSeriesFrame ramp_frame(std::size_t n) {
+  TimeSeriesFrame f;
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<double>(i);
+    b[i] = 10.0 * static_cast<double>(i);
+  }
+  f.add("cpu", std::move(a));
+  f.add("mem", std::move(b));
+  return f;
+}
+
+TEST(Windowing, CountFormula) {
+  WindowOptions opt;
+  opt.window = 4;
+  opt.horizon = 2;
+  opt.stride = 1;
+  EXPECT_EQ(window_count(10, opt), 5u);  // (10 - 6) + 1
+  EXPECT_EQ(window_count(6, opt), 1u);
+  EXPECT_EQ(window_count(5, opt), 0u);
+  opt.stride = 2;
+  EXPECT_EQ(window_count(10, opt), 3u);
+}
+
+TEST(Windowing, WindowContentsExact) {
+  WindowOptions opt;
+  opt.window = 3;
+  opt.horizon = 2;
+  const auto d = make_windows(ramp_frame(8), "cpu", opt);
+  ASSERT_EQ(d.samples(), 4u);
+  EXPECT_EQ(d.inputs.shape(), (std::vector<std::size_t>{4, 2, 3}));
+  EXPECT_EQ(d.targets.shape(), (std::vector<std::size_t>{4, 2}));
+  // Sample 1 covers t=1..3, targets t=4..5.
+  EXPECT_FLOAT_EQ(d.inputs.at(1, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(d.inputs.at(1, 0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(d.inputs.at(1, 1, 2), 30.0f);  // mem channel
+  EXPECT_FLOAT_EQ(d.targets.at(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(d.targets.at(1, 1), 5.0f);
+}
+
+TEST(Windowing, StrideSkipsWindows) {
+  WindowOptions opt;
+  opt.window = 3;
+  opt.horizon = 1;
+  opt.stride = 2;
+  const auto d = make_windows(ramp_frame(10), "cpu", opt);
+  ASSERT_EQ(d.samples(), 4u);
+  EXPECT_FLOAT_EQ(d.inputs.at(1, 0, 0), 2.0f);  // second window starts at t=2
+}
+
+TEST(Windowing, RejectsTooShortFrame) {
+  WindowOptions opt;
+  opt.window = 10;
+  opt.horizon = 1;
+  EXPECT_THROW(make_windows(ramp_frame(5), "cpu", opt), CheckError);
+}
+
+TEST(Windowing, RejectsDegenerateOptions) {
+  WindowOptions opt;
+  opt.window = 0;
+  EXPECT_THROW(make_windows(ramp_frame(10), "cpu", opt), CheckError);
+}
+
+TEST(Split, ChronoSplitRatios) {
+  WindowOptions opt;
+  opt.window = 4;
+  opt.horizon = 1;
+  const auto all = make_windows(ramp_frame(104), "cpu", opt);  // 100 windows
+  const auto s = chrono_split(all, 0.6, 0.2);
+  EXPECT_EQ(s.train.samples(), 60u);
+  EXPECT_EQ(s.valid.samples(), 20u);
+  EXPECT_EQ(s.test.samples(), 20u);
+}
+
+TEST(Split, ChronologicalOrderPreserved) {
+  WindowOptions opt;
+  opt.window = 2;
+  opt.horizon = 1;
+  const auto all = make_windows(ramp_frame(23), "cpu", opt);  // 20 windows
+  const auto s = chrono_split(all, 0.6, 0.2);
+  // First test window must start later than the last valid window.
+  EXPECT_GT(s.test.inputs.at(0, 0, 0), s.valid.inputs.at(s.valid.samples() - 1, 0, 0));
+  EXPECT_GT(s.valid.inputs.at(0, 0, 0), s.train.inputs.at(s.train.samples() - 1, 0, 0));
+}
+
+TEST(Split, RejectsBadFractions) {
+  WindowOptions opt;
+  opt.window = 2;
+  opt.horizon = 1;
+  const auto all = make_windows(ramp_frame(30), "cpu", opt);
+  EXPECT_THROW(chrono_split(all, 0.8, 0.3), CheckError);
+  EXPECT_THROW(chrono_split(all, 0.0, 0.2), CheckError);
+}
+
+TEST(Split, RejectsTinyDataset) {
+  WindowOptions opt;
+  opt.window = 2;
+  opt.horizon = 1;
+  const auto all = make_windows(ramp_frame(5), "cpu", opt);  // 2 windows
+  EXPECT_THROW(chrono_split(all, 0.6, 0.2), CheckError);
+}
+
+TEST(Split, SplitThenWindowAvoidsBoundaryStraddle) {
+  WindowOptions opt;
+  opt.window = 4;
+  opt.horizon = 1;
+  const auto s = split_then_window(ramp_frame(100), "cpu", opt, 0.6, 0.2);
+  // Train covers raw t in [0,60): last train window input ends at t<=58.
+  const float last_train_input =
+      s.train.inputs.at(s.train.samples() - 1, 0, 3);
+  EXPECT_LT(last_train_input, 60.0f);
+  // First valid window input starts at exactly t=60.
+  EXPECT_FLOAT_EQ(s.valid.inputs.at(0, 0, 0), 60.0f);
+  EXPECT_FLOAT_EQ(s.test.inputs.at(0, 0, 0), 80.0f);
+}
+
+TEST(Split, WindowCountsConsistent) {
+  WindowOptions opt;
+  opt.window = 4;
+  opt.horizon = 2;
+  const auto all = make_windows(ramp_frame(200), "cpu", opt);
+  const auto s = chrono_split(all, 0.6, 0.2);
+  EXPECT_EQ(s.train.samples() + s.valid.samples() + s.test.samples(),
+            all.samples());
+}
+
+}  // namespace
+}  // namespace rptcn::data

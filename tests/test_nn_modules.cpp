@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/conv1d.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/rptcn_net.h"
+#include "nn/tcn.h"
+#include "tensor/tensor_ops.h"
+
+namespace rptcn {
+namespace {
+
+TEST(Init, XavierUniformBounds) {
+  Rng rng(1);
+  const Tensor w = nn::xavier_uniform({100, 100}, 100, 100, rng);
+  const float bound = std::sqrt(6.0f / 200.0f);
+  for (float v : w.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(Init, HeNormalVariance) {
+  Rng rng(2);
+  const Tensor w = nn::he_normal({200, 50}, 50, rng);
+  double s2 = 0.0;
+  for (float v : w.data()) s2 += static_cast<double>(v) * v;
+  EXPECT_NEAR(s2 / static_cast<double>(w.size()), 2.0 / 50.0, 0.01);
+}
+
+TEST(Linear, ForwardShape) {
+  Rng rng(3);
+  nn::Linear layer(5, 3, rng);
+  Variable x(Tensor::randn({7, 5}, rng));
+  const Variable y = layer.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{7, 3}));
+}
+
+TEST(Linear, ParameterRegistry) {
+  Rng rng(3);
+  nn::Linear layer(5, 3, rng);
+  const auto named = layer.named_parameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+  EXPECT_EQ(layer.parameter_count(), 5u * 3u + 3u);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(3);
+  nn::Linear layer(4, 2, rng, /*bias=*/false);
+  EXPECT_EQ(layer.parameter_count(), 8u);
+}
+
+TEST(Conv1dLayer, CausalPreservesLength) {
+  Rng rng(4);
+  nn::Conv1dOptions opt;
+  opt.kernel_size = 3;
+  opt.dilation = 2;
+  nn::Conv1d conv(2, 4, opt, rng);
+  Variable x(Tensor::randn({1, 2, 10}, rng));
+  EXPECT_EQ(conv.forward(x).shape(), (std::vector<std::size_t>{1, 4, 10}));
+}
+
+TEST(Conv1dLayer, CausalityNoFutureLeak) {
+  // Perturbing input at time t must not change output before t.
+  Rng rng(5);
+  nn::Conv1dOptions opt;
+  opt.kernel_size = 3;
+  opt.dilation = 2;
+  nn::Conv1d conv(1, 1, opt, rng);
+  Tensor base = Tensor::randn({1, 1, 12}, rng);
+  Tensor perturbed = base;
+  const std::size_t t_perturb = 6;
+  perturbed.at(0, 0, t_perturb) += 10.0f;
+  NoGradScope no_grad;
+  const Tensor y0 = conv.forward(Variable(base)).value();
+  const Tensor y1 = conv.forward(Variable(perturbed)).value();
+  for (std::size_t t = 0; t < t_perturb; ++t)
+    EXPECT_FLOAT_EQ(y0.at(0, 0, t), y1.at(0, 0, t)) << "leak at t=" << t;
+  EXPECT_NE(y0.at(0, 0, t_perturb), y1.at(0, 0, t_perturb));
+}
+
+TEST(Conv1dLayer, WeightNormInitPreservesWeights) {
+  // With g initialised to ||v||, the effective kernel equals v.
+  Rng rng(6);
+  nn::Conv1dOptions plain;
+  plain.weight_norm = false;
+  nn::Conv1dOptions normed = plain;
+  normed.weight_norm = true;
+  // Same rng stream -> same v draw for both layers.
+  Rng rng_a(42), rng_b(42);
+  nn::Conv1d conv_plain(2, 3, plain, rng_a);
+  nn::Conv1d conv_normed(2, 3, normed, rng_b);
+  const Tensor x = Tensor::randn({1, 2, 8}, rng);
+  NoGradScope no_grad;
+  const Tensor y0 = conv_plain.forward(Variable(x)).value();
+  const Tensor y1 = conv_normed.forward(Variable(x)).value();
+  EXPECT_TRUE(allclose(y0, y1, 1e-4f, 1e-4f));
+}
+
+TEST(Conv1dLayer, RejectsBadConfig) {
+  Rng rng(7);
+  nn::Conv1dOptions opt;
+  opt.kernel_size = 0;
+  EXPECT_THROW(nn::Conv1d(1, 1, opt, rng), CheckError);
+}
+
+TEST(TemporalBlock, OutputShapeAndResidualPath) {
+  Rng rng(8);
+  nn::TemporalBlock block(3, 5, 3, 2, 0.0f, rng);
+  block.set_training(false);
+  Variable x(Tensor::randn({2, 3, 16}, rng));
+  const Variable y = block.forward(x, rng);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 5, 16}));
+  // Channel change forces a 1x1 shortcut -> extra parameters.
+  nn::TemporalBlock same(4, 4, 3, 1, 0.0f, rng);
+  EXPECT_GT(block.parameter_count(), 0u);
+  EXPECT_LT(same.parameter_count(), block.parameter_count() + 100u);
+}
+
+TEST(Tcn, StackShapesAndReceptiveField) {
+  Rng rng(9);
+  nn::TcnOptions opt;
+  opt.channels = {8, 8, 8};
+  opt.kernel_size = 3;
+  opt.dropout = 0.0f;
+  nn::Tcn tcn(4, opt, rng);
+  EXPECT_EQ(tcn.output_channels(), 8u);
+  // field = 1 + 2*(K-1)*(1+2+4) = 1 + 2*2*7 = 29.
+  EXPECT_EQ(tcn.receptive_field(), 29u);
+  Variable x(Tensor::randn({2, 4, 32}, rng));
+  EXPECT_EQ(tcn.forward(x, rng).shape(), (std::vector<std::size_t>{2, 8, 32}));
+}
+
+TEST(Tcn, CausalityAcrossStack) {
+  Rng rng(10);
+  nn::TcnOptions opt;
+  opt.channels = {4, 4};
+  opt.dropout = 0.0f;
+  nn::Tcn tcn(1, opt, rng);
+  tcn.set_training(false);
+  Tensor base = Tensor::randn({1, 1, 20}, rng);
+  Tensor perturbed = base;
+  perturbed.at(0, 0, 15) += 5.0f;
+  NoGradScope no_grad;
+  Rng r1(0), r2(0);
+  const Tensor y0 = tcn.forward(Variable(base), r1).value();
+  const Tensor y1 = tcn.forward(Variable(perturbed), r2).value();
+  for (std::size_t t = 0; t < 15; ++t)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_FLOAT_EQ(y0.at(0, c, t), y1.at(0, c, t));
+}
+
+TEST(Tcn, ReceptiveFieldEmpiricallyTight) {
+  // Perturbing the input just inside the receptive field changes the last
+  // output; perturbing just outside leaves it untouched.
+  Rng rng(99);
+  nn::TcnOptions opt;
+  opt.channels = {4, 4};  // field = 1 + 2*2*(1+2) = 13
+  opt.dropout = 0.0f;
+  nn::Tcn tcn(1, opt, rng);
+  tcn.set_training(false);
+  const std::size_t field = tcn.receptive_field();
+  ASSERT_EQ(field, 13u);
+  const std::size_t t_len = 20;
+  Tensor base = Tensor::randn({1, 1, t_len}, rng);
+
+  // Compare the full channel vector at the last timestep (ReLU may zero any
+  // single channel).
+  const auto last_step = [&](const Tensor& input) {
+    Rng drop_rng(0);
+    const Tensor out = tcn.forward(Variable(input), drop_rng).value();
+    std::vector<float> v(out.dim(1));
+    for (std::size_t c = 0; c < out.dim(1); ++c)
+      v[c] = out.at(0, c, t_len - 1);
+    return v;
+  };
+  NoGradScope no_grad;
+  const auto ref = last_step(base);
+
+  Tensor inside = base;
+  inside.at(0, 0, t_len - field) += 5.0f;  // oldest step still inside
+  const auto with_inside = last_step(inside);
+  EXPECT_NE(ref, with_inside);
+
+  Tensor outside = base;
+  outside.at(0, 0, t_len - field - 1) += 5.0f;  // one step too old
+  const auto with_outside = last_step(outside);
+  EXPECT_EQ(ref, with_outside);
+}
+
+TEST(Attention, WeightsFormDistribution) {
+  Rng rng(11);
+  nn::TemporalAttention att(6, rng);
+  Variable z(Tensor::randn({3, 6, 10}, rng));
+  const auto out = att.forward(z);
+  EXPECT_EQ(out.glimpse.shape(), (std::vector<std::size_t>{3, 6}));
+  EXPECT_EQ(out.weights.shape(), (std::vector<std::size_t>{3, 1, 10}));
+  for (std::size_t n = 0; n < 3; ++n) {
+    double total = 0.0;
+    for (std::size_t t = 0; t < 10; ++t) {
+      EXPECT_GT(out.weights.value().at(n, 0, t), 0.0f);
+      total += out.weights.value().at(n, 0, t);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(Attention, GlimpseIsWeightedTimeAverage) {
+  Rng rng(12);
+  nn::TemporalAttention att(2, rng);
+  Variable z(Tensor::randn({1, 2, 4}, rng));
+  const auto out = att.forward(z);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double expect = 0.0;
+    for (std::size_t t = 0; t < 4; ++t)
+      expect += static_cast<double>(out.weights.value().at(0, 0, t)) *
+                z.value().at(0, c, t);
+    EXPECT_NEAR(out.glimpse.value().at(0, c), expect, 1e-5);
+  }
+}
+
+TEST(RptcnNet, ForwardShape) {
+  nn::RptcnOptions opt;
+  opt.input_features = 4;
+  opt.horizon = 3;
+  opt.tcn.channels = {8, 8};
+  opt.tcn.dropout = 0.0f;
+  nn::RptcnNet net(opt);
+  Rng rng(13);
+  Variable x(Tensor::randn({5, 4, 16}, rng));
+  EXPECT_EQ(net.forward(x).shape(), (std::vector<std::size_t>{5, 3}));
+  ASSERT_TRUE(net.last_attention_weights().has_value());
+  EXPECT_EQ(net.last_attention_weights()->shape(),
+            (std::vector<std::size_t>{5, 1, 16}));
+}
+
+TEST(RptcnNet, AblationSwitches) {
+  nn::RptcnOptions full;
+  full.input_features = 2;
+  full.tcn.channels = {4};
+  nn::RptcnNet net_full(full);
+
+  nn::RptcnOptions bare = full;
+  bare.use_attention = false;
+  bare.use_fc = false;
+  nn::RptcnNet net_bare(bare);
+  EXPECT_LT(net_bare.parameter_count(), net_full.parameter_count());
+
+  Rng rng(14);
+  Variable x(Tensor::randn({2, 2, 12}, rng));
+  EXPECT_EQ(net_bare.forward(x).shape(), (std::vector<std::size_t>{2, 1}));
+  EXPECT_FALSE(net_bare.last_attention_weights().has_value());
+}
+
+TEST(RptcnNet, RejectsWrongFeatureCount) {
+  nn::RptcnOptions opt;
+  opt.input_features = 3;
+  nn::RptcnNet net(opt);
+  Rng rng(15);
+  Variable x(Tensor::randn({1, 2, 8}, rng));
+  EXPECT_THROW(net.forward(x), CheckError);
+}
+
+TEST(RptcnNet, DeterministicGivenSeed) {
+  nn::RptcnOptions opt;
+  opt.input_features = 2;
+  opt.tcn.dropout = 0.0f;
+  opt.seed = 777;
+  nn::RptcnNet a(opt), b(opt);
+  a.set_training(false);
+  b.set_training(false);
+  Rng rng(16);
+  const Tensor x = Tensor::randn({2, 2, 10}, rng);
+  NoGradScope no_grad;
+  EXPECT_TRUE(allclose(a.forward(Variable(x)).value(),
+                       b.forward(Variable(x)).value(), 0.0f, 0.0f));
+}
+
+TEST(Module, SaveLoadRoundTrip) {
+  nn::RptcnOptions opt;
+  opt.input_features = 2;
+  opt.tcn.channels = {4};
+  opt.tcn.dropout = 0.0f;
+  opt.seed = 1;
+  nn::RptcnNet net(opt);
+  const std::string path = ::testing::TempDir() + "/rptcn_ckpt.bin";
+  net.save(path);
+
+  nn::RptcnOptions opt2 = opt;
+  opt2.seed = 999;  // different init
+  nn::RptcnNet other(opt2);
+  other.load(path);
+  other.set_training(false);
+  net.set_training(false);
+  Rng rng(17);
+  const Tensor x = Tensor::randn({1, 2, 8}, rng);
+  NoGradScope no_grad;
+  EXPECT_TRUE(allclose(net.forward(Variable(x)).value(),
+                       other.forward(Variable(x)).value(), 0.0f, 0.0f));
+}
+
+TEST(Module, TrainModePropagates) {
+  nn::RptcnOptions opt;
+  opt.input_features = 1;
+  nn::RptcnNet net(opt);
+  EXPECT_TRUE(net.training());
+  net.set_training(false);
+  EXPECT_FALSE(net.training());
+}
+
+TEST(Module, ZeroGradClearsAllParameters) {
+  nn::RptcnOptions opt;
+  opt.input_features = 1;
+  opt.tcn.channels = {4};
+  opt.tcn.dropout = 0.0f;
+  nn::RptcnNet net(opt);
+  Rng rng(18);
+  Variable x(Tensor::randn({2, 1, 8}, rng));
+  Variable loss = ag::mean_all(net.forward(x));
+  loss.backward();
+  bool any_nonzero = false;
+  for (const auto& p : net.parameters())
+    if (max_abs(p.grad()) > 0.0f) any_nonzero = true;
+  EXPECT_TRUE(any_nonzero);
+  net.zero_grad();
+  for (const auto& p : net.parameters())
+    EXPECT_FLOAT_EQ(max_abs(p.grad()), 0.0f);
+}
+
+}  // namespace
+}  // namespace rptcn

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "opt/early_stopping.h"
+#include "opt/optimizer.h"
+#include "opt/schedule.h"
+#include "opt/trainer.h"
+#include "tensor/tensor_ops.h"
+
+namespace rptcn {
+namespace {
+
+// Minimise f(x) = (x - 3)^2 with each optimizer; all should reach x ~= 3.
+template <typename MakeOpt>
+float minimise_quadratic(MakeOpt&& make_opt, int steps) {
+  Variable x(Tensor::scalar(0.0f), true);
+  auto opt = make_opt(std::vector<Variable>{x});
+  for (int i = 0; i < steps; ++i) {
+    opt->zero_grad();
+    Variable diff = ag::add_scalar(x, -3.0f);
+    Variable loss = ag::mul(diff, diff);
+    loss.backward();
+    opt->step();
+  }
+  return x.value().item();
+}
+
+TEST(Optimizer, SgdConvergesOnQuadratic) {
+  const float x = minimise_quadratic(
+      [](std::vector<Variable> p) {
+        return std::make_unique<opt::Sgd>(std::move(p), 0.1f);
+      },
+      100);
+  EXPECT_NEAR(x, 3.0f, 1e-3);
+}
+
+TEST(Optimizer, SgdMomentumConverges) {
+  const float x = minimise_quadratic(
+      [](std::vector<Variable> p) {
+        return std::make_unique<opt::Sgd>(std::move(p), 0.05f, 0.9f);
+      },
+      200);
+  EXPECT_NEAR(x, 3.0f, 1e-2);
+}
+
+TEST(Optimizer, RmsPropConverges) {
+  const float x = minimise_quadratic(
+      [](std::vector<Variable> p) {
+        return std::make_unique<opt::RmsProp>(std::move(p), 0.05f);
+      },
+      500);
+  EXPECT_NEAR(x, 3.0f, 1e-2);
+}
+
+TEST(Optimizer, AdamConverges) {
+  const float x = minimise_quadratic(
+      [](std::vector<Variable> p) {
+        return std::make_unique<opt::Adam>(std::move(p), 0.1f);
+      },
+      300);
+  EXPECT_NEAR(x, 3.0f, 1e-2);
+}
+
+TEST(Optimizer, RejectsNonTrainableParams) {
+  Variable constant(Tensor::scalar(1.0f), false);
+  EXPECT_THROW(opt::Sgd({constant}, 0.1f), CheckError);
+  EXPECT_THROW(opt::Adam({}, 0.1f), CheckError);
+}
+
+TEST(Optimizer, ZeroGradViaOptimizer) {
+  Variable x(Tensor::scalar(2.0f), true);
+  opt::Sgd sgd({x}, 0.1f);
+  ag::mul(x, x).backward();
+  EXPECT_GT(max_abs(x.grad()), 0.0f);
+  sgd.zero_grad();
+  EXPECT_FLOAT_EQ(max_abs(x.grad()), 0.0f);
+}
+
+TEST(Optimizer, ParameterCount) {
+  Variable a(Tensor({2, 3}), true);
+  Variable b(Tensor({4}), true);
+  opt::Adam adam({a, b}, 0.1f);
+  EXPECT_EQ(adam.parameter_count(), 10u);
+}
+
+TEST(Optimizer, ClipGradNormScalesDown) {
+  Variable x(Tensor::from({2}, {0.0f, 0.0f}), true);
+  x.node()->accumulate(Tensor::from({2}, {3.0f, 4.0f}));  // norm 5
+  std::vector<Variable> params{x};
+  const float pre = opt::clip_grad_norm(params, 1.0f);
+  EXPECT_FLOAT_EQ(pre, 5.0f);
+  EXPECT_NEAR(norm2(x.grad()), 1.0f, 1e-4);
+  EXPECT_NEAR(x.grad()[0] / x.grad()[1], 0.75f, 1e-4);  // direction kept
+}
+
+TEST(Optimizer, ClipGradNormNoOpWhenSmall) {
+  Variable x(Tensor::from({1}, {0.0f}), true);
+  x.node()->accumulate(Tensor::from({1}, {0.5f}));
+  std::vector<Variable> params{x};
+  opt::clip_grad_norm(params, 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.5f);
+}
+
+TEST(Schedule, ConstantLr) {
+  opt::ConstantLr s;
+  EXPECT_FLOAT_EQ(s.lr_at(0, 0.1f), 0.1f);
+  EXPECT_FLOAT_EQ(s.lr_at(100, 0.1f), 0.1f);
+}
+
+TEST(Schedule, StepDecay) {
+  opt::StepDecay s(10, 0.5f);
+  EXPECT_FLOAT_EQ(s.lr_at(0, 1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(s.lr_at(9, 1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(s.lr_at(10, 1.0f), 0.5f);
+  EXPECT_FLOAT_EQ(s.lr_at(25, 1.0f), 0.25f);
+}
+
+TEST(Schedule, CosineDecay) {
+  opt::CosineDecay s(100, 0.0f);
+  EXPECT_FLOAT_EQ(s.lr_at(0, 1.0f), 1.0f);
+  EXPECT_NEAR(s.lr_at(50, 1.0f), 0.5f, 1e-5);
+  EXPECT_NEAR(s.lr_at(100, 1.0f), 0.0f, 1e-5);
+  EXPECT_NEAR(s.lr_at(200, 1.0f), 0.0f, 1e-5);  // clamps past the end
+}
+
+TEST(EarlyStopping, StopsAfterPatienceExhausted) {
+  opt::EarlyStopping es(3);
+  EXPECT_TRUE(es.update(1.0));
+  EXPECT_TRUE(es.update(0.5));
+  EXPECT_FALSE(es.update(0.6));
+  EXPECT_FALSE(es.update(0.7));
+  EXPECT_FALSE(es.update(0.8));
+  EXPECT_FALSE(es.should_stop());  // 3 bad epochs == patience, not yet over
+  EXPECT_FALSE(es.update(0.9));
+  EXPECT_TRUE(es.should_stop());
+  EXPECT_DOUBLE_EQ(es.best_loss(), 0.5);
+  EXPECT_EQ(es.best_epoch(), 2u);
+}
+
+TEST(EarlyStopping, ImprovementResetsCounter) {
+  opt::EarlyStopping es(2);
+  es.update(1.0);
+  es.update(1.1);
+  es.update(1.2);
+  EXPECT_FALSE(es.should_stop());
+  EXPECT_TRUE(es.update(0.9));  // improvement resets
+  es.update(1.0);
+  es.update(1.0);
+  EXPECT_FALSE(es.should_stop());
+  es.update(1.0);
+  EXPECT_TRUE(es.should_stop());
+}
+
+TEST(Trainer, GatherRowsCopiesSamples) {
+  Tensor t = Tensor::from({3, 2}, {1, 2, 3, 4, 5, 6});
+  const Tensor g = opt::gather_rows(t, {2, 0});
+  EXPECT_EQ(g.dim(0), 2u);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 2.0f);
+  EXPECT_THROW(opt::gather_rows(t, {3}), CheckError);
+}
+
+// Learnable toy task: predict the last value of the window (identity-ish).
+opt::TrainData make_copy_task(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  opt::TrainData d;
+  d.inputs = Tensor::randn({n, 1, 8}, rng);
+  d.targets = Tensor({n, 1});
+  for (std::size_t i = 0; i < n; ++i) d.targets.at(i, 0) = d.inputs.at(i, 0, 7);
+  return d;
+}
+
+class TrainerLinearProbe : public nn::Module {
+ public:
+  explicit TrainerLinearProbe(Rng& rng) : fc_(8, 1, rng) {
+    register_module("fc", fc_);
+  }
+  Variable forward(const Variable& x) {
+    return fc_.forward(ag::reshape(x, {x.dim(0), 8}));
+  }
+
+ private:
+  nn::Linear fc_;
+};
+
+TEST(Trainer, FitReducesLossAndRecordsHistory) {
+  Rng rng(21);
+  TrainerLinearProbe model(rng);
+  const auto train = make_copy_task(128, 1);
+  const auto valid = make_copy_task(32, 2);
+  opt::Adam adam(model.parameters(), 0.01f);
+  opt::TrainOptions topt;
+  topt.max_epochs = 25;
+  topt.patience = 25;
+  const auto hist = opt::fit(
+      model, [&model](const Variable& x) { return model.forward(x); }, train,
+      valid, adam, topt);
+  ASSERT_FALSE(hist.train_loss.empty());
+  EXPECT_EQ(hist.train_loss.size(), hist.valid_loss.size());
+  EXPECT_LT(hist.train_loss.back(), hist.train_loss.front() * 0.5);
+  EXPECT_LT(hist.best_valid_loss, hist.valid_loss.front());
+  EXPECT_GE(hist.best_epoch, 1u);
+}
+
+TEST(Trainer, EarlyStoppingTriggersOnNoise) {
+  // Pure-noise targets: validation cannot improve for long.
+  Rng rng(22);
+  TrainerLinearProbe model(rng);
+  opt::TrainData train, valid;
+  train.inputs = Tensor::randn({64, 1, 8}, rng);
+  train.targets = Tensor::randn({64, 1}, rng);
+  valid.inputs = Tensor::randn({32, 1, 8}, rng);
+  valid.targets = Tensor::randn({32, 1}, rng);
+  opt::Adam adam(model.parameters(), 0.05f);
+  opt::TrainOptions topt;
+  topt.max_epochs = 200;
+  topt.patience = 3;
+  const auto hist = opt::fit(
+      model, [&model](const Variable& x) { return model.forward(x); }, train,
+      valid, adam, topt);
+  EXPECT_TRUE(hist.stopped_early);
+  EXPECT_LT(hist.train_loss.size(), 200u);
+}
+
+TEST(Trainer, RestoreBestRollsBackWeights) {
+  Rng rng(23);
+  TrainerLinearProbe model(rng);
+  const auto train = make_copy_task(64, 3);
+  const auto valid = make_copy_task(32, 4);
+  opt::Adam adam(model.parameters(), 0.02f);
+  opt::TrainOptions topt;
+  topt.max_epochs = 30;
+  topt.patience = 5;
+  topt.restore_best = true;
+  const auto hist = opt::fit(
+      model, [&model](const Variable& x) { return model.forward(x); }, train,
+      valid, adam, topt);
+  // After restore, evaluating valid must reproduce the best loss.
+  model.set_training(false);
+  const double vloss = opt::evaluate_mse(
+      [&model](const Variable& x) { return model.forward(x); }, valid, 32);
+  EXPECT_NEAR(vloss, hist.best_valid_loss, 1e-6);
+}
+
+TEST(Trainer, EvaluateMseMatchesManual) {
+  Rng rng(24);
+  TrainerLinearProbe model(rng);
+  model.set_training(false);
+  const auto data = make_copy_task(16, 5);
+  const double full = opt::evaluate_mse(
+      [&model](const Variable& x) { return model.forward(x); }, data, 4);
+  const double one_batch = opt::evaluate_mse(
+      [&model](const Variable& x) { return model.forward(x); }, data, 16);
+  EXPECT_NEAR(full, one_batch, 1e-5);  // batching must not change the metric
+}
+
+TEST(Trainer, DeterministicAcrossRuns) {
+  const auto run = [] {
+    Rng rng(25);
+    TrainerLinearProbe model(rng);
+    const auto train = make_copy_task(64, 6);
+    const auto valid = make_copy_task(16, 7);
+    opt::Adam adam(model.parameters(), 0.01f);
+    opt::TrainOptions topt;
+    topt.max_epochs = 5;
+    topt.seed = 99;
+    return opt::fit(
+        model, [&model](const Variable& x) { return model.forward(x); }, train,
+        valid, adam, topt);
+  };
+  const auto h1 = run();
+  const auto h2 = run();
+  ASSERT_EQ(h1.train_loss.size(), h2.train_loss.size());
+  for (std::size_t i = 0; i < h1.train_loss.size(); ++i)
+    EXPECT_DOUBLE_EQ(h1.train_loss[i], h2.train_loss[i]);
+}
+
+}  // namespace
+}  // namespace rptcn

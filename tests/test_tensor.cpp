@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace rptcn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.dim(2), 4u);
+  EXPECT_THROW(t.dim(3), CheckError);
+}
+
+TEST(Tensor, RejectsZeroExtent) {
+  EXPECT_THROW(Tensor({2, 0, 3}), CheckError);
+}
+
+TEST(Tensor, FactoryFill) {
+  EXPECT_FLOAT_EQ(Tensor::zeros({3})[1], 0.0f);
+  EXPECT_FLOAT_EQ(Tensor::ones({3})[2], 1.0f);
+  EXPECT_FLOAT_EQ(Tensor::full({2, 2}, 7.5f)[3], 7.5f);
+  EXPECT_FLOAT_EQ(Tensor::scalar(-2.0f).item(), -2.0f);
+}
+
+TEST(Tensor, FromValuesRowMajor) {
+  const Tensor t = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 6.0f);
+}
+
+TEST(Tensor, FromRejectsSizeMismatch) {
+  EXPECT_THROW(Tensor::from({2, 2}, {1, 2, 3}), CheckError);
+}
+
+TEST(Tensor, Arange) {
+  const Tensor t = Tensor::arange(4);
+  EXPECT_FLOAT_EQ(t.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(t.at(3), 3.0f);
+}
+
+TEST(Tensor, MultiDimAccessors) {
+  Tensor t3({2, 3, 4});
+  t3.at(1, 2, 3) = 42.0f;
+  EXPECT_FLOAT_EQ(t3.at(1, 2, 3), 42.0f);
+  EXPECT_FLOAT_EQ(t3[t3.size() - 1], 42.0f);  // last element row-major
+
+  Tensor t4({2, 2, 2, 2});
+  t4.at(1, 1, 1, 1) = 9.0f;
+  EXPECT_FLOAT_EQ(t4[15], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  const Tensor t = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshape({3, 2});
+  EXPECT_FLOAT_EQ(r.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), CheckError);
+}
+
+TEST(Tensor, ItemRequiresSingleElement) {
+  EXPECT_THROW(Tensor({2}).item(), CheckError);
+  EXPECT_FLOAT_EQ(Tensor::scalar(5.0f).item(), 5.0f);
+}
+
+TEST(Tensor, FillOverwrites) {
+  Tensor t({4});
+  t.fill(3.0f);
+  for (float v : t.data()) EXPECT_FLOAT_EQ(v, 3.0f);
+}
+
+TEST(Tensor, RandnMoments) {
+  Rng rng(3);
+  const Tensor t = Tensor::randn({10000}, rng, 1.0f, 2.0f);
+  double s = 0.0, s2 = 0.0;
+  for (float v : t.data()) {
+    s += v;
+    s2 += static_cast<double>(v) * v;
+  }
+  const double m = s / 10000.0;
+  EXPECT_NEAR(m, 1.0, 0.1);
+  EXPECT_NEAR(s2 / 10000.0 - m * m, 4.0, 0.3);
+}
+
+TEST(Tensor, RandUniformBounds) {
+  Rng rng(5);
+  const Tensor t = Tensor::rand_uniform({1000}, rng, -2.0f, 2.0f);
+  for (float v : t.data()) {
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 2.0f);
+  }
+}
+
+TEST(Tensor, SameShape) {
+  EXPECT_TRUE(Tensor({2, 3}).same_shape(Tensor({2, 3})));
+  EXPECT_FALSE(Tensor({2, 3}).same_shape(Tensor({3, 2})));
+  EXPECT_FALSE(Tensor({6}).same_shape(Tensor({2, 3})));
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3, 5}).shape_string(), "[2, 3, 5]");
+  EXPECT_EQ(Tensor().shape_string(), "[]");
+}
+
+TEST(Tensor, ShapeSizeHelper) {
+  EXPECT_EQ(shape_size({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_size({}), 0u);
+  EXPECT_EQ(shape_size({7}), 7u);
+}
+
+}  // namespace
+}  // namespace rptcn

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "tensor/tensor_io.h"
+#include "tensor/tensor_ops.h"
+
+namespace rptcn {
+namespace {
+
+TEST(TensorIo, StreamRoundTrip) {
+  Rng rng(1);
+  const Tensor t = Tensor::randn({3, 4, 5}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const Tensor back = read_tensor(ss);
+  EXPECT_TRUE(allclose(t, back, 0.0f, 0.0f));
+  EXPECT_EQ(back.shape(), t.shape());
+}
+
+TEST(TensorIo, RejectsBadMagic) {
+  std::stringstream ss("XXXXgarbage");
+  EXPECT_THROW(read_tensor(ss), CheckError);
+}
+
+TEST(TensorIo, RejectsTruncatedData) {
+  Rng rng(2);
+  const Tensor t = Tensor::randn({10}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  std::string s = ss.str();
+  s.resize(s.size() - 8);  // chop the tail
+  std::stringstream truncated(s);
+  EXPECT_THROW(read_tensor(truncated), CheckError);
+}
+
+TEST(TensorIo, NamedFileRoundTrip) {
+  Rng rng(3);
+  const std::string path = ::testing::TempDir() + "/rptcn_tensors.bin";
+  std::vector<std::pair<std::string, Tensor>> items = {
+      {"weight", Tensor::randn({4, 4}, rng)},
+      {"bias", Tensor::randn({4}, rng)},
+  };
+  write_tensors_file(path, items);
+  const auto back = read_tensors_file(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].first, "weight");
+  EXPECT_EQ(back[1].first, "bias");
+  EXPECT_TRUE(allclose(back[0].second, items[0].second, 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(back[1].second, items[1].second, 0.0f, 0.0f));
+}
+
+TEST(TensorIo, MissingFileThrows) {
+  EXPECT_THROW(read_tensors_file("/nonexistent/tensors.bin"), CheckError);
+}
+
+TEST(TensorIo, EmptyItemList) {
+  const std::string path = ::testing::TempDir() + "/rptcn_empty.bin";
+  write_tensors_file(path, {});
+  EXPECT_TRUE(read_tensors_file(path).empty());
+}
+
+}  // namespace
+}  // namespace rptcn

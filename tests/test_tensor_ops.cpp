@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace rptcn {
+namespace {
+
+TEST(TensorOps, ElementwiseBinary) {
+  const Tensor a = Tensor::from({3}, {1, 2, 3});
+  const Tensor b = Tensor::from({3}, {4, 5, 6});
+  EXPECT_TRUE(allclose(add(a, b), Tensor::from({3}, {5, 7, 9})));
+  EXPECT_TRUE(allclose(sub(a, b), Tensor::from({3}, {-3, -3, -3})));
+  EXPECT_TRUE(allclose(mul(a, b), Tensor::from({3}, {4, 10, 18})));
+  EXPECT_TRUE(allclose(div(b, a), Tensor::from({3}, {4, 2.5, 2})));
+}
+
+TEST(TensorOps, BinaryRejectsShapeMismatch) {
+  EXPECT_THROW(add(Tensor({2}), Tensor({3})), CheckError);
+  EXPECT_THROW(mul(Tensor({2, 2}), Tensor({4})), CheckError);
+}
+
+TEST(TensorOps, ScalarOps) {
+  const Tensor a = Tensor::from({2}, {1, -2});
+  EXPECT_TRUE(allclose(add_scalar(a, 3.0f), Tensor::from({2}, {4, 1})));
+  EXPECT_TRUE(allclose(mul_scalar(a, -2.0f), Tensor::from({2}, {-2, 4})));
+  EXPECT_TRUE(allclose(neg(a), Tensor::from({2}, {-1, 2})));
+}
+
+TEST(TensorOps, Axpy) {
+  const Tensor x = Tensor::from({2}, {1, 2});
+  Tensor y = Tensor::from({2}, {10, 20});
+  axpy(0.5f, x, y);
+  EXPECT_TRUE(allclose(y, Tensor::from({2}, {10.5, 21})));
+}
+
+TEST(TensorOps, ScaleAndAddInplace) {
+  Tensor y = Tensor::from({2}, {2, 4});
+  scale_inplace(y, 0.5f);
+  add_inplace(y, Tensor::from({2}, {1, 1}));
+  EXPECT_TRUE(allclose(y, Tensor::from({2}, {2, 3})));
+}
+
+TEST(TensorOps, UnaryMaps) {
+  const Tensor a = Tensor::from({3}, {-1.0f, 0.0f, 2.0f});
+  EXPECT_TRUE(allclose(relu(a), Tensor::from({3}, {0, 0, 2})));
+  EXPECT_NEAR(sigmoid(a)[0], 1.0f / (1.0f + std::exp(1.0f)), 1e-6);
+  EXPECT_NEAR(tanh_t(a)[2], std::tanh(2.0f), 1e-6);
+  EXPECT_NEAR(exp_t(a)[2], std::exp(2.0f), 1e-4);
+  EXPECT_TRUE(allclose(square(a), Tensor::from({3}, {1, 0, 4})));
+  EXPECT_TRUE(allclose(abs_t(a), Tensor::from({3}, {1, 0, 2})));
+  EXPECT_NEAR(sqrt_t(Tensor::from({1}, {9}))[0], 3.0f, 1e-6);
+}
+
+TEST(TensorOps, Reductions) {
+  const Tensor a = Tensor::from({2, 2}, {1, 2, 3, -4});
+  EXPECT_FLOAT_EQ(sum(a), 2.0f);
+  EXPECT_FLOAT_EQ(mean(a), 0.5f);
+  EXPECT_FLOAT_EQ(max_abs(a), 4.0f);
+  EXPECT_NEAR(norm2(a), std::sqrt(30.0f), 1e-5);
+}
+
+TEST(TensorOps, RowColSums) {
+  const Tensor a = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(allclose(sum_rows(a), Tensor::from({2}, {6, 15})));
+  EXPECT_TRUE(allclose(sum_cols(a), Tensor::from({3}, {5, 7, 9})));
+  EXPECT_THROW(sum_rows(Tensor({3})), CheckError);
+}
+
+// Naive O(n^3) reference for GEMM validation.
+Tensor matmul_naive(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        s += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+      c.at(i, j) = static_cast<float>(s);
+    }
+  return c;
+}
+
+TEST(TensorOps, MatmulKnownValues) {
+  const Tensor a = Tensor::from({2, 2}, {1, 2, 3, 4});
+  const Tensor b = Tensor::from({2, 2}, {5, 6, 7, 8});
+  EXPECT_TRUE(allclose(matmul(a, b), Tensor::from({2, 2}, {19, 22, 43, 50})));
+}
+
+TEST(TensorOps, MatmulRejectsMismatch) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({2, 3})), CheckError);
+  EXPECT_THROW(matmul(Tensor({6}), Tensor({6, 1})), CheckError);
+}
+
+class MatmulSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulSweep, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 10007 + k * 101 + n);
+  const Tensor a = Tensor::randn({static_cast<std::size_t>(m),
+                                  static_cast<std::size_t>(k)}, rng);
+  const Tensor b = Tensor::randn({static_cast<std::size_t>(k),
+                                  static_cast<std::size_t>(n)}, rng);
+  EXPECT_TRUE(allclose(matmul(a, b), matmul_naive(a, b), 1e-4f, 1e-4f));
+}
+
+TEST_P(MatmulSweep, TransposedVariantsConsistent) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m + k + n);
+  const Tensor a = Tensor::randn({static_cast<std::size_t>(m),
+                                  static_cast<std::size_t>(k)}, rng);
+  const Tensor b = Tensor::randn({static_cast<std::size_t>(k),
+                                  static_cast<std::size_t>(n)}, rng);
+  // matmul_tn(X, Y) == X^T Y and matmul_nt(X, Y) == X Y^T.
+  EXPECT_TRUE(allclose(matmul_tn(a, matmul_naive(a, b)),
+                       matmul(transpose2d(a), matmul_naive(a, b)), 1e-3f,
+                       1e-3f));
+  EXPECT_TRUE(
+      allclose(matmul_nt(a, transpose2d(b)), matmul(a, b), 1e-3f, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulSweep,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{2, 3, 4},
+                                           std::tuple{7, 5, 3},
+                                           std::tuple{16, 16, 16},
+                                           std::tuple{33, 17, 9},
+                                           std::tuple{64, 8, 64}));
+
+TEST(TensorOps, Transpose2d) {
+  const Tensor a = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor t = transpose2d(a);
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.dim(1), 2u);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 4.0f);
+}
+
+TEST(TensorOps, Matvec) {
+  const Tensor a = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor x = Tensor::from({3}, {1, 0, -1});
+  EXPECT_TRUE(allclose(matvec(a, x), Tensor::from({2}, {-2, -2})));
+  EXPECT_THROW(matvec(a, Tensor({2})), CheckError);
+}
+
+TEST(TensorOps, SoftmaxRowsSumToOne) {
+  Rng rng(7);
+  const Tensor a = Tensor::randn({4, 9}, rng, 0.0f, 3.0f);
+  const Tensor s = softmax_lastdim(a);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < 9; ++j) {
+      EXPECT_GT(s.at(i, j), 0.0f);
+      total += s.at(i, j);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(TensorOps, SoftmaxStableForLargeLogits) {
+  const Tensor a = Tensor::from({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  const Tensor s = softmax_lastdim(a);
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_NEAR(s.at(0, j), 1.0f / 3.0f, 1e-6);
+}
+
+TEST(TensorOps, SoftmaxRank3) {
+  Rng rng(9);
+  const Tensor a = Tensor::randn({2, 3, 5}, rng);
+  const Tensor s = softmax_lastdim(a);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t c = 0; c < 3; ++c) {
+      double total = 0.0;
+      for (std::size_t t = 0; t < 5; ++t) total += s.at(i, c, t);
+      EXPECT_NEAR(total, 1.0, 1e-5);
+    }
+}
+
+TEST(TensorOps, AllcloseBehaviour) {
+  const Tensor a = Tensor::from({2}, {1.0f, 2.0f});
+  EXPECT_TRUE(allclose(a, Tensor::from({2}, {1.0f + 1e-6f, 2.0f})));
+  EXPECT_FALSE(allclose(a, Tensor::from({2}, {1.1f, 2.0f})));
+  EXPECT_FALSE(allclose(a, Tensor({3})));
+}
+
+}  // namespace
+}  // namespace rptcn

@@ -1,0 +1,152 @@
+// Property tests of the trace simulator across configurations: every
+// generated trace must satisfy the physical-range, determinism and
+// correlation-structure invariants, not just the default config.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/correlation.h"
+#include "trace/characterize.h"
+#include "trace/cluster.h"
+
+namespace rptcn::trace {
+namespace {
+
+struct TraceCase {
+  std::size_t machines;
+  std::size_t steps;
+  std::uint64_t seed;
+};
+
+class TraceSweep : public ::testing::TestWithParam<TraceCase> {
+ protected:
+  static ClusterSimulator make(const TraceCase& c) {
+    TraceConfig cfg;
+    cfg.num_machines = c.machines;
+    cfg.duration_steps = c.steps;
+    cfg.seed = c.seed;
+    return ClusterSimulator(cfg);
+  }
+};
+
+TEST_P(TraceSweep, AllIndicatorsInPhysicalRanges) {
+  auto sim = make(GetParam());
+  sim.run();
+  for (std::size_t e = 0; e < sim.num_containers(); ++e) {
+    const auto& frame = sim.container_trace(e);
+    for (const char* pct :
+         {"cpu_util_percent", "mem_util_percent", "disk_io_percent"}) {
+      for (const double v : frame.column(pct)) {
+        ASSERT_GE(v, 0.0) << pct;
+        ASSERT_LE(v, 100.0) << pct;
+      }
+    }
+    for (const char* unit : {"mem_gps", "net_in", "net_out"}) {
+      for (const double v : frame.column(unit)) {
+        ASSERT_GE(v, 0.0) << unit;
+        ASSERT_LE(v, 1.0) << unit;
+      }
+    }
+    for (const double v : frame.column("cpi")) ASSERT_GT(v, 0.0);
+    for (const double v : frame.column("mpki")) ASSERT_GE(v, 0.0);
+  }
+}
+
+TEST_P(TraceSweep, MachineSeriesWithinBounds) {
+  auto sim = make(GetParam());
+  sim.run();
+  for (std::size_t m = 0; m < sim.num_machines(); ++m) {
+    const auto& cpu = sim.machine_trace(m).column("cpu_util_percent");
+    for (const double v : cpu) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 100.0);
+    }
+    // A machine hosting live containers is never pinned at zero throughout.
+    ASSERT_GT(max_value(cpu), 1.0);
+  }
+}
+
+TEST_P(TraceSweep, DeterministicForSameSeed) {
+  auto a = make(GetParam());
+  auto b = make(GetParam());
+  a.run();
+  b.run();
+  const auto& ca = a.container_trace(0).column("cpu_util_percent");
+  const auto& cb = b.container_trace(0).column("cpu_util_percent");
+  for (std::size_t t = 0; t < ca.size(); ++t) ASSERT_DOUBLE_EQ(ca[t], cb[t]);
+}
+
+TEST_P(TraceSweep, MemorySystemIndicatorsTrackCpu) {
+  auto sim = make(GetParam());
+  sim.run();
+  // The Fig.-7 structure must hold in aggregate across configs: mpki is
+  // always strongly positively correlated with CPU.
+  std::size_t strong = 0;
+  for (std::size_t e = 0; e < sim.num_containers(); ++e) {
+    const auto& frame = sim.container_trace(e);
+    if (pearson(frame.column("cpu_util_percent"), frame.column("mpki")) > 0.5)
+      ++strong;
+  }
+  // Short/churny configs can have a few weakly coupled containers; require
+  // a clear two-thirds majority.
+  EXPECT_GE(strong * 3, sim.num_containers() * 2);
+}
+
+TEST_P(TraceSweep, CsvRoundTripPreservesTrace) {
+  auto sim = make(GetParam());
+  sim.run();
+  const auto& frame = sim.container_trace(0);
+  const auto back = data::TimeSeriesFrame::from_csv(frame.to_csv());
+  ASSERT_EQ(back.indicators(), frame.indicators());
+  ASSERT_EQ(back.length(), frame.length());
+  // Spot-check numeric identity (CSV conversion is in-memory, no rounding).
+  EXPECT_DOUBLE_EQ(back.column("cpi")[5], frame.column("cpi")[5]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TraceSweep,
+    ::testing::Values(TraceCase{1, 300, 1}, TraceCase{4, 500, 2018},
+                      TraceCase{8, 800, 7}, TraceCase{2, 2000, 999}));
+
+TEST(TraceChurn, ContainersShowIdleEpisodesInLongRuns) {
+  TraceConfig cfg;
+  cfg.num_machines = 8;
+  cfg.duration_steps = 4000;
+  cfg.seed = 11;
+  ClusterSimulator sim(cfg);
+  sim.run();
+  // With departure rate 8e-4 over 4000 steps, several containers should
+  // spend some time descheduled (CPU < 3%).
+  std::size_t with_idle = 0;
+  for (std::size_t e = 0; e < sim.num_containers(); ++e) {
+    const auto& cpu = sim.container_trace(e).column("cpu_util_percent");
+    std::size_t idle_steps = 0;
+    for (const double v : cpu)
+      if (v < 3.0) ++idle_steps;
+    if (idle_steps > 50) ++with_idle;
+  }
+  EXPECT_GE(with_idle, 3u);
+}
+
+TEST(TraceDrift, LateSeriesVisitsNewLevels) {
+  // Non-stationarity: across the cluster, late-window means should differ
+  // from early-window means by a visible margin for a fair share of
+  // containers.
+  TraceConfig cfg;
+  cfg.num_machines = 8;
+  cfg.duration_steps = 3000;
+  cfg.seed = 5;
+  ClusterSimulator sim(cfg);
+  sim.run();
+  std::size_t drifted = 0;
+  for (std::size_t e = 0; e < sim.num_containers(); ++e) {
+    const auto& cpu = sim.container_trace(e).column("cpu_util_percent");
+    const std::span<const double> early(cpu.data(), 600);
+    const std::span<const double> late(cpu.data() + cpu.size() - 600, 600);
+    if (std::fabs(mean(late) - mean(early)) > 5.0) ++drifted;
+  }
+  EXPECT_GE(drifted * 10, sim.num_containers() * 3);  // >= 30% drift > 5pp
+}
+
+}  // namespace
+}  // namespace rptcn::trace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rptcn.dir/ablation_rptcn.cpp.o"
+  "CMakeFiles/ablation_rptcn.dir/ablation_rptcn.cpp.o.d"
+  "ablation_rptcn"
+  "ablation_rptcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rptcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

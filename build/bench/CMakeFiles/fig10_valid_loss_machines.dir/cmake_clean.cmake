@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_valid_loss_machines.dir/fig10_valid_loss_machines.cpp.o"
+  "CMakeFiles/fig10_valid_loss_machines.dir/fig10_valid_loss_machines.cpp.o.d"
+  "fig10_valid_loss_machines"
+  "fig10_valid_loss_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_valid_loss_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_valid_loss_machines.
+# This may be replaced when dependencies are built.

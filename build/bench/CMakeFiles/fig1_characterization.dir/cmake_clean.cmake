@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_characterization.dir/fig1_characterization.cpp.o"
+  "CMakeFiles/fig1_characterization.dir/fig1_characterization.cpp.o.d"
+  "fig1_characterization"
+  "fig1_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

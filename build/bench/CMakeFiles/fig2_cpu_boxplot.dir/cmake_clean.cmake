@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cpu_boxplot.dir/fig2_cpu_boxplot.cpp.o"
+  "CMakeFiles/fig2_cpu_boxplot.dir/fig2_cpu_boxplot.cpp.o.d"
+  "fig2_cpu_boxplot"
+  "fig2_cpu_boxplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cpu_boxplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

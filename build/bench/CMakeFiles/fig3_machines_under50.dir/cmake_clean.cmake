@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_machines_under50.dir/fig3_machines_under50.cpp.o"
+  "CMakeFiles/fig3_machines_under50.dir/fig3_machines_under50.cpp.o.d"
+  "fig3_machines_under50"
+  "fig3_machines_under50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_machines_under50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

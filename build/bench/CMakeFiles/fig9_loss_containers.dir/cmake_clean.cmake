@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_loss_containers.dir/fig9_loss_containers.cpp.o"
+  "CMakeFiles/fig9_loss_containers.dir/fig9_loss_containers.cpp.o.d"
+  "fig9_loss_containers"
+  "fig9_loss_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_loss_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_loss_containers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rptcn_cli.dir/rptcn_cli.cpp.o"
+  "CMakeFiles/rptcn_cli.dir/rptcn_cli.cpp.o.d"
+  "rptcn_cli"
+  "rptcn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rptcn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

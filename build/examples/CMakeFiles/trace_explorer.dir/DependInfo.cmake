@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_explorer.cpp" "examples/CMakeFiles/trace_explorer.dir/trace_explorer.cpp.o" "gcc" "examples/CMakeFiles/trace_explorer.dir/trace_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rptcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rptcn_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rptcn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rptcn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rptcn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/rptcn_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rptcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rptcn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rptcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rptcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rptcn_autograd.dir/gradcheck.cpp.o"
+  "CMakeFiles/rptcn_autograd.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/rptcn_autograd.dir/ops.cpp.o"
+  "CMakeFiles/rptcn_autograd.dir/ops.cpp.o.d"
+  "CMakeFiles/rptcn_autograd.dir/variable.cpp.o"
+  "CMakeFiles/rptcn_autograd.dir/variable.cpp.o.d"
+  "librptcn_autograd.a"
+  "librptcn_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rptcn_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/arima.cpp" "src/baselines/CMakeFiles/rptcn_baselines.dir/arima.cpp.o" "gcc" "src/baselines/CMakeFiles/rptcn_baselines.dir/arima.cpp.o.d"
+  "/root/repo/src/baselines/gbt.cpp" "src/baselines/CMakeFiles/rptcn_baselines.dir/gbt.cpp.o" "gcc" "src/baselines/CMakeFiles/rptcn_baselines.dir/gbt.cpp.o.d"
+  "/root/repo/src/baselines/linreg.cpp" "src/baselines/CMakeFiles/rptcn_baselines.dir/linreg.cpp.o" "gcc" "src/baselines/CMakeFiles/rptcn_baselines.dir/linreg.cpp.o.d"
+  "/root/repo/src/baselines/naive.cpp" "src/baselines/CMakeFiles/rptcn_baselines.dir/naive.cpp.o" "gcc" "src/baselines/CMakeFiles/rptcn_baselines.dir/naive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rptcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rptcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

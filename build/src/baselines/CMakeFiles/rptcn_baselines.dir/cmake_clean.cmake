@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rptcn_baselines.dir/arima.cpp.o"
+  "CMakeFiles/rptcn_baselines.dir/arima.cpp.o.d"
+  "CMakeFiles/rptcn_baselines.dir/gbt.cpp.o"
+  "CMakeFiles/rptcn_baselines.dir/gbt.cpp.o.d"
+  "CMakeFiles/rptcn_baselines.dir/linreg.cpp.o"
+  "CMakeFiles/rptcn_baselines.dir/linreg.cpp.o.d"
+  "CMakeFiles/rptcn_baselines.dir/naive.cpp.o"
+  "CMakeFiles/rptcn_baselines.dir/naive.cpp.o.d"
+  "librptcn_baselines.a"
+  "librptcn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rptcn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rptcn_common.dir/check.cpp.o"
+  "CMakeFiles/rptcn_common.dir/check.cpp.o.d"
+  "CMakeFiles/rptcn_common.dir/csv.cpp.o"
+  "CMakeFiles/rptcn_common.dir/csv.cpp.o.d"
+  "CMakeFiles/rptcn_common.dir/flags.cpp.o"
+  "CMakeFiles/rptcn_common.dir/flags.cpp.o.d"
+  "CMakeFiles/rptcn_common.dir/logging.cpp.o"
+  "CMakeFiles/rptcn_common.dir/logging.cpp.o.d"
+  "CMakeFiles/rptcn_common.dir/rng.cpp.o"
+  "CMakeFiles/rptcn_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rptcn_common.dir/stats.cpp.o"
+  "CMakeFiles/rptcn_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rptcn_common.dir/string_util.cpp.o"
+  "CMakeFiles/rptcn_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/rptcn_common.dir/table.cpp.o"
+  "CMakeFiles/rptcn_common.dir/table.cpp.o.d"
+  "librptcn_common.a"
+  "librptcn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rptcn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librptcn_common.a"
+)

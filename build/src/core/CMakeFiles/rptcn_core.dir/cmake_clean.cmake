@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rptcn_core.dir/experiment.cpp.o"
+  "CMakeFiles/rptcn_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/rptcn_core.dir/metrics.cpp.o"
+  "CMakeFiles/rptcn_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/rptcn_core.dir/pipeline.cpp.o"
+  "CMakeFiles/rptcn_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/rptcn_core.dir/scenario.cpp.o"
+  "CMakeFiles/rptcn_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/rptcn_core.dir/walk_forward.cpp.o"
+  "CMakeFiles/rptcn_core.dir/walk_forward.cpp.o.d"
+  "librptcn_core.a"
+  "librptcn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rptcn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/correlation.cpp" "src/data/CMakeFiles/rptcn_data.dir/correlation.cpp.o" "gcc" "src/data/CMakeFiles/rptcn_data.dir/correlation.cpp.o.d"
+  "/root/repo/src/data/expansion.cpp" "src/data/CMakeFiles/rptcn_data.dir/expansion.cpp.o" "gcc" "src/data/CMakeFiles/rptcn_data.dir/expansion.cpp.o.d"
+  "/root/repo/src/data/preprocess.cpp" "src/data/CMakeFiles/rptcn_data.dir/preprocess.cpp.o" "gcc" "src/data/CMakeFiles/rptcn_data.dir/preprocess.cpp.o.d"
+  "/root/repo/src/data/timeseries.cpp" "src/data/CMakeFiles/rptcn_data.dir/timeseries.cpp.o" "gcc" "src/data/CMakeFiles/rptcn_data.dir/timeseries.cpp.o.d"
+  "/root/repo/src/data/windowing.cpp" "src/data/CMakeFiles/rptcn_data.dir/windowing.cpp.o" "gcc" "src/data/CMakeFiles/rptcn_data.dir/windowing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/rptcn_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rptcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rptcn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rptcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rptcn_autograd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rptcn_data.dir/correlation.cpp.o"
+  "CMakeFiles/rptcn_data.dir/correlation.cpp.o.d"
+  "CMakeFiles/rptcn_data.dir/expansion.cpp.o"
+  "CMakeFiles/rptcn_data.dir/expansion.cpp.o.d"
+  "CMakeFiles/rptcn_data.dir/preprocess.cpp.o"
+  "CMakeFiles/rptcn_data.dir/preprocess.cpp.o.d"
+  "CMakeFiles/rptcn_data.dir/timeseries.cpp.o"
+  "CMakeFiles/rptcn_data.dir/timeseries.cpp.o.d"
+  "CMakeFiles/rptcn_data.dir/windowing.cpp.o"
+  "CMakeFiles/rptcn_data.dir/windowing.cpp.o.d"
+  "librptcn_data.a"
+  "librptcn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rptcn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rptcn_models.dir/arima_forecaster.cpp.o"
+  "CMakeFiles/rptcn_models.dir/arima_forecaster.cpp.o.d"
+  "CMakeFiles/rptcn_models.dir/forecaster.cpp.o"
+  "CMakeFiles/rptcn_models.dir/forecaster.cpp.o.d"
+  "CMakeFiles/rptcn_models.dir/gbt_forecaster.cpp.o"
+  "CMakeFiles/rptcn_models.dir/gbt_forecaster.cpp.o.d"
+  "CMakeFiles/rptcn_models.dir/nn_forecasters.cpp.o"
+  "CMakeFiles/rptcn_models.dir/nn_forecasters.cpp.o.d"
+  "CMakeFiles/rptcn_models.dir/registry.cpp.o"
+  "CMakeFiles/rptcn_models.dir/registry.cpp.o.d"
+  "librptcn_models.a"
+  "librptcn_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rptcn_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

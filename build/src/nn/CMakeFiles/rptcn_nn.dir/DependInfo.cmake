@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/rptcn_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/rptcn_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/cnn_lstm.cpp" "src/nn/CMakeFiles/rptcn_nn.dir/cnn_lstm.cpp.o" "gcc" "src/nn/CMakeFiles/rptcn_nn.dir/cnn_lstm.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/nn/CMakeFiles/rptcn_nn.dir/conv1d.cpp.o" "gcc" "src/nn/CMakeFiles/rptcn_nn.dir/conv1d.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/rptcn_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/rptcn_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/rptcn_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/rptcn_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/rptcn_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/rptcn_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/rptcn_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/rptcn_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/rptcn_net.cpp" "src/nn/CMakeFiles/rptcn_nn.dir/rptcn_net.cpp.o" "gcc" "src/nn/CMakeFiles/rptcn_nn.dir/rptcn_net.cpp.o.d"
+  "/root/repo/src/nn/tcn.cpp" "src/nn/CMakeFiles/rptcn_nn.dir/tcn.cpp.o" "gcc" "src/nn/CMakeFiles/rptcn_nn.dir/tcn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/rptcn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rptcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rptcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

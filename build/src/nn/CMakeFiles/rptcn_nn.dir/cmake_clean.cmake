@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rptcn_nn.dir/attention.cpp.o"
+  "CMakeFiles/rptcn_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/rptcn_nn.dir/cnn_lstm.cpp.o"
+  "CMakeFiles/rptcn_nn.dir/cnn_lstm.cpp.o.d"
+  "CMakeFiles/rptcn_nn.dir/conv1d.cpp.o"
+  "CMakeFiles/rptcn_nn.dir/conv1d.cpp.o.d"
+  "CMakeFiles/rptcn_nn.dir/init.cpp.o"
+  "CMakeFiles/rptcn_nn.dir/init.cpp.o.d"
+  "CMakeFiles/rptcn_nn.dir/linear.cpp.o"
+  "CMakeFiles/rptcn_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/rptcn_nn.dir/lstm.cpp.o"
+  "CMakeFiles/rptcn_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/rptcn_nn.dir/module.cpp.o"
+  "CMakeFiles/rptcn_nn.dir/module.cpp.o.d"
+  "CMakeFiles/rptcn_nn.dir/rptcn_net.cpp.o"
+  "CMakeFiles/rptcn_nn.dir/rptcn_net.cpp.o.d"
+  "CMakeFiles/rptcn_nn.dir/tcn.cpp.o"
+  "CMakeFiles/rptcn_nn.dir/tcn.cpp.o.d"
+  "librptcn_nn.a"
+  "librptcn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rptcn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

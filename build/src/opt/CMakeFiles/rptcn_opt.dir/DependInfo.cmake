@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/early_stopping.cpp" "src/opt/CMakeFiles/rptcn_opt.dir/early_stopping.cpp.o" "gcc" "src/opt/CMakeFiles/rptcn_opt.dir/early_stopping.cpp.o.d"
+  "/root/repo/src/opt/optimizer.cpp" "src/opt/CMakeFiles/rptcn_opt.dir/optimizer.cpp.o" "gcc" "src/opt/CMakeFiles/rptcn_opt.dir/optimizer.cpp.o.d"
+  "/root/repo/src/opt/schedule.cpp" "src/opt/CMakeFiles/rptcn_opt.dir/schedule.cpp.o" "gcc" "src/opt/CMakeFiles/rptcn_opt.dir/schedule.cpp.o.d"
+  "/root/repo/src/opt/trainer.cpp" "src/opt/CMakeFiles/rptcn_opt.dir/trainer.cpp.o" "gcc" "src/opt/CMakeFiles/rptcn_opt.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rptcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rptcn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rptcn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rptcn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rptcn_opt.dir/early_stopping.cpp.o"
+  "CMakeFiles/rptcn_opt.dir/early_stopping.cpp.o.d"
+  "CMakeFiles/rptcn_opt.dir/optimizer.cpp.o"
+  "CMakeFiles/rptcn_opt.dir/optimizer.cpp.o.d"
+  "CMakeFiles/rptcn_opt.dir/schedule.cpp.o"
+  "CMakeFiles/rptcn_opt.dir/schedule.cpp.o.d"
+  "CMakeFiles/rptcn_opt.dir/trainer.cpp.o"
+  "CMakeFiles/rptcn_opt.dir/trainer.cpp.o.d"
+  "librptcn_opt.a"
+  "librptcn_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rptcn_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

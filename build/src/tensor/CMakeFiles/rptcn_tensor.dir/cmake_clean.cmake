@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rptcn_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/rptcn_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/rptcn_tensor.dir/tensor_io.cpp.o"
+  "CMakeFiles/rptcn_tensor.dir/tensor_io.cpp.o.d"
+  "CMakeFiles/rptcn_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/rptcn_tensor.dir/tensor_ops.cpp.o.d"
+  "librptcn_tensor.a"
+  "librptcn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rptcn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/alibaba_schema.cpp" "src/trace/CMakeFiles/rptcn_trace.dir/alibaba_schema.cpp.o" "gcc" "src/trace/CMakeFiles/rptcn_trace.dir/alibaba_schema.cpp.o.d"
+  "/root/repo/src/trace/characterize.cpp" "src/trace/CMakeFiles/rptcn_trace.dir/characterize.cpp.o" "gcc" "src/trace/CMakeFiles/rptcn_trace.dir/characterize.cpp.o.d"
+  "/root/repo/src/trace/cluster.cpp" "src/trace/CMakeFiles/rptcn_trace.dir/cluster.cpp.o" "gcc" "src/trace/CMakeFiles/rptcn_trace.dir/cluster.cpp.o.d"
+  "/root/repo/src/trace/indicators.cpp" "src/trace/CMakeFiles/rptcn_trace.dir/indicators.cpp.o" "gcc" "src/trace/CMakeFiles/rptcn_trace.dir/indicators.cpp.o.d"
+  "/root/repo/src/trace/workload_model.cpp" "src/trace/CMakeFiles/rptcn_trace.dir/workload_model.cpp.o" "gcc" "src/trace/CMakeFiles/rptcn_trace.dir/workload_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/rptcn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rptcn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/rptcn_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rptcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rptcn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rptcn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rptcn_trace.dir/alibaba_schema.cpp.o"
+  "CMakeFiles/rptcn_trace.dir/alibaba_schema.cpp.o.d"
+  "CMakeFiles/rptcn_trace.dir/characterize.cpp.o"
+  "CMakeFiles/rptcn_trace.dir/characterize.cpp.o.d"
+  "CMakeFiles/rptcn_trace.dir/cluster.cpp.o"
+  "CMakeFiles/rptcn_trace.dir/cluster.cpp.o.d"
+  "CMakeFiles/rptcn_trace.dir/indicators.cpp.o"
+  "CMakeFiles/rptcn_trace.dir/indicators.cpp.o.d"
+  "CMakeFiles/rptcn_trace.dir/workload_model.cpp.o"
+  "CMakeFiles/rptcn_trace.dir/workload_model.cpp.o.d"
+  "librptcn_trace.a"
+  "librptcn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rptcn_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alibaba_schema.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_alibaba_schema.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_alibaba_schema.cpp.o.d"
+  "/root/repo/tests/test_autograd_basic.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_autograd_basic.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_autograd_basic.cpp.o.d"
+  "/root/repo/tests/test_autograd_composite.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_autograd_composite.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_autograd_composite.cpp.o.d"
+  "/root/repo/tests/test_autograd_gradcheck.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_autograd_gradcheck.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_autograd_gradcheck.cpp.o.d"
+  "/root/repo/tests/test_baselines_arima.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_baselines_arima.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_baselines_arima.cpp.o.d"
+  "/root/repo/tests/test_baselines_gbt.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_baselines_gbt.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_baselines_gbt.cpp.o.d"
+  "/root/repo/tests/test_common_csv.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_common_csv.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_common_csv.cpp.o.d"
+  "/root/repo/tests/test_common_rng.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_common_rng.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_common_rng.cpp.o.d"
+  "/root/repo/tests/test_common_stats.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_common_stats.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_common_stats.cpp.o.d"
+  "/root/repo/tests/test_common_util.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_common_util.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_common_util.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_data_correlation.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_data_correlation.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_data_correlation.cpp.o.d"
+  "/root/repo/tests/test_data_expansion.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_data_expansion.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_data_expansion.cpp.o.d"
+  "/root/repo/tests/test_data_preprocess.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_data_preprocess.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_data_preprocess.cpp.o.d"
+  "/root/repo/tests/test_data_windowing.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_data_windowing.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_data_windowing.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_nn_lstm.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_nn_lstm.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_nn_lstm.cpp.o.d"
+  "/root/repo/tests/test_nn_modules.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_nn_modules.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_nn_modules.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_tensor_io.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_tensor_io.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_tensor_io.cpp.o.d"
+  "/root/repo/tests/test_tensor_ops.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_tensor_ops.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_tensor_ops.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_properties.cpp" "tests/CMakeFiles/rptcn_tests.dir/test_trace_properties.cpp.o" "gcc" "tests/CMakeFiles/rptcn_tests.dir/test_trace_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rptcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rptcn_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rptcn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rptcn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rptcn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/rptcn_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rptcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rptcn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rptcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rptcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -6,20 +6,21 @@
 //     equivalent (a longer window with the same reach, Fig. 4a vs 4b).
 #include "bench_common.h"
 
+#include "core/parallel_runner.h"
+
 using namespace rptcn;
 
 namespace {
 
-core::ExperimentResult run(const data::TimeSeriesFrame& frame,
-                           const std::string& model,
-                           core::Scenario scenario,
-                           const core::PrepareOptions& prep,
-                           models::ModelConfig cfg) {
-  cfg.nn.max_epochs = 18;
-  cfg.nn.patience = 10;
-  return core::run_experiment(frame, "cpu_util_percent", model, scenario, prep,
-                              cfg);
-}
+/// One ablation variant: a display row plus the job that produces it.
+/// Variants are declared in render order and the separator flag marks the
+/// table's section breaks.
+struct Variant {
+  std::string name;
+  std::string note;
+  core::ExperimentJob job;
+  bool separator_after = false;
+};
 
 }  // namespace
 
@@ -29,70 +30,65 @@ int main() {
   const auto sim = bench::make_cluster(bench::default_trace_config(1500, 8));
   const auto& frame = sim->container_trace(0);
 
-  AsciiTable table({"variant", "MSE(e-2)", "MAE(e-2)", "params note"});
-  CsvTable csv;
-  csv.columns = {"variant_id", "mse", "mae"};
-  csv.data.assign(3, {});
-  std::size_t vid = 0;
-  const auto record = [&](const std::string& name,
-                          const core::ExperimentResult& r,
-                          const std::string& note) {
-    table.add_row({name, bench::fmt(r.accuracy.mse * 100.0),
-                   bench::fmt(r.accuracy.mae * 100.0), note});
-    csv.data[0].push_back(static_cast<double>(vid++));
-    csv.data[1].push_back(r.accuracy.mse);
-    csv.data[2].push_back(r.accuracy.mae);
-    std::cout << "[done] " << name << "\n";
-  };
-
   const auto prep = bench::default_prepare();
+  std::vector<Variant> variants;
+  const auto add = [&](const std::string& name, const std::string& model,
+                       core::Scenario scenario,
+                       const core::PrepareOptions& p, models::ModelConfig cfg,
+                       const std::string& note) {
+    cfg.nn.max_epochs = 18;
+    cfg.nn.patience = 10;
+    Variant v;
+    v.name = name;
+    v.note = note;
+    v.job.frame = &frame;
+    v.job.model = model;
+    v.job.scenario = scenario;
+    v.job.prepare = p;
+    v.job.config = cfg;
+    v.job.tag = name;
+    variants.push_back(std::move(v));
+  };
 
   // 1) The paper's additions: FC layer and attention.
   {
     auto cfg = bench::default_model_config(21);
-    record("RPTCN (full)",
-           run(frame, "RPTCN", core::Scenario::kMulExp, prep, cfg),
-           "TCN+FC+attention");
+    add("RPTCN (full)", "RPTCN", core::Scenario::kMulExp, prep, cfg,
+        "TCN+FC+attention");
     cfg.rptcn.use_attention = false;
-    record("  - attention",
-           run(frame, "RPTCN", core::Scenario::kMulExp, prep, cfg),
-           "TCN+FC, last-step readout");
+    add("  - attention", "RPTCN", core::Scenario::kMulExp, prep, cfg,
+        "TCN+FC, last-step readout");
     cfg.rptcn.use_attention = true;
     cfg.rptcn.use_fc = false;
-    record("  - FC layer",
-           run(frame, "RPTCN", core::Scenario::kMulExp, prep, cfg),
-           "TCN+attention");
-    record("plain TCN", run(frame, "TCN", core::Scenario::kMulExp, prep,
-                            bench::default_model_config(21)),
-           "no FC, no attention");
+    add("  - FC layer", "RPTCN", core::Scenario::kMulExp, prep, cfg,
+        "TCN+attention");
+    add("plain TCN", "TCN", core::Scenario::kMulExp, prep,
+        bench::default_model_config(21), "no FC, no attention");
+    variants.back().separator_after = true;
   }
-  table.add_separator();
 
   // 2) Receptive field: kernel size and depth.
   for (const std::size_t k : {2u, 3u, 5u}) {
     auto cfg = bench::default_model_config(22);
     cfg.rptcn.tcn.kernel_size = k;
-    record("kernel=" + std::to_string(k),
-           run(frame, "RPTCN", core::Scenario::kMulExp, prep, cfg),
-           "dilations 1,2");
+    add("kernel=" + std::to_string(k), "RPTCN", core::Scenario::kMulExp, prep,
+        cfg, "dilations 1,2");
   }
   for (const std::size_t depth : {1u, 2u, 3u}) {
     auto cfg = bench::default_model_config(23);
     cfg.rptcn.tcn.channels.assign(depth, 16);
-    record("depth=" + std::to_string(depth),
-           run(frame, "RPTCN", core::Scenario::kMulExp, prep, cfg),
-           "16ch blocks");
+    add("depth=" + std::to_string(depth), "RPTCN", core::Scenario::kMulExp,
+        prep, cfg, "16ch blocks");
   }
-  table.add_separator();
+  variants.back().separator_after = true;
 
   // 3) Expansion width (Fig. 4b) vs vertical equivalent (Fig. 4a).
   for (const std::size_t copies : {1u, 2u, 3u, 4u}) {
     auto p = prep;
     p.expansion.copies = copies;
-    record("horizontal copies=" + std::to_string(copies),
-           run(frame, "RPTCN", core::Scenario::kMulExp, p,
-               bench::default_model_config(24)),
-           copies == 1 ? "== Mul scenario" : "Fig. 4b");
+    add("horizontal copies=" + std::to_string(copies), "RPTCN",
+        core::Scenario::kMulExp, p, bench::default_model_config(24),
+        copies == 1 ? "== Mul scenario" : "Fig. 4b");
   }
   {
     // Vertical equivalent: Mul scenario with window widened to match the
@@ -100,37 +96,49 @@ int main() {
     auto p = prep;
     p.window.window =
         data::vertical_equivalent_window(prep.window.window, prep.expansion);
-    record("vertical equivalent (window=" +
-               std::to_string(p.window.window) + ")",
-           run(frame, "RPTCN", core::Scenario::kMul, p,
-               bench::default_model_config(24)),
-           "Fig. 4a");
+    add("vertical equivalent (window=" + std::to_string(p.window.window) + ")",
+        "RPTCN", core::Scenario::kMul, p, bench::default_model_config(24),
+        "Fig. 4a");
+    variants.back().separator_after = true;
   }
-  table.add_separator();
 
   // 4) The paper's future-work proposals (Section V-C).
   {
     auto p = prep;
     p.add_differences = true;
-    record("+ first-order differences",
-           run(frame, "RPTCN", core::Scenario::kMulExp, p,
-               bench::default_model_config(25)),
-           "paper future work");
+    add("+ first-order differences", "RPTCN", core::Scenario::kMulExp, p,
+        bench::default_model_config(25), "paper future work");
   }
   {
     auto p = prep;
     p.weighted_expansion = true;
     p.expansion.copies = 4;  // maximum copies; per-indicator scaled by |PCC|
-    record("PCC-weighted expansion (max 4)",
-           run(frame, "RPTCN", core::Scenario::kMulExp, p,
-               bench::default_model_config(26)),
-           "paper future work");
+    add("PCC-weighted expansion (max 4)", "RPTCN", core::Scenario::kMulExp, p,
+        bench::default_model_config(26), "paper future work");
   }
-  {
-    record("BiLSTM baseline (related work)",
-           run(frame, "BiLSTM", core::Scenario::kMulExp, prep,
-               bench::default_model_config(27)),
-           "Gupta & Dinesh 2017");
+  add("BiLSTM baseline (related work)", "BiLSTM", core::Scenario::kMulExp,
+      prep, bench::default_model_config(27), "Gupta & Dinesh 2017");
+
+  std::vector<core::ExperimentJob> jobs;
+  for (const auto& v : variants) jobs.push_back(v.job);
+  core::ParallelRunOptions run_opt;
+  run_opt.verbose = true;
+  std::cout << "[grid] " << jobs.size() << " variants on "
+            << core::configured_jobs() << " workers (RPTCN_JOBS overrides)\n";
+  const auto results = core::run_experiments(jobs, run_opt);
+
+  AsciiTable table({"variant", "MSE(e-2)", "MAE(e-2)", "params note"});
+  CsvTable csv;
+  csv.columns = {"variant_id", "mse", "mae"};
+  csv.data.assign(3, {});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({variants[i].name, bench::fmt(r.accuracy.mse * 100.0),
+                   bench::fmt(r.accuracy.mae * 100.0), variants[i].note});
+    csv.data[0].push_back(static_cast<double>(i));
+    csv.data[1].push_back(r.accuracy.mse);
+    csv.data[2].push_back(r.accuracy.mae);
+    if (variants[i].separator_after) table.add_separator();
   }
 
   table.set_title("RPTCN ablations on container " + sim->container_info(0).id +

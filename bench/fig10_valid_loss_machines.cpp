@@ -3,6 +3,8 @@
 // starts largest; CNN-LSTM's curve is jittery and converges late.
 #include "bench_common.h"
 
+#include "core/parallel_runner.h"
+
 using namespace rptcn;
 
 int main() {
@@ -19,18 +21,27 @@ int main() {
                                                 "RPTCN"};
   const std::size_t epochs = 20;
 
-  std::vector<models::TrainCurves> curves;
+  std::vector<core::ExperimentJob> jobs;
   for (const auto& name : model_names) {
     auto cfg = bench::default_model_config(10);
     cfg.nn.max_epochs = epochs;
     cfg.nn.patience = epochs;
     cfg.gbt.n_rounds = epochs;
     cfg.gbt.early_stopping_rounds = 0;
-    const auto r = core::run_experiment(frame, "cpu_util_percent", name,
-                                        core::Scenario::kMulExp, prepare, cfg);
-    curves.push_back(r.curves);
-    std::cout << "[done] " << name << "\n";
+    core::ExperimentJob job;
+    job.frame = &frame;
+    job.model = name;
+    job.scenario = core::Scenario::kMulExp;
+    job.prepare = prepare;
+    job.config = cfg;
+    job.tag = name;
+    jobs.push_back(std::move(job));
   }
+  core::ParallelRunOptions run_opt;
+  run_opt.verbose = true;
+  std::vector<models::TrainCurves> curves;
+  for (const auto& r : core::run_experiments(jobs, run_opt))
+    curves.push_back(r.curves);
 
   std::vector<std::string> header = {"epoch"};
   for (const auto& name : model_names) header.push_back(name);

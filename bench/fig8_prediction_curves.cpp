@@ -13,6 +13,8 @@
 
 #include <cmath>
 
+#include "core/parallel_runner.h"
+
 using namespace rptcn;
 
 namespace {
@@ -83,14 +85,21 @@ int main() {
 
   CsvTable csv;
   csv.columns = {"sample", "true"};
-  std::vector<core::ExperimentResult> results;
+  std::vector<core::ExperimentJob> jobs;
   for (const auto& name : model_names) {
-    results.push_back(core::run_experiment(frame, "cpu_util_percent", name,
-                                           core::Scenario::kMulExp, prepare,
-                                           bench::default_model_config(7)));
+    core::ExperimentJob job;
+    job.frame = &frame;
+    job.model = name;
+    job.scenario = core::Scenario::kMulExp;
+    job.prepare = prepare;
+    job.config = bench::default_model_config(7);
+    job.tag = name;
+    jobs.push_back(std::move(job));
     csv.columns.push_back(name);
-    std::cout << "[done] " << name << "\n";
   }
+  core::ParallelRunOptions run_opt;
+  run_opt.verbose = true;
+  const auto results = core::run_experiments(jobs, run_opt);
 
   // All models share the same test windows; dump true + predictions.
   const Tensor& truth = results.front().targets;

@@ -4,8 +4,14 @@
 // the paper-reproduction benches.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+
 #include "autograd/ops.h"
+#include "bench_common.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/parallel_runner.h"
 #include "data/correlation.h"
 #include "nn/attention.h"
 #include "nn/lstm.h"
@@ -29,6 +35,34 @@ void BM_Gemm(benchmark::State& state) {
                           n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul_tn(a, b);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_GemmTn)->Arg(64)->Arg(256);
+
+void BM_GemmNt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul_nt(a, b);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_GemmNt)->Arg(64)->Arg(256);
 
 void BM_Conv1dForward(benchmark::State& state) {
   const auto t = static_cast<std::size_t>(state.range(0));
@@ -134,7 +168,128 @@ void BM_CorrelationScreening(benchmark::State& state) {
 }
 BENCHMARK(BM_CorrelationScreening);
 
+// ---------------------------------------------------------------------------
+// BENCH_kernels.json: headline GFLOP/s of the shared GEMM kernel plus the
+// parallel-runner speedup on a small experiment grid, in one machine-readable
+// file so perf regressions are diffable across commits.
+// ---------------------------------------------------------------------------
+
+double gemm_gflops(const char* which) {
+  Rng rng(1);
+  const std::size_t n = 256;
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  const auto run = [&] {
+    Tensor c = which[0] == 'm'   ? matmul(a, b)
+               : which[0] == 't' ? matmul_tn(a, b)
+                                 : matmul_nt(a, b);
+    benchmark::DoNotOptimize(c.raw());
+  };
+  run();  // warm-up (page in the pack buffers)
+  Stopwatch watch;
+  std::size_t iters = 0;
+  while (watch.elapsed_seconds() < 0.2) {
+    run();
+    ++iters;
+  }
+  const double flops = 2.0 * static_cast<double>(n) * n * n * iters;
+  return flops / watch.elapsed_seconds() / 1e9;
+}
+
+struct GridTiming {
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  std::size_t parallel_jobs = 1;
+  bool bit_identical = true;
+};
+
+/// Time a 2-model x 2-container grid serially and with the configured worker
+/// count, and check the results match bit for bit.
+GridTiming time_grid() {
+  const auto sim = bench::make_cluster(bench::default_trace_config(400, 2));
+  std::vector<core::ExperimentJob> jobs;
+  for (const char* model : {"LSTM", "RPTCN"}) {
+    for (const std::size_t c : {std::size_t{0}, std::size_t{1}}) {
+      core::ExperimentJob job;
+      job.frame = &sim->container_trace(c);
+      job.model = model;
+      job.scenario = core::Scenario::kMulExp;
+      job.prepare = bench::default_prepare();
+      auto cfg = bench::default_model_config(42 + c);
+      cfg.nn.max_epochs = 6;
+      job.config = cfg;
+      job.tag = std::string(model) + "/c" + std::to_string(c);
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  GridTiming t;
+  t.parallel_jobs = core::configured_jobs();
+  core::ParallelRunOptions serial_opt;
+  serial_opt.jobs = 1;
+  Stopwatch serial_watch;
+  const auto serial = core::run_experiments(jobs, serial_opt);
+  t.serial_seconds = serial_watch.elapsed_seconds();
+
+  core::ParallelRunOptions par_opt;
+  par_opt.jobs = t.parallel_jobs;
+  Stopwatch par_watch;
+  const auto parallel = core::run_experiments(jobs, par_opt);
+  t.parallel_seconds = par_watch.elapsed_seconds();
+
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    if (serial[i].accuracy.mse != parallel[i].accuracy.mse ||
+        serial[i].accuracy.mae != parallel[i].accuracy.mae)
+      t.bit_identical = false;
+    const float* a = serial[i].predictions.raw();
+    const float* b = parallel[i].predictions.raw();
+    for (std::size_t j = 0; j < serial[i].predictions.size(); ++j)
+      if (a[j] != b[j]) t.bit_identical = false;
+  }
+  return t;
+}
+
+void emit_kernels_json() {
+  const double mm = gemm_gflops("matmul");
+  const double tn = gemm_gflops("tn");
+  const double nt = gemm_gflops("nt");
+  const GridTiming grid = time_grid();
+  const double speedup =
+      grid.parallel_seconds > 0.0 ? grid.serial_seconds / grid.parallel_seconds
+                                  : 0.0;
+
+  std::ofstream out("BENCH_kernels.json");
+  out << "{\n"
+      << "  \"gemm_size\": 256,\n"
+      << "  \"gflops\": {\n"
+      << "    \"matmul\": " << mm << ",\n"
+      << "    \"matmul_tn\": " << tn << ",\n"
+      << "    \"matmul_nt\": " << nt << "\n"
+      << "  },\n"
+      << "  \"grid\": {\n"
+      << "    \"jobs\": 4,\n"
+      << "    \"workers_parallel\": " << grid.parallel_jobs << ",\n"
+      << "    \"seconds_serial\": " << grid.serial_seconds << ",\n"
+      << "    \"seconds_parallel\": " << grid.parallel_seconds << ",\n"
+      << "    \"speedup\": " << speedup << ",\n"
+      << "    \"bit_identical\": " << (grid.bit_identical ? "true" : "false")
+      << "\n"
+      << "  }\n"
+      << "}\n";
+  std::cout << "[json] wrote BENCH_kernels.json — 256^3 GEMM " << mm
+            << " GFLOP/s; grid speedup " << speedup << "x on "
+            << grid.parallel_jobs << " workers (bit_identical="
+            << (grid.bit_identical ? "true" : "false") << ")\n";
+}
+
 }  // namespace
 }  // namespace rptcn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  rptcn::emit_kernels_json();
+  return 0;
+}

@@ -8,6 +8,7 @@
 
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/parallel_runner.h"
 #include "trace/cluster.h"
 
 int main(int argc, char** argv) {
@@ -39,17 +40,28 @@ int main(int argc, char** argv) {
     models::Accuracy acc;
     double seconds;
   };
-  std::vector<Row> rows;
+  std::vector<core::ExperimentJob> jobs;
   for (const auto& name : models::forecaster_names()) {
     if (name == "ARIMA" && scenario != core::Scenario::kUni) {
       std::cout << "skipping ARIMA (univariate model, Uni scenario only)\n";
       continue;
     }
-    const auto result = core::run_experiment(frame, "cpu_util_percent", name,
-                                             scenario, prepare, cfg);
-    rows.push_back({name, result.accuracy, result.fit_seconds});
-    std::cout << "[done] " << name << "\n";
+    core::ExperimentJob job;
+    job.frame = &frame;
+    job.model = name;
+    job.scenario = scenario;
+    job.prepare = prepare;
+    job.config = cfg;
+    job.tag = name;
+    jobs.push_back(std::move(job));
   }
+  core::ParallelRunOptions run_opt;
+  run_opt.verbose = true;
+  const auto results = core::run_experiments(jobs, run_opt);
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    rows.push_back({jobs[i].model, results[i].accuracy,
+                    results[i].fit_seconds});
   std::sort(rows.begin(), rows.end(),
             [](const Row& a, const Row& b) { return a.acc.mse < b.acc.mse; });
 

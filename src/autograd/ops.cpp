@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace rptcn::ag {
@@ -231,7 +232,7 @@ Tensor conv1d_forward(const Tensor& x, const Tensor& w, const Tensor* b,
               "conv1d: input too short for kernel reach " << reach);
   const std::size_t t_out = t_in + pad - reach;
   Tensor y({n, cout, t_out});
-#pragma omp parallel for collapse(2) schedule(static) if (n * cout > 1)
+#pragma omp parallel for collapse(2) schedule(static) if (n * cout > 1 && kernel_parallelism_allowed())
   for (std::size_t ni = 0; ni < n; ++ni) {
     for (std::size_t co = 0; co < cout; ++co) {
       float* yrow = y.raw() + (ni * cout + co) * t_out;
@@ -299,7 +300,7 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
 
       if (xn->requires_grad) {
         Tensor dx = Tensor::zeros(xv.shape());
-#pragma omp parallel for schedule(static) if (n > 1)
+#pragma omp parallel for schedule(static) if (n > 1 && kernel_parallelism_allowed())
         for (std::size_t ni = 0; ni < n; ++ni) {
           for (std::size_t co = 0; co < cout; ++co) {
             const float* gyrow = dy.raw() + (ni * cout + co) * t_out;
@@ -328,7 +329,7 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
 
       if (wn->requires_grad) {
         Tensor dw = Tensor::zeros(wv.shape());
-#pragma omp parallel for schedule(static) if (cout > 1)
+#pragma omp parallel for schedule(static) if (cout > 1 && kernel_parallelism_allowed())
         for (std::size_t co = 0; co < cout; ++co) {
           for (std::size_t ni = 0; ni < n; ++ni) {
             const float* gyrow = dy.raw() + (ni * cout + co) * t_out;
@@ -665,6 +666,29 @@ Variable concat_cols(const Variable& a, const Variable& b) {
                       db.raw() + i * fb);
         bn->accumulate(db);
       }
+    };
+  });
+}
+
+Variable slice_cols(const Variable& x, std::size_t start, std::size_t count) {
+  check_defined(x, "slice_cols");
+  RPTCN_CHECK(x.value().rank() == 2, "slice_cols expects rank-2 input, got "
+                                         << x.value().shape_string());
+  const std::size_t n = x.dim(0), f = x.dim(1);
+  RPTCN_CHECK(count > 0 && start + count <= f,
+              "slice_cols [" << start << ", " << (start + count)
+                             << ") out of range for " << f << " columns");
+  Tensor out({n, count});
+  for (std::size_t i = 0; i < n; ++i)
+    std::copy_n(x.value().raw() + i * f + start, count, out.raw() + i * count);
+  return make_node(std::move(out), {x}, "slice_cols", [x, start, count, f] {
+    return [xn = x.node(), start, count, f](Node& self) {
+      const std::size_t rows = self.grad.dim(0);
+      Tensor dx = Tensor::zeros(xn->value.shape());
+      for (std::size_t i = 0; i < rows; ++i)
+        std::copy_n(self.grad.raw() + i * count, count,
+                    dx.raw() + i * f + start);
+      xn->accumulate(dx);
     };
   });
 }

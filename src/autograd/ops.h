@@ -73,6 +73,10 @@ Variable time_slice(const Variable& x, std::size_t t);
 Variable time_reverse(const Variable& x);
 /// Concatenate along the feature axis: [N,A] ++ [N,B] -> [N,A+B].
 Variable concat_cols(const Variable& a, const Variable& b);
+/// Column slice of a 2-D activation: [N,F] -> [N,count] starting at `start`.
+/// Used to peel per-gate activations out of the LSTM's fused pre-activation
+/// GEMM; backward scatters into the sliced columns.
+Variable slice_cols(const Variable& x, std::size_t start, std::size_t count);
 
 // -- reductions & losses ------------------------------------------------------------------
 Variable sum_all(const Variable& a);   // -> [1]

@@ -1,11 +1,19 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace rptcn {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Serialises sink writes so lines from pool workers never interleave.
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -24,11 +32,14 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_message(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
   std::cerr << "[rptcn " << level_tag(level) << "] " << msg << '\n';
 }
 }  // namespace detail

@@ -1,9 +1,11 @@
 // Minimal leveled logging to stderr.
 //
 // The library itself logs sparingly (training progress, experiment phases);
-// benches and examples raise the level for narration. Not thread-safe by
-// design — all logging in this codebase happens from the orchestration
-// thread, never inside OpenMP regions.
+// benches and examples raise the level for narration. Thread-safe: the level
+// is an atomic and sink writes are serialised by a mutex, so experiment jobs
+// running on the worker pool may log without interleaving lines. Logging
+// from inside OpenMP kernel regions is still avoided (it would serialise the
+// hot loops).
 #pragma once
 
 #include <sstream>

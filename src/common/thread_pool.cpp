@@ -1,0 +1,64 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace rptcn {
+
+namespace {
+// Global count of tasks currently executing on any ThreadPool. Relaxed
+// ordering is sufficient: the count only steers the OpenMP `if` clauses and
+// a stale read merely picks a different (still correct) thread count.
+std::atomic<std::size_t> g_active_jobs{0};
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::active_jobs() {
+  return g_active_jobs.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping so submitted futures always
+      // complete.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    g_active_jobs.fetch_add(1, std::memory_order_relaxed);
+    task();  // packaged_task: exceptions land in the future
+    g_active_jobs.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool kernel_parallelism_allowed() {
+  return g_active_jobs.load(std::memory_order_relaxed) <= 1;
+}
+
+}  // namespace rptcn

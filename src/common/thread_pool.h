@@ -1,0 +1,73 @@
+// Fixed-size worker pool for coarse-grained job parallelism.
+//
+// The pool is the level-1 lever of the execution model: independent
+// experiment jobs (one training run each) execute on worker threads while
+// the level-2 lever — OpenMP inside the numeric kernels — is gated down to
+// a single thread whenever the pool is saturated, so the two levels never
+// oversubscribe the machine (see DESIGN.md "Threading model").
+//
+// Guarantees:
+//  * submit() returns a std::future; exceptions thrown by the task are
+//    captured and rethrown from future::get() on the caller's thread.
+//  * The destructor drains every queued task before joining (no dropped
+//    work), so futures obtained from submit() never dangle.
+//  * active_jobs() counts tasks currently executing on any pool, globally;
+//    kernel_parallelism_allowed() is false while two or more run at once.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rptcn {
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` threads (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(std::size_t workers);
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Schedule `fn` on the pool. The returned future delivers the result or
+  /// rethrows the task's exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Tasks currently executing across every live pool (not queued ones).
+  static std::size_t active_jobs();
+
+ private:
+  void enqueue(std::function<void()> fn);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// True when the OpenMP kernels may fan out: no pool is saturated with
+/// concurrent jobs. Used in `#pragma omp parallel for if(...)` clauses so
+/// inner-kernel threading collapses to 1 while coarse-grained jobs own the
+/// cores.
+bool kernel_parallelism_allowed();
+
+}  // namespace rptcn

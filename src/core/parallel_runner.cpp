@@ -1,0 +1,88 @@
+#include "core/parallel_runner.h"
+
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <iostream>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace rptcn::core {
+
+std::size_t configured_jobs() {
+  if (const char* env = std::getenv("RPTCN_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1)
+      return static_cast<std::size_t>(v);
+    // Malformed values fall through to the hardware default rather than
+    // silently serialising a grid.
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::uint64_t job_seed(std::uint64_t base, std::size_t index) {
+  // Jump the SplitMix64 stream to child `index`, then draw once: adjacent
+  // indices land 2^64/phi apart in state space, so per-job streams are
+  // decorrelated even for base seeds that differ by small integers.
+  std::uint64_t state = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  return splitmix64(state);
+}
+
+std::vector<ExperimentResult> run_experiments(
+    const std::vector<ExperimentJob>& jobs,
+    const ParallelRunOptions& options) {
+  for (const auto& job : jobs)
+    RPTCN_CHECK(job.frame != nullptr,
+                "run_experiments: job '" << job.tag << "' has no frame");
+
+  std::vector<ExperimentResult> results(jobs.size());
+  if (jobs.empty()) return results;
+  const std::size_t workers =
+      std::min(options.jobs == 0 ? configured_jobs() : options.jobs,
+               jobs.size());
+
+  const auto run_one = [](const ExperimentJob& job) {
+    return run_experiment(*job.frame, job.target, job.model, job.scenario,
+                          job.prepare, job.config);
+  };
+
+  if (workers <= 1) {
+    // Serial reference path: same code, same order, no pool.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = run_one(jobs[i]);
+      if (options.verbose)
+        std::cout << "[done] " << jobs[i].tag << "\n" << std::flush;
+    }
+    return results;
+  }
+
+  std::vector<std::future<ExperimentResult>> futures;
+  futures.reserve(jobs.size());
+  {
+    ThreadPool pool(workers);
+    for (const auto& job : jobs)
+      futures.push_back(pool.submit([&run_one, &job] { return run_one(job); }));
+
+    // Collect in submission order. Remember the first failure but keep
+    // draining so every job settles before the pool is torn down.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      try {
+        results[i] = futures[i].get();
+        if (options.verbose && !first_error)
+          std::cout << "[done] " << jobs[i].tag << "\n" << std::flush;
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  return results;
+}
+
+}  // namespace rptcn::core

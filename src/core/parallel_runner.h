@@ -1,0 +1,59 @@
+// Parallel experiment runner: executes a flat (scenario x model x entity x
+// seed) grid of run_experiment jobs on a fixed worker pool.
+//
+// Every headline artifact of the reproduction (Table II, Figs. 8-10, the
+// ablation) is such a grid of *independent* training runs, so coarse-grained
+// job parallelism is the first lever of throughput. The contract:
+//
+//  * Results come back in submission order, and each job's result is
+//    bit-identical to running it serially: jobs carry their own seeds, every
+//    numeric kernel is deterministic for any thread count, and OpenMP inside
+//    kernels collapses to one thread while the pool is saturated (see
+//    common/thread_pool.h and DESIGN.md "Threading model").
+//  * The worker count comes from ParallelRunOptions::jobs, else the
+//    RPTCN_JOBS environment variable, else hardware_concurrency.
+//  * An exception in any job is rethrown on the calling thread after all
+//    jobs have settled (no detached work left behind).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace rptcn::core {
+
+/// One cell of an experiment grid. The frame must outlive the run (frames
+/// are owned by the caller's ClusterSimulator / loader and only read).
+struct ExperimentJob {
+  const data::TimeSeriesFrame* frame = nullptr;
+  std::string target = "cpu_util_percent";
+  std::string model;
+  Scenario scenario = Scenario::kMulExp;
+  PrepareOptions prepare;
+  models::ModelConfig config;
+  std::string tag;  ///< caller label ("Mul-Exp/RPTCN/c_0/s42"), used in logs
+};
+
+struct ParallelRunOptions {
+  std::size_t jobs = 0;   ///< worker threads; 0 = configured_jobs()
+  bool verbose = false;   ///< print "[done] tag" lines in submission order
+};
+
+/// Worker count: RPTCN_JOBS env var when set (clamped to >= 1), else
+/// std::thread::hardware_concurrency().
+std::size_t configured_jobs();
+
+/// Decorrelated per-job seed stream: child `index` of `base` via the same
+/// SplitMix64 expansion Rng uses internally. Lets callers derive one seed
+/// per grid cell without coupling neighbouring cells.
+std::uint64_t job_seed(std::uint64_t base, std::size_t index);
+
+/// Run the grid. Results are returned in submission order and are
+/// bit-identical to a serial run of the same jobs.
+std::vector<ExperimentResult> run_experiments(
+    const std::vector<ExperimentJob>& jobs,
+    const ParallelRunOptions& options = {});
+
+}  // namespace rptcn::core

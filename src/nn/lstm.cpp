@@ -1,36 +1,33 @@
 #include "nn/lstm.h"
 
+#include <algorithm>
+
 #include "autograd/ops.h"
 #include "nn/init.h"
 
 namespace rptcn::nn {
 
-Lstm::Gate Lstm::make_gate(const char* name, std::size_t input_features,
-                           Rng& rng, float bias_init) {
-  Gate g;
-  g.wx = register_parameter(std::string(name) + ".wx",
-                            lecun_uniform({hidden_, input_features},
-                                          input_features, rng));
-  g.wh = register_parameter(std::string(name) + ".wh",
-                            lecun_uniform({hidden_, hidden_}, hidden_, rng));
-  g.b = register_parameter(std::string(name) + ".b",
-                           Tensor::full({hidden_}, bias_init));
-  return g;
-}
-
 Lstm::Lstm(std::size_t input_features, std::size_t hidden, Rng& rng)
     : hidden_(hidden) {
   RPTCN_CHECK(input_features > 0 && hidden > 0, "Lstm dims must be positive");
-  input_gate_ = make_gate("i", input_features, rng, 0.0f);
-  forget_gate_ = make_gate("f", input_features, rng, 1.0f);
-  cell_gate_ = make_gate("g", input_features, rng, 0.0f);
-  output_gate_ = make_gate("o", input_features, rng, 0.0f);
-}
-
-Variable Lstm::gate_pre(const Gate& g, const Variable& xt,
-                        const Variable& h) const {
-  // pre = xt wx^T + h wh^T + b  (bias added once, via the first linear)
-  return ag::add(ag::linear(xt, g.wx, g.b), ag::linear(h, g.wh, Variable{}));
+  const std::size_t f = input_features, h = hidden;
+  Tensor w = Tensor::zeros({4 * h, f + h});
+  Tensor b = Tensor::zeros({4 * h});
+  // Draw each gate's blocks in the historical order (gates i, f, g, o; the
+  // input block before the recurrent block, each with its own fan-in) so the
+  // packed layout reproduces the unfused per-gate init statistics exactly.
+  for (std::size_t gate = 0; gate < 4; ++gate) {
+    const Tensor wx = lecun_uniform({h, f}, f, rng);
+    const Tensor wh = lecun_uniform({h, h}, h, rng);
+    for (std::size_t r = 0; r < h; ++r) {
+      float* row = w.raw() + (gate * h + r) * (f + h);
+      std::copy_n(wx.raw() + r * f, f, row);
+      std::copy_n(wh.raw() + r * h, h, row + f);
+    }
+  }
+  std::fill_n(b.raw() + h, h, 1.0f);  // forget-gate bias = 1
+  w_ = register_parameter("gates.w", std::move(w));
+  b_ = register_parameter("gates.b", std::move(b));
 }
 
 Variable Lstm::forward(const Variable& x) const {
@@ -40,11 +37,14 @@ Variable Lstm::forward(const Variable& x) const {
   Variable h(Tensor::zeros({n, hidden_}));
   Variable c(Tensor::zeros({n, hidden_}));
   for (std::size_t t = 0; t < t_len; ++t) {
-    const Variable xt = ag::time_slice(x, t);  // [N, F]
-    const Variable i = ag::sigmoid(gate_pre(input_gate_, xt, h));
-    const Variable f = ag::sigmoid(gate_pre(forget_gate_, xt, h));
-    const Variable g = ag::tanh_v(gate_pre(cell_gate_, xt, h));
-    const Variable o = ag::sigmoid(gate_pre(output_gate_, xt, h));
+    const Variable xt = ag::time_slice(x, t);    // [N, F]
+    const Variable xh = ag::concat_cols(xt, h);  // [N, F+H]
+    // One fused GEMM yields all four gate pre-activations at once.
+    const Variable pre = ag::linear(xh, w_, b_);  // [N, 4H]
+    const Variable i = ag::sigmoid(ag::slice_cols(pre, 0, hidden_));
+    const Variable f = ag::sigmoid(ag::slice_cols(pre, hidden_, hidden_));
+    const Variable g = ag::tanh_v(ag::slice_cols(pre, 2 * hidden_, hidden_));
+    const Variable o = ag::sigmoid(ag::slice_cols(pre, 3 * hidden_, hidden_));
     c = ag::add(ag::mul(f, c), ag::mul(i, g));
     h = ag::mul(o, ag::tanh_v(c));
   }

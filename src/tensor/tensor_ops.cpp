@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace rptcn {
 
@@ -136,26 +139,170 @@ Tensor sum_cols(const Tensor& a) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// GEMM: one blocked, packed, register-tiled kernel serving all three layout
+// variants (NN, TN, NT). The input layout only affects the packing routines;
+// the micro-kernel is branch-free and identical everywhere.
+//
+// Structure (BLIS-style, scaled to L1/L2 on a laptop-class core):
+//   * K is split into kKC panels; for each panel the B block [kc x n] is
+//     packed once into column panels of width kNR (k-major);
+//   * rows are split into kMC blocks (OpenMP over row blocks — this is the
+//     only parallel axis, so every C element is written by exactly one
+//     thread and results are bit-identical for any thread count);
+//   * each row block packs its A panel [mc x kc] into row panels of height
+//     kMR (k-major) and runs the kMR x kNR micro-kernel.
+//
+// Determinism contract: per C element the reduction order is k ascending
+// within a panel, panels ascending, each product folded with a single
+// rounding via std::fma. No data-dependent branches, no atomic reductions.
+// tests/test_tensor_ops.cpp checks bit-exact equality against a reference
+// triple loop that mirrors this reduction order.
+namespace {
+
+constexpr std::size_t kMR = 8;    // micro-kernel rows
+constexpr std::size_t kNR = 8;    // micro-kernel cols
+constexpr std::size_t kMC = 64;   // row-block height (A panel rows)
+constexpr std::size_t kKC = 256;  // k-panel depth
+// Below this flop count the packing overhead dominates; use the simple
+// branch-free triple loop. Shape-dependent dispatch only — never
+// data-dependent.
+constexpr std::size_t kSmallGemmFlops = 1u << 13;
+// OpenMP fan-out threshold for the blocked path.
+constexpr std::size_t kParallelGemmFlops = 1u << 16;
+
+/// Element accessor abstraction: A(i,p) with optional transpose.
+inline float at_maybe_t(const float* p, std::size_t ld, bool trans,
+                        std::size_t i, std::size_t j) {
+  return trans ? p[j * ld + i] : p[i * ld + j];
+}
+
+/// Pack A[mc x kc] (logical, transpose applied) into row panels of height
+/// kMR, k-major inside each panel; short panels are zero-padded.
+void pack_a(const float* a, std::size_t lda, bool trans, std::size_t i0,
+            std::size_t p0, std::size_t mc, std::size_t kc, float* buf) {
+  for (std::size_t ir = 0; ir < mc; ir += kMR) {
+    const std::size_t mr = std::min(kMR, mc - ir);
+    float* panel = buf + ir * kc;
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t r = 0; r < mr; ++r)
+        panel[p * kMR + r] = at_maybe_t(a, lda, trans, i0 + ir + r, p0 + p);
+      for (std::size_t r = mr; r < kMR; ++r) panel[p * kMR + r] = 0.0f;
+    }
+  }
+}
+
+/// Pack B[kc x n] (logical, transpose applied) into column panels of width
+/// kNR, k-major inside each panel; short panels are zero-padded.
+void pack_b(const float* b, std::size_t ldb, bool trans, std::size_t p0,
+            std::size_t kc, std::size_t n, float* buf) {
+  for (std::size_t jr = 0; jr < n; jr += kNR) {
+    const std::size_t nr = std::min(kNR, n - jr);
+    float* panel = buf + jr * kc;
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t c = 0; c < nr; ++c)
+        panel[p * kNR + c] = at_maybe_t(b, ldb, trans, p0 + p, jr + c);
+      for (std::size_t c = nr; c < kNR; ++c) panel[p * kNR + c] = 0.0f;
+    }
+  }
+}
+
+/// kMR x kNR register tile: acc[r][c] = sum_p fma(Ap[p][r], Bp[p][c]).
+/// Processed in strips of 4 rows so each strip's four kNR-wide accumulators
+/// stay in vector registers across the whole k loop (the full 8x8 tile
+/// spills with GCC). Branch-free; zero-padded packing makes edge tiles safe
+/// to compute in full.
+void micro_kernel(std::size_t kc, const float* ap, const float* bp,
+                  float* acc /* kMR*kNR, zeroed */) {
+  static_assert(kMR % 4 == 0);
+  for (std::size_t r0 = 0; r0 < kMR; r0 += 4) {
+    float a0[kNR] = {0.0f}, a1[kNR] = {0.0f};
+    float a2[kNR] = {0.0f}, a3[kNR] = {0.0f};
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* arow = ap + p * kMR + r0;
+      const float* brow = bp + p * kNR;
+      const float v0 = arow[0], v1 = arow[1], v2 = arow[2], v3 = arow[3];
+      for (std::size_t c = 0; c < kNR; ++c) {
+        a0[c] = std::fma(v0, brow[c], a0[c]);
+        a1[c] = std::fma(v1, brow[c], a1[c]);
+        a2[c] = std::fma(v2, brow[c], a2[c]);
+        a3[c] = std::fma(v3, brow[c], a3[c]);
+      }
+    }
+    for (std::size_t c = 0; c < kNR; ++c) {
+      acc[(r0 + 0) * kNR + c] = a0[c];
+      acc[(r0 + 1) * kNR + c] = a1[c];
+      acc[(r0 + 2) * kNR + c] = a2[c];
+      acc[(r0 + 3) * kNR + c] = a3[c];
+    }
+  }
+}
+
+/// Simple branch-free triple loop for tiny shapes (same reduction order:
+/// k ascending, fma per product), accumulating into zero-initialised C.
+void gemm_small(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                std::size_t lda, bool ta, const float* b, std::size_t ldb,
+                bool tb, float* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = at_maybe_t(a, lda, ta, i, p);
+      for (std::size_t j = 0; j < n; ++j)
+        crow[j] = std::fma(av, at_maybe_t(b, ldb, tb, p, j), crow[j]);
+    }
+  }
+}
+
+/// C[m,n] += op(A) * op(B) with C zero-initialised by the caller.
+/// op is transpose iff ta/tb; lda/ldb are the *storage* leading dimensions.
+void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
+          std::size_t lda, bool ta, const float* b, std::size_t ldb, bool tb,
+          float* c) {
+  if (m * n * k <= kSmallGemmFlops) {
+    gemm_small(m, n, k, a, lda, ta, b, ldb, tb, c);
+    return;
+  }
+  const std::size_t n_panels = (n + kNR - 1) / kNR;
+  std::vector<float> bpack(kKC * n_panels * kNR);
+  const std::size_t row_blocks = (m + kMC - 1) / kMC;
+  const bool fan_out =
+      m * n * k > kParallelGemmFlops && kernel_parallelism_allowed();
+  for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
+    const std::size_t kc = std::min(kKC, k - p0);
+    pack_b(b, ldb, tb, p0, kc, n, bpack.data());
+#pragma omp parallel for schedule(static) if (fan_out)
+    for (std::size_t blk = 0; blk < row_blocks; ++blk) {
+      const std::size_t i0 = blk * kMC;
+      const std::size_t mc = std::min(kMC, m - i0);
+      std::vector<float> apack(((mc + kMR - 1) / kMR) * kMR * kc);
+      pack_a(a, lda, ta, i0, p0, mc, kc, apack.data());
+      for (std::size_t jr = 0; jr < n; jr += kNR) {
+        const std::size_t nr = std::min(kNR, n - jr);
+        const float* bp = bpack.data() + jr * kc;
+        for (std::size_t ir = 0; ir < mc; ir += kMR) {
+          const std::size_t mr = std::min(kMR, mc - ir);
+          float acc[kMR * kNR] = {0.0f};
+          micro_kernel(kc, apack.data() + ir * kc, bp, acc);
+          for (std::size_t r = 0; r < mr; ++r) {
+            float* crow = c + (i0 + ir + r) * n + jr;
+            for (std::size_t cc = 0; cc < nr; ++cc)
+              crow[cc] += acc[r * kNR + cc];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   RPTCN_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects rank-2 tensors");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   RPTCN_CHECK(b.dim(0) == k, "matmul inner-dimension mismatch: "
                                  << a.shape_string() << " x " << b.shape_string());
   Tensor c({m, n});
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* pc = c.raw();
-  // i-k-j loop order: unit-stride access on B and C rows; OpenMP over rows.
-#pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
-  for (std::size_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  gemm(m, n, k, a.raw(), k, false, b.raw(), n, false, c.raw());
   return c;
 }
 
@@ -163,21 +310,9 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   RPTCN_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_tn expects rank-2 tensors");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   RPTCN_CHECK(b.dim(0) == m, "matmul_tn outer-dimension mismatch");
+  // C[k,n] = A^T * B given A[m,k], B[m,n]: the packing transposes A.
   Tensor c({k, n});
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* pc = c.raw();
-  // C[kk,j] = sum_i A[i,kk] * B[i,j]
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    const float* brow = pb + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0f) continue;
-      float* crow = pc + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  gemm(k, n, m, a.raw(), k, true, b.raw(), n, false, c.raw());
   return c;
 }
 
@@ -185,21 +320,9 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   RPTCN_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_nt expects rank-2 tensors");
   const std::size_t m = a.dim(0), n = a.dim(1), k = b.dim(0);
   RPTCN_CHECK(b.dim(1) == n, "matmul_nt inner-dimension mismatch");
+  // C[m,k] = A * B^T given A[m,n], B[k,n]: the packing transposes B.
   Tensor c({m, k});
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* pc = c.raw();
-#pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * n;
-    float* crow = pc + i * k;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float* brow = pb + kk * n;
-      double s = 0.0;
-      for (std::size_t j = 0; j < n; ++j) s += static_cast<double>(arow[j]) * brow[j];
-      crow[kk] = static_cast<float>(s);
-    }
-  }
+  gemm(m, k, n, a.raw(), n, false, b.raw(), n, true, c.raw());
   return c;
 }
 

@@ -1,8 +1,14 @@
 // Raw (non-autograd) tensor math.
 //
 // These kernels are the numeric substrate shared by the autograd layer and
-// the classical baselines. GEMM is cache-blocked and OpenMP-parallel; the
-// elementwise kernels are simple loops the compiler vectorises.
+// the classical baselines. The three GEMM variants (NN/TN/NT) share one
+// blocked, packed, register-tiled kernel (8x8 fma micro-kernel, OpenMP over
+// row blocks); the elementwise kernels are simple loops the compiler
+// vectorises. All kernels are branch-free on data and bit-deterministic for
+// any thread count: parallelism is only ever over disjoint output rows, and
+// per-element reduction order is fixed. Kernel-level OpenMP collapses to one
+// thread while the experiment worker pool is saturated (see
+// common/thread_pool.h).
 #pragma once
 
 #include <functional>
@@ -53,11 +59,11 @@ Tensor sum_rows(const Tensor& a);
 Tensor sum_cols(const Tensor& a);
 
 // -- linear algebra -------------------------------------------------------------
-/// C = A[m,k] * B[k,n]; cache-blocked, OpenMP over row blocks.
+/// C = A[m,k] * B[k,n]; blocked + packed, OpenMP over row blocks.
 Tensor matmul(const Tensor& a, const Tensor& b);
-/// C = A^T[m,k]^T * B -> (k x n) given A[m,k], B[m,n].
+/// C = A^T * B -> (k x n) given A[m,k], B[m,n]; same blocked kernel.
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
-/// C = A * B^T -> (m x k) given A[m,n], B[k,n].
+/// C = A * B^T -> (m x k) given A[m,n], B[k,n]; same blocked kernel.
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
 /// 2-D transpose.
 Tensor transpose2d(const Tensor& a);

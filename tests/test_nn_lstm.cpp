@@ -22,7 +22,8 @@ TEST(Lstm, OutputShape) {
 TEST(Lstm, ParameterCount) {
   Rng rng(2);
   nn::Lstm lstm(3, 8, rng);
-  // 4 gates x (wx [8,3] + wh [8,8] + b [8]).
+  // Packed gates: w [4H, F+H] + b [4H] == 4 gates x (wx [8,3] + wh [8,8]
+  // + b [8]) — the fusion must not change the parameter budget.
   EXPECT_EQ(lstm.parameter_count(), 4u * (24u + 64u + 8u));
 }
 

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 #include "tensor/tensor_ops.h"
@@ -184,6 +187,108 @@ TEST(TensorOps, AllcloseBehaviour) {
   EXPECT_TRUE(allclose(a, Tensor::from({2}, {1.0f + 1e-6f, 2.0f})));
   EXPECT_FALSE(allclose(a, Tensor::from({2}, {1.1f, 2.0f})));
   EXPECT_FALSE(allclose(a, Tensor({3})));
+}
+
+// ---------------------------------------------------------------------------
+// Exact-match tests for the blocked GEMM. The reference mirrors the kernel's
+// documented reduction order — per C element: k ascending inside a kKC=256
+// panel via std::fma, panels summed in ascending order; shapes at or below
+// the 2^13-flop dispatch threshold reduce over all of k in one pass. If these
+// constants change in tensor_ops.cpp they must change here too.
+// ---------------------------------------------------------------------------
+
+template <class FA, class FB>
+void gemm_reference(std::size_t m, std::size_t n, std::size_t k, FA av, FB bv,
+                    float* c) {
+  const bool small = m * n * k <= (1u << 13);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float total = 0.0f;
+      if (small) {
+        for (std::size_t p = 0; p < k; ++p)
+          total = std::fma(av(i, p), bv(p, j), total);
+      } else {
+        for (std::size_t p0 = 0; p0 < k; p0 += 256) {
+          const std::size_t kc = std::min<std::size_t>(256, k - p0);
+          float acc = 0.0f;
+          for (std::size_t p = p0; p < p0 + kc; ++p)
+            acc = std::fma(av(i, p), bv(p, j), acc);
+          total += acc;
+        }
+      }
+      c[i * n + j] = total;
+    }
+  }
+}
+
+void expect_bit_equal(const Tensor& got, const Tensor& want) {
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got.raw()[i], want.raw()[i]) << "element " << i;
+}
+
+// Shapes chosen to hit every dispatch/edge case: scalar, odd non-multiples
+// of the 8x8 micro-tile, exact tile multiples, the small->blocked threshold,
+// and k > 256 (multi-panel reduction).
+const std::vector<std::array<std::size_t, 3>> kGemmShapes = {
+    {1, 1, 1},    {3, 5, 129},  {64, 64, 64},  {13, 9, 7},
+    {65, 33, 70}, {8, 8, 600},  {31, 257, 40}, {128, 17, 300},
+};
+
+TEST(TensorOps, MatmulBitExactVsReference) {
+  for (const auto& [m, n, k] : kGemmShapes) {
+    Rng rng(11);
+    const Tensor a = Tensor::randn({m, k}, rng);
+    const Tensor b = Tensor::randn({k, n}, rng);
+    Tensor want({m, n});
+    gemm_reference(
+        m, n, k, [&](std::size_t i, std::size_t p) { return a.at(i, p); },
+        [&](std::size_t p, std::size_t j) { return b.at(p, j); }, want.raw());
+    expect_bit_equal(matmul(a, b), want);
+  }
+}
+
+TEST(TensorOps, MatmulTnBitExactVsReference) {
+  for (const auto& [m, n, k] : kGemmShapes) {
+    Rng rng(12);
+    // matmul_tn(A[k,m], B[k,n]) -> C[m,n] = A^T B; reduction over k.
+    const Tensor a = Tensor::randn({k, m}, rng);
+    const Tensor b = Tensor::randn({k, n}, rng);
+    Tensor want({m, n});
+    gemm_reference(
+        m, n, k, [&](std::size_t i, std::size_t p) { return a.at(p, i); },
+        [&](std::size_t p, std::size_t j) { return b.at(p, j); }, want.raw());
+    expect_bit_equal(matmul_tn(a, b), want);
+  }
+}
+
+TEST(TensorOps, MatmulNtBitExactVsReference) {
+  for (const auto& [m, n, k] : kGemmShapes) {
+    Rng rng(13);
+    // matmul_nt(A[m,k], B[n,k]) -> C[m,n] = A B^T; reduction over k.
+    const Tensor a = Tensor::randn({m, k}, rng);
+    const Tensor b = Tensor::randn({n, k}, rng);
+    Tensor want({m, n});
+    gemm_reference(
+        m, n, k, [&](std::size_t i, std::size_t p) { return a.at(i, p); },
+        [&](std::size_t p, std::size_t j) { return b.at(j, p); }, want.raw());
+    expect_bit_equal(matmul_nt(a, b), want);
+  }
+}
+
+// The old kernel skipped k iterations where A(i,k) == 0 — a data-dependent
+// branch that changed the reduction order (and thus the rounding) based on
+// values. Zero-heavy inputs must now go through the identical fma chain.
+TEST(TensorOps, MatmulZeroEntriesDoNotChangeReductionOrder) {
+  Rng rng(14);
+  Tensor a = Tensor::randn({40, 300}, rng);
+  const Tensor b = Tensor::randn({300, 24}, rng);
+  for (std::size_t i = 0; i < a.size(); i += 3) a.raw()[i] = 0.0f;
+  Tensor want({40, 24});
+  gemm_reference(
+      40, 24, 300, [&](std::size_t i, std::size_t p) { return a.at(i, p); },
+      [&](std::size_t p, std::size_t j) { return b.at(p, j); }, want.raw());
+  expect_bit_equal(matmul(a, b), want);
 }
 
 }  // namespace

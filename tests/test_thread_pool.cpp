@@ -1,0 +1,115 @@
+// ThreadPool: futures, exception propagation, queue draining, and the
+// saturation signal that gates nested OpenMP parallelism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace rptcn {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, ZeroWorkerCountClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 1; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i)
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      });
+  }  // destructor must wait for all 16, not just the in-flight one
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, TasksActuallyRunConcurrently) {
+  // With 2 workers, two tasks that rendezvous at a barrier can only finish
+  // if they overlap in time. Blocking waits (not spins) so the test stays
+  // robust on one core and under TSAN; the timeout turns a broken pool into
+  // a failure rather than a hang.
+  ThreadPool pool(2);
+  std::mutex m;
+  std::condition_variable cv;
+  int arrived = 0;
+  const auto task = [&] {
+    std::unique_lock<std::mutex> lock(m);
+    ++arrived;
+    cv.notify_all();
+    return cv.wait_for(lock, std::chrono::seconds(60),
+                       [&] { return arrived == 2; });
+  };
+  auto fa = pool.submit(task);
+  auto fb = pool.submit(task);
+  EXPECT_TRUE(fa.get());
+  EXPECT_TRUE(fb.get());
+}
+
+TEST(ThreadPool, ActiveJobsGateKernelParallelism) {
+  // Idle: no pool jobs in flight, nested kernels may fan out.
+  EXPECT_EQ(ThreadPool::active_jobs(), 0u);
+  EXPECT_TRUE(kernel_parallelism_allowed());
+
+  // Two barriers: both tasks sample the gate only once both are in flight,
+  // and neither returns (decrementing the active count) until both have
+  // sampled. On timeout a task reports allowed=true, which fails the test.
+  {
+    ThreadPool pool(2);
+    std::mutex m;
+    std::condition_variable cv;
+    int started = 0, sampled = 0;
+    std::vector<std::future<bool>> futures;
+    for (int i = 0; i < 2; ++i)
+      futures.push_back(pool.submit([&] {
+        std::unique_lock<std::mutex> lock(m);
+        ++started;
+        cv.notify_all();
+        if (!cv.wait_for(lock, std::chrono::seconds(60),
+                         [&] { return started == 2; }))
+          return true;
+        const bool allowed = kernel_parallelism_allowed();
+        ++sampled;
+        cv.notify_all();
+        cv.wait_for(lock, std::chrono::seconds(60),
+                    [&] { return sampled == 2; });
+        return allowed;
+      }));
+    // A saturated pool (>= 2 jobs in flight) must deny nested OpenMP teams.
+    EXPECT_FALSE(futures[0].get());
+    EXPECT_FALSE(futures[1].get());
+  }  // pool joined: the in-flight decrements are definitely visible now
+  EXPECT_EQ(ThreadPool::active_jobs(), 0u);
+  EXPECT_TRUE(kernel_parallelism_allowed());
+}
+
+}  // namespace
+}  // namespace rptcn

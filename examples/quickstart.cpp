@@ -37,7 +37,10 @@ int main() {
   cfg.prepare.window.window = 16;
   cfg.prepare.window.horizon = 3;
   cfg.model.nn.max_epochs = 20;
-  cfg.model.nn.verbose = false;
+  // Optional: watch training live. Observers are borrowed pointers, so the
+  // logger just needs to outlive fit().
+  opt::LoggingObserver epoch_logger;
+  cfg.model.nn.observers.push_back(&epoch_logger);
 
   // 3. Fit (Algorithm 1). Training uses Adam + MSE with the paper's
   //    EarlyStopping(patience=10) on the chronological validation split.

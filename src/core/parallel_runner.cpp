@@ -1,5 +1,7 @@
 #include "core/parallel_runner.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <future>
@@ -9,8 +11,36 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rptcn::core {
+
+namespace {
+
+/// Registry handles for the runner, resolved once (name lookups take the
+/// registry mutex; job bodies must not).
+struct RunnerMetrics {
+  obs::Counter& jobs = obs::metrics().counter("runner/jobs_total");
+  obs::Gauge& workers = obs::metrics().gauge("runner/workers");
+  obs::Gauge& peak_active = obs::metrics().gauge("runner/peak_active_jobs");
+  obs::Histogram& queue_wait =
+      obs::metrics().histogram("runner/queue_wait_seconds");
+  obs::Histogram& job_seconds = obs::metrics().histogram("runner/job_seconds");
+};
+
+RunnerMetrics& runner_metrics() {
+  static RunnerMetrics* m = new RunnerMetrics();
+  return *m;
+}
+
+/// Decrements the active-job count on scope exit (exception-safe).
+struct ActiveJobScope {
+  std::atomic<std::size_t>* active;
+  ~ActiveJobScope() { active->fetch_sub(1, std::memory_order_relaxed); }
+};
+
+}  // namespace
 
 std::size_t configured_jobs() {
   if (const char* env = std::getenv("RPTCN_JOBS")) {
@@ -46,7 +76,30 @@ std::vector<ExperimentResult> run_experiments(
       std::min(options.jobs == 0 ? configured_jobs() : options.jobs,
                jobs.size());
 
-  const auto run_one = [](const ExperimentJob& job) {
+  // Snapshot the obs switch once: every job of this grid reports, or none
+  // does, even if the switch flips mid-run.
+  const bool metrics_on = obs::enabled();
+  if (metrics_on)
+    runner_metrics().workers.set(static_cast<double>(workers));
+  std::atomic<std::size_t> active{0};
+
+  const auto run_one = [metrics_on, &active](
+                           const ExperimentJob& job,
+                           std::chrono::steady_clock::time_point submitted) {
+    if (!metrics_on)
+      return run_experiment(*job.frame, job.target, job.model, job.scenario,
+                            job.prepare, job.config);
+    RunnerMetrics& m = runner_metrics();
+    m.jobs.add(1);
+    m.queue_wait.record(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - submitted)
+                            .count());
+    const std::size_t running =
+        active.fetch_add(1, std::memory_order_relaxed) + 1;
+    m.peak_active.set_max(static_cast<double>(running));
+    ActiveJobScope scope{&active};
+    obs::TraceSpan span("runner/job:" + job.tag);
+    obs::ScopedTimer timer(m.job_seconds);
     return run_experiment(*job.frame, job.target, job.model, job.scenario,
                           job.prepare, job.config);
   };
@@ -54,7 +107,7 @@ std::vector<ExperimentResult> run_experiments(
   if (workers <= 1) {
     // Serial reference path: same code, same order, no pool.
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      results[i] = run_one(jobs[i]);
+      results[i] = run_one(jobs[i], std::chrono::steady_clock::now());
       if (options.verbose)
         std::cout << "[done] " << jobs[i].tag << "\n" << std::flush;
     }
@@ -65,8 +118,11 @@ std::vector<ExperimentResult> run_experiments(
   futures.reserve(jobs.size());
   {
     ThreadPool pool(workers);
-    for (const auto& job : jobs)
-      futures.push_back(pool.submit([&run_one, &job] { return run_one(job); }));
+    for (const auto& job : jobs) {
+      const auto submitted = std::chrono::steady_clock::now();
+      futures.push_back(pool.submit(
+          [&run_one, &job, submitted] { return run_one(job, submitted); }));
+    }
 
     // Collect in submission order. Remember the first failure but keep
     // draining so every job settles before the pool is torn down.

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace rptcn::core {
 
@@ -8,24 +9,33 @@ RptcnPipeline::RptcnPipeline(PipelineConfig config)
     : config_(std::move(config)) {}
 
 void RptcnPipeline::fit(const data::TimeSeriesFrame& history) {
-  prepared_ = prepare_scenario(history, config_.target, config_.scenario,
-                               config_.prepare);
+  obs::TraceSpan fit_span("pipeline/fit");
+  {
+    obs::TraceSpan span("pipeline/prepare");
+    prepared_ = prepare_scenario(history, config_.target, config_.scenario,
+                                 config_.prepare);
+  }
   forecaster_ = models::make_forecaster(config_.model_name, config_.model);
+  obs::TraceSpan train_span("pipeline/train");
   forecaster_->fit(prepared_.dataset);
 }
 
-bool RptcnPipeline::save_model(const std::string& path) const {
+models::CheckpointStatus RptcnPipeline::save_model(
+    const std::string& path) const {
   RPTCN_CHECK(fitted(), "save_model before fit");
   return forecaster_->save(path);
 }
 
-void RptcnPipeline::restore(const data::TimeSeriesFrame& history,
-                            const std::string& path) {
+models::CheckpointStatus RptcnPipeline::restore(
+    const data::TimeSeriesFrame& history, const std::string& path) {
+  obs::TraceSpan span("pipeline/restore");
   prepared_ = prepare_scenario(history, config_.target, config_.scenario,
                                config_.prepare);
   forecaster_ = models::make_forecaster(config_.model_name, config_.model);
-  RPTCN_CHECK(forecaster_->restore(prepared_.dataset, path),
-              config_.model_name << " does not support weight checkpoints");
+  const models::CheckpointStatus status =
+      forecaster_->restore(prepared_.dataset, path);
+  if (status != models::CheckpointStatus::kOk) forecaster_.reset();
+  return status;
 }
 
 std::vector<double> RptcnPipeline::predict_next() const {
@@ -43,6 +53,7 @@ std::vector<double> RptcnPipeline::predict_next() const {
     for (std::size_t t = 0; t < window; ++t)
       input.at(0, c, t) = static_cast<float>(col[start + t]);
   }
+  obs::TraceSpan span("pipeline/predict");
   const Tensor pred = forecaster_->predict(input);
 
   std::vector<double> normalised(pred.dim(1));
@@ -53,6 +64,7 @@ std::vector<double> RptcnPipeline::predict_next() const {
 
 Tensor RptcnPipeline::predict_test() const {
   RPTCN_CHECK(fitted(), "predict_test before fit");
+  obs::TraceSpan span("pipeline/predict");
   return forecaster_->predict(prepared_.dataset.test.inputs);
 }
 

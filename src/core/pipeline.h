@@ -36,13 +36,14 @@ class RptcnPipeline {
   void fit(const data::TimeSeriesFrame& history);
   bool fitted() const { return forecaster_ != nullptr; }
 
-  /// Persist the trained model's weights. Returns false for models without
+  /// Persist the trained model's weights. kUnsupported for models without
   /// weight checkpoints (ARIMA, XGBoost — refitting those is cheap).
-  bool save_model(const std::string& path) const;
+  models::CheckpointStatus save_model(const std::string& path) const;
   /// Run Algorithm 1's preprocessing on `history` but load weights from a
-  /// checkpoint instead of training. Throws if the model does not support
-  /// checkpoints or shapes mismatch.
-  void restore(const data::TimeSeriesFrame& history, const std::string& path);
+  /// checkpoint instead of training. On any non-kOk status the pipeline is
+  /// left unfitted (fitted() == false) rather than half-restored.
+  models::CheckpointStatus restore(const data::TimeSeriesFrame& history,
+                                   const std::string& path);
 
   /// Forecast the next horizon steps of the target after the end of the
   /// fitted history, mapped back to original resource units.

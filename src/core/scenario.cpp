@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "data/correlation.h"
+#include "obs/trace.h"
 
 namespace rptcn::core {
 
@@ -38,37 +39,50 @@ PreparedData prepare_scenario(const data::TimeSeriesFrame& raw,
   PreparedData out;
 
   // Algorithm 1 line 1: DataClean.
-  data::TimeSeriesFrame cleaned = data::clean_drop_incomplete(raw);
+  const data::TimeSeriesFrame cleaned = [&] {
+    obs::TraceSpan span("pipeline/clean");
+    return data::clean_drop_incomplete(raw);
+  }();
   RPTCN_CHECK(cleaned.length() > options.window.window + options.window.horizon,
               "too little complete data after cleaning");
 
   // Line 2: min-max normalisation (eq. 1).
-  data::TimeSeriesFrame normalised = out.scaler.fit_transform(cleaned);
+  const data::TimeSeriesFrame normalised = [&] {
+    obs::TraceSpan span("pipeline/normalise");
+    return out.scaler.fit_transform(cleaned);
+  }();
 
   // Lines 3-4: PCC screening (Mul / Mul-Exp); Uni keeps the target alone.
-  data::TimeSeriesFrame screened =
-      scenario == Scenario::kUni
-          ? normalised.select({target})
-          : data::select_top_half(normalised, target);
-
-  // Future-work extension: first-order difference features.
-  if (options.add_differences)
-    screened = data::expand_with_differences(screened);
+  data::TimeSeriesFrame screened = [&] {
+    obs::TraceSpan span("pipeline/screen");
+    data::TimeSeriesFrame kept =
+        scenario == Scenario::kUni
+            ? normalised.select({target})
+            : data::select_top_half(normalised, target);
+    // Future-work extension: first-order difference features.
+    if (options.add_differences)
+      kept = data::expand_with_differences(kept);
+    return kept;
+  }();
 
   // Line 5: horizontal expansion (Mul-Exp only). The weighted variant
   // (paper future work) assigns lag copies in proportion to |PCC|.
-  if (scenario == Scenario::kMulExp) {
-    out.features =
-        options.weighted_expansion
-            ? data::expand_weighted(screened, target,
-                                    options.expansion.copies,
-                                    options.expansion.stride)
-            : data::expand_horizontal(screened, options.expansion);
-  } else {
-    out.features = std::move(screened);
+  {
+    obs::TraceSpan span("pipeline/expand");
+    if (scenario == Scenario::kMulExp) {
+      out.features =
+          options.weighted_expansion
+              ? data::expand_weighted(screened, target,
+                                      options.expansion.copies,
+                                      options.expansion.stride)
+              : data::expand_horizontal(screened, options.expansion);
+    } else {
+      out.features = std::move(screened);
+    }
   }
 
   // Line 6 prerequisites: windows + chronological 6:2:2 split.
+  obs::TraceSpan window_span("pipeline/window");
   const auto all =
       data::make_windows(out.features, target, options.window);
   auto split =

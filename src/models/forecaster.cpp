@@ -6,6 +6,20 @@
 
 namespace rptcn::models {
 
+const char* checkpoint_status_name(CheckpointStatus status) {
+  switch (status) {
+    case CheckpointStatus::kOk:
+      return "ok";
+    case CheckpointStatus::kUnsupported:
+      return "unsupported";
+    case CheckpointStatus::kIoError:
+      return "io-error";
+    case CheckpointStatus::kShapeMismatch:
+      return "shape-mismatch";
+  }
+  return "unknown";
+}
+
 Accuracy evaluate_accuracy(const Tensor& predictions, const Tensor& targets) {
   RPTCN_CHECK(predictions.same_shape(targets),
               "accuracy shape mismatch: " << predictions.shape_string()

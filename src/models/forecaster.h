@@ -33,6 +33,19 @@ struct ForecastDataset {
   std::size_t target_channel = 0;     ///< index of the target inside features
 };
 
+/// Outcome of a checkpoint save/restore attempt. Non-kOk values are ordinary
+/// results, not exceptions: callers decide whether "this model has no
+/// checkpoints" is fatal (it usually is not — refitting ARIMA/GBT is cheap).
+enum class CheckpointStatus {
+  kOk,
+  kUnsupported,    ///< model has no notion of a weight checkpoint
+  kIoError,        ///< path missing/unwritable or the file is malformed
+  kShapeMismatch,  ///< checkpoint disagrees with the configured architecture
+};
+
+/// Stable lower-case label ("ok", "unsupported", ...) for logs and tests.
+const char* checkpoint_status_name(CheckpointStatus status);
+
 class Forecaster {
  public:
   virtual ~Forecaster() = default;
@@ -48,19 +61,19 @@ class Forecaster {
   /// Loss curves recorded during fit (may be empty for closed-form models).
   virtual const TrainCurves& curves() const { return curves_; }
 
-  /// Persist trained parameters. Returns false if the model has no notion
-  /// of a weight checkpoint (ARIMA, GBT — refit is cheap for those).
-  virtual bool save(const std::string& path) const {
+  /// Persist trained parameters. The base implementation reports
+  /// kUnsupported (ARIMA, GBT — refit is cheap for those).
+  virtual CheckpointStatus save(const std::string& path) const {
     (void)path;
-    return false;
+    return CheckpointStatus::kUnsupported;
   }
   /// Rebuild the model for `dataset`'s shapes and load weights from `path`
-  /// instead of training. Returns false if unsupported.
-  virtual bool restore(const ForecastDataset& dataset,
-                       const std::string& path) {
+  /// instead of training.
+  virtual CheckpointStatus restore(const ForecastDataset& dataset,
+                                   const std::string& path) {
     (void)dataset;
     (void)path;
-    return false;
+    return CheckpointStatus::kUnsupported;
   }
 
  protected:

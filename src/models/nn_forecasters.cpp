@@ -1,11 +1,41 @@
 #include "models/nn_forecasters.h"
 
+#include <fstream>
+#include <string_view>
+
 #include "autograd/ops.h"
 #include "common/check.h"
 
 namespace rptcn::models {
 
 namespace {
+
+/// Shared checkpoint-status mapping for every Module-backed forecaster.
+/// Module::save/load signal failure via CheckError; translate the two
+/// distinguishable causes into the enum instead of leaking exceptions.
+CheckpointStatus save_net(const nn::Module& net, const std::string& path) {
+  try {
+    net.save(path);
+  } catch (const CheckError&) {
+    return CheckpointStatus::kIoError;  // "cannot open for writing"
+  }
+  return CheckpointStatus::kOk;
+}
+
+CheckpointStatus load_net(nn::Module& net, const std::string& path) {
+  if (!std::ifstream(path).good()) return CheckpointStatus::kIoError;
+  try {
+    net.load(path);
+  } catch (const CheckError& e) {
+    // Module::load reports "checkpoint order/shape mismatch ..."; anything
+    // else (truncated file, bad magic) is an I/O-level failure.
+    return std::string_view(e.what()).find("mismatch") !=
+                   std::string_view::npos
+               ? CheckpointStatus::kShapeMismatch
+               : CheckpointStatus::kIoError;
+  }
+  return CheckpointStatus::kOk;
+}
 
 opt::TrainOptions make_train_options(const NnTrainConfig& cfg) {
   opt::TrainOptions o;
@@ -16,7 +46,7 @@ opt::TrainOptions make_train_options(const NnTrainConfig& cfg) {
   o.seed = cfg.seed;
   o.loss = cfg.loss;
   o.pinball_tau = cfg.pinball_tau;
-  o.verbose = cfg.verbose;
+  o.observers = cfg.observers;
   return o;
 }
 
@@ -75,17 +105,16 @@ void RptcnForecaster::fit(const ForecastDataset& dataset) {
   curves_ = fit_net(*net_, train_, dataset);
 }
 
-bool RptcnForecaster::save(const std::string& path) const {
+CheckpointStatus RptcnForecaster::save(const std::string& path) const {
   RPTCN_CHECK(net_ != nullptr, "save before fit");
-  net_->save(path);
-  return true;
+  return save_net(*net_, path);
 }
 
-bool RptcnForecaster::restore(const ForecastDataset& dataset, const std::string& path) {
+CheckpointStatus RptcnForecaster::restore(const ForecastDataset& dataset,
+                                           const std::string& path) {
   build(dataset);
-  net_->load(path);
   curves_ = {};
-  return true;
+  return load_net(*net_, path);
 }
 
 Tensor RptcnForecaster::predict(const Tensor& inputs) {
@@ -116,17 +145,16 @@ void TcnForecaster::fit(const ForecastDataset& dataset) {
   curves_ = fit_net(*net_, train_, dataset);
 }
 
-bool TcnForecaster::save(const std::string& path) const {
+CheckpointStatus TcnForecaster::save(const std::string& path) const {
   RPTCN_CHECK(net_ != nullptr, "save before fit");
-  net_->save(path);
-  return true;
+  return save_net(*net_, path);
 }
 
-bool TcnForecaster::restore(const ForecastDataset& dataset, const std::string& path) {
+CheckpointStatus TcnForecaster::restore(const ForecastDataset& dataset,
+                                           const std::string& path) {
   build(dataset);
-  net_->load(path);
   curves_ = {};
-  return true;
+  return load_net(*net_, path);
 }
 
 Tensor TcnForecaster::predict(const Tensor& inputs) {
@@ -154,17 +182,16 @@ void LstmForecaster::fit(const ForecastDataset& dataset) {
   curves_ = fit_net(*net_, train_, dataset);
 }
 
-bool LstmForecaster::save(const std::string& path) const {
+CheckpointStatus LstmForecaster::save(const std::string& path) const {
   RPTCN_CHECK(net_ != nullptr, "save before fit");
-  net_->save(path);
-  return true;
+  return save_net(*net_, path);
 }
 
-bool LstmForecaster::restore(const ForecastDataset& dataset, const std::string& path) {
+CheckpointStatus LstmForecaster::restore(const ForecastDataset& dataset,
+                                           const std::string& path) {
   build(dataset);
-  net_->load(path);
   curves_ = {};
-  return true;
+  return load_net(*net_, path);
 }
 
 Tensor LstmForecaster::predict(const Tensor& inputs) {
@@ -192,17 +219,16 @@ void BiLstmForecaster::fit(const ForecastDataset& dataset) {
   curves_ = fit_net(*net_, train_, dataset);
 }
 
-bool BiLstmForecaster::save(const std::string& path) const {
+CheckpointStatus BiLstmForecaster::save(const std::string& path) const {
   RPTCN_CHECK(net_ != nullptr, "save before fit");
-  net_->save(path);
-  return true;
+  return save_net(*net_, path);
 }
 
-bool BiLstmForecaster::restore(const ForecastDataset& dataset, const std::string& path) {
+CheckpointStatus BiLstmForecaster::restore(const ForecastDataset& dataset,
+                                           const std::string& path) {
   build(dataset);
-  net_->load(path);
   curves_ = {};
-  return true;
+  return load_net(*net_, path);
 }
 
 Tensor BiLstmForecaster::predict(const Tensor& inputs) {
@@ -230,17 +256,16 @@ void CnnLstmForecaster::fit(const ForecastDataset& dataset) {
   curves_ = fit_net(*net_, train_, dataset);
 }
 
-bool CnnLstmForecaster::save(const std::string& path) const {
+CheckpointStatus CnnLstmForecaster::save(const std::string& path) const {
   RPTCN_CHECK(net_ != nullptr, "save before fit");
-  net_->save(path);
-  return true;
+  return save_net(*net_, path);
 }
 
-bool CnnLstmForecaster::restore(const ForecastDataset& dataset, const std::string& path) {
+CheckpointStatus CnnLstmForecaster::restore(const ForecastDataset& dataset,
+                                           const std::string& path) {
   build(dataset);
-  net_->load(path);
   curves_ = {};
-  return true;
+  return load_net(*net_, path);
 }
 
 Tensor CnnLstmForecaster::predict(const Tensor& inputs) {

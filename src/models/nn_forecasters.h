@@ -22,7 +22,9 @@ struct NnTrainConfig {
   std::uint64_t seed = 42;
   opt::Loss loss = opt::Loss::kMse;  ///< kPinball -> quantile forecaster
   float pinball_tau = 0.9f;
-  bool verbose = false;
+  /// Per-epoch callbacks forwarded to opt::fit (borrowed; must outlive
+  /// fit()). An opt::LoggingObserver restores the old `verbose` output.
+  std::vector<opt::EpochObserver*> observers;
 };
 
 class RptcnForecaster final : public Forecaster {
@@ -33,9 +35,9 @@ class RptcnForecaster final : public Forecaster {
   std::string name() const override { return "RPTCN"; }
   void fit(const ForecastDataset& dataset) override;
   Tensor predict(const Tensor& inputs) override;
-  bool save(const std::string& path) const override;
-  bool restore(const ForecastDataset& dataset,
-               const std::string& path) override;
+  CheckpointStatus save(const std::string& path) const override;
+  CheckpointStatus restore(const ForecastDataset& dataset,
+                           const std::string& path) override;
 
   nn::RptcnNet* net() { return net_.get(); }
 
@@ -55,9 +57,9 @@ class TcnForecaster final : public Forecaster {
   std::string name() const override { return "TCN"; }
   void fit(const ForecastDataset& dataset) override;
   Tensor predict(const Tensor& inputs) override;
-  bool save(const std::string& path) const override;
-  bool restore(const ForecastDataset& dataset,
-               const std::string& path) override;
+  CheckpointStatus save(const std::string& path) const override;
+  CheckpointStatus restore(const ForecastDataset& dataset,
+                           const std::string& path) override;
 
  private:
   void build(const ForecastDataset& dataset);
@@ -74,9 +76,9 @@ class LstmForecaster final : public Forecaster {
   std::string name() const override { return "LSTM"; }
   void fit(const ForecastDataset& dataset) override;
   Tensor predict(const Tensor& inputs) override;
-  bool save(const std::string& path) const override;
-  bool restore(const ForecastDataset& dataset,
-               const std::string& path) override;
+  CheckpointStatus save(const std::string& path) const override;
+  CheckpointStatus restore(const ForecastDataset& dataset,
+                           const std::string& path) override;
 
  private:
   void build(const ForecastDataset& dataset);
@@ -93,9 +95,9 @@ class BiLstmForecaster final : public Forecaster {
   std::string name() const override { return "BiLSTM"; }
   void fit(const ForecastDataset& dataset) override;
   Tensor predict(const Tensor& inputs) override;
-  bool save(const std::string& path) const override;
-  bool restore(const ForecastDataset& dataset,
-               const std::string& path) override;
+  CheckpointStatus save(const std::string& path) const override;
+  CheckpointStatus restore(const ForecastDataset& dataset,
+                           const std::string& path) override;
 
  private:
   void build(const ForecastDataset& dataset);
@@ -112,9 +114,9 @@ class CnnLstmForecaster final : public Forecaster {
   std::string name() const override { return "CNN-LSTM"; }
   void fit(const ForecastDataset& dataset) override;
   Tensor predict(const Tensor& inputs) override;
-  bool save(const std::string& path) const override;
-  bool restore(const ForecastDataset& dataset,
-               const std::string& path) override;
+  CheckpointStatus save(const std::string& path) const override;
+  CheckpointStatus restore(const ForecastDataset& dataset,
+                           const std::string& path) override;
 
  private:
   void build(const ForecastDataset& dataset);

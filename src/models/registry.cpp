@@ -1,5 +1,8 @@
 #include "models/registry.h"
 
+#include <cctype>
+#include <sstream>
+
 #include "common/check.h"
 #include "models/arima_forecaster.h"
 #include "models/gbt_forecaster.h"
@@ -12,24 +15,50 @@ const std::vector<std::string>& forecaster_names() {
   return kNames;
 }
 
+namespace {
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string joined_names() {
+  std::ostringstream out;
+  const auto& names = forecaster_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << names[i];
+  }
+  return out.str();
+}
+
+}  // namespace
+
 std::unique_ptr<Forecaster> make_forecaster(const std::string& name,
                                             const ModelConfig& config) {
-  if (name == "RPTCN")
+  // Case-insensitive lookup: "rptcn" and "RPTCN" are the same model. The
+  // canonical spellings stay in forecaster_names() (Table II order).
+  const std::string key = lower(name);
+  if (key == "rptcn")
     return std::make_unique<RptcnForecaster>(config.nn, config.rptcn);
-  if (name == "TCN")
+  if (key == "tcn")
     return std::make_unique<TcnForecaster>(config.nn, config.rptcn);
-  if (name == "LSTM")
+  if (key == "lstm")
     return std::make_unique<LstmForecaster>(config.nn, config.lstm);
-  if (name == "BiLSTM")
+  if (key == "bilstm")
     return std::make_unique<BiLstmForecaster>(config.nn, config.bilstm);
-  if (name == "CNN-LSTM")
+  if (key == "cnn-lstm")
     return std::make_unique<CnnLstmForecaster>(config.nn, config.cnn_lstm);
-  if (name == "XGBoost")
+  if (key == "xgboost")
     return std::make_unique<GbtForecaster>(config.gbt);
-  if (name == "ARIMA")
+  if (key == "arima")
     return std::make_unique<ArimaForecaster>(config.arima,
                                              config.arima_auto_order);
-  RPTCN_CHECK(false, "unknown forecaster: " << name);
+  RPTCN_CHECK(false, "unknown forecaster: " << name
+                                            << " (known: " << joined_names()
+                                            << ")");
   return nullptr;  // unreachable
 }
 

@@ -4,8 +4,24 @@
 
 #include "autograd/ops.h"
 #include "nn/init.h"
+#include "obs/metrics.h"
 
 namespace rptcn::nn {
+
+namespace {
+
+/// Registry handles for the recurrent-kernel counters, resolved once.
+struct LstmMetrics {
+  obs::Counter& steps = obs::metrics().counter("kernel/lstm_steps");
+  obs::Counter& gate_flops = obs::metrics().counter("kernel/lstm_gate_flops");
+};
+
+LstmMetrics& lstm_metrics() {
+  static LstmMetrics* m = new LstmMetrics();
+  return *m;
+}
+
+}  // namespace
 
 Lstm::Lstm(std::size_t input_features, std::size_t hidden, Rng& rng)
     : hidden_(hidden) {
@@ -34,6 +50,13 @@ Variable Lstm::forward(const Variable& x) const {
   RPTCN_CHECK(x.value().rank() == 3, "Lstm expects [N,F,T], got "
                                          << x.value().shape_string());
   const std::size_t n = x.dim(0), t_len = x.dim(2);
+  if (obs::enabled()) {
+    const std::size_t f = x.dim(1);
+    lstm_metrics().steps.add(t_len);
+    // Gate pre-activation cost: per step one [N, F+H] x [F+H, 4H] GEMM.
+    lstm_metrics().gate_flops.add(2ull * n * (f + hidden_) * 4 * hidden_ *
+                                  t_len);
+  }
   Variable h(Tensor::zeros({n, hidden_}));
   Variable c(Tensor::zeros({n, hidden_}));
   for (std::size_t t = 0; t < t_len; ++t) {

@@ -1,0 +1,140 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rptcn::obs {
+
+namespace {
+
+void append_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void append_span(std::ostream& out, const SpanNode& span, int indent) {
+  const std::string pad(indent, ' ');
+  out << pad << "{ \"name\": ";
+  append_escaped(out, span.name);
+  out << ", \"seconds\": " << span.seconds;
+  if (!span.children.empty()) {
+    out << ",\n" << pad << "  \"children\": [\n";
+    for (std::size_t i = 0; i < span.children.size(); ++i) {
+      append_span(out, *span.children[i], indent + 4);
+      out << (i + 1 < span.children.size() ? ",\n" : "\n");
+    }
+    out << pad << "  ]";
+  }
+  out << " }";
+}
+
+void append_histogram(std::ostream& out, const HistogramSnapshot& h) {
+  out << "{ \"count\": " << h.count << ", \"sum\": " << h.sum
+      << ", \"min\": " << h.min << ", \"max\": " << h.max
+      << ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] == 0) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << "{ \"le\": " << bucket_le(i) << ", \"count\": " << h.buckets[i]
+        << " }";
+  }
+  out << "] }";
+}
+
+}  // namespace
+
+std::string snapshot_json() {
+  const MetricsSnapshot snap = metrics().snapshot();
+  const auto spans = take_finished_spans();
+
+  std::ostringstream out;
+  out.precision(17);  // doubles survive a JSON round trip exactly
+  out << "{\n  \"schema\": \"rptcn.metrics.v1\",\n";
+
+  out << "  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    ";
+    append_escaped(out, snap.counters[i].first);
+    out << ": " << snap.counters[i].second;
+  }
+  out << (snap.counters.empty() ? "" : "\n  ") << "},\n";
+
+  out << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    ";
+    append_escaped(out, snap.gauges[i].first);
+    out << ": " << snap.gauges[i].second;
+  }
+  out << (snap.gauges.empty() ? "" : "\n  ") << "},\n";
+
+  out << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    ";
+    append_escaped(out, snap.histograms[i].first);
+    out << ": ";
+    append_histogram(out, snap.histograms[i].second);
+  }
+  out << (snap.histograms.empty() ? "" : "\n  ") << "},\n";
+
+  out << "  \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    append_span(out, *spans[i], 4);
+  }
+  out << (spans.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+void write_snapshot(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "[obs] cannot open metrics output: " << path << "\n";
+    return;
+  }
+  out << snapshot_json();
+  std::cerr << "[obs] wrote metrics snapshot to " << path << "\n";
+}
+
+std::string configured_output_path() {
+  const char* env = std::getenv("RPTCN_METRICS_OUT");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+void write_snapshot_if_configured() {
+  const std::string path = configured_output_path();
+  if (!path.empty()) write_snapshot(path);
+}
+
+}  // namespace rptcn::obs

@@ -1,0 +1,45 @@
+// Structured JSON export of the metrics registry and span forest — the same
+// machine-readable family as BENCH_kernels.json, so snapshots are diffable
+// across commits and greppable in CI artifacts.
+//
+//   RPTCN_METRICS_OUT=metrics.json ./table2_accuracy
+//
+// enables instrumentation for the whole process and writes the snapshot at
+// exit (an atexit hook registered by the obs library). snapshot_json() can
+// also be called directly for mid-run exports.
+//
+// Document shape:
+//   {
+//     "schema": "rptcn.metrics.v1",
+//     "counters":   { "kernel/gemm_flops": 123, ... },
+//     "gauges":     { "runner/workers": 8.0, ... },
+//     "histograms": { "runner/job_seconds":
+//                       { "count": 4, "sum": 1.2, "min": ..., "max": ...,
+//                         "buckets": [ { "le": 0.25, "count": 3 }, ... ] },
+//                     ... },
+//     "spans":      [ { "name": "pipeline/fit", "seconds": 1.2,
+//                       "children": [ ... ] }, ... ]
+//   }
+// Histogram buckets are log-2 scale (obs/metrics.h); only non-empty buckets
+// are emitted, and the last bucket is open-ended above its bound.
+#pragma once
+
+#include <string>
+
+namespace rptcn::obs {
+
+/// Serialize the registry plus the span forest. Drains the finished-span
+/// forest (spans appear in exactly one snapshot).
+std::string snapshot_json();
+
+/// Write snapshot_json() to `path`; failures go to stderr (this runs from
+/// atexit, where throwing is not an option).
+void write_snapshot(const std::string& path);
+
+/// Value of RPTCN_METRICS_OUT, or empty when unset.
+std::string configured_output_path();
+
+/// write_snapshot(configured_output_path()) if the variable is set.
+void write_snapshot_if_configured();
+
+}  // namespace rptcn::obs

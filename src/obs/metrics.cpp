@@ -1,0 +1,212 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/export.h"
+
+namespace rptcn::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Process-wide enablement comes from the environment so that any binary —
+// bench, example, test — grows a metrics snapshot with zero code changes:
+//   RPTCN_METRICS_OUT=metrics.json ./table2_accuracy
+// The initializer lives in this translation unit because every instrumented
+// call site references enabled(), which guarantees the object file (and
+// with it this initializer) is linked into the binary.
+[[maybe_unused]] const bool g_env_init = [] {
+  if (std::getenv("RPTCN_METRICS_OUT") != nullptr) {
+    g_enabled.store(true, std::memory_order_relaxed);
+    std::atexit([] { write_snapshot_if_configured(); });
+  }
+  return true;
+}();
+
+/// Stable per-thread shard slot: threads get round-robin indices, so up to
+/// kShards concurrent threads never share a cache line.
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+double bucket_le(std::size_t i) {
+  return std::ldexp(1.0, kHistogramMinExp + static_cast<int>(i));
+}
+
+std::size_t bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive (and NaN) land in bucket 0
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  // Smallest k with v <= 2^k: exp-1 when v is an exact power of two.
+  const int k = (m == 0.5) ? exp - 1 : exp;
+  const long idx = static_cast<long>(k) - kHistogramMinExp;
+  if (idx < 0) return 0;
+  if (idx >= static_cast<long>(kHistogramBuckets)) return kHistogramBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+// -- Counter ------------------------------------------------------------------
+
+void Counter::add(std::uint64_t n) {
+  if (!enabled()) return;
+  shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// -- Gauge --------------------------------------------------------------------
+
+void Gauge::set(double v) {
+  if (!enabled()) return;
+  v_.store(v, std::memory_order_relaxed);
+}
+
+void Gauge::set_max(double v) {
+  if (!enabled()) return;
+  atomic_max(v_, v);
+}
+
+double Gauge::value() const { return v_.load(std::memory_order_relaxed); }
+
+void Gauge::reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+// -- Histogram ----------------------------------------------------------------
+
+void Histogram::Shard::clear() {
+  for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+  count.store(0, std::memory_order_relaxed);
+  sum.store(0.0, std::memory_order_relaxed);
+  min.store(std::numeric_limits<double>::infinity(),
+            std::memory_order_relaxed);
+  max.store(-std::numeric_limits<double>::infinity(),
+            std::memory_order_relaxed);
+}
+
+Histogram::Histogram() = default;
+
+void Histogram::record(double v) {
+  if (!enabled()) return;
+  Shard& s = shards_[shard_index()];
+  s.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(s.sum, v);
+  atomic_min(s.min, v);
+  atomic_max(s.max, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kHistogramBuckets, 0);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+      snap.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    lo = std::min(lo, s.min.load(std::memory_order_relaxed));
+    hi = std::max(hi, s.max.load(std::memory_order_relaxed));
+  }
+  if (snap.count > 0) {
+    snap.min = lo;
+    snap.max = hi;
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  for (Shard& s : shards_) s.clear();
+}
+
+// -- MetricsRegistry ----------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry() = default;
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    snap.histograms.emplace_back(name, h->snapshot());
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  // Deliberately leaked: handles cached by instrumented call sites and the
+  // atexit exporter must outlive every static destructor.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace rptcn::obs

@@ -1,0 +1,165 @@
+// Process-wide metrics registry: counters, gauges and log-scale histograms.
+//
+// Design goals (DESIGN.md "Observability"):
+//  * The hot-path cost of a disabled registry is one relaxed atomic load and
+//    a branch — never a mutex, never an allocation. Instrumentation is safe
+//    to leave in kernels and training loops unconditionally.
+//  * When enabled, updates are lock-free: every metric is split into
+//    kShards cache-line-padded shards and a thread only ever touches the
+//    shard its thread-id hashes to, so experiment jobs running on the worker
+//    pool (core/parallel_runner) update metrics without contending. Shards
+//    are merged on snapshot(), which is the only mutex-taking path besides
+//    first-time metric registration.
+//  * Handles returned by the registry are stable for the process lifetime
+//    (the registry is never destroyed), so call sites may cache references
+//    in function-local statics.
+//
+// Enablement: off by default; turned on for the whole process when the
+// RPTCN_METRICS_OUT environment variable names an output file (a JSON
+// snapshot is then written at process exit — see obs/export.h) or when a
+// test calls set_enabled(true).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rptcn::obs {
+
+/// Global observability switch (one relaxed atomic load).
+bool enabled();
+void set_enabled(bool on);
+
+inline constexpr std::size_t kShards = 16;  ///< per-metric thread shards
+
+// Histograms use fixed log-scale (base-2) buckets: bucket i spans
+// (2^(kHistogramMinExp+i-1), 2^(kHistogramMinExp+i)], i.e. upper bound
+// bucket_le(i) = 2^(kHistogramMinExp+i). Bucket 0 also absorbs everything
+// <= its bound (including non-positive values); the last bucket is
+// open-ended. With kMinExp = -30 the bounds run from ~0.93 ns to ~8.6 Gs
+// when recording seconds — wide enough for both kernel timings and flop
+// ratios without per-histogram configuration.
+inline constexpr std::size_t kHistogramBuckets = 64;
+inline constexpr int kHistogramMinExp = -30;
+
+/// Upper bound of bucket `i` (inclusive).
+double bucket_le(std::size_t i);
+/// Index of the bucket a value falls into (clamped to the open-ended ends).
+std::size_t bucket_index(double v);
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Lock-free add to this thread's shard; no-op while disabled.
+  void add(std::uint64_t n);
+  /// Sum over shards. Exact once writers are quiescent, approximate under
+  /// concurrent writes (like any sharded counter).
+  std::uint64_t value() const;
+
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  /// Last-writer-wins store; no-op while disabled.
+  void set(double v);
+  /// Monotone maximum (e.g. peak pool saturation); no-op while disabled.
+  void set_max(double v);
+  double value() const;
+
+  void reset();
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Merged view of one histogram at a point in time.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;  ///< kHistogramBuckets entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;  ///< 0 when count == 0
+};
+
+class Histogram {
+ public:
+  Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Lock-free record into this thread's shard; no-op while disabled.
+  void record(double v);
+  HistogramSnapshot snapshot() const;
+
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> buckets[kHistogramBuckets];
+    std::atomic<std::uint64_t> count;
+    std::atomic<double> sum;
+    std::atomic<double> min;
+    std::atomic<double> max;
+    Shard() { clear(); }
+    void clear();
+  };
+  Shard shards_[kShards];
+};
+
+/// Point-in-time view of every registered metric, names sorted.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. Mutex-guarded, so call sites should cache the
+  /// returned reference (it stays valid for the process lifetime).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every metric's value. Registered handles stay valid. Meant for
+  /// tests; callers must ensure writers are quiescent.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry (never destroyed, safe to use from atexit).
+MetricsRegistry& metrics();
+
+}  // namespace rptcn::obs

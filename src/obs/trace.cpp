@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+#include <mutex>
+#include <utility>
+
+namespace rptcn::obs {
+
+namespace {
+
+/// Innermost open span of the current thread (nesting is lexical, so a raw
+/// pointer suffices: a parent strictly outlives its children).
+thread_local SpanNode* t_current = nullptr;
+
+struct SpanForest {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<SpanNode>> roots;
+};
+
+SpanForest& forest() {
+  // Leaked like the metrics registry: the atexit exporter must be able to
+  // drain the forest after static destructors have started running.
+  static SpanForest* f = new SpanForest();
+  return *f;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(std::string name) {
+  if (!enabled()) return;
+  auto node = std::make_unique<SpanNode>();
+  node->name = std::move(name);
+  node_ = node.get();
+  parent_ = t_current;
+  if (parent_ != nullptr)
+    parent_->children.push_back(std::move(node));
+  else
+    owned_ = std::move(node);
+  t_current = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (node_ == nullptr) return;
+  node_->seconds = seconds_since(start_);
+  t_current = parent_;
+  if (owned_ != nullptr) {
+    SpanForest& f = forest();
+    std::lock_guard<std::mutex> lock(f.mutex);
+    f.roots.push_back(std::move(owned_));
+  }
+}
+
+ScopedTimer::ScopedTimer(Histogram& hist) {
+  if (!enabled()) return;
+  hist_ = &hist;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (hist_ != nullptr) hist_->record(seconds_since(start_));
+}
+
+std::vector<std::unique_ptr<SpanNode>> take_finished_spans() {
+  SpanForest& f = forest();
+  std::lock_guard<std::mutex> lock(f.mutex);
+  return std::exchange(f.roots, {});
+}
+
+}  // namespace rptcn::obs

@@ -1,0 +1,71 @@
+// RAII trace spans and scoped timers.
+//
+// TraceSpan instances nest lexically into a per-thread span tree: the first
+// span opened on a thread becomes a root, spans opened inside it become its
+// children. On destruction a span records its wall time; completed roots are
+// moved into a process-wide forest that the JSON exporter (obs/export.h)
+// drains. Pipeline stages, training runs and parallel-runner jobs each open
+// a span, so a run's snapshot shows where the wall-clock went, per thread
+// and per job.
+//
+// ScopedTimer is the aggregate sibling: it records its scope's wall time
+// into a Histogram instead of building tree nodes — use it where the same
+// scope runs thousands of times and a distribution is more useful than a
+// per-instance node.
+//
+// Both are no-ops (a branch, no allocation) while obs::enabled() is false.
+// Spans on different threads never share mutable state; moving a finished
+// root into the global forest takes a mutex, but that happens once per
+// root span (per job), not per nested span.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rptcn::obs {
+
+/// One node of the span forest: a named scope, its wall time and children
+/// in the order they were opened.
+struct SpanNode {
+  std::string name;
+  double seconds = 0.0;
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  SpanNode* node_ = nullptr;    ///< null when tracing was disabled at open
+  SpanNode* parent_ = nullptr;  ///< enclosing span on this thread, if any
+  std::unique_ptr<SpanNode> owned_;  ///< set for root spans until finished
+  std::chrono::steady_clock::time_point start_;
+};
+
+class ScopedTimer {
+ public:
+  /// Records elapsed seconds into `hist` on destruction.
+  explicit ScopedTimer(Histogram& hist);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_ = nullptr;  ///< null when disabled at construction
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Move every finished root span out of the process-wide forest (oldest
+/// first). The exporter calls this once at snapshot time; tests use it for
+/// isolation. Spans still open stay attached to their threads.
+std::vector<std::unique_ptr<SpanNode>> take_finished_spans();
+
+}  // namespace rptcn::obs

@@ -1,0 +1,63 @@
+#include "opt/observer.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace rptcn::opt {
+
+void LoggingObserver::on_epoch(const EpochEvent& event) {
+  RPTCN_INFO("epoch " << event.epoch << ": train " << event.train_loss
+                      << ", valid " << event.valid_loss
+                      << (event.improved ? " *" : ""));
+}
+
+void LoggingObserver::on_train_end(const TrainEndEvent& event) {
+  if (event.stopped_early)
+    RPTCN_INFO("early stop after " << event.epochs_run << " epochs (best "
+                                   << event.best_valid_loss << " at epoch "
+                                   << event.best_epoch << ")");
+}
+
+struct MetricsObserver::Handles {
+  obs::Counter& epochs = obs::metrics().counter("trainer/epochs_total");
+  obs::Counter& batches = obs::metrics().counter("trainer/batches_total");
+  obs::Counter& fits = obs::metrics().counter("trainer/fits_total");
+  obs::Counter& early_stops =
+      obs::metrics().counter("trainer/early_stops_total");
+  obs::Gauge& last_train = obs::metrics().gauge("trainer/last_train_loss");
+  obs::Gauge& last_valid = obs::metrics().gauge("trainer/last_valid_loss");
+  obs::Gauge& best_valid = obs::metrics().gauge("trainer/best_valid_loss");
+  obs::Histogram& epoch_seconds =
+      obs::metrics().histogram("trainer/epoch_seconds");
+  obs::Histogram& batches_per_second =
+      obs::metrics().histogram("trainer/batches_per_second");
+  obs::Histogram& fit_seconds =
+      obs::metrics().histogram("trainer/fit_seconds");
+};
+
+MetricsObserver::MetricsObserver() : handles_(new Handles()) {}
+
+void MetricsObserver::on_epoch(const EpochEvent& event) {
+  Handles& h = *handles_;
+  h.epochs.add(1);
+  h.batches.add(event.batches);
+  h.last_train.set(event.train_loss);
+  h.last_valid.set(event.valid_loss);
+  h.epoch_seconds.record(event.epoch_seconds);
+  h.batches_per_second.record(event.batches_per_second);
+}
+
+void MetricsObserver::on_train_end(const TrainEndEvent& event) {
+  Handles& h = *handles_;
+  h.fits.add(1);
+  if (event.stopped_early) h.early_stops.add(1);
+  h.best_valid.set(event.best_valid_loss);
+  h.fit_seconds.record(event.fit_seconds);
+}
+
+MetricsObserver& metrics_observer() {
+  static MetricsObserver* observer = new MetricsObserver();
+  return *observer;
+}
+
+}  // namespace rptcn::opt

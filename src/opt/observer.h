@@ -1,0 +1,80 @@
+// The trainer's observation surface: a callback interface replacing the old
+// TrainOptions::verbose flag, so "what happens each epoch" is pluggable
+// instead of a hard-coded printf. Three implementations ship:
+//
+//   * LoggingObserver  — the old verbose output, via common/logging;
+//   * MetricsObserver  — sink into the obs metrics registry (attached
+//                        automatically by fit() while obs::enabled());
+//   * test spies       — tests implement EpochObserver directly to assert
+//                        on the exact per-epoch event stream.
+//
+// Observers are borrowed, not owned: callers keep them alive for the
+// duration of fit(). fit() invokes them on the training thread, in the
+// order they appear in TrainOptions::observers; when several training runs
+// share one observer (e.g. the parallel experiment runner), on_epoch may be
+// called concurrently from different runs, so implementations must be
+// thread-safe (both shipped ones are).
+#pragma once
+
+#include <cstddef>
+
+namespace rptcn::opt {
+
+/// What the trainer saw in one epoch.
+struct EpochEvent {
+  std::size_t epoch = 0;       ///< 1-based
+  std::size_t max_epochs = 0;
+  double train_loss = 0.0;     ///< mean training loss this epoch
+  double valid_loss = 0.0;     ///< validation loss this epoch
+  bool improved = false;       ///< new best validation loss
+  std::size_t batches = 0;     ///< optimizer steps taken this epoch
+  double epoch_seconds = 0.0;  ///< wall time of the epoch (train + valid)
+  double batches_per_second = 0.0;
+};
+
+/// Summary emitted once when fit() returns.
+struct TrainEndEvent {
+  std::size_t epochs_run = 0;
+  std::size_t best_epoch = 0;  ///< 1-based epoch of best validation loss
+  double best_valid_loss = 0.0;
+  bool stopped_early = false;  ///< EarlyStopping fired before max_epochs
+  double fit_seconds = 0.0;
+};
+
+class EpochObserver {
+ public:
+  virtual ~EpochObserver() = default;
+  virtual void on_epoch(const EpochEvent& event) = 0;
+  virtual void on_train_end(const TrainEndEvent& event) { (void)event; }
+};
+
+/// Logs one RPTCN_INFO line per epoch (the historical `verbose` output) and
+/// an early-stop notice at the end.
+class LoggingObserver final : public EpochObserver {
+ public:
+  void on_epoch(const EpochEvent& event) override;
+  void on_train_end(const TrainEndEvent& event) override;
+};
+
+/// Forwards the event stream into the obs metrics registry:
+///   counters    trainer/epochs_total, trainer/batches_total,
+///               trainer/fits_total, trainer/early_stops_total
+///   gauges      trainer/last_train_loss, trainer/last_valid_loss,
+///               trainer/best_valid_loss
+///   histograms  trainer/epoch_seconds, trainer/batches_per_second,
+///               trainer/fit_seconds
+class MetricsObserver final : public EpochObserver {
+ public:
+  MetricsObserver();
+  void on_epoch(const EpochEvent& event) override;
+  void on_train_end(const TrainEndEvent& event) override;
+
+ private:
+  struct Handles;
+  Handles* handles_;  ///< registry handles, cached once (leaked with it)
+};
+
+/// Shared process-wide metrics sink; fit() attaches it while obs::enabled().
+MetricsObserver& metrics_observer();
+
+}  // namespace rptcn::opt

@@ -4,8 +4,10 @@
 #include <cstring>
 
 #include "autograd/ops.h"
-#include "common/logging.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rptcn::opt {
 
@@ -92,6 +94,14 @@ TrainHistory fit(nn::Module& model, const ForwardFn& forward,
   RPTCN_CHECK(valid.samples() > 0, "empty validation set");
   RPTCN_CHECK(options.batch_size > 0, "batch_size must be positive");
 
+  // The observation path: caller-provided observers plus, while the obs
+  // layer is live, the shared metrics sink. The empty-vector case costs one
+  // branch per epoch.
+  std::vector<EpochObserver*> observers = options.observers;
+  if (obs::enabled()) observers.push_back(&metrics_observer());
+  obs::TraceSpan fit_span("trainer/fit");
+  Stopwatch fit_watch;
+
   Rng shuffle_rng(options.seed);
   EarlyStopping stopper(options.patience);
   TrainHistory history;
@@ -100,6 +110,7 @@ TrainHistory fit(nn::Module& model, const ForwardFn& forward,
   auto params = model.parameters();
 
   for (std::size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    Stopwatch epoch_watch;
     if (options.schedule != nullptr)
       optimizer.set_lr(options.schedule->lr_at(epoch, base_lr));
 
@@ -110,6 +121,7 @@ TrainHistory fit(nn::Module& model, const ForwardFn& forward,
 
     double epoch_loss = 0.0;
     std::size_t seen = 0;
+    std::size_t batches = 0;
     for (std::size_t start = 0; start < order.size();
          start += options.batch_size) {
       const std::size_t end =
@@ -130,6 +142,7 @@ TrainHistory fit(nn::Module& model, const ForwardFn& forward,
       epoch_loss += static_cast<double>(loss.value().item()) *
                     static_cast<double>(idx.size());
       seen += idx.size();
+      ++batches;
     }
     history.train_loss.push_back(epoch_loss / static_cast<double>(seen));
 
@@ -140,10 +153,21 @@ TrainHistory fit(nn::Module& model, const ForwardFn& forward,
 
     const bool improved = stopper.update(vloss);
     if (improved && options.restore_best) best_snapshot = snapshot(model);
-    if (options.verbose)
-      RPTCN_INFO("epoch " << (epoch + 1) << ": train "
-                          << history.train_loss.back() << ", valid " << vloss
-                          << (improved ? " *" : ""));
+    if (!observers.empty()) {
+      EpochEvent event;
+      event.epoch = epoch + 1;
+      event.max_epochs = options.max_epochs;
+      event.train_loss = history.train_loss.back();
+      event.valid_loss = vloss;
+      event.improved = improved;
+      event.batches = batches;
+      event.epoch_seconds = epoch_watch.elapsed_seconds();
+      event.batches_per_second =
+          event.epoch_seconds > 0.0
+              ? static_cast<double>(batches) / event.epoch_seconds
+              : 0.0;
+      for (EpochObserver* observer : observers) observer->on_epoch(event);
+    }
     if (stopper.should_stop()) {
       history.stopped_early = true;
       break;
@@ -152,6 +176,15 @@ TrainHistory fit(nn::Module& model, const ForwardFn& forward,
 
   history.best_epoch = stopper.best_epoch();
   history.best_valid_loss = stopper.best_loss();
+  if (!observers.empty()) {
+    TrainEndEvent event;
+    event.epochs_run = history.train_loss.size();
+    event.best_epoch = history.best_epoch;
+    event.best_valid_loss = history.best_valid_loss;
+    event.stopped_early = history.stopped_early;
+    event.fit_seconds = fit_watch.elapsed_seconds();
+    for (EpochObserver* observer : observers) observer->on_train_end(event);
+  }
   if (options.restore_best && !best_snapshot.empty())
     restore(model, best_snapshot);
   optimizer.set_lr(base_lr);

@@ -9,6 +9,7 @@
 
 #include "nn/module.h"
 #include "opt/early_stopping.h"
+#include "opt/observer.h"
 #include "opt/optimizer.h"
 #include "opt/schedule.h"
 
@@ -37,7 +38,11 @@ struct TrainOptions {
   float clip_norm = 0.0f;          ///< 0 disables gradient clipping
   std::uint64_t seed = 7;          ///< batch-shuffle stream
   const LrSchedule* schedule = nullptr;  ///< optional; nullptr = constant
-  bool verbose = false;            ///< log per-epoch losses
+  /// Per-epoch callbacks (borrowed; must outlive fit()). Add a
+  /// LoggingObserver for the historical `verbose` output. While
+  /// obs::enabled(), fit() additionally notifies the shared MetricsObserver
+  /// whether or not it appears here.
+  std::vector<EpochObserver*> observers;
 };
 
 struct TrainHistory {

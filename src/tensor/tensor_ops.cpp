@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace rptcn {
 
@@ -253,16 +255,49 @@ void gemm_small(std::size_t m, std::size_t n, std::size_t k, const float* a,
   }
 }
 
+/// Registry handles for the GEMM counters, resolved once. Accounting is
+/// computed analytically before the blocked loops so the hot path (and the
+/// OpenMP region) stays untouched.
+struct GemmMetrics {
+  obs::Counter& calls = obs::metrics().counter("kernel/gemm_calls");
+  obs::Counter& flops = obs::metrics().counter("kernel/gemm_flops");
+  obs::Counter& bytes_packed =
+      obs::metrics().counter("kernel/gemm_bytes_packed");
+};
+
+GemmMetrics& gemm_metrics() {
+  static GemmMetrics* m = new GemmMetrics();
+  return *m;
+}
+
 /// C[m,n] += op(A) * op(B) with C zero-initialised by the caller.
 /// op is transpose iff ta/tb; lda/ldb are the *storage* leading dimensions.
 void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
           std::size_t lda, bool ta, const float* b, std::size_t ldb, bool tb,
           float* c) {
+  const bool metrics_on = obs::enabled();
+  if (metrics_on) {
+    gemm_metrics().calls.add(1);
+    gemm_metrics().flops.add(2ull * m * n * k);
+  }
   if (m * n * k <= kSmallGemmFlops) {
     gemm_small(m, n, k, a, lda, ta, b, ldb, tb, c);
     return;
   }
   const std::size_t n_panels = (n + kNR - 1) / kNR;
+  if (metrics_on) {
+    // Packed traffic of the blocked path: every kc-panel of B is packed to
+    // n_panels * kNR columns, every row block of A to a kMR multiple; the
+    // kc's sum to k across panels.
+    std::uint64_t packed_rows = 0;
+    for (std::size_t i0 = 0; i0 < m; i0 += kMC) {
+      const std::size_t mc = std::min(kMC, m - i0);
+      packed_rows += (mc + kMR - 1) / kMR * kMR;
+    }
+    gemm_metrics().bytes_packed.add(
+        (packed_rows + n_panels * kNR) * static_cast<std::uint64_t>(k) *
+        sizeof(float));
+  }
   std::vector<float> bpack(kKC * n_panels * kNR);
   const std::size_t row_blocks = (m + kMC - 1) / kMC;
   const bool fan_out =

@@ -260,10 +260,12 @@ TEST(Pipeline, CheckpointRoundTrip) {
   RptcnPipeline trained(cfg);
   trained.fit(container_frame());
   const std::string path = ::testing::TempDir() + "/rptcn_pipeline.ckpt";
-  ASSERT_TRUE(trained.save_model(path));
+  ASSERT_EQ(trained.save_model(path), models::CheckpointStatus::kOk);
 
   RptcnPipeline restored(cfg);
-  restored.restore(container_frame(), path);
+  ASSERT_EQ(restored.restore(container_frame(), path),
+            models::CheckpointStatus::kOk);
+  ASSERT_TRUE(restored.fitted());
   const auto a = trained.test_accuracy();
   const auto b = restored.test_accuracy();
   EXPECT_DOUBLE_EQ(a.mse, b.mse);
@@ -283,9 +285,41 @@ TEST(Pipeline, CheckpointUnsupportedForClassicalModels) {
   cfg.model = small_model();
   RptcnPipeline pipeline(cfg);
   pipeline.fit(container_frame());
-  EXPECT_FALSE(pipeline.save_model(::testing::TempDir() + "/nope.ckpt"));
+  EXPECT_EQ(pipeline.save_model(::testing::TempDir() + "/nope.ckpt"),
+            models::CheckpointStatus::kUnsupported);
   RptcnPipeline other(cfg);
-  EXPECT_THROW(other.restore(container_frame(), "/nonexistent"), CheckError);
+  EXPECT_EQ(other.restore(container_frame(), "/nonexistent"),
+            models::CheckpointStatus::kUnsupported);
+  EXPECT_FALSE(other.fitted());
+}
+
+TEST(Pipeline, CheckpointIoErrorLeavesPipelineUnfitted) {
+  PipelineConfig cfg;
+  cfg.scenario = Scenario::kMul;
+  cfg.prepare = small_prepare();
+  cfg.model = small_model();
+  RptcnPipeline pipeline(cfg);
+  EXPECT_EQ(pipeline.restore(container_frame(), "/nonexistent/rptcn.ckpt"),
+            models::CheckpointStatus::kIoError);
+  EXPECT_FALSE(pipeline.fitted());
+}
+
+TEST(Pipeline, CheckpointShapeMismatchDetected) {
+  PipelineConfig cfg;
+  cfg.scenario = Scenario::kMul;
+  cfg.prepare = small_prepare();
+  cfg.model = small_model();
+  RptcnPipeline trained(cfg);
+  trained.fit(container_frame());
+  const std::string path = ::testing::TempDir() + "/rptcn_mismatch.ckpt";
+  ASSERT_EQ(trained.save_model(path), models::CheckpointStatus::kOk);
+
+  PipelineConfig other_cfg = cfg;
+  other_cfg.model.rptcn.fc_dim = cfg.model.rptcn.fc_dim + 3;
+  RptcnPipeline other(other_cfg);
+  EXPECT_EQ(other.restore(container_frame(), path),
+            models::CheckpointStatus::kShapeMismatch);
+  EXPECT_FALSE(other.fitted());
 }
 
 TEST(Experiment, AggregateRejectsMixedResults) {

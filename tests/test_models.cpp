@@ -92,8 +92,25 @@ TEST(Registry, KnowsAllModels) {
   }
 }
 
+TEST(Registry, AcceptsCaseInsensitiveNames) {
+  EXPECT_EQ(make_forecaster("rptcn", fast_config())->name(), "RPTCN");
+  EXPECT_EQ(make_forecaster("Rptcn", fast_config())->name(), "RPTCN");
+  EXPECT_EQ(make_forecaster("cnn-lstm", fast_config())->name(), "CNN-LSTM");
+  EXPECT_EQ(make_forecaster("xgboost", fast_config())->name(), "XGBoost");
+}
+
 TEST(Registry, RejectsUnknownName) {
   EXPECT_THROW(make_forecaster("Prophet", fast_config()), CheckError);
+  // The error must list every registered name so typos are self-diagnosing.
+  try {
+    make_forecaster("Prophet", fast_config());
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown forecaster: Prophet"), std::string::npos);
+    for (const auto& name : forecaster_names())
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+  }
 }
 
 TEST(Accuracy, MatchesManualComputation) {

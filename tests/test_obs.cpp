@@ -1,0 +1,349 @@
+// Observability layer: histogram bucket math, lock-free counters under the
+// worker pool (exercised by the TSAN CI job), span-tree nesting, the JSON
+// snapshot and the EpochObserver training callbacks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/linear.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "opt/observer.h"
+#include "opt/optimizer.h"
+#include "opt/trainer.h"
+
+namespace rptcn {
+namespace {
+
+/// Enables the obs switch for the test body and leaves a clean registry and
+/// span forest behind (the registry is process-wide state).
+class ObsEnabledTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::metrics().reset();
+    obs::take_finished_spans();
+  }
+  void TearDown() override {
+    obs::metrics().reset();
+    obs::take_finished_spans();
+    obs::set_enabled(false);
+  }
+};
+
+using ObsHistogramTest = ObsEnabledTest;
+using ObsCounterTest = ObsEnabledTest;
+using ObsSpanTest = ObsEnabledTest;
+using ObsExportTest = ObsEnabledTest;
+
+// ---------------------------------------------------------------------------
+// Histogram bucket boundaries
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogramMath, BucketBoundsArePowersOfTwo) {
+  // bucket_le(i) = 2^(kHistogramMinExp + i); with minExp = -30, bucket 30
+  // tops out at exactly 1.
+  EXPECT_DOUBLE_EQ(obs::bucket_le(30), 1.0);
+  EXPECT_DOUBLE_EQ(obs::bucket_le(31), 2.0);
+  EXPECT_DOUBLE_EQ(obs::bucket_le(0), std::ldexp(1.0, obs::kHistogramMinExp));
+  for (std::size_t i = 1; i < obs::kHistogramBuckets; ++i)
+    EXPECT_DOUBLE_EQ(obs::bucket_le(i), 2.0 * obs::bucket_le(i - 1)) << i;
+}
+
+TEST(ObsHistogramMath, BucketIndexRespectsInclusiveUpperBounds) {
+  for (const std::size_t i : {std::size_t{0}, std::size_t{13}, std::size_t{30},
+                              obs::kHistogramBuckets - 2}) {
+    const double bound = obs::bucket_le(i);
+    // The bound itself is inclusive; the next representable value spills
+    // into the following bucket.
+    EXPECT_EQ(obs::bucket_index(bound), i) << bound;
+    EXPECT_EQ(obs::bucket_index(
+                  std::nextafter(bound, std::numeric_limits<double>::max())),
+              i + 1)
+        << bound;
+  }
+}
+
+TEST(ObsHistogramMath, BucketIndexClampsAtBothEnds) {
+  EXPECT_EQ(obs::bucket_index(0.0), 0u);
+  EXPECT_EQ(obs::bucket_index(-3.5), 0u);
+  EXPECT_EQ(obs::bucket_index(std::ldexp(1.0, obs::kHistogramMinExp - 8)), 0u);
+  EXPECT_EQ(obs::bucket_index(1e300), obs::kHistogramBuckets - 1);
+}
+
+TEST_F(ObsHistogramTest, RecordFillsTheRightBucketsAndStats) {
+  obs::Histogram& h = obs::metrics().histogram("test/hist");
+  h.record(1.0);   // bucket 30 (le = 1)
+  h.record(1.5);   // bucket 31 (le = 2)
+  h.record(2.0);   // bucket 31
+  h.record(0.0);   // bucket 0
+  const obs::HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 4.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 2.0);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[30], 1u);
+  EXPECT_EQ(snap.buckets[31], 2u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : snap.buckets) total += b;
+  EXPECT_EQ(total, snap.count);
+}
+
+TEST_F(ObsHistogramTest, DisabledRecordIsDropped) {
+  obs::Histogram& h = obs::metrics().histogram("test/disabled_hist");
+  obs::set_enabled(false);
+  h.record(1.0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent counters on the worker pool (runs under the TSAN CI job)
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsCounterTest, ConcurrentIncrementsFromPoolThreadsAreExact) {
+  obs::Counter& c = obs::metrics().counter("test/pool_counter");
+  obs::Histogram& h = obs::metrics().histogram("test/pool_hist");
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kPerTask = 1000;
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> done;
+    done.reserve(kTasks);
+    for (std::size_t t = 0; t < kTasks; ++t)
+      done.push_back(pool.submit([&c, &h] {
+        for (std::size_t i = 0; i < kPerTask; ++i) {
+          c.add(1);
+          h.record(0.5);
+        }
+      }));
+    for (auto& f : done) f.get();
+  }
+  EXPECT_EQ(c.value(), kTasks * kPerTask);
+  const obs::HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, kTasks * kPerTask);
+  EXPECT_EQ(snap.buckets[obs::bucket_index(0.5)], kTasks * kPerTask);
+}
+
+// ---------------------------------------------------------------------------
+// Span-tree nesting
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsSpanTest, SpansNestLexicallyIntoATree) {
+  {
+    obs::TraceSpan root("root");
+    {
+      obs::TraceSpan a("a");
+      obs::TraceSpan b("b");
+    }
+    obs::TraceSpan c("c");
+  }
+  const auto spans = obs::take_finished_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  const obs::SpanNode& root = *spans[0];
+  EXPECT_EQ(root.name, "root");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->name, "a");
+  ASSERT_EQ(root.children[0]->children.size(), 1u);
+  EXPECT_EQ(root.children[0]->children[0]->name, "b");
+  EXPECT_TRUE(root.children[1]->children.empty());
+  EXPECT_EQ(root.children[1]->name, "c");
+  EXPECT_GE(root.seconds, root.children[0]->seconds);
+  // The forest was drained: nothing left for a second take.
+  EXPECT_TRUE(obs::take_finished_spans().empty());
+}
+
+TEST_F(ObsSpanTest, SequentialRootsStayIndependent) {
+  { obs::TraceSpan first("first"); }
+  { obs::TraceSpan second("second"); }
+  const auto spans = obs::take_finished_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0]->name, "first");
+  EXPECT_EQ(spans[1]->name, "second");
+}
+
+TEST_F(ObsSpanTest, DisabledSpansProduceNothing) {
+  obs::set_enabled(false);
+  {
+    obs::TraceSpan root("root");
+    obs::TraceSpan child("child");
+  }
+  EXPECT_TRUE(obs::take_finished_spans().empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON snapshot
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON well-formedness scanner: verifies balanced {}/[] outside
+/// strings and that strings terminate. Not a full parser — enough to catch
+/// serializer escaping/nesting bugs.
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;  // skip the escaped character
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST_F(ObsExportTest, SnapshotJsonRoundTripsMetricsAndSpans) {
+  obs::metrics().counter("test/json_counter").add(3);
+  obs::metrics().gauge("test/json_gauge").set(2.5);
+  obs::metrics().histogram("test/json_hist").record(1.0);
+  { obs::TraceSpan root("json/root"); obs::TraceSpan child("json/child"); }
+
+  const std::string json = obs::snapshot_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"schema\": \"rptcn.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/json_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test/json_gauge\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test/json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\": 1, \"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"json/root\""), std::string::npos);
+  EXPECT_NE(json.find("\"json/child\""), std::string::npos);
+
+  // Spans are drained into exactly one snapshot; metrics persist.
+  const std::string second = obs::snapshot_json();
+  EXPECT_EQ(second.find("json/root"), std::string::npos);
+  EXPECT_NE(second.find("\"test/json_counter\": 3"), std::string::npos);
+}
+
+TEST_F(ObsExportTest, WriteSnapshotPersistsTheSameDocument) {
+  obs::metrics().counter("test/file_counter").add(7);
+  const std::string path = ::testing::TempDir() + "/obs_snapshot.json";
+  obs::write_snapshot(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(json_well_formed(buf.str()));
+  EXPECT_NE(buf.str().find("\"test/file_counter\": 7"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// EpochObserver callbacks from opt::fit
+// ---------------------------------------------------------------------------
+
+/// Learnable toy task: predict the last value of the window.
+opt::TrainData make_copy_task(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  opt::TrainData d;
+  d.inputs = Tensor::randn({n, 1, 8}, rng);
+  d.targets = Tensor({n, 1});
+  for (std::size_t i = 0; i < n; ++i)
+    d.targets.at(i, 0) = d.inputs.at(i, 0, 7);
+  return d;
+}
+
+class ObsProbe : public nn::Module {
+ public:
+  explicit ObsProbe(Rng& rng) : fc_(8, 1, rng) { register_module("fc", fc_); }
+  Variable forward(const Variable& x) {
+    return fc_.forward(ag::reshape(x, {x.dim(0), 8}));
+  }
+
+ private:
+  nn::Linear fc_;
+};
+
+struct SpyObserver final : opt::EpochObserver {
+  std::vector<opt::EpochEvent> epochs;
+  std::vector<opt::TrainEndEvent> ends;
+  void on_epoch(const opt::EpochEvent& event) override {
+    epochs.push_back(event);
+  }
+  void on_train_end(const opt::TrainEndEvent& event) override {
+    ends.push_back(event);
+  }
+};
+
+TEST(ObsObserver, FitEmitsOneEventPerEpochMatchingHistory) {
+  Rng rng(21);
+  ObsProbe model(rng);
+  const auto train = make_copy_task(96, 1);
+  const auto valid = make_copy_task(32, 2);
+  opt::Adam adam(model.parameters(), 0.01f);
+  opt::TrainOptions topt;
+  topt.max_epochs = 8;
+  topt.patience = 8;
+  SpyObserver spy;
+  topt.observers.push_back(&spy);
+
+  const auto hist = opt::fit(
+      model, [&model](const Variable& x) { return model.forward(x); }, train,
+      valid, adam, topt);
+
+  ASSERT_EQ(spy.epochs.size(), hist.train_loss.size());
+  for (std::size_t i = 0; i < spy.epochs.size(); ++i) {
+    const opt::EpochEvent& e = spy.epochs[i];
+    EXPECT_EQ(e.epoch, i + 1);
+    EXPECT_EQ(e.max_epochs, topt.max_epochs);
+    EXPECT_DOUBLE_EQ(e.train_loss, hist.train_loss[i]);
+    EXPECT_DOUBLE_EQ(e.valid_loss, hist.valid_loss[i]);
+    EXPECT_GT(e.batches, 0u);
+    EXPECT_GE(e.epoch_seconds, 0.0);
+  }
+  ASSERT_EQ(spy.ends.size(), 1u);
+  EXPECT_EQ(spy.ends[0].epochs_run, hist.train_loss.size());
+  EXPECT_EQ(spy.ends[0].best_epoch, hist.best_epoch);
+  EXPECT_DOUBLE_EQ(spy.ends[0].best_valid_loss, hist.best_valid_loss);
+  EXPECT_EQ(spy.ends[0].stopped_early, hist.stopped_early);
+}
+
+class ObsTrainerMetricsTest : public ObsEnabledTest {};
+
+TEST_F(ObsTrainerMetricsTest, EnabledFitFeedsTheSharedMetricsSink) {
+  Rng rng(33);
+  ObsProbe model(rng);
+  const auto train = make_copy_task(64, 3);
+  const auto valid = make_copy_task(32, 4);
+  opt::Adam adam(model.parameters(), 0.01f);
+  opt::TrainOptions topt;
+  topt.max_epochs = 4;
+  topt.patience = 4;
+  const auto hist = opt::fit(
+      model, [&model](const Variable& x) { return model.forward(x); }, train,
+      valid, adam, topt);
+
+  EXPECT_EQ(obs::metrics().counter("trainer/epochs_total").value(),
+            hist.train_loss.size());
+  EXPECT_EQ(obs::metrics().counter("trainer/fits_total").value(), 1u);
+  EXPECT_EQ(obs::metrics().histogram("trainer/epoch_seconds").snapshot().count,
+            hist.train_loss.size());
+  EXPECT_DOUBLE_EQ(obs::metrics().gauge("trainer/best_valid_loss").value(),
+                   hist.best_valid_loss);
+  // fit() opened a root span for the whole run.
+  const auto spans = obs::take_finished_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0]->name, "trainer/fit");
+}
+
+}  // namespace
+}  // namespace rptcn

@@ -64,8 +64,13 @@ void BM_GemmNt(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmNt)->Arg(64)->Arg(256);
 
+/// Forward at the paper's residual-block shape with a pinned conv1d
+/// implementation: Arg(1) = 0 direct loops, 1 im2col+GEMM lowering.
 void BM_Conv1dForward(benchmark::State& state) {
   const auto t = static_cast<std::size_t>(state.range(0));
+  const auto impl = state.range(1) == 0 ? ag::Conv1dImpl::kDirect
+                                        : ag::Conv1dImpl::kIm2col;
+  ag::set_conv1d_impl(impl);
   Rng rng(2);
   const Variable x(Tensor::randn({32, 16, t}, rng));
   const Variable w(Tensor::randn({16, 16, 3}, rng));
@@ -75,11 +80,24 @@ void BM_Conv1dForward(benchmark::State& state) {
     Variable y = ag::conv1d(x, w, b, 2);
     benchmark::DoNotOptimize(y.node().get());
   }
+  ag::set_conv1d_impl(ag::Conv1dImpl::kAuto);
 }
-BENCHMARK(BM_Conv1dForward)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Conv1dForward)
+    ->ArgNames({"t", "im2col"})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
 
+/// Forward + backward (dX, dW, db) under a pinned implementation — the
+/// direct-vs-lowered comparison for the full autograd round trip.
 void BM_Conv1dTrainStep(benchmark::State& state) {
   const auto t = static_cast<std::size_t>(state.range(0));
+  const auto impl = state.range(1) == 0 ? ag::Conv1dImpl::kDirect
+                                        : ag::Conv1dImpl::kIm2col;
+  ag::set_conv1d_impl(impl);
   Rng rng(3);
   const Variable x(Tensor::randn({32, 16, t}, rng));
   Variable w(Tensor::randn({16, 16, 3}, rng), true);
@@ -92,8 +110,64 @@ void BM_Conv1dTrainStep(benchmark::State& state) {
     loss.backward();
     benchmark::DoNotOptimize(w.grad().raw());
   }
+  ag::set_conv1d_impl(ag::Conv1dImpl::kAuto);
 }
-BENCHMARK(BM_Conv1dTrainStep)->Arg(16)->Arg(32);
+BENCHMARK(BM_Conv1dTrainStep)
+    ->ArgNames({"t", "im2col"})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({32, 0})
+    ->Args({32, 1});
+
+void BM_SoftmaxLastdim(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  const Tensor a = Tensor::randn({32, t}, rng);
+  for (auto _ : state) {
+    Tensor s = softmax_lastdim(a);
+    benchmark::DoNotOptimize(s.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32 *
+                          t);
+}
+BENCHMARK(BM_SoftmaxLastdim)->Arg(24)->Arg(256);
+
+void BM_ElementwiseSigmoid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  const Tensor a = Tensor::randn({n}, rng);
+  for (auto _ : state) {
+    Tensor s = sigmoid(a);
+    benchmark::DoNotOptimize(s.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ElementwiseSigmoid)->Arg(1024)->Arg(65536);
+
+void BM_ElementwiseExp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  const Tensor a = Tensor::randn({n}, rng);
+  for (auto _ : state) {
+    Tensor s = exp_t(a);
+    benchmark::DoNotOptimize(s.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ElementwiseExp)->Arg(1024)->Arg(65536);
+
+void BM_ElementwiseMul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const Tensor a = Tensor::randn({n}, rng);
+  const Tensor b = Tensor::randn({n}, rng);
+  for (auto _ : state) {
+    Tensor c = mul(a, b);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ElementwiseMul)->Arg(1024)->Arg(65536);
 
 void BM_TcnForward(benchmark::State& state) {
   Rng rng(4);
@@ -196,6 +270,35 @@ double gemm_gflops(const char* which) {
   return flops / watch.elapsed_seconds() / 1e9;
 }
 
+/// Seconds per conv1d forward+backward round trip at the paper's residual
+/// block shape (batch 32, 16->16 channels, k=3, d=2, T=24) with the given
+/// implementation pinned.
+double conv_step_seconds(ag::Conv1dImpl impl) {
+  ag::set_conv1d_impl(impl);
+  Rng rng(13);
+  const Variable x(Tensor::randn({32, 16, 24}, rng));
+  Variable w(Tensor::randn({16, 16, 3}, rng), true);
+  Variable b(Tensor::randn({16}, rng), true);
+  const Tensor target = Tensor::randn({32, 16, 24}, rng);
+  const auto run = [&] {
+    w.zero_grad();
+    b.zero_grad();
+    Variable loss = ag::mse_loss(ag::conv1d(x, w, b, 2), target);
+    loss.backward();
+    benchmark::DoNotOptimize(w.grad().raw());
+  };
+  run();  // warm-up (pool + pack buffers)
+  Stopwatch watch;
+  std::size_t iters = 0;
+  while (watch.elapsed_seconds() < 0.2) {
+    run();
+    ++iters;
+  }
+  const double sec = watch.elapsed_seconds() / iters;
+  ag::set_conv1d_impl(ag::Conv1dImpl::kAuto);
+  return sec;
+}
+
 struct GridTiming {
   double serial_seconds = 0.0;
   double parallel_seconds = 0.0;
@@ -253,6 +356,10 @@ void emit_kernels_json() {
   const double mm = gemm_gflops("matmul");
   const double tn = gemm_gflops("tn");
   const double nt = gemm_gflops("nt");
+  const double conv_direct = conv_step_seconds(ag::Conv1dImpl::kDirect);
+  const double conv_im2col = conv_step_seconds(ag::Conv1dImpl::kIm2col);
+  const double conv_speedup =
+      conv_im2col > 0.0 ? conv_direct / conv_im2col : 0.0;
   const GridTiming grid = time_grid();
   const double speedup =
       grid.parallel_seconds > 0.0 ? grid.serial_seconds / grid.parallel_seconds
@@ -266,6 +373,12 @@ void emit_kernels_json() {
       << "    \"matmul_tn\": " << tn << ",\n"
       << "    \"matmul_nt\": " << nt << "\n"
       << "  },\n"
+      << "  \"conv1d\": {\n"
+      << "    \"shape\": \"32x16x24 k3 d2 fwd+bwd\",\n"
+      << "    \"seconds_direct\": " << conv_direct << ",\n"
+      << "    \"seconds_im2col\": " << conv_im2col << ",\n"
+      << "    \"speedup_im2col\": " << conv_speedup << "\n"
+      << "  },\n"
       << "  \"grid\": {\n"
       << "    \"jobs\": 4,\n"
       << "    \"workers_parallel\": " << grid.parallel_jobs << ",\n"
@@ -277,7 +390,8 @@ void emit_kernels_json() {
       << "  }\n"
       << "}\n";
   std::cout << "[json] wrote BENCH_kernels.json — 256^3 GEMM " << mm
-            << " GFLOP/s; grid speedup " << speedup << "x on "
+            << " GFLOP/s; conv1d im2col speedup " << conv_speedup
+            << "x; grid speedup " << speedup << "x on "
             << grid.parallel_jobs << " workers (bit_identical="
             << (grid.bit_identical ? "true" : "false") << ")\n";
 }

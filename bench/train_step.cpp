@@ -1,0 +1,180 @@
+// Full RPTCN training-step bench at the paper's shapes: forward + backward +
+// gradient clip + Adam on batch 32 of the Mul-Exp scenario (12 indicator
+// channels, window 24), the exact inner loop of every accuracy experiment.
+//
+// Times the 2x2 grid {conv direct, conv im2col+GEMM} x {pool off, pool on}
+// so the JSON records both the baseline and the optimised configuration and
+// their speedup — the headline number for the im2col+buffer-pool work. The
+// four runs share one seed, so parameters and data are identical and only
+// the kernels differ.
+//
+// Emits BENCH_training.json (override with --out <path>).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "nn/rptcn_net.h"
+#include "obs/metrics.h"
+#include "opt/optimizer.h"
+#include "tensor/buffer_pool.h"
+
+namespace rptcn {
+namespace {
+
+constexpr std::size_t kBatch = 32;
+constexpr std::size_t kFeatures = 12;  // Mul-Exp indicator channels
+constexpr std::size_t kWindow = 24;
+constexpr std::size_t kWarmupSteps = 5;
+constexpr std::size_t kTimedSteps = 40;
+
+struct RunConfig {
+  const char* name;
+  ag::Conv1dImpl impl;
+  bool pool;
+};
+
+struct RunResult {
+  double seconds_per_step = 0.0;
+  double steps_per_second = 0.0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  double pool_hit_rate = 0.0;
+  float final_loss = 0.0f;
+};
+
+/// One fresh net + optimizer + fixed batch, trained kTimedSteps steps under
+/// the given kernel configuration. Same seed everywhere: every run does the
+/// same logical work, only the kernels differ.
+RunResult run_config(const RunConfig& cfg) {
+  ag::set_conv1d_impl(cfg.impl);
+  pool::set_enabled(cfg.pool);
+  pool::clear_thread_cache();
+
+  nn::RptcnOptions opt;
+  opt.input_features = kFeatures;
+  opt.horizon = 1;
+  opt.tcn.channels = {16, 16, 16};
+  opt.tcn.kernel_size = 3;
+  opt.tcn.dropout = 0.05f;
+  opt.fc_dim = 16;
+  opt.seed = 42;
+  nn::RptcnNet net(opt);
+  net.set_training(true);
+
+  Rng rng(7);
+  const Variable x(Tensor::randn({kBatch, kFeatures, kWindow}, rng));
+  const Tensor target = Tensor::randn({kBatch, 1}, rng);
+
+  std::vector<Variable> params = net.parameters();
+  opt::Adam adam(params, 2e-3f);
+
+  const auto step = [&] {
+    adam.zero_grad();
+    Variable loss = ag::mse_loss(net.forward(x), target);
+    loss.backward();
+    opt::clip_grad_norm(params, 1.0f);
+    adam.step();
+    return loss.value().at(0);
+  };
+
+  for (std::size_t i = 0; i < kWarmupSteps; ++i) step();
+
+  const auto s0 = pool::thread_stats();
+  Stopwatch watch;
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < kTimedSteps; ++i) loss = step();
+  const double elapsed = watch.elapsed_seconds();
+  const auto s1 = pool::thread_stats();
+
+  RunResult r;
+  r.seconds_per_step = elapsed / kTimedSteps;
+  r.steps_per_second = kTimedSteps / elapsed;
+  r.pool_hits = s1.hits - s0.hits;
+  r.pool_misses = s1.misses - s0.misses;
+  const double total = static_cast<double>(r.pool_hits + r.pool_misses);
+  r.pool_hit_rate = total > 0.0 ? r.pool_hits / total : 0.0;
+  r.final_loss = loss;
+  return r;
+}
+
+void emit_json(const std::string& path, const RunConfig* cfgs,
+               const RunResult* results, std::size_t count, double speedup) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"bench\": \"rptcn_train_step\",\n"
+      << "  \"shape\": {\"batch\": " << kBatch
+      << ", \"features\": " << kFeatures << ", \"window\": " << kWindow
+      << ", \"channels\": [16, 16, 16], \"kernel\": 3, \"fc_dim\": 16},\n"
+      << "  \"steps_timed\": " << kTimedSteps << ",\n"
+      << "  \"configs\": {\n";
+  for (std::size_t i = 0; i < count; ++i) {
+    const RunResult& r = results[i];
+    out << "    \"" << cfgs[i].name << "\": {\n"
+        << "      \"ms_per_step\": " << r.seconds_per_step * 1e3 << ",\n"
+        << "      \"steps_per_second\": " << r.steps_per_second << ",\n"
+        << "      \"pool_hits\": " << r.pool_hits << ",\n"
+        << "      \"pool_misses\": " << r.pool_misses << ",\n"
+        << "      \"pool_hit_rate\": " << r.pool_hit_rate << ",\n"
+        << "      \"final_loss\": " << r.final_loss << "\n"
+        << "    }" << (i + 1 < count ? "," : "") << "\n";
+  }
+  out << "  },\n"
+      << "  \"speedup_im2col_pool_vs_direct_nopool\": " << speedup << "\n"
+      << "}\n";
+  std::cout << "[json] wrote " << path << "\n";
+}
+
+int run(int argc, char** argv) {
+  std::string out_path = "BENCH_training.json";
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+
+  const RunConfig configs[] = {
+      {"direct_nopool", ag::Conv1dImpl::kDirect, false},
+      {"direct_pool", ag::Conv1dImpl::kDirect, true},
+      {"im2col_nopool", ag::Conv1dImpl::kIm2col, false},
+      {"im2col_pool", ag::Conv1dImpl::kIm2col, true},
+  };
+  constexpr std::size_t kConfigs = sizeof(configs) / sizeof(configs[0]);
+
+  std::cout << "=== RPTCN training-step bench ===\n"
+            << "batch " << kBatch << ", features " << kFeatures << ", window "
+            << kWindow << ", channels {16,16,16}, k=3, Adam lr 2e-3\n\n";
+
+  RunResult results[kConfigs];
+  for (std::size_t i = 0; i < kConfigs; ++i) {
+    results[i] = run_config(configs[i]);
+    std::cout << "  " << configs[i].name << ": "
+              << results[i].seconds_per_step * 1e3 << " ms/step ("
+              << results[i].steps_per_second << " steps/s";
+    if (configs[i].pool)
+      std::cout << ", pool hit rate " << results[i].pool_hit_rate * 100.0
+                << "%";
+    std::cout << ")\n";
+  }
+
+  // Restore defaults for anything running after us in-process.
+  ag::set_conv1d_impl(ag::Conv1dImpl::kAuto);
+  pool::set_enabled(true);
+
+  const double speedup =
+      results[3].seconds_per_step > 0.0
+          ? results[0].seconds_per_step / results[3].seconds_per_step
+          : 0.0;
+  std::cout << "\nspeedup (im2col+pool vs direct+nopool): " << speedup
+            << "x\n";
+
+  emit_json(out_path, configs, results, kConfigs, speedup);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rptcn
+
+int main(int argc, char** argv) { return rptcn::run(argc, argv); }

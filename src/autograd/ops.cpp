@@ -1,10 +1,13 @@
 #include "autograd/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace rptcn::ag {
@@ -217,20 +220,83 @@ Variable reshape(const Variable& a, std::vector<std::size_t> shape) {
 
 // ---------------------------------------------------------------------------
 // dilated causal convolution (paper eqs. 3 and 4)
+//
+// Two kernel paths compute the same convolution:
+//  * direct — the original per-(sample, channel) offset loops; wins on tiny
+//    shapes where patch traffic would dominate.
+//  * im2col+GEMM — forward, dX and dW lowered onto the packed blocked GEMM
+//    (tensor_ops gemm_accumulate). Samples are batched into one patch
+//    matrix patches[Cin*K, n_chunk*T_out] so the GEMM sees wide panels:
+//      forward: Y = W[Cout, Cin*K] × patches            (+ bias prefill)
+//      dW     : dW += dY × patchesᵀ                      (trans_b)
+//      dX     : cols = Wᵀ × dY, then col2im scatter-add  (trans_a)
+//    Scratch (patches, gathered dY, per-chunk Y) lives in the thread-local
+//    buffer pool, so steady-state training reuses the same few buffers.
+// Dispatch is shape-only (never data-dependent); see Conv1dImpl in ops.h.
 // ---------------------------------------------------------------------------
 
 namespace {
 
+std::atomic<Conv1dImpl>& conv1d_impl_flag() {
+  static std::atomic<Conv1dImpl> impl{Conv1dImpl::kAuto};
+  return impl;
+}
+
+// Below this many fused multiply-adds the direct loops win (patch build +
+// pack overhead dominate the GEMM). Calibrated with bench/micro_kernels.
+constexpr std::size_t kConv1dGemmMinFlops = 1u << 14;
+// Patch-matrix cap: chunk the batch so im2col scratch stays cache-friendly
+// and bounded (~8 MiB) for any batch size.
+constexpr std::size_t kConv1dChunkFloats = 1u << 21;
+
+bool conv1d_use_gemm(std::size_t n, std::size_t cin, std::size_t cout,
+                     std::size_t k, std::size_t t_out) {
+  switch (conv1d_impl_flag().load(std::memory_order_relaxed)) {
+    case Conv1dImpl::kDirect:
+      return false;
+    case Conv1dImpl::kIm2col:
+      return true;
+    case Conv1dImpl::kAuto:
+    default:
+      return 2 * n * cout * cin * k * t_out >= kConv1dGemmMinFlops;
+  }
+}
+
+struct Conv1dMetrics {
+  obs::Counter& gemm_calls =
+      obs::metrics().counter("kernel/conv1d_gemm_calls");
+  obs::Counter& direct_calls =
+      obs::metrics().counter("kernel/conv1d_direct_calls");
+};
+
+Conv1dMetrics& conv1d_metrics() {
+  static Conv1dMetrics* m = new Conv1dMetrics();
+  return *m;
+}
+
+/// Valid output range [t_lo, t_hi) for tap offset off = kk*d - pad, i.e. the
+/// t with 0 <= t + off < t_in.
+inline void tap_range(std::ptrdiff_t off, std::size_t t_in, std::size_t t_out,
+                      std::size_t& t_lo, std::size_t& t_hi) {
+  // Clamp both ends to [0, t_out]: with pad > T_in a tap can sit entirely in
+  // the zero padding (t_lo would exceed t_out), which must yield an empty
+  // range, not an out-of-bounds fill in the im2col writer.
+  t_lo = off < 0 ? std::min(static_cast<std::size_t>(-off), t_out) : 0u;
+  const std::ptrdiff_t hi =
+      std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(t_out),
+                               static_cast<std::ptrdiff_t>(t_in) - off);
+  t_hi = hi > static_cast<std::ptrdiff_t>(t_lo)
+             ? static_cast<std::size_t>(hi)
+             : t_lo;
+}
+
 /// y[n,co,t] = b[co] + sum_{ci,k} w[co,ci,k] * x[n,ci,t + k*d - P]
 /// (indices outside [0,T) read as zero — left padding).
-Tensor conv1d_forward(const Tensor& x, const Tensor& w, const Tensor* b,
-                      std::size_t d, std::size_t pad) {
+Tensor conv1d_forward_direct(const Tensor& x, const Tensor& w, const Tensor* b,
+                             std::size_t d, std::size_t pad,
+                             std::size_t t_out) {
   const std::size_t n = x.dim(0), cin = x.dim(1), t_in = x.dim(2);
   const std::size_t cout = w.dim(0), k = w.dim(2);
-  const std::size_t reach = (k - 1) * d;
-  RPTCN_CHECK(t_in + pad >= reach,
-              "conv1d: input too short for kernel reach " << reach);
-  const std::size_t t_out = t_in + pad - reach;
   Tensor y({n, cout, t_out});
 #pragma omp parallel for collapse(2) schedule(static) if (n * cout > 1 && kernel_parallelism_allowed())
   for (std::size_t ni = 0; ni < n; ++ni) {
@@ -249,11 +315,8 @@ Tensor conv1d_forward(const Tensor& x, const Tensor& w, const Tensor* b,
           // input offset of x relative to output index t
           const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
                                      static_cast<std::ptrdiff_t>(pad);
-          const std::size_t t_lo =
-              off < 0 ? static_cast<std::size_t>(-off) : 0u;
-          const std::size_t t_hi = std::min<std::ptrdiff_t>(
-              static_cast<std::ptrdiff_t>(t_out),
-              static_cast<std::ptrdiff_t>(t_in) - off);
+          std::size_t t_lo, t_hi;
+          tap_range(off, t_in, t_out, t_lo, t_hi);
           for (std::size_t t = t_lo; t < t_hi; ++t)
             yrow[t] += wv * xrow[static_cast<std::size_t>(
                            static_cast<std::ptrdiff_t>(t) + off)];
@@ -264,7 +327,218 @@ Tensor conv1d_forward(const Tensor& x, const Tensor& w, const Tensor* b,
   return y;
 }
 
+/// dx[n,ci,t+off] += w[co,ci,k] * dy[n,co,t] — transpose of the forward.
+void conv1d_dx_direct(const Tensor& dy, const Tensor& w, Tensor& dx,
+                      std::size_t d, std::size_t pad) {
+  const std::size_t n = dx.dim(0), cin = dx.dim(1), t_in = dx.dim(2);
+  const std::size_t cout = w.dim(0), k = w.dim(2);
+  const std::size_t t_out = dy.dim(2);
+#pragma omp parallel for schedule(static) if (n > 1 && kernel_parallelism_allowed())
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t co = 0; co < cout; ++co) {
+      const float* gyrow = dy.raw() + (ni * cout + co) * t_out;
+      for (std::size_t ci = 0; ci < cin; ++ci) {
+        float* dxrow = dx.raw() + (ni * cin + ci) * t_in;
+        const float* wrow = w.raw() + (co * cin + ci) * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float wv = wrow[kk];
+          if (wv == 0.0f) continue;
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
+                                     static_cast<std::ptrdiff_t>(pad);
+          std::size_t t_lo, t_hi;
+          tap_range(off, t_in, t_out, t_lo, t_hi);
+          for (std::size_t t = t_lo; t < t_hi; ++t)
+            dxrow[static_cast<std::size_t>(static_cast<std::ptrdiff_t>(t) +
+                                           off)] += wv * gyrow[t];
+        }
+      }
+    }
+  }
+}
+
+/// dw[co,ci,k] += sum_{n,t} dy[n,co,t] * x[n,ci,t+off].
+void conv1d_dw_direct(const Tensor& dy, const Tensor& x, Tensor& dw,
+                      std::size_t d, std::size_t pad) {
+  const std::size_t n = x.dim(0), cin = x.dim(1), t_in = x.dim(2);
+  const std::size_t cout = dw.dim(0), k = dw.dim(2);
+  const std::size_t t_out = dy.dim(2);
+#pragma omp parallel for schedule(static) if (cout > 1 && kernel_parallelism_allowed())
+  for (std::size_t co = 0; co < cout; ++co) {
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      const float* gyrow = dy.raw() + (ni * cout + co) * t_out;
+      for (std::size_t ci = 0; ci < cin; ++ci) {
+        const float* xrow = x.raw() + (ni * cin + ci) * t_in;
+        float* dwrow = dw.raw() + (co * cin + ci) * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
+                                     static_cast<std::ptrdiff_t>(pad);
+          std::size_t t_lo, t_hi;
+          tap_range(off, t_in, t_out, t_lo, t_hi);
+          double s = 0.0;
+          for (std::size_t t = t_lo; t < t_hi; ++t)
+            s += static_cast<double>(gyrow[t]) *
+                 xrow[static_cast<std::size_t>(
+                     static_cast<std::ptrdiff_t>(t) + off)];
+          dwrow[kk] += static_cast<float>(s);
+        }
+      }
+    }
+  }
+}
+
+/// Number of samples per im2col chunk for a given patch-row length.
+std::size_t conv1d_chunk(std::size_t n, std::size_t ck, std::size_t t_out) {
+  const std::size_t per_sample = std::max<std::size_t>(1, ck * t_out);
+  return std::min(n, std::max<std::size_t>(1, kConv1dChunkFloats / per_sample));
+}
+
+/// Causal-padding-aware im2col over a chunk of nc samples:
+/// patches[(ci*K + kk), s*T_out + t] = x[s, ci, t + kk*d - pad], zero
+/// outside [0, T_in). Each (row, sample) segment is one shifted contiguous
+/// copy of an input row, so this is pure memcpy traffic.
+void im2col_chunk(const float* x, std::size_t nc, std::size_t cin,
+                  std::size_t t_in, std::size_t k, std::size_t d,
+                  std::size_t pad, std::size_t t_out, float* patches) {
+  const std::size_t nt = nc * t_out;
+  for (std::size_t ci = 0; ci < cin; ++ci) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      float* row = patches + (ci * k + kk) * nt;
+      const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
+                                 static_cast<std::ptrdiff_t>(pad);
+      std::size_t t_lo, t_hi;
+      tap_range(off, t_in, t_out, t_lo, t_hi);
+      for (std::size_t s = 0; s < nc; ++s) {
+        float* seg = row + s * t_out;
+        const float* xrow = x + (s * cin + ci) * t_in;
+        std::fill(seg, seg + t_lo, 0.0f);
+        std::copy(xrow + static_cast<std::ptrdiff_t>(t_lo) + off,
+                  xrow + static_cast<std::ptrdiff_t>(t_hi) + off, seg + t_lo);
+        std::fill(seg + t_hi, seg + t_out, 0.0f);
+      }
+    }
+  }
+}
+
+/// Transpose of im2col_chunk: dx[s, ci, t + kk*d - pad] += cols[row, s, t].
+/// Rows are scattered in fixed (ci, kk, s, t) order — deterministic.
+void col2im_chunk_add(const float* cols, std::size_t nc, std::size_t cin,
+                      std::size_t t_in, std::size_t k, std::size_t d,
+                      std::size_t pad, std::size_t t_out, float* dx) {
+  const std::size_t nt = nc * t_out;
+  for (std::size_t ci = 0; ci < cin; ++ci) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* row = cols + (ci * k + kk) * nt;
+      const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
+                                 static_cast<std::ptrdiff_t>(pad);
+      std::size_t t_lo, t_hi;
+      tap_range(off, t_in, t_out, t_lo, t_hi);
+      for (std::size_t s = 0; s < nc; ++s) {
+        const float* seg = row + s * t_out;
+        float* dxrow = dx + (s * cin + ci) * t_in;
+        for (std::size_t t = t_lo; t < t_hi; ++t)
+          dxrow[static_cast<std::size_t>(static_cast<std::ptrdiff_t>(t) +
+                                         off)] += seg[t];
+      }
+    }
+  }
+}
+
+/// Gather dy[n0+s, co, t] into the chunk layout dyg[co, s*T_out + t]
+/// (contiguous row copies).
+void gather_dy_chunk(const Tensor& dy, std::size_t n0, std::size_t nc,
+                     float* dyg) {
+  const std::size_t cout = dy.dim(1), t_out = dy.dim(2);
+  const std::size_t nt = nc * t_out;
+  for (std::size_t s = 0; s < nc; ++s)
+    for (std::size_t co = 0; co < cout; ++co)
+      std::copy_n(dy.raw() + ((n0 + s) * cout + co) * t_out, t_out,
+                  dyg + co * nt + s * t_out);
+}
+
+Tensor conv1d_forward_gemm(const Tensor& x, const Tensor& w, const Tensor* b,
+                           std::size_t d, std::size_t pad, std::size_t t_out) {
+  const std::size_t n = x.dim(0), cin = x.dim(1), t_in = x.dim(2);
+  const std::size_t cout = w.dim(0), k = w.dim(2);
+  const std::size_t ck = cin * k;
+  Tensor y({n, cout, t_out});
+  const std::size_t chunk = conv1d_chunk(n, ck, t_out);
+  pool::Scratch patches(ck * chunk * t_out);
+  pool::Scratch ybuf(cout * chunk * t_out);
+  for (std::size_t n0 = 0; n0 < n; n0 += chunk) {
+    const std::size_t nc = std::min(chunk, n - n0);
+    const std::size_t nt = nc * t_out;
+    im2col_chunk(x.raw() + n0 * cin * t_in, nc, cin, t_in, k, d, pad, t_out,
+                 patches.data());
+    if (b != nullptr) {
+      for (std::size_t co = 0; co < cout; ++co)
+        std::fill_n(ybuf.data() + co * nt, nt, b->at(co));
+    } else {
+      std::fill_n(ybuf.data(), cout * nt, 0.0f);
+    }
+    // Y[co, s·T+t] += W2[co, ci·K+kk] · patches[ci·K+kk, s·T+t]
+    gemm_accumulate(cout, nt, ck, w.raw(), ck, false, patches.data(), nt,
+                    false, ybuf.data());
+    for (std::size_t s = 0; s < nc; ++s)
+      for (std::size_t co = 0; co < cout; ++co)
+        std::copy_n(ybuf.data() + co * nt + s * t_out, t_out,
+                    y.raw() + ((n0 + s) * cout + co) * t_out);
+  }
+  return y;
+}
+
+void conv1d_dx_gemm(const Tensor& dy, const Tensor& w, Tensor& dx,
+                    std::size_t d, std::size_t pad) {
+  const std::size_t n = dx.dim(0), cin = dx.dim(1), t_in = dx.dim(2);
+  const std::size_t cout = w.dim(0), k = w.dim(2);
+  const std::size_t t_out = dy.dim(2);
+  const std::size_t ck = cin * k;
+  const std::size_t chunk = conv1d_chunk(n, ck, t_out);
+  pool::Scratch cols(ck * chunk * t_out);
+  pool::Scratch dyg(cout * chunk * t_out);
+  for (std::size_t n0 = 0; n0 < n; n0 += chunk) {
+    const std::size_t nc = std::min(chunk, n - n0);
+    const std::size_t nt = nc * t_out;
+    gather_dy_chunk(dy, n0, nc, dyg.data());
+    std::fill_n(cols.data(), ck * nt, 0.0f);
+    // cols[ci·K+kk, s·T+t] += W2ᵀ[ci·K+kk, co] · dY[co, s·T+t]
+    gemm_accumulate(ck, nt, cout, w.raw(), ck, true, dyg.data(), nt, false,
+                    cols.data());
+    col2im_chunk_add(cols.data(), nc, cin, t_in, k, d, pad, t_out,
+                     dx.raw() + n0 * cin * t_in);
+  }
+}
+
+void conv1d_dw_gemm(const Tensor& dy, const Tensor& x, Tensor& dw,
+                    std::size_t d, std::size_t pad) {
+  const std::size_t n = x.dim(0), cin = x.dim(1), t_in = x.dim(2);
+  const std::size_t cout = dw.dim(0), k = dw.dim(2);
+  const std::size_t t_out = dy.dim(2);
+  const std::size_t ck = cin * k;
+  const std::size_t chunk = conv1d_chunk(n, ck, t_out);
+  pool::Scratch patches(ck * chunk * t_out);
+  pool::Scratch dyg(cout * chunk * t_out);
+  for (std::size_t n0 = 0; n0 < n; n0 += chunk) {
+    const std::size_t nc = std::min(chunk, n - n0);
+    const std::size_t nt = nc * t_out;
+    im2col_chunk(x.raw() + n0 * cin * t_in, nc, cin, t_in, k, d, pad, t_out,
+                 patches.data());
+    gather_dy_chunk(dy, n0, nc, dyg.data());
+    // dW2[co, ci·K+kk] += dY[co, s·T+t] · patchesᵀ[s·T+t, ci·K+kk];
+    // chunks accumulate in fixed n0 order — deterministic.
+    gemm_accumulate(cout, ck, nt, dyg.data(), nt, false, patches.data(), nt,
+                    true, dw.raw());
+  }
+}
+
 }  // namespace
+
+void set_conv1d_impl(Conv1dImpl impl) {
+  conv1d_impl_flag().store(impl, std::memory_order_relaxed);
+}
+
+Conv1dImpl conv1d_impl() {
+  return conv1d_impl_flag().load(std::memory_order_relaxed);
+}
 
 Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
                 std::size_t dilation, std::ptrdiff_t left_pad) {
@@ -286,7 +560,22 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
     RPTCN_CHECK(bias->rank() == 1 && bias->dim(0) == w.dim(0),
                 "conv1d bias must be [Cout]");
 
-  Tensor out = conv1d_forward(x.value(), w.value(), bias, dilation, pad);
+  const std::size_t k_reach = (k - 1) * dilation;
+  const std::size_t t_in = x.dim(2);
+  RPTCN_CHECK(t_in + pad >= k_reach,
+              "conv1d: input too short for kernel reach " << k_reach);
+  const std::size_t t_out = t_in + pad - k_reach;
+  const bool use_gemm =
+      conv1d_use_gemm(x.dim(0), x.dim(1), w.dim(0), k, t_out);
+  if (obs::enabled())
+    (use_gemm ? conv1d_metrics().gemm_calls : conv1d_metrics().direct_calls)
+        .add(1);
+  Tensor out =
+      use_gemm
+          ? conv1d_forward_gemm(x.value(), w.value(), bias, dilation, pad,
+                                t_out)
+          : conv1d_forward_direct(x.value(), w.value(), bias, dilation, pad,
+                                  t_out);
   const std::size_t d = dilation;
   return make_node(std::move(out), {x, w, b}, "conv1d", [x, w, b, d, pad] {
     return [xn = x.node(), wn = w.node(),
@@ -294,66 +583,27 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
       const Tensor& xv = xn->value;
       const Tensor& wv = wn->value;
       const Tensor& dy = self.grad;
-      const std::size_t n = xv.dim(0), cin = xv.dim(1), t_in = xv.dim(2);
-      const std::size_t cout = wv.dim(0), ksz = wv.dim(2);
+      const std::size_t n = xv.dim(0), cout = wv.dim(0), ksz = wv.dim(2);
       const std::size_t t_out = dy.dim(2);
+      // Same shape-only dispatch as the forward pass (re-evaluated so the
+      // backward honours set_conv1d_impl at backward time too).
+      const bool lower = conv1d_use_gemm(n, xv.dim(1), cout, ksz, t_out);
 
       if (xn->requires_grad) {
         Tensor dx = Tensor::zeros(xv.shape());
-#pragma omp parallel for schedule(static) if (n > 1 && kernel_parallelism_allowed())
-        for (std::size_t ni = 0; ni < n; ++ni) {
-          for (std::size_t co = 0; co < cout; ++co) {
-            const float* gyrow = dy.raw() + (ni * cout + co) * t_out;
-            for (std::size_t ci = 0; ci < cin; ++ci) {
-              float* dxrow = dx.raw() + (ni * cin + ci) * t_in;
-              const float* wrow = wv.raw() + (co * cin + ci) * ksz;
-              for (std::size_t kk = 0; kk < ksz; ++kk) {
-                const float wvv = wrow[kk];
-                if (wvv == 0.0f) continue;
-                const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
-                                           static_cast<std::ptrdiff_t>(pad);
-                const std::size_t t_lo =
-                    off < 0 ? static_cast<std::size_t>(-off) : 0u;
-                const std::size_t t_hi = std::min<std::ptrdiff_t>(
-                    static_cast<std::ptrdiff_t>(t_out),
-                    static_cast<std::ptrdiff_t>(t_in) - off);
-                for (std::size_t t = t_lo; t < t_hi; ++t)
-                  dxrow[static_cast<std::size_t>(
-                      static_cast<std::ptrdiff_t>(t) + off)] += wvv * gyrow[t];
-              }
-            }
-          }
-        }
+        if (lower)
+          conv1d_dx_gemm(dy, wv, dx, d, pad);
+        else
+          conv1d_dx_direct(dy, wv, dx, d, pad);
         xn->accumulate(dx);
       }
 
       if (wn->requires_grad) {
         Tensor dw = Tensor::zeros(wv.shape());
-#pragma omp parallel for schedule(static) if (cout > 1 && kernel_parallelism_allowed())
-        for (std::size_t co = 0; co < cout; ++co) {
-          for (std::size_t ni = 0; ni < n; ++ni) {
-            const float* gyrow = dy.raw() + (ni * cout + co) * t_out;
-            for (std::size_t ci = 0; ci < cin; ++ci) {
-              const float* xrow = xv.raw() + (ni * cin + ci) * t_in;
-              float* dwrow = dw.raw() + (co * cin + ci) * ksz;
-              for (std::size_t kk = 0; kk < ksz; ++kk) {
-                const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
-                                           static_cast<std::ptrdiff_t>(pad);
-                const std::size_t t_lo =
-                    off < 0 ? static_cast<std::size_t>(-off) : 0u;
-                const std::size_t t_hi = std::min<std::ptrdiff_t>(
-                    static_cast<std::ptrdiff_t>(t_out),
-                    static_cast<std::ptrdiff_t>(t_in) - off);
-                double s = 0.0;
-                for (std::size_t t = t_lo; t < t_hi; ++t)
-                  s += static_cast<double>(gyrow[t]) *
-                       xrow[static_cast<std::size_t>(
-                           static_cast<std::ptrdiff_t>(t) + off)];
-                dwrow[kk] += static_cast<float>(s);
-              }
-            }
-          }
-        }
+        if (lower)
+          conv1d_dw_gemm(dy, xv, dw, d, pad);
+        else
+          conv1d_dw_direct(dy, xv, dw, d, pad);
         wn->accumulate(dw);
       }
 

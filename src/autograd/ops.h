@@ -43,8 +43,23 @@ Variable reshape(const Variable& a, std::vector<std::size_t> shape);
 ///   x: [N, Cin, T], w: [Cout, Cin, K], b: [Cout] or undefined.
 /// left_pad < 0 selects causal padding (K-1)*dilation, which preserves T.
 /// Output: [N, Cout, T + left_pad - (K-1)*dilation].
+///
+/// Forward, dX and dW are lowered onto the packed blocked GEMM via a
+/// causal-padding-aware im2col patch matrix whenever the shape is large
+/// enough to amortise the patch traffic (see Conv1dImpl); small shapes keep
+/// the direct loops. Both paths compute the same convolution; they differ
+/// only in float summation order (parity is gradcheck-tested).
 Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
                 std::size_t dilation = 1, std::ptrdiff_t left_pad = -1);
+
+/// Conv1d kernel dispatch. kAuto (default) picks by a flop-count cutoff:
+/// large shapes lower to im2col+GEMM, tiny ones keep the direct loop.
+/// kDirect / kIm2col pin one path — used by the parity tests and the
+/// direct-vs-lowered benches. Process-wide; shape-dependent only, so
+/// dispatch never depends on data.
+enum class Conv1dImpl { kAuto, kDirect, kIm2col };
+void set_conv1d_impl(Conv1dImpl impl);
+Conv1dImpl conv1d_impl();
 
 /// Weight normalisation: w[c,...] = g[c] * v[c,...] / ||v[c,...]||_2.
 /// Used inside the TCN residual block (Fig. 6).

@@ -1,0 +1,147 @@
+#include "tensor/buffer_pool.h"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace rptcn::pool {
+
+namespace {
+
+bool env_disabled() {
+  const char* v = std::getenv("RPTCN_DISABLE_POOL");
+  return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{!env_disabled()};
+  return flag;
+}
+
+constexpr std::size_t kNumBuckets = 19;  // 2^6 .. 2^24
+
+static_assert((kMinBucketFloats << (kNumBuckets - 1)) == kMaxBucketFloats);
+
+/// Smallest bucket whose capacity covers n, or kNumBuckets when n is above
+/// the top bucket.
+std::size_t bucket_for_size(std::size_t n) {
+  std::size_t cap = kMinBucketFloats;
+  for (std::size_t b = 0; b < kNumBuckets; ++b, cap <<= 1)
+    if (n <= cap) return b;
+  return kNumBuckets;
+}
+
+std::size_t bucket_capacity(std::size_t b) { return kMinBucketFloats << b; }
+
+/// Registry handles resolved once; Counter::add is a no-op while the
+/// metrics layer is disabled, so these cost one relaxed load per event.
+struct PoolMetrics {
+  obs::Counter& hits = obs::metrics().counter("tensor_pool/hits");
+  obs::Counter& misses = obs::metrics().counter("tensor_pool/misses");
+  obs::Counter& bytes_recycled =
+      obs::metrics().counter("tensor_pool/bytes_recycled");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
+
+struct ThreadCache {
+  std::array<std::vector<std::vector<float>>, kNumBuckets> buckets;
+  std::size_t cached_bytes = 0;
+  ThreadCacheStats stats;
+};
+
+// The dead flag is a trivially-destructible thread_local, so it stays
+// readable after the cache's destructor ran (thread_local destruction
+// order): releases during thread teardown then fall through to the
+// allocator instead of touching a destroyed cache.
+thread_local bool t_cache_dead = false;
+
+struct CacheHolder {
+  ThreadCache cache;
+  ~CacheHolder() { t_cache_dead = true; }
+};
+
+ThreadCache* thread_cache() {
+  if (t_cache_dead) return nullptr;
+  thread_local CacheHolder holder;
+  return &holder.cache;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::vector<float> acquire(std::size_t n) {
+  if (n == 0) return {};
+  ThreadCache* tc = enabled() ? thread_cache() : nullptr;
+  const std::size_t b = bucket_for_size(n);
+  if (tc != nullptr && b < kNumBuckets && !tc->buckets[b].empty()) {
+    std::vector<float> buf = std::move(tc->buckets[b].back());
+    tc->buckets[b].pop_back();
+    tc->cached_bytes -= buf.capacity() * sizeof(float);
+    ++tc->stats.hits;
+    --tc->stats.cached_buffers;
+    tc->stats.cached_bytes = tc->cached_bytes;
+    pool_metrics().hits.add(1);
+    pool_metrics().bytes_recycled.add(n * sizeof(float));
+    buf.resize(n);  // capacity covers n: never reallocates
+    return buf;
+  }
+  if (tc != nullptr) ++tc->stats.misses;
+  pool_metrics().misses.add(1);
+  std::vector<float> buf;
+  // Reserve the full bucket so the buffer re-enters the same bucket on
+  // release; oversized requests get an exact allocation and are not cached.
+  if (b < kNumBuckets) buf.reserve(bucket_capacity(b));
+  buf.resize(n);
+  return buf;
+}
+
+void release(std::vector<float>&& buf) {
+  std::vector<float> victim = std::move(buf);  // frees on every early return
+  if (victim.capacity() == 0 || !enabled()) return;
+  ThreadCache* tc = thread_cache();
+  if (tc == nullptr) return;
+  // Bucket by capacity: the invariant is capacity >= bucket_capacity(b), so
+  // a vector that did not come from acquire() (Tensor::from) is filed under
+  // the largest bucket its capacity fully covers.
+  const std::size_t cap = victim.capacity();
+  if (cap < kMinBucketFloats) return;
+  std::size_t b = 0;
+  while (b + 1 < kNumBuckets && bucket_capacity(b + 1) <= cap) ++b;
+  const std::size_t bytes = cap * sizeof(float);
+  if (tc->buckets[b].size() >= kMaxBuffersPerBucket ||
+      tc->cached_bytes + bytes > kMaxCachedBytes)
+    return;
+  tc->buckets[b].push_back(std::move(victim));
+  tc->cached_bytes += bytes;
+  ++tc->stats.returns;
+  ++tc->stats.cached_buffers;
+  tc->stats.cached_bytes = tc->cached_bytes;
+}
+
+ThreadCacheStats thread_stats() {
+  ThreadCache* tc = thread_cache();
+  return tc != nullptr ? tc->stats : ThreadCacheStats{};
+}
+
+void clear_thread_cache() {
+  ThreadCache* tc = thread_cache();
+  if (tc == nullptr) return;
+  for (auto& bucket : tc->buckets) bucket.clear();
+  tc->cached_bytes = 0;
+  tc->stats.cached_buffers = 0;
+  tc->stats.cached_bytes = 0;
+}
+
+}  // namespace rptcn::pool

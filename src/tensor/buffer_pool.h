@@ -1,0 +1,92 @@
+// Thread-local, size-bucketed free list behind Tensor storage.
+//
+// Every tensor op in this codebase returns a fresh Tensor by value, so one
+// RPTCN training step used to perform hundreds of heap allocations on the
+// autograd tape (forward values, backward gradients, im2col scratch).
+// The pool recycles those buffers: Tensor routes its std::vector<float>
+// storage through acquire()/release(), so a buffer freed by a dying
+// intermediate is handed straight back to the next op of the same size
+// class and the steady-state training loop is allocation-free.
+//
+// Design:
+//  * Buckets are powers of two from kMinBucketFloats to kMaxBucketFloats.
+//    acquire(n) pops from the smallest bucket whose capacity covers n; a
+//    miss allocates a vector whose capacity is reserved to exactly the
+//    bucket size so the buffer re-enters the same bucket on release.
+//  * Caches are strictly thread_local — no locks, no cross-thread sharing,
+//    so experiment jobs on the worker pool (common/thread_pool) never
+//    contend and the pool is trivially race-free under TSAN.
+//  * Lifetime rule: a buffer is released ONLY by ~Tensor / Tensor
+//    assignment, i.e. when its unique owner dies. Live tensors never share
+//    storage, so recycling cannot alias (tests/test_tensor_pool.cpp checks
+//    this). Recycled contents are unspecified; Tensor's constructors always
+//    initialise every element they expose.
+//  * Bounded: at most kMaxBuffersPerBucket buffers per bucket and
+//    kMaxCachedBytes cached per thread; excess releases fall through to the
+//    allocator. Buffers above the top bucket are never cached.
+//  * Escape hatch: RPTCN_DISABLE_POOL=1 in the environment (or
+//    set_enabled(false)) makes acquire/release degenerate to plain
+//    allocation, for debugging suspected recycling bugs.
+//
+// Observability: hits, misses and bytes recycled are exported through the
+// obs::MetricsRegistry as tensor_pool/{hits,misses,bytes_recycled}; exact
+// per-thread numbers for tests come from thread_stats().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rptcn::pool {
+
+inline constexpr std::size_t kMinBucketFloats = 1u << 6;   // 256 B
+inline constexpr std::size_t kMaxBucketFloats = 1u << 24;  // 64 MiB
+inline constexpr std::size_t kMaxBuffersPerBucket = 16;
+inline constexpr std::size_t kMaxCachedBytes = 64u << 20;  // per thread
+
+/// Global recycling switch. Defaults to on unless RPTCN_DISABLE_POOL=1.
+bool enabled();
+void set_enabled(bool on);
+
+/// A float buffer of size n (capacity >= n), recycled when possible.
+/// Contents are unspecified — the caller must initialise what it reads.
+std::vector<float> acquire(std::size_t n);
+
+/// Return a buffer to the calling thread's cache (or free it when the
+/// cache is full, the pool is disabled, or the thread is exiting).
+/// The buffer must have no other owner.
+void release(std::vector<float>&& buf);
+
+/// Exact counters for the calling thread (tests; not merged across threads).
+struct ThreadCacheStats {
+  std::uint64_t hits = 0;        ///< acquires served from the cache
+  std::uint64_t misses = 0;      ///< acquires that hit the allocator
+  std::uint64_t returns = 0;     ///< releases accepted into the cache
+  std::size_t cached_buffers = 0;
+  std::size_t cached_bytes = 0;
+};
+ThreadCacheStats thread_stats();
+
+/// Drop every buffer cached by the calling thread (tests / memory pressure).
+void clear_thread_cache();
+
+/// RAII scratch buffer for kernels (im2col patches, packed panels):
+/// acquires on construction, releases on destruction, so per-call scratch
+/// is recycled across calls without going through a Tensor.
+class Scratch {
+ public:
+  explicit Scratch(std::size_t n) : buf_(acquire(n)) {}
+  ~Scratch() { release(std::move(buf_)); }
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+
+  float* data() { return buf_.data(); }
+  const float* data() const { return buf_.data(); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<float> buf_;
+};
+
+}  // namespace rptcn::pool

@@ -1,8 +1,10 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/rng.h"
+#include "tensor/buffer_pool.h"
 
 namespace rptcn {
 
@@ -13,9 +15,47 @@ std::size_t shape_size(const std::vector<std::size_t>& shape) {
 }
 
 Tensor::Tensor(std::vector<std::size_t> shape, float fill)
-    : shape_(std::move(shape)), data_(shape_size(shape_), fill) {
+    : shape_(std::move(shape)), data_(pool::acquire(shape_size(shape_))) {
   for (auto d : shape_) RPTCN_CHECK(d > 0, "zero-extent dimension in shape");
+  // Recycled buffers hold stale values; every element is initialised here.
+  std::fill(data_.begin(), data_.end(), fill);
 }
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(pool::acquire(other.data_.size())) {
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  if (data_.capacity() >= other.data_.size()) {
+    data_.resize(other.data_.size());
+  } else {
+    pool::release(std::move(data_));
+    data_ = pool::acquire(other.data_.size());
+  }
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)), data_(std::move(other.data_)) {
+  other.shape_.clear();
+  other.data_.clear();
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  pool::release(std::move(data_));
+  shape_ = std::move(other.shape_);
+  data_ = std::move(other.data_);
+  other.shape_.clear();
+  other.data_.clear();
+  return *this;
+}
+
+Tensor::~Tensor() { pool::release(std::move(data_)); }
 
 Tensor Tensor::zeros(std::vector<std::size_t> shape) {
   return Tensor(std::move(shape), 0.0f);
@@ -71,9 +111,8 @@ Tensor Tensor::reshape(std::vector<std::size_t> new_shape) const {
   RPTCN_CHECK(shape_size(new_shape) == data_.size(),
               "reshape to incompatible size: " << shape_size(new_shape)
                                                << " != " << data_.size());
-  Tensor t;
+  Tensor t(*this);  // pooled copy
   t.shape_ = std::move(new_shape);
-  t.data_ = data_;
   return t;
 }
 

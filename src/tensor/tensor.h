@@ -5,6 +5,11 @@
 //    reproduction are small (thousands to low millions of elements), so the
 //    simplicity of copies-by-value beats a strided-view design; hot paths
 //    (GEMM, dilated conv) operate on raw spans and never copy.
+//  * Storage is recycled through the thread-local buffer pool
+//    (tensor/buffer_pool.h): construction acquires a size-bucketed buffer,
+//    destruction/assignment releases it, so the per-op "allocate a fresh
+//    output" idiom is allocation-free in steady state. A tensor always
+//    uniquely owns its buffer — recycling never aliases live tensors.
 //  * Rank is dynamic (vector<size_t> shape); the NN layers use ranks 1–3.
 //  * All shape errors are RPTCN_CHECK failures (throwing), never UB.
 #pragma once
@@ -27,6 +32,14 @@ class Tensor {
 
   /// Tensor of the given shape, filled with `fill`.
   explicit Tensor(std::vector<std::size_t> shape, float fill = 0.0f);
+
+  // Storage goes through the thread-local buffer pool: copies acquire a
+  // recycled buffer, destruction/assignment releases the old one.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
 
   // -- factories ------------------------------------------------------------
   static Tensor zeros(std::vector<std::size_t> shape);

@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "tensor/buffer_pool.h"
 
 namespace rptcn {
 
@@ -16,15 +17,39 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
                                   << " vs " << b.shape_string());
 }
 
+// zip/map run on contiguous restrict-qualified raw pointers with the functor
+// inlined as a template parameter (no std::function indirection), so the
+// compiler auto-vectorises the arithmetic cases and the libm ones
+// (exp/tanh) at least stay in one tight loop.
+
 template <typename F>
 Tensor zip(const Tensor& a, const Tensor& b, F&& f, const char* op) {
   check_same_shape(a, b, op);
   Tensor out(a.shape());
-  const auto pa = a.data();
-  const auto pb = b.data();
-  auto po = out.data();
-  for (std::size_t i = 0; i < pa.size(); ++i) po[i] = f(pa[i], pb[i]);
+  const float* __restrict pa = a.raw();
+  const float* __restrict pb = b.raw();
+  float* __restrict po = out.raw();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
   return out;
+}
+
+template <typename F>
+Tensor unary(const Tensor& a, F&& f) {
+  Tensor out(a.shape());
+  const float* __restrict pa = a.raw();
+  float* __restrict po = out.raw();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+/// The one stabilised exponential kernel: out[i] = exp(out[i]) in place.
+/// softmax_lastdim writes row-max-shifted inputs into its output buffer and
+/// exponentiates here; exp_t and sigmoid reuse the same loop so every
+/// transcendental path in the library goes through one kernel.
+void vexp_inplace(float* __restrict p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) p[i] = std::exp(p[i]);
 }
 }  // namespace
 
@@ -42,13 +67,13 @@ Tensor div(const Tensor& a, const Tensor& b) {
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
-  return map(a, [s](float x) { return x + s; });
+  return unary(a, [s](float x) { return x + s; });
 }
 Tensor mul_scalar(const Tensor& a, float s) {
-  return map(a, [s](float x) { return x * s; });
+  return unary(a, [s](float x) { return x * s; });
 }
 Tensor neg(const Tensor& a) {
-  return map(a, [](float x) { return -x; });
+  return unary(a, [](float x) { return -x; });
 }
 
 void axpy(float alpha, const Tensor& x, Tensor& y) {
@@ -65,36 +90,42 @@ void scale_inplace(Tensor& y, float s) {
 void add_inplace(Tensor& y, const Tensor& x) { axpy(1.0f, x, y); }
 
 Tensor map(const Tensor& a, const std::function<float(float)>& f) {
-  Tensor out(a.shape());
-  const auto pa = a.data();
-  auto po = out.data();
-  for (std::size_t i = 0; i < pa.size(); ++i) po[i] = f(pa[i]);
-  return out;
+  return unary(a, [&f](float x) { return f(x); });
 }
 
 Tensor relu(const Tensor& a) {
-  return map(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
 }
 Tensor sigmoid(const Tensor& a) {
-  return map(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  // 1/(1+exp(-x)) through the shared exp kernel: negate, exponentiate in
+  // place, then one rational pass. Saturates cleanly (exp(-x) -> inf gives
+  // exactly 0) — same values as the scalar form, one buffer end to end.
+  Tensor out = neg(a);
+  vexp_inplace(out.raw(), out.size());
+  float* __restrict po = out.raw();
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) po[i] = 1.0f / (1.0f + po[i]);
+  return out;
 }
 Tensor tanh_t(const Tensor& a) {
-  return map(a, [](float x) { return std::tanh(x); });
+  return unary(a, [](float x) { return std::tanh(x); });
 }
 Tensor exp_t(const Tensor& a) {
-  return map(a, [](float x) { return std::exp(x); });
+  Tensor out = a;
+  vexp_inplace(out.raw(), out.size());
+  return out;
 }
 Tensor log_t(const Tensor& a) {
-  return map(a, [](float x) { return std::log(x); });
+  return unary(a, [](float x) { return std::log(x); });
 }
 Tensor sqrt_t(const Tensor& a) {
-  return map(a, [](float x) { return std::sqrt(x); });
+  return unary(a, [](float x) { return std::sqrt(x); });
 }
 Tensor square(const Tensor& a) {
-  return map(a, [](float x) { return x * x; });
+  return unary(a, [](float x) { return x * x; });
 }
 Tensor abs_t(const Tensor& a) {
-  return map(a, [](float x) { return std::fabs(x); });
+  return unary(a, [](float x) { return std::fabs(x); });
 }
 
 float sum(const Tensor& a) {
@@ -298,7 +329,7 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
         (packed_rows + n_panels * kNR) * static_cast<std::uint64_t>(k) *
         sizeof(float));
   }
-  std::vector<float> bpack(kKC * n_panels * kNR);
+  pool::Scratch bpack(kKC * n_panels * kNR);
   const std::size_t row_blocks = (m + kMC - 1) / kMC;
   const bool fan_out =
       m * n * k > kParallelGemmFlops && kernel_parallelism_allowed();
@@ -309,7 +340,7 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
     for (std::size_t blk = 0; blk < row_blocks; ++blk) {
       const std::size_t i0 = blk * kMC;
       const std::size_t mc = std::min(kMC, m - i0);
-      std::vector<float> apack(((mc + kMR - 1) / kMR) * kMR * kc);
+      pool::Scratch apack(((mc + kMR - 1) / kMR) * kMR * kc);
       pack_a(a, lda, ta, i0, p0, mc, kc, apack.data());
       for (std::size_t jr = 0; jr < n; jr += kNR) {
         const std::size_t nr = std::min(kNR, n - jr);
@@ -330,6 +361,12 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
 }
 
 }  // namespace
+
+void gemm_accumulate(std::size_t m, std::size_t n, std::size_t k,
+                     const float* a, std::size_t lda, bool trans_a,
+                     const float* b, std::size_t ldb, bool trans_b, float* c) {
+  gemm(m, n, k, a, lda, trans_a, b, ldb, trans_b, c);
+}
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   RPTCN_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects rank-2 tensors");
@@ -387,19 +424,20 @@ Tensor softmax_lastdim(const Tensor& a) {
   RPTCN_CHECK(a.rank() >= 1, "softmax of rank-0 tensor");
   const std::size_t last = a.shape().back();
   const std::size_t rows = a.size() / last;
+  // Single output buffer, no temporaries: shift by the row max into `out`,
+  // exponentiate in place through the shared kernel, then normalise.
   Tensor out(a.shape());
   const float* pa = a.raw();
   float* po = out.raw();
   for (std::size_t r = 0; r < rows; ++r) {
-    const float* in = pa + r * last;
-    float* o = po + r * last;
+    const float* __restrict in = pa + r * last;
+    float* __restrict o = po + r * last;
     float mx = in[0];
     for (std::size_t j = 1; j < last; ++j) mx = std::max(mx, in[j]);
+    for (std::size_t j = 0; j < last; ++j) o[j] = in[j] - mx;
+    vexp_inplace(o, last);
     double denom = 0.0;
-    for (std::size_t j = 0; j < last; ++j) {
-      o[j] = std::exp(in[j] - mx);
-      denom += o[j];
-    }
+    for (std::size_t j = 0; j < last; ++j) denom += o[j];
     const float inv = static_cast<float>(1.0 / denom);
     for (std::size_t j = 0; j < last; ++j) o[j] *= inv;
   }

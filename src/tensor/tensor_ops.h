@@ -59,6 +59,16 @@ Tensor sum_rows(const Tensor& a);
 Tensor sum_cols(const Tensor& a);
 
 // -- linear algebra -------------------------------------------------------------
+/// Raw GEMM entry point: C[m,n] += op(A)·op(B), where op transposes iff
+/// trans_a/trans_b and lda/ldb are the *storage* leading dimensions. C must
+/// be initialised by the caller (zeros, or a bias to accumulate onto). Same
+/// blocked packed deterministic kernel as matmul/_tn/_nt; exposed for
+/// callers that manage their own buffers — the conv1d im2col lowering in
+/// autograd/ops.cpp drives all three of its GEMMs through this.
+void gemm_accumulate(std::size_t m, std::size_t n, std::size_t k,
+                     const float* a, std::size_t lda, bool trans_a,
+                     const float* b, std::size_t ldb, bool trans_b, float* c);
+
 /// C = A[m,k] * B[k,n]; blocked + packed, OpenMP over row blocks.
 Tensor matmul(const Tensor& a, const Tensor& b);
 /// C = A^T * B -> (k x n) given A[m,k], B[m,n]; same blocked kernel.

@@ -1,0 +1,220 @@
+// Behavioural tests for the thread-local tensor buffer pool: bucket reuse,
+// the no-aliasing lifetime rule, thread-locality under the worker pool, the
+// RPTCN_DISABLE_POOL-style disable switch, and the Scratch RAII helper.
+// The fixture name is matched by the TSAN CI job's -R filter, so the
+// multi-thread cases also run under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <future>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace rptcn {
+namespace {
+
+/// Restores the pool switch and drains the calling thread's cache around
+/// each test so stats assertions start from a clean slate.
+class BufferPool : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = pool::enabled();
+    pool::set_enabled(true);
+    pool::clear_thread_cache();
+  }
+  void TearDown() override {
+    pool::clear_thread_cache();
+    pool::set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(BufferPool, AcquireReleaseRecyclesSameAllocation) {
+  auto a = pool::acquire(1000);
+  ASSERT_GE(a.size(), 1000u);
+  const float* p = a.data();
+  pool::release(std::move(a));
+
+  // Same bucket (capacity 1024 covers both) => same underlying allocation.
+  auto b = pool::acquire(700);
+  EXPECT_EQ(b.data(), p);
+  pool::release(std::move(b));
+}
+
+TEST_F(BufferPool, BucketsSeparateSizeClasses) {
+  auto small = pool::acquire(100);   // 128-float bucket
+  auto large = pool::acquire(5000);  // 8192-float bucket
+  const float* ps = small.data();
+  const float* pl = large.data();
+  pool::release(std::move(small));
+  pool::release(std::move(large));
+
+  // A mid-size request must not be served from the too-small bucket.
+  auto mid = pool::acquire(2000);
+  EXPECT_NE(mid.data(), ps);
+  EXPECT_NE(mid.data(), pl);  // 2048-bucket; 8192 buffer stays cached
+  auto large2 = pool::acquire(5000);
+  EXPECT_EQ(large2.data(), pl);
+  pool::release(std::move(mid));
+  pool::release(std::move(large2));
+}
+
+TEST_F(BufferPool, StatsCountHitsMissesReturns) {
+  const auto s0 = pool::thread_stats();
+  auto a = pool::acquire(512);
+  pool::release(std::move(a));
+  auto b = pool::acquire(512);
+  pool::release(std::move(b));
+  const auto s1 = pool::thread_stats();
+  EXPECT_EQ(s1.misses, s0.misses + 1);   // first acquire allocates
+  EXPECT_EQ(s1.hits, s0.hits + 1);       // second is served from cache
+  EXPECT_EQ(s1.returns, s0.returns + 2); // both releases accepted
+  EXPECT_GE(s1.cached_buffers, 1u);
+}
+
+TEST_F(BufferPool, TinyAcquiresRoundUpToMinBucket) {
+  // Sub-minimum requests still recycle: acquire reserves the min bucket's
+  // capacity, so the buffer re-enters bucket 0 and serves the next tiny ask.
+  auto a = pool::acquire(8);
+  const float* p = a.data();
+  pool::release(std::move(a));
+  auto b = pool::acquire(16);
+  EXPECT_EQ(b.data(), p);
+  pool::release(std::move(b));
+}
+
+TEST_F(BufferPool, ForeignTinyBuffersAreNotCached) {
+  // A vector that did not come from acquire() and whose capacity is below
+  // the min bucket falls through to the allocator on release.
+  const auto s0 = pool::thread_stats();
+  std::vector<float> v(8, 1.0f);
+  v.shrink_to_fit();
+  pool::release(std::move(v));
+  const auto s1 = pool::thread_stats();
+  EXPECT_EQ(s1.returns, s0.returns);
+  EXPECT_EQ(s1.cached_buffers, s0.cached_buffers);
+}
+
+TEST_F(BufferPool, DisabledPoolDegeneratesToPlainAllocation) {
+  pool::set_enabled(false);
+  const auto s0 = pool::thread_stats();
+  auto a = pool::acquire(4096);
+  ASSERT_EQ(a.size(), 4096u);
+  pool::release(std::move(a));
+  const auto s1 = pool::thread_stats();
+  EXPECT_EQ(s1.hits, s0.hits);
+  EXPECT_EQ(s1.returns, s0.returns);
+
+  // Tensor math still works bit-identically with the pool off.
+  Rng rng(3);
+  const Tensor x = Tensor::randn({8, 8}, rng);
+  const Tensor y = Tensor::randn({8, 8}, rng);
+  const Tensor off = matmul(x, y);
+  pool::set_enabled(true);
+  const Tensor on = matmul(x, y);
+  EXPECT_TRUE(allclose(off, on, 0.0f, 0.0f));
+}
+
+TEST_F(BufferPool, LiveTensorsNeverAlias) {
+  // The recycling rule: storage is released only when a tensor dies. Any
+  // set of simultaneously live tensors must therefore occupy disjoint
+  // allocations, and writing one must not disturb another.
+  Rng rng(11);
+  std::vector<Tensor> live;
+  std::set<const float*> storage;
+  for (int round = 0; round < 8; ++round) {
+    // Churn: temporaries die and feed the cache the live tensors draw from.
+    { Tensor tmp = Tensor::zeros({256}); (void)tmp; }
+    live.push_back(Tensor::randn({256}, rng));
+    EXPECT_TRUE(storage.insert(live.back().raw()).second)
+        << "live tensor reused another live tensor's storage";
+  }
+  std::vector<Tensor> copies = live;  // deep copies via pooled copy-ctor
+  for (auto& t : live)
+    for (auto& v : t.data()) v = -1.0f;
+  for (std::size_t i = 0; i < copies.size(); ++i)
+    EXPECT_NE(copies[i].raw(), live[i].raw());
+}
+
+TEST_F(BufferPool, CopyAndMovePreserveValues) {
+  Rng rng(5);
+  Tensor a = Tensor::randn({3, 7}, rng);
+  const Tensor expect = a;  // copy
+  EXPECT_TRUE(allclose(a, expect, 0.0f, 0.0f));
+
+  Tensor moved = std::move(a);
+  EXPECT_TRUE(allclose(moved, expect, 0.0f, 0.0f));
+
+  Tensor assigned = Tensor::zeros({2});
+  assigned = expect;  // copy-assign across size classes
+  EXPECT_TRUE(allclose(assigned, expect, 0.0f, 0.0f));
+  assigned = Tensor::zeros({4, 4});  // move-assign releases old storage
+  EXPECT_EQ(assigned.size(), 16u);
+}
+
+TEST_F(BufferPool, RecycledBuffersAreReinitialised) {
+  // Poison a buffer, return it, and check the fill constructor scrubs it.
+  {
+    Tensor t = Tensor::zeros({512});
+    for (auto& v : t.data()) v = 1e30f;
+  }
+  Tensor z = Tensor::zeros({512});
+  for (std::size_t i = 0; i < z.size(); ++i) ASSERT_EQ(z.data()[i], 0.0f);
+}
+
+TEST_F(BufferPool, ScratchRecyclesAcrossCalls) {
+  const float* p = nullptr;
+  {
+    pool::Scratch s(2048);
+    ASSERT_EQ(s.size(), 2048u);
+    p = s.data();
+  }
+  pool::Scratch s2(2048);
+  EXPECT_EQ(s2.data(), p);
+}
+
+TEST_F(BufferPool, ThreadLocalCachesDoNotShare) {
+  // Each worker owns a private cache: buffers released on one thread are
+  // never handed to another, and per-thread stats stay independent. Run
+  // enough tensor churn on each worker for TSAN to see any sharing.
+  ThreadPool tp(4);
+  std::vector<std::future<const float*>> futs;
+  for (int j = 0; j < 4; ++j) {
+    futs.push_back(tp.submit([] {
+      pool::clear_thread_cache();
+      Rng rng(99);
+      const float* recycled = nullptr;
+      for (int i = 0; i < 50; ++i) {
+        Tensor a = Tensor::randn({64, 64}, rng);
+        Tensor b = Tensor::randn({64, 64}, rng);
+        Tensor c = matmul(a, b);
+        recycled = c.raw();
+      }
+      const auto s = pool::thread_stats();
+      EXPECT_GT(s.hits, 0u) << "worker cache never warmed up";
+      pool::clear_thread_cache();
+      return recycled;
+    }));
+  }
+  for (auto& f : futs) EXPECT_NE(f.get(), nullptr);
+}
+
+TEST_F(BufferPool, ClearThreadCacheDropsEverything) {
+  auto a = pool::acquire(4096);
+  pool::release(std::move(a));
+  ASSERT_GE(pool::thread_stats().cached_buffers, 1u);
+  pool::clear_thread_cache();
+  EXPECT_EQ(pool::thread_stats().cached_buffers, 0u);
+  EXPECT_EQ(pool::thread_stats().cached_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace rptcn

@@ -128,19 +128,8 @@ Variable matmul(const Variable& a, const Variable& b) {
 Variable linear(const Variable& x, const Variable& w, const Variable& b) {
   check_defined(x, "linear");
   check_defined(w, "linear");
-  RPTCN_CHECK(x.value().rank() == 2 && w.value().rank() == 2,
-              "linear expects x[N,F], w[O,F]");
-  RPTCN_CHECK(x.dim(1) == w.dim(1), "linear feature mismatch: x "
-                                        << x.value().shape_string() << ", w "
-                                        << w.value().shape_string());
-  const std::size_t n = x.dim(0), out_f = w.dim(0);
-  Tensor out = rptcn::matmul_nt(x.value(), w.value());  // [N,O]
-  if (b.defined()) {
-    RPTCN_CHECK(b.value().rank() == 1 && b.dim(0) == out_f,
-                "linear bias shape mismatch");
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < out_f; ++j) out.at(i, j) += b.value().at(j);
-  }
+  Tensor out =
+      fwd::linear(x.value(), w.value(), b.defined() ? &b.value() : nullptr);
   return make_node(std::move(out), {x, w, b}, "linear", [x, w, b] {
     return [xn = x.node(), wn = w.node(),
             bn = b.defined() ? b.node() : nullptr](Node& self) {
@@ -530,7 +519,174 @@ void conv1d_dw_gemm(const Tensor& dy, const Tensor& x, Tensor& dw,
   }
 }
 
+/// Shared weight-norm forward. `norms_out`, when non-null, receives the
+/// per-channel L2 norms the backward closure reuses.
+Tensor weight_norm_forward(const Tensor& v, const Tensor& g,
+                           std::vector<float>* norms_out) {
+  RPTCN_CHECK(v.rank() >= 2, "weight_norm expects rank >= 2");
+  const std::size_t cout = v.dim(0);
+  RPTCN_CHECK(g.rank() == 1 && g.dim(0) == cout,
+              "weight_norm gain must be [Cout]");
+  const std::size_t row = v.size() / cout;
+
+  Tensor out(v.shape());
+  if (norms_out != nullptr) norms_out->resize(cout);
+  const float* pv = v.raw();
+  float* po = out.raw();
+  for (std::size_t c = 0; c < cout; ++c) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < row; ++i) {
+      const float vv = pv[c * row + i];
+      s += static_cast<double>(vv) * vv;
+    }
+    const float nrm = static_cast<float>(std::sqrt(std::max(s, 1e-24)));
+    if (norms_out != nullptr) (*norms_out)[c] = nrm;
+    const float scale = g.at(c) / nrm;
+    for (std::size_t i = 0; i < row; ++i) po[c * row + i] = pv[c * row + i] * scale;
+  }
+  return out;
+}
+
 }  // namespace
+
+namespace fwd {
+
+Tensor conv1d(const Tensor& x, const Tensor& w, const Tensor* b,
+              std::size_t dilation, std::ptrdiff_t left_pad,
+              std::size_t dispatch_n) {
+  RPTCN_CHECK(x.rank() == 3,
+              "conv1d input must be [N,Cin,T], got " << x.shape_string());
+  RPTCN_CHECK(w.rank() == 3,
+              "conv1d weight must be [Cout,Cin,K], got " << w.shape_string());
+  RPTCN_CHECK(x.dim(1) == w.dim(1), "conv1d channel mismatch: x "
+                                        << x.shape_string() << ", w "
+                                        << w.shape_string());
+  RPTCN_CHECK(dilation >= 1, "conv1d dilation must be >= 1");
+  const std::size_t k = w.dim(2);
+  const std::size_t pad = left_pad < 0 ? (k - 1) * dilation
+                                       : static_cast<std::size_t>(left_pad);
+  if (b != nullptr)
+    RPTCN_CHECK(b->rank() == 1 && b->dim(0) == w.dim(0),
+                "conv1d bias must be [Cout]");
+  const std::size_t k_reach = (k - 1) * dilation;
+  const std::size_t t_in = x.dim(2);
+  RPTCN_CHECK(t_in + pad >= k_reach,
+              "conv1d: input too short for kernel reach " << k_reach);
+  const std::size_t t_out = t_in + pad - k_reach;
+  const bool use_gemm = conv1d_use_gemm(
+      dispatch_n != 0 ? dispatch_n : x.dim(0), x.dim(1), w.dim(0), k, t_out);
+  if (obs::enabled())
+    (use_gemm ? conv1d_metrics().gemm_calls : conv1d_metrics().direct_calls)
+        .add(1);
+  return use_gemm ? conv1d_forward_gemm(x, w, b, dilation, pad, t_out)
+                  : conv1d_forward_direct(x, w, b, dilation, pad, t_out);
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor* b) {
+  RPTCN_CHECK(x.rank() == 2 && w.rank() == 2, "linear expects x[N,F], w[O,F]");
+  RPTCN_CHECK(x.dim(1) == w.dim(1), "linear feature mismatch: x "
+                                        << x.shape_string() << ", w "
+                                        << w.shape_string());
+  const std::size_t n = x.dim(0), out_f = w.dim(0);
+  Tensor out = rptcn::matmul_nt(x, w);  // [N,O]
+  if (b != nullptr) {
+    RPTCN_CHECK(b->rank() == 1 && b->dim(0) == out_f,
+                "linear bias shape mismatch");
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < out_f; ++j) out.at(i, j) += b->at(j);
+  }
+  return out;
+}
+
+Tensor weight_norm(const Tensor& v, const Tensor& g) {
+  return weight_norm_forward(v, g, nullptr);
+}
+
+Tensor mul_bcast_channel(const Tensor& a, const Tensor& z) {
+  RPTCN_CHECK(a.rank() == 3 && a.dim(1) == 1,
+              "attention weights must be [N,1,T], got " << a.shape_string());
+  RPTCN_CHECK(z.rank() == 3, "features must be [N,C,T]");
+  RPTCN_CHECK(a.dim(0) == z.dim(0) && a.dim(2) == z.dim(2),
+              "mul_bcast_channel shape mismatch: " << a.shape_string() << " vs "
+                                                   << z.shape_string());
+  const std::size_t n = z.dim(0), c = z.dim(1), t = z.dim(2);
+  Tensor out({n, c, t});
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    const float* arow = a.raw() + ni * t;
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      const float* zrow = z.raw() + (ni * c + ci) * t;
+      float* orow = out.raw() + (ni * c + ci) * t;
+      for (std::size_t ti = 0; ti < t; ++ti) orow[ti] = arow[ti] * zrow[ti];
+    }
+  }
+  return out;
+}
+
+Tensor sum_lastdim(const Tensor& a) {
+  RPTCN_CHECK(a.rank() == 3, "sum_lastdim expects [N,C,T]");
+  const std::size_t n = a.dim(0), c = a.dim(1), t = a.dim(2);
+  Tensor out({n, c});
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      const float* row = a.raw() + (ni * c + ci) * t;
+      double s = 0.0;
+      for (std::size_t ti = 0; ti < t; ++ti) s += row[ti];
+      out.at(ni, ci) = static_cast<float>(s);
+    }
+  return out;
+}
+
+Tensor time_slice(const Tensor& x, std::size_t t) {
+  RPTCN_CHECK(x.rank() == 3, "time_slice expects [N,C,T]");
+  const std::size_t n = x.dim(0), c = x.dim(1), tt = x.dim(2);
+  RPTCN_CHECK(t < tt, "time_slice index " << t << " out of T=" << tt);
+  Tensor out({n, c});
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci)
+      out.at(ni, ci) = x.at(ni, ci, t);
+  return out;
+}
+
+Tensor time_reverse(const Tensor& x) {
+  RPTCN_CHECK(x.rank() == 3, "time_reverse expects [N,C,T]");
+  const std::size_t n = x.dim(0), c = x.dim(1), t = x.dim(2);
+  Tensor out({n, c, t});
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      const float* src = x.raw() + (ni * c + ci) * t;
+      float* dst = out.raw() + (ni * c + ci) * t;
+      for (std::size_t ti = 0; ti < t; ++ti) dst[ti] = src[t - 1 - ti];
+    }
+  return out;
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  RPTCN_CHECK(a.rank() == 2 && b.rank() == 2,
+              "concat_cols expects rank-2 operands");
+  RPTCN_CHECK(a.dim(0) == b.dim(0), "concat_cols batch mismatch");
+  const std::size_t n = a.dim(0), fa = a.dim(1), fb = b.dim(1);
+  Tensor out({n, fa + fb});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy_n(a.raw() + i * fa, fa, out.raw() + i * (fa + fb));
+    std::copy_n(b.raw() + i * fb, fb, out.raw() + i * (fa + fb) + fa);
+  }
+  return out;
+}
+
+Tensor slice_cols(const Tensor& x, std::size_t start, std::size_t count) {
+  RPTCN_CHECK(x.rank() == 2,
+              "slice_cols expects rank-2 input, got " << x.shape_string());
+  const std::size_t n = x.dim(0), f = x.dim(1);
+  RPTCN_CHECK(count > 0 && start + count <= f,
+              "slice_cols [" << start << ", " << (start + count)
+                             << ") out of range for " << f << " columns");
+  Tensor out({n, count});
+  for (std::size_t i = 0; i < n; ++i)
+    std::copy_n(x.raw() + i * f + start, count, out.raw() + i * count);
+  return out;
+}
+
+}  // namespace fwd
 
 void set_conv1d_impl(Conv1dImpl impl) {
   conv1d_impl_flag().store(impl, std::memory_order_relaxed);
@@ -544,38 +700,12 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
                 std::size_t dilation, std::ptrdiff_t left_pad) {
   check_defined(x, "conv1d");
   check_defined(w, "conv1d");
-  RPTCN_CHECK(x.value().rank() == 3, "conv1d input must be [N,Cin,T], got "
-                                         << x.value().shape_string());
-  RPTCN_CHECK(w.value().rank() == 3, "conv1d weight must be [Cout,Cin,K], got "
-                                         << w.value().shape_string());
-  RPTCN_CHECK(x.dim(1) == w.dim(1), "conv1d channel mismatch: x "
-                                        << x.value().shape_string() << ", w "
-                                        << w.value().shape_string());
-  RPTCN_CHECK(dilation >= 1, "conv1d dilation must be >= 1");
+  Tensor out = fwd::conv1d(x.value(), w.value(),
+                           b.defined() ? &b.value() : nullptr, dilation,
+                           left_pad);
   const std::size_t k = w.dim(2);
   const std::size_t pad = left_pad < 0 ? (k - 1) * dilation
                                        : static_cast<std::size_t>(left_pad);
-  const Tensor* bias = b.defined() ? &b.value() : nullptr;
-  if (bias != nullptr)
-    RPTCN_CHECK(bias->rank() == 1 && bias->dim(0) == w.dim(0),
-                "conv1d bias must be [Cout]");
-
-  const std::size_t k_reach = (k - 1) * dilation;
-  const std::size_t t_in = x.dim(2);
-  RPTCN_CHECK(t_in + pad >= k_reach,
-              "conv1d: input too short for kernel reach " << k_reach);
-  const std::size_t t_out = t_in + pad - k_reach;
-  const bool use_gemm =
-      conv1d_use_gemm(x.dim(0), x.dim(1), w.dim(0), k, t_out);
-  if (obs::enabled())
-    (use_gemm ? conv1d_metrics().gemm_calls : conv1d_metrics().direct_calls)
-        .add(1);
-  Tensor out =
-      use_gemm
-          ? conv1d_forward_gemm(x.value(), w.value(), bias, dilation, pad,
-                                t_out)
-          : conv1d_forward_direct(x.value(), w.value(), bias, dilation, pad,
-                                  t_out);
   const std::size_t d = dilation;
   return make_node(std::move(out), {x, w, b}, "conv1d", [x, w, b, d, pad] {
     return [xn = x.node(), wn = w.node(),
@@ -629,29 +759,10 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
 Variable weight_norm(const Variable& v, const Variable& g) {
   check_defined(v, "weight_norm");
   check_defined(g, "weight_norm");
-  RPTCN_CHECK(v.value().rank() >= 2, "weight_norm expects rank >= 2");
+  std::vector<float> norms;
+  Tensor out = weight_norm_forward(v.value(), g.value(), &norms);
   const std::size_t cout = v.dim(0);
-  RPTCN_CHECK(g.value().rank() == 1 && g.dim(0) == cout,
-              "weight_norm gain must be [Cout]");
   const std::size_t row = v.size() / cout;
-
-  Tensor out(v.value().shape());
-  std::vector<float> norms(cout);
-  {
-    const float* pv = v.value().raw();
-    float* po = out.raw();
-    for (std::size_t c = 0; c < cout; ++c) {
-      double s = 0.0;
-      for (std::size_t i = 0; i < row; ++i) {
-        const float vv = pv[c * row + i];
-        s += static_cast<double>(vv) * vv;
-      }
-      const float nrm = static_cast<float>(std::sqrt(std::max(s, 1e-24)));
-      norms[c] = nrm;
-      const float scale = g.value().at(c) / nrm;
-      for (std::size_t i = 0; i < row; ++i) po[c * row + i] = pv[c * row + i] * scale;
-    }
-  }
 
   return make_node(std::move(out), {v, g}, "weight_norm",
                    [v, g, norms = std::move(norms), row, cout] {
@@ -757,24 +868,7 @@ Variable softmax_lastdim_v(const Variable& a) {
 Variable mul_bcast_channel(const Variable& a, const Variable& z) {
   check_defined(a, "mul_bcast_channel");
   check_defined(z, "mul_bcast_channel");
-  RPTCN_CHECK(a.value().rank() == 3 && a.dim(1) == 1,
-              "attention weights must be [N,1,T], got "
-                  << a.value().shape_string());
-  RPTCN_CHECK(z.value().rank() == 3, "features must be [N,C,T]");
-  RPTCN_CHECK(a.dim(0) == z.dim(0) && a.dim(2) == z.dim(2),
-              "mul_bcast_channel shape mismatch: " << a.value().shape_string()
-                                                   << " vs "
-                                                   << z.value().shape_string());
-  const std::size_t n = z.dim(0), c = z.dim(1), t = z.dim(2);
-  Tensor out({n, c, t});
-  for (std::size_t ni = 0; ni < n; ++ni) {
-    const float* arow = a.value().raw() + ni * t;
-    for (std::size_t ci = 0; ci < c; ++ci) {
-      const float* zrow = z.value().raw() + (ni * c + ci) * t;
-      float* orow = out.raw() + (ni * c + ci) * t;
-      for (std::size_t ti = 0; ti < t; ++ti) orow[ti] = arow[ti] * zrow[ti];
-    }
-  }
+  Tensor out = fwd::mul_bcast_channel(a.value(), z.value());
   return make_node(std::move(out), {a, z}, "mul_bcast_channel", [a, z] {
     return [an = a.node(), zn = z.node()](Node& self) {
       const Tensor& av = an->value;
@@ -813,16 +907,8 @@ Variable mul_bcast_channel(const Variable& a, const Variable& z) {
 
 Variable sum_lastdim(const Variable& a) {
   check_defined(a, "sum_lastdim");
-  RPTCN_CHECK(a.value().rank() == 3, "sum_lastdim expects [N,C,T]");
-  const std::size_t n = a.dim(0), c = a.dim(1), t = a.dim(2);
-  Tensor out({n, c});
-  for (std::size_t ni = 0; ni < n; ++ni)
-    for (std::size_t ci = 0; ci < c; ++ci) {
-      const float* row = a.value().raw() + (ni * c + ci) * t;
-      double s = 0.0;
-      for (std::size_t ti = 0; ti < t; ++ti) s += row[ti];
-      out.at(ni, ci) = static_cast<float>(s);
-    }
+  Tensor out = fwd::sum_lastdim(a.value());
+  const std::size_t t = a.dim(2);
   return make_node(std::move(out), {a}, "sum_lastdim", [a, t] {
     return [an = a.node(), t](Node& self) {
       const std::size_t nb = self.grad.dim(0), cb = self.grad.dim(1);
@@ -840,13 +926,7 @@ Variable sum_lastdim(const Variable& a) {
 
 Variable time_slice(const Variable& x, std::size_t t) {
   check_defined(x, "time_slice");
-  RPTCN_CHECK(x.value().rank() == 3, "time_slice expects [N,C,T]");
-  const std::size_t n = x.dim(0), c = x.dim(1), tt = x.dim(2);
-  RPTCN_CHECK(t < tt, "time_slice index " << t << " out of T=" << tt);
-  Tensor out({n, c});
-  for (std::size_t ni = 0; ni < n; ++ni)
-    for (std::size_t ci = 0; ci < c; ++ci)
-      out.at(ni, ci) = x.value().at(ni, ci, t);
+  Tensor out = fwd::time_slice(x.value(), t);
   return make_node(std::move(out), {x}, "time_slice", [x, t] {
     return [xn = x.node(), t](Node& self) {
       Tensor dx = Tensor::zeros(xn->value.shape());
@@ -863,27 +943,12 @@ Variable time_slice(const Variable& x, std::size_t t) {
 // sequence utilities
 // ---------------------------------------------------------------------------
 
-namespace {
-Tensor reverse_time_tensor(const Tensor& x) {
-  const std::size_t n = x.dim(0), c = x.dim(1), t = x.dim(2);
-  Tensor out({n, c, t});
-  for (std::size_t ni = 0; ni < n; ++ni)
-    for (std::size_t ci = 0; ci < c; ++ci) {
-      const float* src = x.raw() + (ni * c + ci) * t;
-      float* dst = out.raw() + (ni * c + ci) * t;
-      for (std::size_t ti = 0; ti < t; ++ti) dst[ti] = src[t - 1 - ti];
-    }
-  return out;
-}
-}  // namespace
-
 Variable time_reverse(const Variable& x) {
   check_defined(x, "time_reverse");
-  RPTCN_CHECK(x.value().rank() == 3, "time_reverse expects [N,C,T]");
-  Tensor out = reverse_time_tensor(x.value());
+  Tensor out = fwd::time_reverse(x.value());
   return make_node(std::move(out), {x}, "time_reverse", [x] {
     return [xn = x.node()](Node& self) {
-      xn->accumulate(reverse_time_tensor(self.grad));  // involution
+      xn->accumulate(fwd::time_reverse(self.grad));  // involution
     };
   });
 }
@@ -891,15 +956,8 @@ Variable time_reverse(const Variable& x) {
 Variable concat_cols(const Variable& a, const Variable& b) {
   check_defined(a, "concat_cols");
   check_defined(b, "concat_cols");
-  RPTCN_CHECK(a.value().rank() == 2 && b.value().rank() == 2,
-              "concat_cols expects rank-2 operands");
-  RPTCN_CHECK(a.dim(0) == b.dim(0), "concat_cols batch mismatch");
-  const std::size_t n = a.dim(0), fa = a.dim(1), fb = b.dim(1);
-  Tensor out({n, fa + fb});
-  for (std::size_t i = 0; i < n; ++i) {
-    std::copy_n(a.value().raw() + i * fa, fa, out.raw() + i * (fa + fb));
-    std::copy_n(b.value().raw() + i * fb, fb, out.raw() + i * (fa + fb) + fa);
-  }
+  Tensor out = fwd::concat_cols(a.value(), b.value());
+  const std::size_t fa = a.dim(1), fb = b.dim(1);
   return make_node(std::move(out), {a, b}, "concat_cols", [a, b, fa, fb] {
     return [an = a.node(), bn = b.node(), fa, fb](Node& self) {
       const std::size_t rows = self.grad.dim(0);
@@ -922,15 +980,8 @@ Variable concat_cols(const Variable& a, const Variable& b) {
 
 Variable slice_cols(const Variable& x, std::size_t start, std::size_t count) {
   check_defined(x, "slice_cols");
-  RPTCN_CHECK(x.value().rank() == 2, "slice_cols expects rank-2 input, got "
-                                         << x.value().shape_string());
-  const std::size_t n = x.dim(0), f = x.dim(1);
-  RPTCN_CHECK(count > 0 && start + count <= f,
-              "slice_cols [" << start << ", " << (start + count)
-                             << ") out of range for " << f << " columns");
-  Tensor out({n, count});
-  for (std::size_t i = 0; i < n; ++i)
-    std::copy_n(x.value().raw() + i * f + start, count, out.raw() + i * count);
+  Tensor out = fwd::slice_cols(x.value(), start, count);
+  const std::size_t f = x.dim(1);
   return make_node(std::move(out), {x}, "slice_cols", [x, start, count, f] {
     return [xn = x.node(), start, count, f](Node& self) {
       const std::size_t rows = self.grad.dim(0);

@@ -93,6 +93,43 @@ Variable concat_cols(const Variable& a, const Variable& b);
 /// GEMM; backward scatters into the sliced columns.
 Variable slice_cols(const Variable& x, std::size_t start, std::size_t count);
 
+// -- tape-free forward kernels ------------------------------------------------------------
+// Tensor-level forward implementations shared by the Variable ops above and
+// the serving layer (src/serve). Each Variable op computes its forward value
+// by calling the matching fwd:: function, so an inference path built from
+// these is bit-identical to the autograd forward by construction — there is
+// exactly one copy of every forward numeric.
+namespace fwd {
+
+/// Dilated causal Conv1d forward (same contract as ag::conv1d). dispatch_n
+/// overrides the batch size used in the kAuto flop cutoff: the kAuto
+/// decision depends on N, so a batched call can pick a different summation
+/// order than an N=1 call on the same layer. The serving path passes
+/// dispatch_n=1 so a coalesced batch reproduces the single-window forward
+/// bit-for-bit; dispatch_n=0 (default) uses the true batch size, which is
+/// what training does. kDirect/kIm2col pins win over dispatch_n either way.
+Tensor conv1d(const Tensor& x, const Tensor& w, const Tensor* b,
+              std::size_t dilation = 1, std::ptrdiff_t left_pad = -1,
+              std::size_t dispatch_n = 0);
+/// y[N,O] = x[N,F] * w[O,F]^T (+ b[O] if non-null).
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor* b);
+/// w[c,...] = g[c] * v[c,...] / ||v[c,...]||_2.
+Tensor weight_norm(const Tensor& v, const Tensor& g);
+/// Broadcast product a[N,1,T] ⊙ z[N,C,T] -> [N,C,T].
+Tensor mul_bcast_channel(const Tensor& a, const Tensor& z);
+/// Sum over the last (time) dimension: [N,C,T] -> [N,C].
+Tensor sum_lastdim(const Tensor& a);
+/// Select one timestep: [N,C,T] -> [N,C].
+Tensor time_slice(const Tensor& x, std::size_t t);
+/// Reverse the time axis: [N,C,T] -> [N,C,T] with t' = T-1-t.
+Tensor time_reverse(const Tensor& x);
+/// Concatenate along the feature axis: [N,A] ++ [N,B] -> [N,A+B].
+Tensor concat_cols(const Tensor& a, const Tensor& b);
+/// Column slice of a 2-D activation: [N,F] -> [N,count] starting at `start`.
+Tensor slice_cols(const Tensor& x, std::size_t start, std::size_t count);
+
+}  // namespace fwd
+
 // -- reductions & losses ------------------------------------------------------------------
 Variable sum_all(const Variable& a);   // -> [1]
 Variable mean_all(const Variable& a);  // -> [1]

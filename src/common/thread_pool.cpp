@@ -51,14 +51,24 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    g_active_jobs.fetch_add(1, std::memory_order_relaxed);
+    // RAII keeps the count balanced even if a raw enqueued callable throws
+    // (submit() wraps tasks in packaged_task, which never does, but the
+    // worker must not depend on that).
+    ActiveJobScope scope;
     task();  // packaged_task: exceptions land in the future
-    g_active_jobs.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 bool kernel_parallelism_allowed() {
   return g_active_jobs.load(std::memory_order_relaxed) <= 1;
+}
+
+ActiveJobScope::ActiveJobScope() {
+  g_active_jobs.fetch_add(1, std::memory_order_relaxed);
+}
+
+ActiveJobScope::~ActiveJobScope() {
+  g_active_jobs.fetch_sub(1, std::memory_order_relaxed);
 }
 
 }  // namespace rptcn

@@ -70,4 +70,17 @@ class ThreadPool {
 /// cores.
 bool kernel_parallelism_allowed();
 
+/// RAII participant in the global active-job count. ThreadPool workers hold
+/// one around each task; threads outside the pool that run kernel-heavy work
+/// concurrently (e.g. the serving engine's batch forwards) hold one too, so
+/// kernel_parallelism_allowed() sees every coarse-grained job regardless of
+/// which pool — or no pool — runs it. Exception-safe by construction.
+class ActiveJobScope {
+ public:
+  ActiveJobScope();
+  ~ActiveJobScope();
+  ActiveJobScope(const ActiveJobScope&) = delete;
+  ActiveJobScope& operator=(const ActiveJobScope&) = delete;
+};
+
 }  // namespace rptcn

@@ -40,6 +40,7 @@ class RptcnForecaster final : public Forecaster {
                            const std::string& path) override;
 
   nn::RptcnNet* net() { return net_.get(); }
+  const nn::RptcnNet* net() const { return net_.get(); }
 
  private:
   void build(const ForecastDataset& dataset);
@@ -61,6 +62,9 @@ class TcnForecaster final : public Forecaster {
   CheckpointStatus restore(const ForecastDataset& dataset,
                            const std::string& path) override;
 
+  nn::RptcnNet* net() { return net_.get(); }
+  const nn::RptcnNet* net() const { return net_.get(); }
+
  private:
   void build(const ForecastDataset& dataset);
   NnTrainConfig train_;
@@ -79,6 +83,9 @@ class LstmForecaster final : public Forecaster {
   CheckpointStatus save(const std::string& path) const override;
   CheckpointStatus restore(const ForecastDataset& dataset,
                            const std::string& path) override;
+
+  nn::LstmNet* net() { return net_.get(); }
+  const nn::LstmNet* net() const { return net_.get(); }
 
  private:
   void build(const ForecastDataset& dataset);
@@ -99,6 +106,9 @@ class BiLstmForecaster final : public Forecaster {
   CheckpointStatus restore(const ForecastDataset& dataset,
                            const std::string& path) override;
 
+  nn::BiLstmNet* net() { return net_.get(); }
+  const nn::BiLstmNet* net() const { return net_.get(); }
+
  private:
   void build(const ForecastDataset& dataset);
   NnTrainConfig train_;
@@ -117,6 +127,9 @@ class CnnLstmForecaster final : public Forecaster {
   CheckpointStatus save(const std::string& path) const override;
   CheckpointStatus restore(const ForecastDataset& dataset,
                            const std::string& path) override;
+
+  nn::CnnLstm* net() { return net_.get(); }
+  const nn::CnnLstm* net() const { return net_.get(); }
 
  private:
   void build(const ForecastDataset& dataset);

@@ -24,6 +24,8 @@ class TemporalAttention : public Module {
   /// z: [N, C, T] -> glimpse [N, C] plus the attention weights.
   Output forward(const Variable& z) const;
 
+  const Conv1d& scorer() const { return scorer_; }
+
  private:
   Conv1d scorer_;  ///< 1x1 conv = per-timestep linear scorer f_phi
 };

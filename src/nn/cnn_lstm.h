@@ -30,6 +30,9 @@ class CnnLstm : public Module {
   Variable forward(const Variable& x);
 
   const CnnLstmOptions& options() const { return options_; }
+  const Conv1d& conv() const { return conv_; }
+  const Lstm& lstm() const { return lstm_; }
+  const Linear& head() const { return head_; }
 
  private:
   CnnLstmOptions options_;

@@ -27,6 +27,10 @@ class Lstm : public Module {
 
   std::size_t hidden_size() const { return hidden_; }
 
+  // Parameter access for the tape-free weight snapshot (src/serve).
+  const Variable& gate_weights() const { return w_; }
+  const Variable& gate_biases() const { return b_; }
+
  private:
   std::size_t hidden_;
   Variable w_;  ///< [4H, F+H] packed gate weights (rows: i, f, g, o)
@@ -50,6 +54,8 @@ class LstmNet : public Module {
   Variable forward(const Variable& x);
 
   const LstmNetOptions& options() const { return options_; }
+  const Lstm& lstm() const { return lstm_; }
+  const Linear& head() const { return head_; }
 
  private:
   LstmNetOptions options_;
@@ -78,6 +84,9 @@ class BiLstmNet : public Module {
   Variable forward(const Variable& x);
 
   const BiLstmNetOptions& options() const { return options_; }
+  const Lstm& forward_lstm() const { return forward_lstm_; }
+  const Lstm& backward_lstm() const { return backward_lstm_; }
+  const Linear& head() const { return head_; }
 
  private:
   BiLstmNetOptions options_;

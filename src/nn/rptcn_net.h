@@ -39,6 +39,12 @@ class RptcnNet : public Module {
 
   const RptcnOptions& options() const { return options_; }
 
+  // Layer access for the tape-free weight snapshot (src/serve).
+  const Tcn& tcn() const { return tcn_; }
+  const Conv1d* fc() const { return fc_.get(); }
+  const TemporalAttention* attention() const { return attention_.get(); }
+  const Linear& head() const { return *head_; }
+
  private:
   RptcnOptions options_;
   Rng rng_;

@@ -26,6 +26,11 @@ class TemporalBlock : public Module {
   /// x: [N, Cin, T] -> [N, Cout, T].
   Variable forward(const Variable& x, Rng& rng) const;
 
+  // Layer access for the tape-free weight snapshot (src/serve).
+  const Conv1d& conv1() const { return conv1_; }
+  const Conv1d& conv2() const { return conv2_; }
+  const Conv1d* shortcut() const { return shortcut_.get(); }
+
  private:
   Conv1d conv1_;
   Conv1d conv2_;
@@ -51,6 +56,9 @@ class Tcn : public Module {
   /// Timesteps of history that influence the last output step.
   std::size_t receptive_field() const;
   const TcnOptions& options() const { return options_; }
+  const std::vector<std::unique_ptr<TemporalBlock>>& blocks() const {
+    return blocks_;
+  }
 
  private:
   TcnOptions options_;

@@ -1,0 +1,137 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+
+namespace rptcn::serve {
+
+BatchingEngine::BatchingEngine(std::shared_ptr<const InferenceSession> session,
+                               EngineOptions options)
+    : session_(std::move(session)),
+      options_(options),
+      requests_(obs::metrics().counter("serve/requests")),
+      batches_(obs::metrics().counter("serve/batches")),
+      batch_size_(obs::metrics().histogram("serve/batch_size")),
+      queue_wait_(obs::metrics().histogram("serve/queue_wait_seconds")),
+      forward_time_(obs::metrics().histogram("serve/forward_seconds")) {
+  RPTCN_CHECK(session_ != nullptr, "BatchingEngine needs a session");
+  RPTCN_CHECK(options_.max_batch >= 1, "max_batch must be >= 1");
+  if (options_.workers == 0) options_.workers = 1;
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+BatchingEngine::~BatchingEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<Tensor> BatchingEngine::submit(Tensor window) {
+  RPTCN_CHECK(window.rank() == 2,
+              "BatchingEngine::submit expects one window [F,T], got "
+                  << window.shape_string());
+  Pending p;
+  p.window = std::move(window);
+  p.enqueued = std::chrono::steady_clock::now();
+  std::future<Tensor> fut = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RPTCN_CHECK(!stop_, "BatchingEngine::submit after shutdown began");
+    queue_.push_back(std::move(p));
+  }
+  requests_.add(1);
+  cv_.notify_one();
+  return fut;
+}
+
+std::size_t BatchingEngine::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void BatchingEngine::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain-on-shutdown: exit only once the queue is empty.
+      if (queue_.empty()) return;
+      if (!stop_ && queue_.size() < options_.max_batch) {
+        // Hold the head request up to max_delay_us while peers arrive.
+        const auto deadline =
+            queue_.front().enqueued +
+            std::chrono::microseconds(options_.max_delay_us);
+        cv_.wait_until(lock, deadline, [this] {
+          return stop_ || queue_.size() >= options_.max_batch;
+        });
+        if (queue_.empty()) continue;  // another worker took everything
+      }
+      // Coalesce a run of same-shape windows from the front; a shape change
+      // starts the next batch so every request still gets served.
+      const std::vector<std::size_t> shape = queue_.front().window.shape();
+      while (!queue_.empty() && batch.size() < options_.max_batch &&
+             queue_.front().window.shape() == shape) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    run_batch(batch);
+  }
+}
+
+void BatchingEngine::run_batch(std::vector<Pending>& batch) {
+  const auto picked_up = std::chrono::steady_clock::now();
+  for (const Pending& p : batch)
+    queue_wait_.record(
+        std::chrono::duration<double>(picked_up - p.enqueued).count());
+  try {
+    const std::size_t bsz = batch.size();
+    const std::size_t f = batch.front().window.dim(0);
+    const std::size_t t = batch.front().window.dim(1);
+    Tensor input({bsz, f, t});
+    const std::size_t stride = f * t;
+    for (std::size_t i = 0; i < bsz; ++i)
+      std::copy_n(batch[i].window.raw(), stride, input.raw() + i * stride);
+
+    Tensor out;
+    {
+      obs::TraceSpan span("serve/batch");
+      obs::ScopedTimer timer(forward_time_);
+      // Count as a coarse job so concurrent batch forwards collapse nested
+      // OpenMP instead of oversubscribing the cores.
+      ActiveJobScope job;
+      out = session_->run(input);
+    }
+    RPTCN_CHECK(out.rank() == 2 && out.dim(0) == bsz,
+                "serving forward returned " << out.shape_string()
+                                            << " for batch of " << bsz);
+    const std::size_t horizon = out.dim(1);
+    for (std::size_t i = 0; i < bsz; ++i) {
+      Tensor row({horizon});
+      std::copy_n(out.raw() + i * horizon, horizon, row.raw());
+      batch[i].promise.set_value(std::move(row));
+    }
+    batches_.add(1);
+    batch_size_.record(static_cast<double>(bsz));
+  } catch (...) {
+    // Deliver the failure to every request of this batch. Promises already
+    // satisfied (scatter had started) are left as-is.
+    const std::exception_ptr err = std::current_exception();
+    for (Pending& p : batch) {
+      try {
+        p.promise.set_exception(err);
+      } catch (const std::future_error&) {
+      }
+    }
+  }
+}
+
+}  // namespace rptcn::serve

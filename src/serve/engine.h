@@ -1,0 +1,91 @@
+// BatchingEngine: micro-batching request queue in front of an
+// InferenceSession.
+//
+// Concurrent single-window requests are coalesced into one batched forward
+// over the N dimension (the im2col conv path and the fused LSTM gate GEMM
+// both amortise with N), trading up to `max_delay_us` of queueing latency
+// for throughput. Each submit() returns a future that delivers that
+// request's row of the batched output — bit-identical to running the window
+// alone, because the session pins per-layer kernel dispatch to its N=1
+// decision.
+//
+// Threading model: submit() may be called from any thread. `workers` engine
+// threads pop coalesced batches under one mutex; each batch forward runs
+// inside an ActiveJobScope so concurrent batches gate nested OpenMP exactly
+// like ThreadPool jobs do. A batch failure (e.g. a feature-count mismatch)
+// is delivered to every future of that batch; other batches are unaffected.
+// The destructor stops intake, drains every queued request, then joins.
+//
+// Observability: serve/requests + serve/batches counters, serve/batch_size,
+// serve/queue_wait_seconds and serve/forward_seconds histograms, and a
+// "serve/batch" trace span around each batched forward.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/session.h"
+
+namespace rptcn::serve {
+
+struct EngineOptions {
+  std::size_t max_batch = 32;     ///< largest coalesced batch
+  std::size_t max_delay_us = 200; ///< how long a lone request waits for peers
+  std::size_t workers = 1;        ///< engine threads (>= 1; 0 clamps to 1)
+};
+
+class BatchingEngine {
+ public:
+  BatchingEngine(std::shared_ptr<const InferenceSession> session,
+                 EngineOptions options = {});
+  /// Stops intake, drains every queued request, joins the workers. Futures
+  /// obtained from submit() always complete.
+  ~BatchingEngine();
+  BatchingEngine(const BatchingEngine&) = delete;
+  BatchingEngine& operator=(const BatchingEngine&) = delete;
+
+  /// Enqueue one window [F, T]. The future delivers the forecast [horizon]
+  /// or rethrows the batch's failure. Throws if the engine is stopping.
+  std::future<Tensor> submit(Tensor window);
+
+  /// Requests currently queued (not yet picked up by a worker).
+  std::size_t pending() const;
+
+  const InferenceSession& session() const { return *session_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Tensor window;
+    std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void run_batch(std::vector<Pending>& batch);
+
+  std::shared_ptr<const InferenceSession> session_;
+  EngineOptions options_;
+
+  // Registry handles are process-lifetime stable; resolved once here.
+  obs::Counter& requests_;
+  obs::Counter& batches_;
+  obs::Histogram& batch_size_;
+  obs::Histogram& queue_wait_;
+  obs::Histogram& forward_time_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rptcn::serve

@@ -1,0 +1,92 @@
+#include "serve/session.h"
+
+#include "models/nn_forecasters.h"
+
+namespace rptcn::serve {
+
+namespace {
+
+/// Fitted-net guard shared by the forecaster constructor branches.
+template <typename Net>
+const Net& require_net(const Net* net, const std::string& name) {
+  RPTCN_CHECK(net != nullptr,
+              "InferenceSession: forecaster \"" << name
+                                                << "\" must be fitted first");
+  return *net;
+}
+
+}  // namespace
+
+InferenceSession::InferenceSession(models::Forecaster& forecaster)
+    : name_(forecaster.name()) {
+  const auto take = [this](const auto& net) {
+    snap_ = serve::snapshot(net);
+    horizon_ = net.options().horizon;
+    input_features_ = net.options().input_features;
+  };
+  if (const auto* rptcn = dynamic_cast<const models::RptcnForecaster*>(&forecaster)) {
+    take(require_net(rptcn->net(), name_));
+  } else if (const auto* tcn = dynamic_cast<const models::TcnForecaster*>(&forecaster)) {
+    take(require_net(tcn->net(), name_));
+  } else if (const auto* lstm = dynamic_cast<const models::LstmForecaster*>(&forecaster)) {
+    take(require_net(lstm->net(), name_));
+  } else if (const auto* bilstm = dynamic_cast<const models::BiLstmForecaster*>(&forecaster)) {
+    take(require_net(bilstm->net(), name_));
+  } else if (const auto* cnnlstm = dynamic_cast<const models::CnnLstmForecaster*>(&forecaster)) {
+    take(require_net(cnnlstm->net(), name_));
+  } else {
+    // No tensor weights (ARIMA, XGBoost): serve through the forecaster's own
+    // batch-invariant predict(), serialised by delegate_mutex_.
+    delegate_ = &forecaster;
+  }
+}
+
+InferenceSession::InferenceSession(const nn::RptcnNet& net)
+    : name_("RPTCN"),
+      horizon_(net.options().horizon),
+      input_features_(net.options().input_features),
+      snap_(serve::snapshot(net)) {}
+
+InferenceSession::InferenceSession(const nn::LstmNet& net)
+    : name_("LSTM"),
+      horizon_(net.options().horizon),
+      input_features_(net.options().input_features),
+      snap_(serve::snapshot(net)) {}
+
+InferenceSession::InferenceSession(const nn::BiLstmNet& net)
+    : name_("BiLSTM"),
+      horizon_(net.options().horizon),
+      input_features_(net.options().input_features),
+      snap_(serve::snapshot(net)) {}
+
+InferenceSession::InferenceSession(const nn::CnnLstm& net)
+    : name_("CNN-LSTM"),
+      horizon_(net.options().horizon),
+      input_features_(net.options().input_features),
+      snap_(serve::snapshot(net)) {}
+
+Tensor InferenceSession::run(const Tensor& inputs) const {
+  RPTCN_CHECK(inputs.rank() == 3, "InferenceSession::run expects [N,F,T], got "
+                                      << inputs.shape_string());
+  if (delegate_ != nullptr) {
+    std::lock_guard<std::mutex> lock(delegate_mutex_);
+    return delegate_->predict(inputs);
+  }
+  RPTCN_CHECK(input_features_ == 0 || inputs.dim(1) == input_features_,
+              "InferenceSession: model \""
+                  << name_ << "\" expects " << input_features_
+                  << " features, got " << inputs.dim(1));
+  return std::visit(
+      [&](const auto& snap) -> Tensor {
+        if constexpr (std::is_same_v<std::decay_t<decltype(snap)>,
+                                     std::monostate>) {
+          RPTCN_CHECK(false, "InferenceSession: no snapshot");
+          return Tensor();  // unreachable; silences -Wreturn-type
+        } else {
+          return serve::forward(snap, inputs);
+        }
+      },
+      snap_);
+}
+
+}  // namespace rptcn::serve

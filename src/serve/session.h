@@ -1,0 +1,66 @@
+// InferenceSession: immutable, thread-safe, tape-free inference over a
+// fitted Forecaster.
+//
+// Construction snapshots the forecaster's weights into read-only storage
+// (serve/snapshot.h); run() executes the batched forward through the
+// ag::fwd kernels with no autograd Variable allocation. Any number of
+// threads may call run() concurrently on one session — the snapshot is
+// never written after construction.
+//
+// Non-tensor models (ARIMA, XGBoost) have no weights to snapshot; for those
+// the session delegates run() to the forecaster's own predict() behind a
+// mutex (their per-sample prediction loops are batch-invariant, so results
+// still match the unbatched path bit-for-bit). The forecaster must outlive
+// the session in that case; snapshotted sessions carry no reference back.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <variant>
+
+#include "serve/snapshot.h"
+
+namespace rptcn::models {
+class Forecaster;
+}
+
+namespace rptcn::serve {
+
+class InferenceSession {
+ public:
+  /// Snapshot a fitted forecaster (any registry model). Neural forecasters
+  /// must have been fit() or restore()d first.
+  explicit InferenceSession(models::Forecaster& forecaster);
+
+  // Direct snapshots of a network, for callers that own the net itself.
+  explicit InferenceSession(const nn::RptcnNet& net);
+  explicit InferenceSession(const nn::LstmNet& net);
+  explicit InferenceSession(const nn::BiLstmNet& net);
+  explicit InferenceSession(const nn::CnnLstm& net);
+
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+
+  /// Batched tape-free forward: inputs [N, F, T] -> predictions [N, horizon].
+  /// Thread-safe. Each output row is bit-identical to the unbatched (N=1)
+  /// autograd forward of the same window.
+  Tensor run(const Tensor& inputs) const;
+
+  const std::string& model_name() const { return name_; }
+  /// Forecast steps per request; 0 when unknown (delegated models).
+  std::size_t horizon() const { return horizon_; }
+  /// Expected feature count F; 0 when unknown (delegated models).
+  std::size_t input_features() const { return input_features_; }
+
+ private:
+  std::string name_;
+  std::size_t horizon_ = 0;
+  std::size_t input_features_ = 0;
+  std::variant<std::monostate, RptcnSnap, LstmNetSnap, BiLstmNetSnap,
+               CnnLstmSnap>
+      snap_;
+  models::Forecaster* delegate_ = nullptr;  ///< set iff snap_ is monostate
+  mutable std::mutex delegate_mutex_;
+};
+
+}  // namespace rptcn::serve

@@ -1,0 +1,141 @@
+#include "serve/snapshot.h"
+
+#include "autograd/ops.h"
+#include "nn/cnn_lstm.h"
+#include "nn/lstm.h"
+#include "nn/rptcn_net.h"
+#include "tensor/tensor_ops.h"
+
+namespace rptcn::serve {
+
+namespace {
+
+ConvSnap snap_conv(const nn::Conv1d& conv) {
+  ConvSnap s;
+  // Fold w = g * v/||v|| now, with the exact arithmetic of ag::weight_norm,
+  // so serving never re-normalises.
+  s.w = conv.options().weight_norm
+            ? ag::fwd::weight_norm(conv.weight_v().value(), conv.gain().value())
+            : conv.weight_v().value();
+  if (conv.bias().defined()) s.b = conv.bias().value();
+  s.dilation = conv.options().dilation;
+  s.left_pad = conv.options().causal ? -1 : 0;
+  return s;
+}
+
+LinearSnap snap_linear(const nn::Linear& layer) {
+  LinearSnap s;
+  s.w = layer.weight().value();
+  if (layer.bias().defined()) s.b = layer.bias().value();
+  return s;
+}
+
+LstmSnap snap_lstm(const nn::Lstm& lstm) {
+  LstmSnap s;
+  s.w = lstm.gate_weights().value();
+  s.b = lstm.gate_biases().value();
+  s.hidden = lstm.hidden_size();
+  return s;
+}
+
+/// Pinned-dispatch conv forward: dispatch_n=1 keeps the kernel choice (and
+/// with it the float summation order) identical for every batch size.
+Tensor conv_forward(const ConvSnap& s, const Tensor& x) {
+  return ag::fwd::conv1d(x, s.w, s.b.empty() ? nullptr : &s.b, s.dilation,
+                         s.left_pad, /*dispatch_n=*/1);
+}
+
+Tensor linear_forward(const LinearSnap& s, const Tensor& x) {
+  return ag::fwd::linear(x, s.w, s.b.empty() ? nullptr : &s.b);
+}
+
+/// Mirror of nn::Lstm::forward: fused gate GEMM per step, [N,F,T] -> [N,H].
+Tensor lstm_forward(const LstmSnap& s, const Tensor& x) {
+  const std::size_t n = x.dim(0), t_len = x.dim(2), hid = s.hidden;
+  Tensor h = Tensor::zeros({n, hid});
+  Tensor c = Tensor::zeros({n, hid});
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const Tensor xt = ag::fwd::time_slice(x, t);    // [N, F]
+    const Tensor xh = ag::fwd::concat_cols(xt, h);  // [N, F+H]
+    const Tensor pre = ag::fwd::linear(xh, s.w, &s.b);  // [N, 4H]
+    const Tensor i = rptcn::sigmoid(ag::fwd::slice_cols(pre, 0, hid));
+    const Tensor f = rptcn::sigmoid(ag::fwd::slice_cols(pre, hid, hid));
+    const Tensor g = rptcn::tanh_t(ag::fwd::slice_cols(pre, 2 * hid, hid));
+    const Tensor o = rptcn::sigmoid(ag::fwd::slice_cols(pre, 3 * hid, hid));
+    c = rptcn::add(rptcn::mul(f, c), rptcn::mul(i, g));
+    h = rptcn::mul(o, rptcn::tanh_t(c));
+  }
+  return h;
+}
+
+}  // namespace
+
+RptcnSnap snapshot(const nn::RptcnNet& net) {
+  RptcnSnap s;
+  for (const auto& block : net.tcn().blocks()) {
+    BlockSnap b;
+    b.conv1 = snap_conv(block->conv1());
+    b.conv2 = snap_conv(block->conv2());
+    if (block->shortcut() != nullptr) b.shortcut = snap_conv(*block->shortcut());
+    s.blocks.push_back(std::move(b));
+  }
+  if (net.fc() != nullptr) s.fc = snap_conv(*net.fc());
+  if (net.attention() != nullptr)
+    s.attention_scorer = snap_conv(net.attention()->scorer());
+  s.head = snap_linear(net.head());
+  return s;
+}
+
+LstmNetSnap snapshot(const nn::LstmNet& net) {
+  return {snap_lstm(net.lstm()), snap_linear(net.head())};
+}
+
+BiLstmNetSnap snapshot(const nn::BiLstmNet& net) {
+  return {snap_lstm(net.forward_lstm()), snap_lstm(net.backward_lstm()),
+          snap_linear(net.head())};
+}
+
+CnnLstmSnap snapshot(const nn::CnnLstm& net) {
+  return {snap_conv(net.conv()), snap_lstm(net.lstm()),
+          snap_linear(net.head())};
+}
+
+Tensor forward(const RptcnSnap& snap, const Tensor& x) {
+  Tensor h = x;
+  for (const BlockSnap& block : snap.blocks) {
+    Tensor f = rptcn::relu(conv_forward(block.conv1, h));
+    f = rptcn::relu(conv_forward(block.conv2, f));
+    const Tensor res =
+        block.shortcut ? conv_forward(*block.shortcut, h) : h;
+    h = rptcn::relu(rptcn::add(res, f));  // eq. (5)
+  }
+  if (snap.fc) h = rptcn::relu(conv_forward(*snap.fc, h));
+  Tensor summary;
+  const std::size_t t_last = h.dim(2) - 1;
+  if (snap.attention_scorer) {
+    const Tensor logits = conv_forward(*snap.attention_scorer, h);
+    const Tensor a = rptcn::softmax_lastdim(logits);       // eq. (7)
+    const Tensor g = ag::fwd::mul_bcast_channel(a, h);     // eq. (8)
+    summary = rptcn::add(ag::fwd::sum_lastdim(g), ag::fwd::time_slice(h, t_last));
+  } else {
+    summary = ag::fwd::time_slice(h, t_last);
+  }
+  return linear_forward(snap.head, summary);
+}
+
+Tensor forward(const LstmNetSnap& snap, const Tensor& x) {
+  return linear_forward(snap.head, lstm_forward(snap.lstm, x));
+}
+
+Tensor forward(const BiLstmNetSnap& snap, const Tensor& x) {
+  const Tensor h_fwd = lstm_forward(snap.fwd, x);
+  const Tensor h_bwd = lstm_forward(snap.bwd, ag::fwd::time_reverse(x));
+  return linear_forward(snap.head, ag::fwd::concat_cols(h_fwd, h_bwd));
+}
+
+Tensor forward(const CnnLstmSnap& snap, const Tensor& x) {
+  const Tensor h = rptcn::relu(conv_forward(snap.conv, x));
+  return linear_forward(snap.head, lstm_forward(snap.lstm, h));
+}
+
+}  // namespace rptcn::serve

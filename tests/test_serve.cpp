@@ -1,0 +1,410 @@
+// Serving engine tests: inference/training parity (batched tape-free
+// forward bit-identical to the unbatched autograd forward for every
+// registry forecaster), InferenceSession contract checks, and
+// BatchingEngine behaviour (coalescing, future delivery, failure fan-out,
+// drain-on-shutdown, concurrent submitters).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "models/nn_forecasters.h"
+#include "models/registry.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/session.h"
+#include "tensor/buffer_pool.h"
+
+namespace rptcn::serve {
+namespace {
+
+/// Same learnable multivariate series as the model tests: smooth AR target
+/// plus one noisy-copy auxiliary channel, window 12, horizon 1.
+models::ForecastDataset make_dataset(std::size_t length = 420,
+                                     std::uint64_t seed = 17) {
+  Rng rng(seed);
+  std::vector<double> target{0.5};
+  for (std::size_t i = 1; i < length; ++i) {
+    const double next = 0.5 + 0.85 * (target.back() - 0.5) +
+                        0.03 * std::sin(static_cast<double>(i) * 0.2) +
+                        rng.normal(0.0, 0.02);
+    target.push_back(std::clamp(next, 0.0, 1.0));
+  }
+  data::TimeSeriesFrame frame;
+  std::vector<double> aux(length);
+  for (std::size_t i = 0; i < length; ++i)
+    aux[i] = target[i] + rng.normal(0.0, 0.05);
+  frame.add("cpu", target);
+  frame.add("aux", std::move(aux));
+
+  data::WindowOptions wopt;
+  wopt.window = 12;
+  wopt.horizon = 1;
+  const auto all = data::make_windows(frame, "cpu", wopt);
+  auto split = data::chrono_split(all);
+
+  models::ForecastDataset ds;
+  ds.train = std::move(split.train);
+  ds.valid = std::move(split.valid);
+  ds.test = std::move(split.test);
+  ds.window = wopt.window;
+  ds.horizon = wopt.horizon;
+  ds.target_channel = 0;
+  ds.target_series = target;
+  ds.train_len = ds.train.samples() + wopt.window;
+  ds.valid_len = ds.valid.samples();
+  return ds;
+}
+
+/// Tiny configuration: parity needs fitted weights, not accuracy.
+models::ModelConfig tiny_config() {
+  models::ModelConfig cfg;
+  cfg.nn.max_epochs = 2;
+  cfg.nn.patience = 2;
+  cfg.nn.seed = 9;
+  cfg.rptcn.tcn.channels = {6, 6};
+  cfg.rptcn.fc_dim = 6;
+  cfg.lstm.hidden = 8;
+  cfg.cnn_lstm.conv_channels = 4;
+  cfg.cnn_lstm.hidden = 8;
+  cfg.gbt.n_rounds = 12;
+  return cfg;
+}
+
+/// The bit-parity reference: the unbatched (N=1) autograd forward in eval
+/// mode. Forecaster::predict is NOT usable here — predict_net batches
+/// windows at the training batch size, which is exactly the effect this
+/// suite must distinguish from.
+Tensor reference_forward(models::Forecaster& model, const Tensor& x1) {
+  NoGradScope no_grad;
+  if (auto* rptcn = dynamic_cast<models::RptcnForecaster*>(&model)) {
+    rptcn->net()->set_training(false);
+    return rptcn->net()->forward(Variable(x1)).value();
+  }
+  if (auto* tcn = dynamic_cast<models::TcnForecaster*>(&model)) {
+    tcn->net()->set_training(false);
+    return tcn->net()->forward(Variable(x1)).value();
+  }
+  if (auto* lstm = dynamic_cast<models::LstmForecaster*>(&model)) {
+    lstm->net()->set_training(false);
+    return lstm->net()->forward(Variable(x1)).value();
+  }
+  if (auto* bilstm = dynamic_cast<models::BiLstmForecaster*>(&model)) {
+    bilstm->net()->set_training(false);
+    return bilstm->net()->forward(Variable(x1)).value();
+  }
+  if (auto* cnnlstm = dynamic_cast<models::CnnLstmForecaster*>(&model)) {
+    cnnlstm->net()->set_training(false);
+    return cnnlstm->net()->forward(Variable(x1)).value();
+  }
+  // ARIMA / XGBoost predict per sample, so predict() IS the N=1 path.
+  return model.predict(x1);
+}
+
+void expect_bit_identical(const models::ForecastDataset& ds,
+                          models::Forecaster& model,
+                          const InferenceSession& session) {
+  const std::size_t n = std::min<std::size_t>(6, ds.test.samples());
+  const std::size_t f = ds.test.inputs.dim(1);
+  const std::size_t t = ds.test.inputs.dim(2);
+  Tensor batch({n, f, t});
+  std::copy_n(ds.test.inputs.raw(), n * f * t, batch.raw());
+
+  const Tensor out = session.run(batch);
+  ASSERT_EQ(out.rank(), 2u);
+  ASSERT_EQ(out.dim(0), n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor one({1, f, t});
+    std::copy_n(batch.raw() + i * f * t, f * t, one.raw());
+    const Tensor ref = reference_forward(model, one);
+    ASSERT_EQ(ref.rank(), 2u);
+    ASSERT_EQ(ref.dim(1), out.dim(1));
+    for (std::size_t h = 0; h < out.dim(1); ++h)
+      EXPECT_EQ(out.at(i, h), ref.at(0, h))
+          << model.name() << " window " << i << " step " << h
+          << ": batched serving drifted from the autograd forward";
+  }
+}
+
+class ServeParity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ServeParity, BatchedRunBitMatchesUnbatchedForward) {
+  const auto ds = make_dataset();
+  auto model = models::make_forecaster(GetParam(), tiny_config());
+  model->fit(ds);
+  InferenceSession session(*model);
+  expect_bit_identical(ds, *model, session);
+}
+
+TEST_P(ServeParity, HoldsWithBufferPoolDisabled) {
+  struct PoolOff {
+    PoolOff() { pool::set_enabled(false); }
+    ~PoolOff() { pool::set_enabled(true); }
+  } guard;
+  const auto ds = make_dataset();
+  auto model = models::make_forecaster(GetParam(), tiny_config());
+  model->fit(ds);
+  InferenceSession session(*model);
+  expect_bit_identical(ds, *model, session);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ServeParity,
+                         ::testing::Values("ARIMA", "LSTM", "CNN-LSTM",
+                                           "XGBoost", "RPTCN", "TCN",
+                                           "BiLSTM"));
+
+TEST(ServeSession, RequiresFittedNet) {
+  auto model = models::make_forecaster("RPTCN", tiny_config());
+  EXPECT_THROW(InferenceSession{*model}, CheckError);
+}
+
+TEST(ServeSession, ReportsModelMetadata) {
+  const auto ds = make_dataset();
+  auto model = models::make_forecaster("RPTCN", tiny_config());
+  model->fit(ds);
+  InferenceSession session(*model);
+  EXPECT_EQ(session.model_name(), "RPTCN");
+  EXPECT_EQ(session.horizon(), ds.horizon);
+  EXPECT_EQ(session.input_features(), 2u);
+}
+
+TEST(ServeSession, ValidatesInputShape) {
+  nn::RptcnOptions opt;
+  opt.input_features = 3;
+  opt.horizon = 2;
+  opt.tcn.channels = {4, 4};
+  opt.fc_dim = 4;
+  nn::RptcnNet net(opt);
+  InferenceSession session(net);
+  EXPECT_THROW(session.run(Tensor({3, 8})), CheckError);       // rank 2
+  EXPECT_THROW(session.run(Tensor({1, 5, 8})), CheckError);    // wrong F
+  const Tensor out = session.run(Tensor({2, 3, 8}));
+  EXPECT_EQ(out.dim(0), 2u);
+  EXPECT_EQ(out.dim(1), 2u);
+}
+
+TEST(ServeSession, ConcurrentRunsAgree) {
+  nn::RptcnOptions opt;
+  opt.input_features = 2;
+  opt.tcn.channels = {4, 4};
+  opt.fc_dim = 4;
+  opt.seed = 3;
+  nn::RptcnNet net(opt);
+  InferenceSession session(net);
+
+  Rng rng(21);
+  Tensor input({4, 2, 16});
+  for (float& v : input.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  const Tensor expected = session.run(input);
+
+  std::vector<std::thread> threads;
+  std::vector<Tensor> results(8);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    threads.emplace_back(
+        [&, i] { results[i] = session.run(input); });
+  for (auto& th : threads) th.join();
+  for (const Tensor& r : results)
+    for (std::size_t j = 0; j < expected.size(); ++j)
+      ASSERT_EQ(r.data()[j], expected.data()[j]);
+}
+
+// ---------------------------------------------------------------------------
+// BatchingEngine
+// ---------------------------------------------------------------------------
+
+nn::RptcnOptions engine_net_options() {
+  nn::RptcnOptions opt;
+  opt.input_features = 3;
+  opt.horizon = 2;
+  opt.tcn.channels = {6, 6};
+  opt.fc_dim = 6;
+  opt.seed = 13;
+  return opt;
+}
+
+Tensor random_window(Rng& rng, std::size_t f = 3, std::size_t t = 16) {
+  Tensor w({f, t});
+  for (float& v : w.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return w;
+}
+
+/// The engine must deliver exactly the row the session computes for the
+/// window alone.
+void expect_row_matches(const InferenceSession& session, const Tensor& window,
+                        const Tensor& row) {
+  Tensor one({1, window.dim(0), window.dim(1)});
+  std::copy_n(window.raw(), window.size(), one.raw());
+  const Tensor ref = session.run(one);
+  ASSERT_EQ(row.rank(), 1u);
+  ASSERT_EQ(row.dim(0), ref.dim(1));
+  for (std::size_t h = 0; h < row.dim(0); ++h)
+    ASSERT_EQ(row.at(h), ref.at(0, h));
+}
+
+TEST(ServeEngine, DeliversBitIdenticalRows) {
+  nn::RptcnNet net(engine_net_options());
+  auto session = std::make_shared<InferenceSession>(net);
+  BatchingEngine engine(session, {/*max_batch=*/8, /*max_delay_us=*/2000,
+                                  /*workers=*/2});
+
+  Rng rng(5);
+  std::vector<Tensor> windows;
+  std::vector<std::future<Tensor>> futures;
+  for (std::size_t i = 0; i < 16; ++i) {
+    windows.push_back(random_window(rng));
+    futures.push_back(engine.submit(windows.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    expect_row_matches(*session, windows[i], futures[i].get());
+}
+
+TEST(ServeEngine, CoalescesIntoOneBatchAndCountsIt) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+
+  nn::RptcnNet net(engine_net_options());
+  auto session = std::make_shared<InferenceSession>(net);
+  const std::uint64_t requests_before =
+      obs::metrics().counter("serve/requests").value();
+  const std::uint64_t batches_before =
+      obs::metrics().counter("serve/batches").value();
+
+  Rng rng(6);
+  std::vector<Tensor> windows;
+  std::vector<std::future<Tensor>> futures;
+  {
+    // A huge delay and max_batch == request count: the single worker must
+    // assemble exactly one full batch (the size trigger fires long before
+    // the deadline). Counters are read after the destructor joins the
+    // worker, so they are quiescent.
+    BatchingEngine engine(session, {/*max_batch=*/4,
+                                    /*max_delay_us=*/2'000'000,
+                                    /*workers=*/1});
+    for (std::size_t i = 0; i < 4; ++i) {
+      windows.push_back(random_window(rng));
+      futures.push_back(engine.submit(windows.back()));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i)
+      expect_row_matches(*session, windows[i], futures[i].get());
+  }
+
+  EXPECT_EQ(obs::metrics().counter("serve/requests").value() - requests_before,
+            4u);
+  EXPECT_EQ(obs::metrics().counter("serve/batches").value() - batches_before,
+            1u);
+  const auto hist =
+      obs::metrics().histogram("serve/batch_size").snapshot();
+  EXPECT_GE(hist.max, 4.0);
+  obs::set_enabled(was_enabled);
+}
+
+TEST(ServeEngine, ServesMixedWindowLengths) {
+  nn::RptcnNet net(engine_net_options());
+  auto session = std::make_shared<InferenceSession>(net);
+  BatchingEngine engine(session, {/*max_batch=*/8, /*max_delay_us=*/500,
+                                  /*workers=*/1});
+
+  Rng rng(8);
+  std::vector<Tensor> windows;
+  std::vector<std::future<Tensor>> futures;
+  for (std::size_t i = 0; i < 10; ++i) {
+    windows.push_back(random_window(rng, 3, (i % 2 == 0) ? 16 : 24));
+    futures.push_back(engine.submit(windows.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    expect_row_matches(*session, windows[i], futures[i].get());
+}
+
+TEST(ServeEngine, BatchFailureReachesEveryFuture) {
+  nn::RptcnNet net(engine_net_options());
+  auto session = std::make_shared<InferenceSession>(net);
+  BatchingEngine engine(session, {/*max_batch=*/3, /*max_delay_us=*/2'000'000,
+                                  /*workers=*/1});
+
+  // Wrong feature count passes the rank check at submit() and fails inside
+  // the batched forward; the failure must fan out to every request of the
+  // batch.
+  std::vector<std::future<Tensor>> futures;
+  for (std::size_t i = 0; i < 3; ++i)
+    futures.push_back(engine.submit(Tensor({5, 16})));
+  for (auto& fut : futures) EXPECT_THROW(fut.get(), CheckError);
+
+  // The engine survives a failed batch and keeps serving. Three good
+  // windows fill the next batch so the size trigger fires immediately.
+  Rng rng(9);
+  std::vector<Tensor> good;
+  std::vector<std::future<Tensor>> ok;
+  for (std::size_t i = 0; i < 3; ++i) {
+    good.push_back(random_window(rng));
+    ok.push_back(engine.submit(good.back()));
+  }
+  for (std::size_t i = 0; i < ok.size(); ++i)
+    expect_row_matches(*session, good[i], ok[i].get());
+}
+
+TEST(ServeEngine, SubmitValidatesRank) {
+  nn::RptcnNet net(engine_net_options());
+  auto session = std::make_shared<InferenceSession>(net);
+  BatchingEngine engine(session, {});
+  EXPECT_THROW(engine.submit(Tensor({1, 3, 16})), CheckError);
+  EXPECT_THROW(engine.submit(Tensor({16})), CheckError);
+}
+
+TEST(ServeEngine, DestructorDrainsQueuedRequests) {
+  nn::RptcnNet net(engine_net_options());
+  auto session = std::make_shared<InferenceSession>(net);
+
+  Rng rng(10);
+  std::vector<Tensor> windows;
+  std::vector<std::future<Tensor>> futures;
+  {
+    // Long delay: most of these are still queued when the engine is
+    // destroyed, and shutdown must drain them, not drop them.
+    BatchingEngine engine(session, {/*max_batch=*/2,
+                                    /*max_delay_us=*/2'000'000,
+                                    /*workers=*/1});
+    for (std::size_t i = 0; i < 6; ++i) {
+      windows.push_back(random_window(rng));
+      futures.push_back(engine.submit(windows.back()));
+    }
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    expect_row_matches(*session, windows[i], futures[i].get());
+  }
+}
+
+TEST(ServeEngine, ConcurrentSubmittersAllGetTheirOwnRow) {
+  nn::RptcnNet net(engine_net_options());
+  auto session = std::make_shared<InferenceSession>(net);
+  BatchingEngine engine(session, {/*max_batch=*/16, /*max_delay_us=*/200,
+                                  /*workers=*/2});
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 8;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<Tensor>> windows(kThreads);
+  std::vector<std::vector<std::future<Tensor>>> futures(kThreads);
+  for (std::size_t c = 0; c < kThreads; ++c)
+    clients.emplace_back([&, c] {
+      Rng rng(100 + c);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        windows[c].push_back(random_window(rng));
+        futures[c].push_back(engine.submit(windows[c].back()));
+      }
+    });
+  for (auto& th : clients) th.join();
+  for (std::size_t c = 0; c < kThreads; ++c)
+    for (std::size_t i = 0; i < kPerThread; ++i)
+      expect_row_matches(*session, windows[c][i], futures[c][i].get());
+}
+
+}  // namespace
+}  // namespace rptcn::serve

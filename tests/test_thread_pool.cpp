@@ -111,5 +111,82 @@ TEST(ThreadPool, ActiveJobsGateKernelParallelism) {
   EXPECT_TRUE(kernel_parallelism_allowed());
 }
 
+struct TaggedError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+TEST(ThreadPool, PreservesExceptionTypeAndMessage) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw TaggedError("task 42 failed"); });
+  try {
+    fut.get();
+    FAIL() << "expected TaggedError";
+  } catch (const TaggedError& e) {
+    EXPECT_STREQ(e.what(), "task 42 failed");
+  }
+}
+
+TEST(ThreadPool, ThrowingTasksStillDrainAtShutdown) {
+  // A worker that dies on the first throwing task would leave the rest of
+  // the queue undelivered; every future must be ready after the destructor.
+  std::vector<std::future<int>> futures;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 8; ++i)
+      futures.push_back(pool.submit([&ran, i]() -> int {
+        ++ran;
+        if (i % 2 == 0) throw TaggedError("even task");
+        return i;
+      }));
+  }
+  EXPECT_EQ(ran.load(), 8);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    if (i % 2 == 0)
+      EXPECT_THROW(futures[i].get(), TaggedError);
+    else
+      EXPECT_EQ(futures[i].get(), i);
+  }
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreWork) {
+  // Two workers: the outer task blocks on the inner future while the second
+  // worker runs the inner task.
+  ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 21; });
+    return 2 * inner.get();
+  });
+  EXPECT_EQ(outer.get(), 42);
+}
+
+TEST(ThreadPool, ActiveJobScopeCountsNonPoolThreads) {
+  EXPECT_EQ(ThreadPool::active_jobs(), 0u);
+  {
+    ActiveJobScope one;
+    EXPECT_EQ(ThreadPool::active_jobs(), 1u);
+    EXPECT_TRUE(kernel_parallelism_allowed());  // a single job may fan out
+    {
+      ActiveJobScope two;
+      EXPECT_EQ(ThreadPool::active_jobs(), 2u);
+      EXPECT_FALSE(kernel_parallelism_allowed());
+    }
+    EXPECT_EQ(ThreadPool::active_jobs(), 1u);
+  }
+  EXPECT_EQ(ThreadPool::active_jobs(), 0u);
+}
+
+TEST(ThreadPool, ActiveJobScopeComposesWithPoolJobs) {
+  // While the test thread holds a scope (as the serving engine does around
+  // a batch forward), any concurrently running pool task must see a
+  // saturated machine and collapse nested kernels.
+  ActiveJobScope serving_job;
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { return kernel_parallelism_allowed(); });
+  EXPECT_FALSE(fut.get());
+}
+
 }  // namespace
 }  // namespace rptcn

@@ -9,15 +9,17 @@ namespace rptcn::serve {
 
 BatchingEngine::BatchingEngine(std::shared_ptr<const InferenceSession> session,
                                EngineOptions options)
-    : session_(std::move(session)),
-      options_(options),
+    : options_(options),
       requests_(obs::metrics().counter("serve/requests")),
       batches_(obs::metrics().counter("serve/batches")),
+      swaps_counter_(obs::metrics().counter("serve/swaps_total")),
+      queue_depth_(obs::metrics().gauge("serve/queue_depth")),
       batch_size_(obs::metrics().histogram("serve/batch_size")),
       queue_wait_(obs::metrics().histogram("serve/queue_wait_seconds")),
       forward_time_(obs::metrics().histogram("serve/forward_seconds")) {
-  RPTCN_CHECK(session_ != nullptr, "BatchingEngine needs a session");
+  RPTCN_CHECK(session != nullptr, "BatchingEngine needs a session");
   RPTCN_CHECK(options_.max_batch >= 1, "max_batch must be >= 1");
+  live_ = WeightSnapshot{std::move(session), 1};
   if (options_.workers == 0) options_.workers = 1;
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i)
@@ -45,10 +47,33 @@ std::future<Tensor> BatchingEngine::submit(Tensor window) {
     std::lock_guard<std::mutex> lock(mutex_);
     RPTCN_CHECK(!stop_, "BatchingEngine::submit after shutdown began");
     queue_.push_back(std::move(p));
+    ++submitted_;
+    queue_depth_.set(static_cast<double>(queue_.size()));
   }
   requests_.add(1);
   cv_.notify_one();
   return fut;
+}
+
+std::uint64_t BatchingEngine::swap_session(
+    std::shared_ptr<const InferenceSession> session) {
+  RPTCN_CHECK(session != nullptr, "swap_session needs a session");
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RPTCN_CHECK(!stop_, "BatchingEngine::swap_session after shutdown began");
+    live_ = WeightSnapshot{std::move(session), live_.generation + 1};
+    generation = live_.generation;
+    ++swaps_;
+  }
+  swaps_counter_.add(1);
+  return generation;
+}
+
+void BatchingEngine::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t target = submitted_;
+  cv_.wait(lock, [this, target] { return completed_ >= target; });
 }
 
 std::size_t BatchingEngine::pending() const {
@@ -56,9 +81,38 @@ std::size_t BatchingEngine::pending() const {
   return queue_.size();
 }
 
+EngineStats BatchingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineStats s;
+  s.queued = queue_.size();
+  s.in_flight = in_flight_;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.batches = batches_run_;
+  s.swaps = swaps_;
+  s.generation = live_.generation;
+  return s;
+}
+
+WeightSnapshot BatchingEngine::current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_;
+}
+
+std::shared_ptr<const InferenceSession> BatchingEngine::session() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_.session;
+}
+
+std::uint64_t BatchingEngine::generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_.generation;
+}
+
 void BatchingEngine::worker_loop() {
   for (;;) {
     std::vector<Pending> batch;
+    WeightSnapshot snapshot;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -82,12 +136,29 @@ void BatchingEngine::worker_loop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      // The batch runs end-to-end on the generation it was coalesced under:
+      // a concurrent swap_session() retires `live_` but this shared_ptr
+      // keeps the old snapshot alive until the batch delivers.
+      snapshot = live_;
+      in_flight_ += batch.size();
+      queue_depth_.set(static_cast<double>(queue_.size()));
     }
-    run_batch(batch);
+    const std::size_t delivered = batch.size();
+    run_batch(batch, *snapshot.session);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ -= delivered;
+      completed_ += delivered;
+      ++batches_run_;
+    }
+    // Wake flush() waiters (and any worker parked on the queue predicate —
+    // it re-checks and sleeps again, which is cheap and rare).
+    cv_.notify_all();
   }
 }
 
-void BatchingEngine::run_batch(std::vector<Pending>& batch) {
+void BatchingEngine::run_batch(std::vector<Pending>& batch,
+                               const InferenceSession& session) {
   const auto picked_up = std::chrono::steady_clock::now();
   for (const Pending& p : batch)
     queue_wait_.record(
@@ -108,7 +179,7 @@ void BatchingEngine::run_batch(std::vector<Pending>& batch) {
       // Count as a coarse job so concurrent batch forwards collapse nested
       // OpenMP instead of oversubscribing the cores.
       ActiveJobScope job;
-      out = session_->run(input);
+      out = session.run(input);
     }
     RPTCN_CHECK(out.rank() == 2 && out.dim(0) == bsz,
                 "serving forward returned " << out.shape_string()

@@ -16,13 +16,25 @@
 // is delivered to every future of that batch; other batches are unaffected.
 // The destructor stops intake, drains every queued request, then joins.
 //
-// Observability: serve/requests + serve/batches counters, serve/batch_size,
+// Hot-swap: the live model is a generation-counted WeightSnapshot.
+// swap_session() atomically installs a new session and bumps the
+// generation; a worker captures one snapshot under the queue mutex when it
+// picks a batch up, so every batch runs end-to-end on the generation it
+// started with — readers finish on the old generation, new batches see the
+// new one, and nothing ever blocks the submit path. flush() is the fence:
+// it blocks until every request submitted before the call has been
+// delivered, so swap + flush guarantees later submissions are answered by
+// the new weights only.
+//
+// Observability: serve/requests + serve/batches + serve/swaps_total
+// counters, serve/queue_depth gauge, serve/batch_size,
 // serve/queue_wait_seconds and serve/forward_seconds histograms, and a
 // "serve/batch" trace span around each batched forward.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -41,6 +53,26 @@ struct EngineOptions {
   std::size_t workers = 1;        ///< engine threads (>= 1; 0 clamps to 1)
 };
 
+/// The engine's live model: an immutable session plus the monotone
+/// generation swap_session() bumps. A batch captures one WeightSnapshot
+/// when it is coalesced and runs entirely on it.
+struct WeightSnapshot {
+  std::shared_ptr<const InferenceSession> session;
+  std::uint64_t generation = 0;
+};
+
+/// Point-in-time engine state, for backpressure observation without
+/// scraping metrics JSON.
+struct EngineStats {
+  std::size_t queued = 0;         ///< requests waiting for a worker
+  std::size_t in_flight = 0;      ///< requests inside a running batch
+  std::uint64_t submitted = 0;    ///< requests ever accepted
+  std::uint64_t completed = 0;    ///< requests delivered (value or error)
+  std::uint64_t batches = 0;      ///< batches run
+  std::uint64_t swaps = 0;        ///< swap_session() calls
+  std::uint64_t generation = 1;   ///< current snapshot generation
+};
+
 class BatchingEngine {
  public:
   BatchingEngine(std::shared_ptr<const InferenceSession> session,
@@ -55,10 +87,31 @@ class BatchingEngine {
   /// or rethrows the batch's failure. Throws if the engine is stopping.
   std::future<Tensor> submit(Tensor window);
 
+  /// Atomically install a new session as the next generation and return
+  /// that generation. Batches already coalesced finish on the snapshot they
+  /// captured; batches coalesced after the call use the new session.
+  /// Throws if the engine is stopping.
+  std::uint64_t swap_session(std::shared_ptr<const InferenceSession> session);
+
+  /// Block until every request submitted before this call has been
+  /// delivered (in-flight batches included, not just the queue). Safe under
+  /// concurrent submit() — later requests are not waited for. Must not be
+  /// called from an engine worker (the hot-swap path calls it from the
+  /// retrain thread).
+  void flush();
+
   /// Requests currently queued (not yet picked up by a worker).
   std::size_t pending() const;
 
-  const InferenceSession& session() const { return *session_; }
+  /// Queue depth, in-flight count, totals and the live generation.
+  EngineStats stats() const;
+
+  /// The live weight snapshot (shared ownership, safe across swaps).
+  WeightSnapshot current() const;
+  /// The live session; shared_ptr because a swap may retire it any time.
+  std::shared_ptr<const InferenceSession> session() const;
+  std::uint64_t generation() const;
+
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -69,14 +122,16 @@ class BatchingEngine {
   };
 
   void worker_loop();
-  void run_batch(std::vector<Pending>& batch);
+  /// Runs one coalesced batch on `session`; returns requests delivered.
+  void run_batch(std::vector<Pending>& batch, const InferenceSession& session);
 
-  std::shared_ptr<const InferenceSession> session_;
   EngineOptions options_;
 
   // Registry handles are process-lifetime stable; resolved once here.
   obs::Counter& requests_;
   obs::Counter& batches_;
+  obs::Counter& swaps_counter_;
+  obs::Gauge& queue_depth_;
   obs::Histogram& batch_size_;
   obs::Histogram& queue_wait_;
   obs::Histogram& forward_time_;
@@ -84,6 +139,12 @@ class BatchingEngine {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
+  WeightSnapshot live_;            ///< guarded by mutex_
+  std::size_t in_flight_ = 0;      ///< guarded by mutex_
+  std::uint64_t submitted_ = 0;    ///< guarded by mutex_
+  std::uint64_t completed_ = 0;    ///< guarded by mutex_
+  std::uint64_t batches_run_ = 0;  ///< guarded by mutex_
+  std::uint64_t swaps_ = 0;        ///< guarded by mutex_
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

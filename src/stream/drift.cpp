@@ -1,0 +1,157 @@
+#include "stream/drift.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rptcn::stream {
+
+// ---------------------------------------------------------------------------
+// PageHinkley
+// ---------------------------------------------------------------------------
+
+PageHinkley::PageHinkley(PageHinkleyOptions options) : options_(options) {
+  RPTCN_CHECK(options_.lambda > 0.0, "PageHinkley lambda must be positive");
+}
+
+bool PageHinkley::update(double v) {
+  ++n_;
+  mean_ += (v - mean_) / static_cast<double>(n_);
+  mt_ += v - mean_ - options_.delta;
+  min_mt_ = std::min(min_mt_, mt_);
+  if (n_ >= options_.min_samples && statistic() > options_.lambda) {
+    reset();
+    return true;
+  }
+  return false;
+}
+
+void PageHinkley::reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  mt_ = 0.0;
+  min_mt_ = 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// WindowedErrorMonitor
+// ---------------------------------------------------------------------------
+
+WindowedErrorMonitor::WindowedErrorMonitor(WindowedErrorOptions options)
+    : options_(options), errors_(std::max<std::size_t>(options.long_window, 1)) {
+  RPTCN_CHECK(options_.short_window > 0 &&
+                  options_.long_window >= options_.short_window,
+              "WindowedErrorMonitor needs 0 < short_window <= long_window");
+  RPTCN_CHECK(options_.ratio_threshold > 1.0,
+              "ratio_threshold must exceed 1");
+}
+
+bool WindowedErrorMonitor::update(double abs_error) {
+  errors_.push(abs_error);
+  if (options_.level_threshold > 0.0 &&
+      short_mean() > options_.level_threshold) {
+    reset();
+    level_fired_ = true;
+    return true;
+  }
+  if (errors_.total() < options_.min_samples ||
+      errors_.size() < options_.long_window)
+    return false;
+  if (ratio() > options_.ratio_threshold) {
+    reset();
+    return true;
+  }
+  return false;
+}
+
+double WindowedErrorMonitor::short_mean() const {
+  if (errors_.size() < options_.short_window) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = errors_.size() - options_.short_window;
+       i < errors_.size(); ++i)
+    sum += errors_[i];
+  return sum / static_cast<double>(options_.short_window);
+}
+
+double WindowedErrorMonitor::ratio() const {
+  if (errors_.size() < options_.long_window) return 0.0;
+  double long_sum = 0.0;
+  for (std::size_t i = 0; i < errors_.size(); ++i) long_sum += errors_[i];
+  double short_sum = 0.0;
+  for (std::size_t i = errors_.size() - options_.short_window;
+       i < errors_.size(); ++i)
+    short_sum += errors_[i];
+  const double long_mean = long_sum / static_cast<double>(errors_.size());
+  const double short_mean =
+      short_sum / static_cast<double>(options_.short_window);
+  if (long_mean <= 0.0) return 0.0;
+  return short_mean / long_mean;
+}
+
+void WindowedErrorMonitor::reset() {
+  errors_ = RingBuffer<double>(errors_.capacity());
+  level_fired_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// DriftMonitor
+// ---------------------------------------------------------------------------
+
+DriftMonitor::DriftMonitor(std::vector<std::string> features,
+                           DriftOptions options)
+    : features_(std::move(features)),
+      options_(options),
+      residual_ph_(options.residual_ph),
+      windowed_(options.windowed),
+      drift_events_(obs::metrics().counter("stream/drift_events")),
+      input_events_(obs::metrics().counter("stream/drift_input_events")),
+      residual_stat_(obs::metrics().gauge("stream/drift_residual_stat")),
+      error_ratio_(obs::metrics().gauge("stream/drift_error_ratio")) {
+  RPTCN_CHECK(!features_.empty(), "DriftMonitor needs at least one feature");
+  input_ph_.reserve(features_.size());
+  for (std::size_t i = 0; i < features_.size(); ++i)
+    input_ph_.emplace_back(options.input_ph);
+}
+
+bool DriftMonitor::observe_inputs(const std::vector<double>& row) {
+  if (!options_.monitor_inputs) return false;
+  RPTCN_CHECK(row.size() == features_.size(),
+              "DriftMonitor::observe_inputs got " << row.size()
+                                                  << " values for "
+                                                  << features_.size()
+                                                  << " features");
+  bool drift = false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (input_ph_[i].update(row[i]) && !drift) {
+      drift = true;
+      input_events_.add(1);
+      fired("input:" + features_[i]);
+    }
+  }
+  return drift;
+}
+
+bool DriftMonitor::observe_residual(double abs_residual) {
+  const bool ph = residual_ph_.update(abs_residual);
+  const bool ratio = windowed_.update(abs_residual);
+  residual_stat_.set(residual_ph_.statistic());
+  error_ratio_.set(windowed_.ratio());
+  if (ph) fired("residual-ph");
+  else if (ratio)
+    fired(windowed_.level_fired() ? "error-level" : "error-ratio");
+  return ph || ratio;
+}
+
+void DriftMonitor::reset() {
+  residual_ph_.reset();
+  windowed_.reset();
+  for (PageHinkley& ph : input_ph_) ph.reset();
+}
+
+void DriftMonitor::fired(std::string reason) {
+  ++events_;
+  drift_events_.add(1);
+  last_reason_ = std::move(reason);
+}
+
+}  // namespace rptcn::stream

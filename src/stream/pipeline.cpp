@@ -1,0 +1,167 @@
+#include "stream/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace rptcn::stream {
+namespace {
+
+std::size_t effective_warmup(const OnlinePipelineOptions& options) {
+  return options.warmup != 0 ? options.warmup : options.retrain.history;
+}
+
+}  // namespace
+
+OnlinePipeline::OnlinePipeline(std::unique_ptr<TickProvider> provider,
+                               OnlinePipelineOptions options)
+    : options_(std::move(options)),
+      source_(std::move(provider), options_.source),
+      drift_(source_.names(), options_.drift),
+      staleness_gauge_(obs::metrics().gauge("stream/staleness_ticks")) {
+  RPTCN_CHECK(effective_warmup(options_) >
+                  options_.retrain.window.window + options_.retrain.window.horizon,
+              "warmup must exceed window + horizon so the bootstrap fit has "
+              "at least one supervised sample");
+  norm_row_.resize(source_.features(), 0.0);
+}
+
+OnlinePipeline::~OnlinePipeline() {
+  // Members die in reverse declaration order: the retrainer first (its pool
+  // drains the in-flight job, which may still swap into the engine), then
+  // the engine (drains queued requests), then the source. Nothing to do.
+}
+
+std::optional<TickOutcome> OnlinePipeline::step() {
+  if (source_.exhausted()) return std::nullopt;
+
+  TickOutcome out;
+  const std::size_t before = source_.ticks();
+  Stopwatch watch;
+  const bool polled = source_.poll();
+  out.ingest_seconds = watch.elapsed_seconds();
+  if (!polled) return std::nullopt;
+
+  out.tick = source_.ticks();
+  out.dropped = source_.ticks() == before;
+  if (out.dropped) return out;
+
+  out.actual_norm = source_.latest_norm(0);
+  out.actual_raw = source_.latest_raw(0);
+
+  // A swap may have landed since the last tick: reset the detectors so the
+  // new generation is judged against its own residual regime.
+  if (engine_) {
+    const std::uint64_t gen = engine_->generation();
+    if (gen != last_seen_generation_) {
+      last_seen_generation_ = gen;
+      last_swap_tick_ = out.tick;
+      drift_.reset();
+    }
+  }
+
+  harvest_due(out);
+
+  if (engine_ && options_.drift.monitor_inputs) {
+    for (std::size_t f = 0; f < source_.features(); ++f)
+      norm_row_[f] = source_.latest_norm(f);
+    if (drift_.observe_inputs(norm_row_)) out.drift = true;
+  }
+
+  if (!engine_ && out.tick >= effective_warmup(options_)) {
+    bootstrap();
+    out.bootstrapped = true;
+    out.tick = source_.ticks();
+  }
+
+  maybe_forecast(out);
+
+  if (engine_) {
+    const bool cadence_due =
+        options_.retrain_cadence != 0 &&
+        out.tick - last_swap_tick_ >= options_.retrain_cadence;
+    if ((options_.retrain_on_drift && out.drift) || cadence_due) {
+      if (!retrainer_)
+        retrainer_ =
+            std::make_unique<RollingRetrainer>(*engine_, options_.retrain);
+      const std::size_t span =
+          std::min(options_.retrain.history, source_.ticks());
+      const std::string reason =
+          out.drift ? drift_.last_reason() : std::string("cadence");
+      out.retrain_requested = retrainer_->request(
+          source_.history(span), source_.normalizer(), reason, out.tick);
+    }
+    staleness_gauge_.set(static_cast<double>(out.tick - last_swap_tick_));
+  }
+  return out;
+}
+
+std::size_t OnlinePipeline::run(std::size_t max_ticks) {
+  std::size_t consumed = 0;
+  while (max_ticks == 0 || consumed < max_ticks) {
+    if (!step()) break;
+    ++consumed;
+  }
+  return consumed;
+}
+
+std::size_t OnlinePipeline::staleness_ticks() const {
+  return source_.ticks() - last_swap_tick_;
+}
+
+void OnlinePipeline::bootstrap() {
+  const std::size_t span = std::min(options_.retrain.history, source_.ticks());
+  // Gated fit, best attempt kept even if the gate fails: a bootstrap must
+  // produce some model, and the retrainer replaces a mediocre one later.
+  FittedGeneration g =
+      fit_generation_gated(source_.history(span), source_.normalizer(),
+                           options_.retrain, /*next_generation=*/1,
+                           "bootstrap");
+  RPTCN_CHECK(g.session != nullptr,
+              "bootstrap fit failed: " << g.outcome.error);
+  bootstrap_ = g.outcome;
+  engine_ = std::make_unique<serve::BatchingEngine>(g.session, options_.engine);
+  bootstrap_generation_ = std::move(g);
+  last_seen_generation_ = engine_->generation();
+  last_swap_tick_ = source_.ticks();
+  if (options_.freeze_normalizer_at_bootstrap) source_.freeze_normalizer();
+}
+
+void OnlinePipeline::maybe_forecast(TickOutcome& out) {
+  if (!engine_) return;
+  const std::size_t window = options_.retrain.window.window;
+  if (!source_.ready(window)) return;
+  PendingForecast p;
+  p.future = engine_->submit(source_.latest_window(window));
+  p.due_tick = out.tick + 1;  // one-step residual uses the first horizon step
+  p.generation = engine_->generation();
+  pending_.push_back(std::move(p));
+  out.predicted = true;
+}
+
+void OnlinePipeline::harvest_due(TickOutcome& out) {
+  while (!pending_.empty() && pending_.front().due_tick <= out.tick) {
+    PendingForecast p = std::move(pending_.front());
+    pending_.pop_front();
+    if (p.due_tick < out.tick) continue;  // actual was a dropped tick
+    try {
+      const Tensor forecast = p.future.get();
+      out.predicted_norm = static_cast<double>(forecast.raw()[0]);
+      out.residual = std::abs(out.actual_norm - out.predicted_norm);
+      out.predicted_raw =
+          source_.normalizer().denormalize(0, out.predicted_norm);
+      out.residual_raw = std::abs(out.actual_raw - out.predicted_raw);
+      out.residual_ready = true;
+      out.generation = p.generation;
+      if (drift_.observe_residual(out.residual)) out.drift = true;
+    } catch (const std::exception&) {
+      // A failed batch already delivered its error to every future; the
+      // stream keeps going and the residual for this tick is simply missing.
+    }
+  }
+}
+
+}  // namespace rptcn::stream

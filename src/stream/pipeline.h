@@ -1,0 +1,140 @@
+// OnlinePipeline — the closed loop from trace to serving:
+//
+//   tick -> StreamSource (ring buffers + online normalizer)
+//        -> one-step forecast through the live serve::BatchingEngine
+//        -> residual -> DriftMonitor
+//        -> on drift (or cadence): RollingRetrainer re-fit + hot-swap
+//
+// step() advances exactly one tick and never blocks on training: the only
+// waits on the ingest thread are the engine future for the forecast that
+// fell due this tick (bounded by max_delay_us + one batch forward) and
+// nothing else — retraining runs on the retrainer's own thread and installs
+// itself via swap_session. The first model is bootstrapped synchronously
+// once `warmup` ticks have arrived; before that the pipeline only ingests.
+//
+//   OnlinePipelineOptions opt;                 // model, windows, thresholds
+//   OnlinePipeline loop(std::move(provider), opt);
+//   while (auto tick = loop.step()) {
+//     if (tick->residual_ready) consume(tick->residual);
+//   }
+//
+// Observability: stream/staleness_ticks gauge (ticks since the serving
+// generation changed) on top of everything the parts export themselves.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "serve/engine.h"
+#include "stream/drift.h"
+#include "stream/retrain.h"
+#include "stream/source.h"
+
+namespace rptcn::stream {
+
+struct OnlinePipelineOptions {
+  SourceOptions source;
+  DriftOptions drift;
+  RetrainOptions retrain;
+  serve::EngineOptions engine;
+  /// Ticks ingested before the synchronous bootstrap fit; 0 means
+  /// retrain.history (fit as soon as a full trailing window exists).
+  std::size_t warmup = 0;
+  /// False freezes the bootstrap snapshot: drift is still measured but
+  /// never acted on — the "static model" baseline the streaming bench
+  /// compares against.
+  bool retrain_on_drift = true;
+  /// Retrain every N accepted ticks regardless of drift (0 = off).
+  std::size_t retrain_cadence = 0;
+  /// Pin the normalizer once the bootstrap model is fitted — the honest
+  /// frozen-deployment baseline. An online min-max scaler keeps re-mapping
+  /// whatever range the stream visits into [0,1], which silently
+  /// domain-adapts even a never-retrained model's inputs; a real batch
+  /// deployment ships scaler and weights frozen together, and that is the
+  /// baseline an adaptive pipeline must be compared against.
+  bool freeze_normalizer_at_bootstrap = false;
+};
+
+/// What one step() observed.
+struct TickOutcome {
+  std::size_t tick = 0;           ///< accepted-tick index (1-based)
+  double ingest_seconds = 0.0;    ///< time spent in StreamSource::poll
+  bool dropped = false;           ///< tick was incomplete and discarded
+  bool predicted = false;         ///< a forecast was issued this tick
+  bool residual_ready = false;    ///< a forecast fell due this tick
+  double actual_norm = 0.0;       ///< normalised target at this tick
+  double predicted_norm = 0.0;    ///< forecast for this tick (if due)
+  double residual = 0.0;          ///< |actual - predicted| (if due)
+  double actual_raw = 0.0;        ///< raw target at this tick
+  double predicted_raw = 0.0;     ///< forecast denormalised to raw units
+  double residual_raw = 0.0;      ///< |actual_raw - predicted_raw| (if due);
+                                  ///< unit-stable across normalizer policies
+  std::uint64_t generation = 0;   ///< generation that made the due forecast
+  bool drift = false;             ///< a detector fired this tick
+  bool retrain_requested = false; ///< a background retrain was accepted
+  bool bootstrapped = false;      ///< the bootstrap fit happened this tick
+};
+
+class OnlinePipeline {
+ public:
+  OnlinePipeline(std::unique_ptr<TickProvider> provider,
+                 OnlinePipelineOptions options);
+  /// Drains the retrainer, then the engine.
+  ~OnlinePipeline();
+  OnlinePipeline(const OnlinePipeline&) = delete;
+  OnlinePipeline& operator=(const OnlinePipeline&) = delete;
+
+  /// Advance one tick; nullopt once the source is exhausted.
+  std::optional<TickOutcome> step();
+
+  /// Run until exhausted (or `max_ticks` consumed; 0 = unbounded); returns
+  /// ticks consumed.
+  std::size_t run(std::size_t max_ticks = 0);
+
+  bool bootstrapped() const { return engine_ != nullptr; }
+  const StreamSource& source() const { return source_; }
+  /// Null before bootstrap.
+  serve::BatchingEngine* engine() { return engine_.get(); }
+  const serve::BatchingEngine* engine() const { return engine_.get(); }
+  RollingRetrainer* retrainer() { return retrainer_.get(); }
+  const RollingRetrainer* retrainer() const { return retrainer_.get(); }
+  const DriftMonitor& drift() const { return drift_; }
+
+  /// Outcome of the bootstrap fit (valid once bootstrapped()).
+  const RetrainOutcome& bootstrap_outcome() const { return bootstrap_; }
+  /// Ticks since the serving generation last changed.
+  std::size_t staleness_ticks() const;
+
+  const OnlinePipelineOptions& options() const { return options_; }
+
+ private:
+  void bootstrap();
+  void maybe_forecast(TickOutcome& out);
+  void harvest_due(TickOutcome& out);
+
+  OnlinePipelineOptions options_;
+  StreamSource source_;
+  DriftMonitor drift_;
+  obs::Gauge& staleness_gauge_;
+
+  std::unique_ptr<serve::BatchingEngine> engine_;
+  std::unique_ptr<RollingRetrainer> retrainer_;
+  // The bootstrap generation: kept alive here for the same
+  // forecaster-outlives-session reason as in the retrainer.
+  FittedGeneration bootstrap_generation_;
+  RetrainOutcome bootstrap_;
+
+  struct PendingForecast {
+    std::future<Tensor> future;
+    std::size_t due_tick = 0;
+    std::uint64_t generation = 0;
+  };
+  std::deque<PendingForecast> pending_;
+
+  std::vector<double> norm_row_;        ///< scratch for drift input rows
+  std::uint64_t last_seen_generation_ = 0;
+  std::size_t last_swap_tick_ = 0;
+};
+
+}  // namespace rptcn::stream

@@ -1,0 +1,246 @@
+#include "stream/retrain.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/trace.h"
+
+namespace rptcn::stream {
+
+models::ForecastDataset build_dataset(const data::TimeSeriesFrame& frame,
+                                      const OnlineNormalizer& normalizer,
+                                      const RetrainOptions& options) {
+  RPTCN_CHECK(frame.indicators() > 0, "build_dataset on an empty frame");
+  const data::TimeSeriesFrame normalized = normalizer.transform(frame);
+  const std::string& target = frame.name(0);
+
+  const auto all = data::make_windows(normalized, target, options.window);
+  auto split =
+      data::chrono_split(all, options.train_frac, options.valid_frac);
+
+  models::ForecastDataset ds;
+  ds.train = std::move(split.train);
+  ds.valid = std::move(split.valid);
+  ds.test = std::move(split.test);
+  ds.window = options.window.window;
+  ds.horizon = options.window.horizon;
+  ds.target_channel = 0;
+  ds.target_series = normalized.column(target);
+  ds.train_len = ds.train.samples() + options.window.window;
+  ds.valid_len = ds.valid.samples();
+  return ds;
+}
+
+FittedGeneration fit_generation(const data::TimeSeriesFrame& frame,
+                                const OnlineNormalizer& normalizer,
+                                const RetrainOptions& options,
+                                std::uint64_t next_generation,
+                                std::string reason) {
+  FittedGeneration g;
+  g.outcome.reason = std::move(reason);
+  g.outcome.generation = next_generation;
+  Stopwatch watch;
+  try {
+    obs::TraceSpan span("stream/retrain");
+    const models::ForecastDataset dataset =
+        build_dataset(frame, normalizer, options);
+    g.outcome.train_samples = dataset.train.samples();
+
+    std::shared_ptr<models::Forecaster> forecaster =
+        models::make_forecaster(options.model_name, options.model);
+    forecaster->fit(dataset);
+    const auto& valid_curve = forecaster->curves().valid_loss;
+    if (!valid_curve.empty())
+      g.outcome.valid_loss =
+          *std::min_element(valid_curve.begin(), valid_curve.end());
+
+    g.session = std::make_shared<serve::InferenceSession>(*forecaster);
+    g.forecaster = std::move(forecaster);
+
+    if (!options.checkpoint_dir.empty()) {
+      const std::string path = options.checkpoint_dir + "/gen_" +
+                               std::to_string(next_generation) + ".ckpt";
+      g.outcome.checkpoint = g.forecaster->save(path);
+      if (g.outcome.checkpoint == models::CheckpointStatus::kOk)
+        g.outcome.checkpoint_path = path;
+    }
+  } catch (const std::exception& e) {
+    g.outcome.error = e.what();
+    g.session.reset();
+    g.forecaster.reset();
+  }
+  g.outcome.fit_seconds = watch.elapsed_seconds();
+  return g;
+}
+
+FittedGeneration fit_generation_gated(const data::TimeSeriesFrame& frame,
+                                      const OnlineNormalizer& normalizer,
+                                      const RetrainOptions& options,
+                                      std::uint64_t next_generation,
+                                      const std::string& reason) {
+  FittedGeneration best =
+      fit_generation(frame, normalizer, options, next_generation, reason);
+  if (options.max_valid_loss <= 0.0) return best;
+
+  const std::size_t attempts = std::max<std::size_t>(options.fit_attempts, 1);
+  double total_seconds = best.outcome.fit_seconds;
+  std::size_t tried = 1;
+  for (std::size_t attempt = 1;
+       attempt < attempts &&
+       (best.session == nullptr ||
+        best.outcome.valid_loss > options.max_valid_loss);
+       ++attempt) {
+    RetrainOptions retry = options;
+    retry.model.nn.seed += attempt;  // a different weight init basin
+    FittedGeneration g =
+        fit_generation(frame, normalizer, retry, next_generation, reason);
+    total_seconds += g.outcome.fit_seconds;
+    ++tried;
+    if (g.session != nullptr &&
+        (best.session == nullptr ||
+         g.outcome.valid_loss < best.outcome.valid_loss))
+      best = std::move(g);
+  }
+  best.outcome.fit_seconds = total_seconds;
+  best.outcome.attempts = tried;
+  best.outcome.quality_rejected =
+      best.session != nullptr &&
+      best.outcome.valid_loss > options.max_valid_loss;
+  return best;
+}
+
+RollingRetrainer::RollingRetrainer(serve::BatchingEngine& engine,
+                                   RetrainOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      retrains_counter_(obs::metrics().counter("stream/retrains_total")),
+      failures_counter_(obs::metrics().counter("stream/retrain_failures_total")),
+      swap_aborts_counter_(obs::metrics().counter("stream/swap_aborts_total")),
+      retrain_seconds_(obs::metrics().histogram("stream/retrain_seconds")),
+      generation_gauge_(obs::metrics().gauge("stream/generation")),
+      pool_(1) {
+  RPTCN_CHECK(options_.history >
+                  options_.window.window + options_.window.horizon,
+              "RetrainOptions.history must exceed window + horizon");
+}
+
+RollingRetrainer::~RollingRetrainer() {
+  // pool_ is declared last, so its destructor (which drains the queued job)
+  // runs before any other member goes away; nothing else to do here.
+}
+
+bool RollingRetrainer::request(data::TimeSeriesFrame history,
+                               OnlineNormalizer normalizer, std::string reason,
+                               std::size_t tick) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (inflight_.valid() &&
+      inflight_.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready)
+    return false;
+  if (has_trigger_ && tick - last_trigger_tick_ < options_.min_ticks_between)
+    return false;
+  has_trigger_ = true;
+  last_trigger_tick_ = tick;
+  inflight_ = pool_.submit([this, frame = std::move(history),
+                            norm = std::move(normalizer),
+                            why = std::move(reason)]() mutable {
+    run_job(std::move(frame), std::move(norm), std::move(why));
+  });
+  return true;
+}
+
+bool RollingRetrainer::busy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_.valid() && inflight_.wait_for(std::chrono::seconds(0)) !=
+                                  std::future_status::ready;
+}
+
+void RollingRetrainer::wait_idle() {
+  std::future<void> waiting;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!inflight_.valid()) return;
+    waiting = std::move(inflight_);
+  }
+  waiting.get();
+}
+
+RetrainOutcome RollingRetrainer::last() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_outcome_;
+}
+
+std::uint64_t RollingRetrainer::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+std::uint64_t RollingRetrainer::failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_;
+}
+
+void RollingRetrainer::run_job(data::TimeSeriesFrame history,
+                               OnlineNormalizer normalizer,
+                               std::string reason) {
+  FittedGeneration g = fit_generation_gated(history, normalizer, options_,
+                                            engine_.generation() + 1, reason);
+  retrain_seconds_.record(g.outcome.fit_seconds);
+  retrains_counter_.add(1);
+
+  if (g.session == nullptr) {
+    failures_counter_.add(1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    ++failures_;
+    last_outcome_ = g.outcome;
+    return;
+  }
+
+  // Quality gate: every attempt validated worse than max_valid_loss. The
+  // incumbent keeps serving — if it is genuinely stale the detectors fire
+  // again and the next trailing window gets a fresh chance.
+  if (g.outcome.quality_rejected) {
+    swap_aborts_counter_.add(1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    last_outcome_ = g.outcome;
+    return;
+  }
+
+  // A checkpoint that should exist but could not be written aborts the
+  // swap: the live model must never get ahead of its restorable state.
+  const bool checkpoint_failed =
+      !options_.checkpoint_dir.empty() &&
+      g.outcome.checkpoint != models::CheckpointStatus::kOk &&
+      g.outcome.checkpoint != models::CheckpointStatus::kUnsupported;
+  if (checkpoint_failed) {
+    swap_aborts_counter_.add(1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    last_outcome_ = g.outcome;
+    return;
+  }
+
+  {
+    obs::TraceSpan span("stream/swap");
+    g.outcome.generation = engine_.swap_session(g.session);
+    // Fence: once flush() returns, every request submitted before the swap
+    // has been delivered — readers finished on the old generation and the
+    // previous session/forecaster pair can be retired one swap later.
+    engine_.flush();
+  }
+  g.outcome.swapped = true;
+  generation_gauge_.set(static_cast<double>(g.outcome.generation));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++completed_;
+  last_outcome_ = g.outcome;
+  previous_ = std::move(current_);
+  current_ = std::move(g);
+}
+
+}  // namespace rptcn::stream

@@ -1,0 +1,63 @@
+// Fixed-capacity ring buffer: the per-indicator storage behind the
+// streaming ingest path. push() overwrites the oldest retained element once
+// the ring is full, so ingestion is O(1) and allocation-free after
+// construction regardless of how long the stream runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rptcn::stream {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : data_(capacity) {
+    RPTCN_CHECK(capacity > 0, "RingBuffer needs capacity >= 1");
+  }
+
+  void push(T v) {
+    data_[head_] = v;
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) ++size_;
+    ++total_;
+  }
+
+  std::size_t capacity() const { return data_.size(); }
+  /// Elements currently retained (<= capacity).
+  std::size_t size() const { return size_; }
+  /// Elements ever pushed (monotone).
+  std::size_t total() const { return total_; }
+  bool empty() const { return size_ == 0; }
+
+  /// i = 0 is the oldest retained element, i = size()-1 the newest.
+  T operator[](std::size_t i) const {
+    RPTCN_DCHECK(i < size_, "RingBuffer index out of range");
+    return data_[(head_ + data_.size() - size_ + i) % data_.size()];
+  }
+
+  T back() const {
+    RPTCN_CHECK(size_ > 0, "RingBuffer::back on empty ring");
+    return (*this)[size_ - 1];
+  }
+
+  /// Last `n` retained elements, oldest first. Requires n <= size().
+  std::vector<T> tail(std::size_t n) const {
+    RPTCN_CHECK(n <= size_, "RingBuffer::tail(" << n << ") but only " << size_
+                                                << " retained");
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::size_t i = size_ - n; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t head_ = 0;   ///< next write slot
+  std::size_t size_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rptcn::stream

@@ -1,0 +1,184 @@
+#include "stream/source.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rptcn::stream {
+
+namespace {
+
+/// Indicator enum index for a Table-I column name.
+std::size_t indicator_index(const std::string& name) {
+  const auto& all = trace::indicator_names();
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (all[i] == name) return i;
+  RPTCN_CHECK(false, "not a Table-I indicator: " << name);
+  return 0;  // unreachable
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Providers
+// ---------------------------------------------------------------------------
+
+ReplayProvider::ReplayProvider(data::TimeSeriesFrame frame)
+    : frame_(std::move(frame)) {
+  columns_.reserve(trace::kIndicatorCount);
+  for (const std::string& name : trace::indicator_names()) {
+    RPTCN_CHECK(frame_.has(name),
+                "ReplayProvider frame is missing indicator: " << name);
+    columns_.push_back(&frame_.column(name));
+  }
+}
+
+std::optional<trace::IndicatorSample> ReplayProvider::next() {
+  if (t_ >= frame_.length()) return std::nullopt;
+  trace::IndicatorSample sample;
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    sample.values[i] = (*columns_[i])[t_];
+  ++t_;
+  return sample;
+}
+
+ModelProvider::ModelProvider(const trace::WorkloadParams& params,
+                             std::uint64_t seed, double contention,
+                             std::size_t limit)
+    : model_(params, seed), contention_(contention), limit_(limit) {}
+
+std::optional<trace::IndicatorSample> ModelProvider::next() {
+  if (limit_ != 0 && emitted_ >= limit_) return std::nullopt;
+  ++emitted_;
+  return model_.step(contention_);
+}
+
+data::TimeSeriesFrame make_mutating_trace(const trace::WorkloadParams& params_a,
+                                          const trace::WorkloadParams& params_b,
+                                          std::size_t steps_before,
+                                          std::size_t steps_after,
+                                          std::uint64_t seed,
+                                          double contention) {
+  std::vector<std::vector<double>> cols(trace::kIndicatorCount);
+  for (auto& c : cols) c.reserve(steps_before + steps_after);
+  const auto append = [&](trace::WorkloadModel& model, std::size_t steps) {
+    for (std::size_t t = 0; t < steps; ++t) {
+      const trace::IndicatorSample s = model.step(contention);
+      for (std::size_t i = 0; i < trace::kIndicatorCount; ++i)
+        cols[i].push_back(s.values[i]);
+    }
+  };
+  trace::WorkloadModel before(params_a, seed);
+  append(before, steps_before);
+  trace::WorkloadModel after(params_b, seed ^ 0x9e3779b97f4a7c15ULL);
+  append(after, steps_after);
+
+  data::TimeSeriesFrame frame;
+  const auto& names = trace::indicator_names();
+  for (std::size_t i = 0; i < trace::kIndicatorCount; ++i)
+    frame.add(names[i], std::move(cols[i]));
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// StreamSource
+// ---------------------------------------------------------------------------
+
+StreamSource::StreamSource(std::unique_ptr<TickProvider> provider,
+                           SourceOptions options)
+    : provider_(std::move(provider)),
+      ticks_counter_(obs::metrics().counter("stream/ticks_total")),
+      dropped_counter_(obs::metrics().counter("stream/ticks_dropped")),
+      ingest_hist_(obs::metrics().histogram("stream/ingest_seconds")) {
+  RPTCN_CHECK(provider_ != nullptr, "StreamSource needs a provider");
+  RPTCN_CHECK(options.capacity > 0, "StreamSource needs capacity >= 1");
+  names_ = options.features;
+  if (names_.empty()) {
+    const auto& all = trace::indicator_names();
+    names_.assign(all.begin(), all.end());
+  }
+  feature_index_.reserve(names_.size());
+  for (const std::string& name : names_)
+    feature_index_.push_back(indicator_index(name));
+  normalizer_ = OnlineNormalizer(names_, options.normalizer);
+  rings_.reserve(names_.size());
+  for (std::size_t f = 0; f < names_.size(); ++f)
+    rings_.emplace_back(options.capacity);
+  row_.resize(names_.size());
+}
+
+bool StreamSource::poll() {
+  if (exhausted_) return false;
+  obs::ScopedTimer timer(ingest_hist_);
+
+  std::optional<trace::IndicatorSample> sample = provider_->next();
+  if (!sample.has_value()) {
+    exhausted_ = true;
+    return false;
+  }
+  bool complete = true;
+  for (std::size_t f = 0; f < names_.size(); ++f) {
+    row_[f] = sample->values[feature_index_[f]];
+    if (std::isnan(row_[f])) complete = false;
+  }
+  if (!complete) {
+    // Same rule as data::clean_drop_incomplete: the whole tick vanishes.
+    ++dropped_;
+    dropped_counter_.add(1);
+    return true;
+  }
+  normalizer_.observe(row_);
+  for (std::size_t f = 0; f < names_.size(); ++f) rings_[f].push(row_[f]);
+  ++ticks_;
+  ticks_counter_.add(1);
+  return true;
+}
+
+std::size_t StreamSource::ingest(std::size_t max_ticks) {
+  std::size_t consumed = 0;
+  while (consumed < max_ticks && poll()) ++consumed;
+  return consumed;
+}
+
+bool StreamSource::ready(std::size_t window) const {
+  return !rings_.empty() && rings_.front().size() >= window;
+}
+
+double StreamSource::latest_raw(std::size_t f) const {
+  RPTCN_CHECK(f < rings_.size(), "latest_raw: feature index out of range");
+  return rings_[f].back();
+}
+
+double StreamSource::latest_norm(std::size_t f) const {
+  return normalizer_.normalize(f, latest_raw(f));
+}
+
+Tensor StreamSource::latest_window(std::size_t window) const {
+  RPTCN_CHECK(ready(window), "latest_window(" << window << ") but only "
+                                              << rings_.front().size()
+                                              << " ticks retained");
+  Tensor out({names_.size(), window});
+  for (std::size_t f = 0; f < names_.size(); ++f) {
+    const RingBuffer<double>& ring = rings_[f];
+    const std::size_t first = ring.size() - window;
+    float* dst = out.raw() + f * window;
+    for (std::size_t t = 0; t < window; ++t)
+      dst[t] = static_cast<float>(normalizer_.normalize(f, ring[first + t]));
+  }
+  return out;
+}
+
+data::TimeSeriesFrame StreamSource::history(std::size_t count) const {
+  RPTCN_CHECK(!rings_.empty() && count <= rings_.front().size(),
+              "history(" << count << ") but only "
+                         << (rings_.empty() ? 0 : rings_.front().size())
+                         << " ticks retained");
+  data::TimeSeriesFrame out;
+  for (std::size_t f = 0; f < names_.size(); ++f)
+    out.add(names_[f], rings_[f].tail(count));
+  return out;
+}
+
+}  // namespace rptcn::stream

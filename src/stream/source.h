@@ -1,0 +1,146 @@
+// Live ingestion: tick providers and the StreamSource that pulls them into
+// per-indicator ring buffers.
+//
+// A TickProvider yields one eight-indicator sample per call — either
+// replayed from a recorded frame (ReplayProvider) or generated live by the
+// per-container workload model (ModelProvider). StreamSource::poll() pulls
+// one tick, drops incomplete (NaN) ticks with exactly the semantics of the
+// batch data::clean_drop_incomplete pass, folds the complete ones into an
+// OnlineNormalizer, and appends the raw values to fixed-capacity rings.
+// The ingest path is O(features) per tick, allocation-free in steady state,
+// and never touches a lock — retraining happens on another thread against a
+// *copy* of the trailing history (history()).
+//
+// Consistency with the batch path: replaying a prefix through a kMinMax
+// StreamSource leaves the normalizer in exactly the state of
+// MinMaxScaler::fit on the cleaned prefix, and latest_window() produces the
+// same float values data::make_windows would cut from the batch-normalised
+// frame (proven bit-for-bit in tests/test_stream.cpp).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "obs/metrics.h"
+#include "stream/normalizer.h"
+#include "stream/ring_buffer.h"
+#include "tensor/tensor.h"
+#include "trace/cluster.h"
+#include "trace/workload_model.h"
+
+namespace rptcn::stream {
+
+class TickProvider {
+ public:
+  virtual ~TickProvider() = default;
+  /// Next sample, or nullopt once the stream is exhausted.
+  virtual std::optional<trace::IndicatorSample> next() = 0;
+};
+
+/// Replays a recorded frame (e.g. one ClusterSimulator container trace)
+/// tick by tick. The frame must carry all eight Table-I indicator columns.
+class ReplayProvider final : public TickProvider {
+ public:
+  explicit ReplayProvider(data::TimeSeriesFrame frame);
+  std::optional<trace::IndicatorSample> next() override;
+
+ private:
+  data::TimeSeriesFrame frame_;
+  std::vector<const std::vector<double>*> columns_;  ///< enum order
+  std::size_t t_ = 0;
+};
+
+/// Generates ticks live from one trace::WorkloadModel under fixed machine
+/// contention — the "simulator keeps emitting" end of the loop.
+class ModelProvider final : public TickProvider {
+ public:
+  /// `limit` = 0 means unbounded.
+  ModelProvider(const trace::WorkloadParams& params, std::uint64_t seed,
+                double contention = 0.3, std::size_t limit = 0);
+  std::optional<trace::IndicatorSample> next() override;
+
+  const trace::WorkloadModel& model() const { return model_; }
+
+ private:
+  trace::WorkloadModel model_;
+  double contention_;
+  std::size_t limit_;
+  std::size_t emitted_ = 0;
+};
+
+/// Synthetic single-container trace with an abrupt regime mutation:
+/// `params_a` drives the first `steps_before` ticks, then a fresh model
+/// under `params_b` takes over for `steps_after` — a true distribution
+/// change at a known tick, the scenario the drift detectors exist for.
+data::TimeSeriesFrame make_mutating_trace(const trace::WorkloadParams& params_a,
+                                          const trace::WorkloadParams& params_b,
+                                          std::size_t steps_before,
+                                          std::size_t steps_after,
+                                          std::uint64_t seed,
+                                          double contention = 0.3);
+
+struct SourceOptions {
+  /// Indicator columns to keep, target first. Empty = all eight in Table-I
+  /// order (target cpu_util_percent).
+  std::vector<std::string> features;
+  std::size_t capacity = 4096;  ///< ring depth (bounds history())
+  NormalizerOptions normalizer;
+};
+
+class StreamSource {
+ public:
+  StreamSource(std::unique_ptr<TickProvider> provider,
+               SourceOptions options = {});
+
+  /// Pull one tick. Returns false once the provider is exhausted. An
+  /// incomplete tick (NaN in any kept feature) is consumed but dropped,
+  /// mirroring data::clean_drop_incomplete.
+  bool poll();
+  /// poll() up to `max_ticks` times; returns ticks consumed (incl. dropped).
+  std::size_t ingest(std::size_t max_ticks);
+
+  bool exhausted() const { return exhausted_; }
+  /// Complete ticks accepted into the rings.
+  std::size_t ticks() const { return ticks_; }
+  /// Incomplete ticks dropped.
+  std::size_t dropped() const { return dropped_; }
+  /// True once `window` ticks are retained.
+  bool ready(std::size_t window) const;
+
+  std::size_t features() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Newest raw / normalised value of feature `f` (target is f = 0).
+  double latest_raw(std::size_t f) const;
+  double latest_norm(std::size_t f) const;
+
+  /// Trailing `window` ticks, normalised under the *current* normalizer
+  /// state, as a [F, window] float tensor ready for InferenceSession::run.
+  Tensor latest_window(std::size_t window) const;
+
+  /// Copy of the trailing `count` raw ticks as a frame (feature order, the
+  /// retrainer's input). Requires count <= retained ticks.
+  data::TimeSeriesFrame history(std::size_t count) const;
+
+  const OnlineNormalizer& normalizer() const { return normalizer_; }
+  /// Pin the scaler state (see OnlineNormalizer::freeze). Raw ingestion into
+  /// the rings continues; only normalisation bounds stop following the data.
+  void freeze_normalizer() { normalizer_.freeze(); }
+
+ private:
+  std::unique_ptr<TickProvider> provider_;
+  // Registry handles are process-lifetime stable; resolved once here.
+  obs::Counter& ticks_counter_;
+  obs::Counter& dropped_counter_;
+  obs::Histogram& ingest_hist_;
+  std::vector<std::string> names_;
+  std::vector<std::size_t> feature_index_;  ///< indicator enum index per kept column
+  OnlineNormalizer normalizer_;
+  std::vector<RingBuffer<double>> rings_;   ///< raw values, one per feature
+  std::vector<double> row_;                 ///< scratch, avoids per-tick alloc
+  std::size_t ticks_ = 0;
+  std::size_t dropped_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace rptcn::stream

@@ -381,6 +381,63 @@ TEST(ServeEngine, DestructorDrainsQueuedRequests) {
   }
 }
 
+TEST(ServeEngine, StatsTrackSubmissionsBatchesAndGeneration) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+
+  nn::RptcnNet net(engine_net_options());
+  auto session = std::make_shared<InferenceSession>(net);
+  BatchingEngine engine(session, {/*max_batch=*/4, /*max_delay_us=*/500,
+                                  /*workers=*/1});
+  {
+    const EngineStats fresh = engine.stats();
+    EXPECT_EQ(fresh.submitted, 0u);
+    EXPECT_EQ(fresh.completed, 0u);
+    EXPECT_EQ(fresh.generation, 1u);
+    EXPECT_EQ(fresh.swaps, 0u);
+  }
+
+  Rng rng(11);
+  std::vector<std::future<Tensor>> futures;
+  for (std::size_t i = 0; i < 8; ++i)
+    futures.push_back(engine.submit(random_window(rng)));
+  engine.flush();
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  // Everything delivered: the backpressure gauge is back to zero.
+  EXPECT_EQ(obs::metrics().gauge("serve/queue_depth").value(), 0.0);
+
+  auto replacement = std::make_shared<InferenceSession>(net);
+  EXPECT_EQ(engine.swap_session(replacement), 2u);
+  EXPECT_EQ(engine.generation(), 2u);
+  EXPECT_EQ(engine.stats().swaps, 1u);
+  EXPECT_EQ(engine.current().generation, 2u);
+  EXPECT_EQ(engine.session(), replacement);
+  obs::set_enabled(was_enabled);
+}
+
+TEST(ServeEngine, FlushWaitsForEverythingSubmittedBefore) {
+  nn::RptcnNet net(engine_net_options());
+  auto session = std::make_shared<InferenceSession>(net);
+  BatchingEngine engine(session, {/*max_batch=*/2, /*max_delay_us=*/500,
+                                  /*workers=*/1});
+
+  Rng rng(12);
+  std::vector<std::future<Tensor>> futures;
+  for (std::size_t i = 0; i < 9; ++i)
+    futures.push_back(engine.submit(random_window(rng)));
+  engine.flush();
+  for (auto& fut : futures)
+    EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "flush returned before a prior submission was delivered";
+}
+
 TEST(ServeEngine, ConcurrentSubmittersAllGetTheirOwnRow) {
   nn::RptcnNet net(engine_net_options());
   auto session = std::make_shared<InferenceSession>(net);

@@ -15,7 +15,22 @@ const Net& require_net(const Net* net, const std::string& name) {
   return *net;
 }
 
+/// Null-checked deref so the delegating constructor below never dereferences
+/// an empty shared_ptr.
+models::Forecaster& require_forecaster(
+    const std::shared_ptr<models::Forecaster>& forecaster) {
+  RPTCN_CHECK(forecaster != nullptr, "InferenceSession: null forecaster");
+  return *forecaster;
+}
+
 }  // namespace
+
+InferenceSession::InferenceSession(std::shared_ptr<models::Forecaster> forecaster)
+    : InferenceSession(require_forecaster(forecaster)) {
+  // Only delegating sessions need the keep-alive; a snapshot is
+  // self-contained and holding the forecaster would double its weights.
+  if (delegate_ != nullptr) owner_ = std::move(forecaster);
+}
 
 InferenceSession::InferenceSession(models::Forecaster& forecaster)
     : name_(forecaster.name()) {

@@ -10,10 +10,13 @@
 // Non-tensor models (ARIMA, XGBoost) have no weights to snapshot; for those
 // the session delegates run() to the forecaster's own predict() behind a
 // mutex (their per-sample prediction loops are batch-invariant, so results
-// still match the unbatched path bit-for-bit). The forecaster must outlive
-// the session in that case; snapshotted sessions carry no reference back.
+// still match the unbatched path bit-for-bit). Construct from a
+// shared_ptr<Forecaster> and the session shares ownership of the delegate,
+// so it can never dangle; with the reference constructor the forecaster
+// must outlive the session. Snapshotted sessions carry no reference back.
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <string>
 #include <variant>
@@ -31,6 +34,13 @@ class InferenceSession {
   /// Snapshot a fitted forecaster (any registry model). Neural forecasters
   /// must have been fit() or restore()d first.
   explicit InferenceSession(models::Forecaster& forecaster);
+
+  /// Same, but the session co-owns the forecaster while it delegates
+  /// (non-tensor models) — the delegate cannot be freed under a live
+  /// session no matter how the caller sequences teardown. Snapshotted
+  /// models release the forecaster immediately; the snapshot is
+  /// self-contained.
+  explicit InferenceSession(std::shared_ptr<models::Forecaster> forecaster);
 
   // Direct snapshots of a network, for callers that own the net itself.
   explicit InferenceSession(const nn::RptcnNet& net);
@@ -60,6 +70,8 @@ class InferenceSession {
                CnnLstmSnap>
       snap_;
   models::Forecaster* delegate_ = nullptr;  ///< set iff snap_ is monostate
+  /// Keeps `delegate_` alive when constructed from a shared_ptr.
+  std::shared_ptr<models::Forecaster> owner_;
   mutable std::mutex delegate_mutex_;
 };
 

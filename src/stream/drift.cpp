@@ -19,11 +19,13 @@ bool PageHinkley::update(double v) {
   mean_ += (v - mean_) / static_cast<double>(n_);
   mt_ += v - mean_ - options_.delta;
   min_mt_ = std::min(min_mt_, mt_);
-  if (n_ >= options_.min_samples && statistic() > options_.lambda) {
-    reset();
-    return true;
-  }
-  return false;
+  // Captured before the fire-reset so last_statistic() exposes the value
+  // that crossed lambda (assigned after reset(), which zeroes it).
+  const double stat = statistic();
+  const bool fire = n_ >= options_.min_samples && stat > options_.lambda;
+  if (fire) reset();
+  last_statistic_ = stat;
+  return fire;
 }
 
 void PageHinkley::reset() {
@@ -31,6 +33,7 @@ void PageHinkley::reset() {
   mean_ = 0.0;
   mt_ = 0.0;
   min_mt_ = 0.0;
+  last_statistic_ = 0.0;
 }
 
 // ---------------------------------------------------------------------------
@@ -48,20 +51,26 @@ WindowedErrorMonitor::WindowedErrorMonitor(WindowedErrorOptions options)
 
 bool WindowedErrorMonitor::update(double abs_error) {
   errors_.push(abs_error);
+  // Captured before any fire-reset empties the window, so last_ratio()
+  // exposes the value that crossed the threshold.
+  const double current_ratio = ratio();
+  bool fire = false;
+  bool level = false;
   if (options_.level_threshold > 0.0 &&
       short_mean() > options_.level_threshold) {
-    reset();
-    level_fired_ = true;
-    return true;
+    fire = true;
+    level = true;
+  } else if (errors_.total() >= options_.min_samples &&
+             errors_.size() >= options_.long_window &&
+             current_ratio > options_.ratio_threshold) {
+    fire = true;
   }
-  if (errors_.total() < options_.min_samples ||
-      errors_.size() < options_.long_window)
-    return false;
-  if (ratio() > options_.ratio_threshold) {
+  if (fire) {
     reset();
-    return true;
+    level_fired_ = level;
   }
-  return false;
+  last_ratio_ = current_ratio;
+  return fire;
 }
 
 double WindowedErrorMonitor::short_mean() const {
@@ -91,6 +100,7 @@ double WindowedErrorMonitor::ratio() const {
 void WindowedErrorMonitor::reset() {
   errors_ = RingBuffer<double>(errors_.capacity());
   level_fired_ = false;
+  last_ratio_ = 0.0;
 }
 
 // ---------------------------------------------------------------------------
@@ -134,8 +144,10 @@ bool DriftMonitor::observe_inputs(const std::vector<double>& row) {
 bool DriftMonitor::observe_residual(double abs_residual) {
   const bool ph = residual_ph_.update(abs_residual);
   const bool ratio = windowed_.update(abs_residual);
-  residual_stat_.set(residual_ph_.statistic());
-  error_ratio_.set(windowed_.ratio());
+  // Post-update, pre-reset values: on the tick a detector fires the gauges
+  // show the statistic that crossed its threshold, not the reset zero.
+  residual_stat_.set(residual_ph_.last_statistic());
+  error_ratio_.set(windowed_.last_ratio());
   if (ph) fired("residual-ph");
   else if (ratio)
     fired(windowed_.level_fired() ? "error-level" : "error-ratio");

@@ -41,6 +41,10 @@ class PageHinkley {
 
   /// Current test statistic m - min(m) (compare against lambda).
   double statistic() const { return mt_ - min_mt_; }
+  /// Statistic as computed by the most recent update(), surviving the
+  /// fire-reset — on the tick the detector fires this is the value that
+  /// crossed lambda, while statistic() already reads 0.
+  double last_statistic() const { return last_statistic_; }
   std::size_t samples() const { return n_; }
   void reset();
 
@@ -50,6 +54,7 @@ class PageHinkley {
   double mean_ = 0.0;
   double mt_ = 0.0;
   double min_mt_ = 0.0;
+  double last_statistic_ = 0.0;
 };
 
 struct WindowedErrorOptions {
@@ -78,6 +83,10 @@ class WindowedErrorMonitor {
 
   /// Trailing short-window mean over long-window mean (0 while warming up).
   double ratio() const;
+  /// Ratio as computed by the most recent update(), surviving the
+  /// fire-reset — on a fire this is the value that crossed the threshold,
+  /// while ratio() already reads 0 from the emptied window.
+  double last_ratio() const { return last_ratio_; }
   /// Mean of the trailing short window (0 until short_window samples seen).
   double short_mean() const;
   /// The most recent fire came from the level test, not the ratio test.
@@ -88,6 +97,7 @@ class WindowedErrorMonitor {
   WindowedErrorOptions options_;
   RingBuffer<double> errors_;
   bool level_fired_ = false;
+  double last_ratio_ = 0.0;
 };
 
 struct DriftOptions {

@@ -32,7 +32,9 @@ OnlinePipeline::OnlinePipeline(std::unique_ptr<TickProvider> provider,
 OnlinePipeline::~OnlinePipeline() {
   // Members die in reverse declaration order: the retrainer first (its pool
   // drains the in-flight job, which may still swap into the engine), then
-  // the engine (drains queued requests), then the source. Nothing to do.
+  // the engine, which drains queued requests — safe even for delegated
+  // (ARIMA/XGBoost) models because every session co-owns its delegate
+  // forecaster. Nothing to do.
 }
 
 std::optional<TickOutcome> OnlinePipeline::step() {
@@ -122,9 +124,12 @@ void OnlinePipeline::bootstrap() {
                            "bootstrap");
   RPTCN_CHECK(g.session != nullptr,
               "bootstrap fit failed: " << g.outcome.error);
+  // A gate-rejected bootstrap is installed anyway, so checkpoint it here
+  // (the gated fit skips rejected attempts): every serving generation has
+  // a restorable gen_<N>.ckpt.
+  if (g.outcome.quality_rejected) save_checkpoint(g, options_.retrain);
   bootstrap_ = g.outcome;
   engine_ = std::make_unique<serve::BatchingEngine>(g.session, options_.engine);
-  bootstrap_generation_ = std::move(g);
   last_seen_generation_ = engine_->generation();
   last_swap_tick_ = source_.ticks();
   if (options_.freeze_normalizer_at_bootstrap) source_.freeze_normalizer();
@@ -136,17 +141,24 @@ void OnlinePipeline::maybe_forecast(TickOutcome& out) {
   if (!source_.ready(window)) return;
   PendingForecast p;
   p.future = engine_->submit(source_.latest_window(window));
-  p.due_tick = out.tick + 1;  // one-step residual uses the first horizon step
+  // One-step residual uses the first horizon step; due on the next
+  // *provider* tick, so if that tick is dropped the forecast is discarded
+  // rather than scored against a later complete tick.
+  p.due_provider_tick = source_.provider_ticks() + 1;
   p.generation = engine_->generation();
   pending_.push_back(std::move(p));
   out.predicted = true;
 }
 
 void OnlinePipeline::harvest_due(TickOutcome& out) {
-  while (!pending_.empty() && pending_.front().due_tick <= out.tick) {
+  const std::size_t now = source_.provider_ticks();
+  while (!pending_.empty() && pending_.front().due_provider_tick <= now) {
     PendingForecast p = std::move(pending_.front());
     pending_.pop_front();
-    if (p.due_tick < out.tick) continue;  // actual was a dropped tick
+    // The tick this forecast targeted was dropped (incomplete): there is no
+    // ground truth to score it against, so it is discarded — the residual
+    // stream stays strictly one-step.
+    if (p.due_provider_tick < now) continue;
     try {
       const Tensor forecast = p.future.get();
       out.predicted_norm = static_cast<double>(forecast.raw()[0]);
@@ -156,7 +168,12 @@ void OnlinePipeline::harvest_due(TickOutcome& out) {
       out.residual_raw = std::abs(out.actual_raw - out.predicted_raw);
       out.residual_ready = true;
       out.generation = p.generation;
-      if (drift_.observe_residual(out.residual)) out.drift = true;
+      // A residual produced by a predecessor generation must not seed the
+      // freshly reset detectors with the old model's error regime; it is
+      // still reported in the outcome, just not fed to drift.
+      if (p.generation == last_seen_generation_ &&
+          drift_.observe_residual(out.residual))
+        out.drift = true;
     } catch (const std::exception&) {
       // A failed batch already delivered its error to every future; the
       // stream keeps going and the residual for this tick is simply missing.

@@ -118,16 +118,21 @@ class OnlinePipeline {
   DriftMonitor drift_;
   obs::Gauge& staleness_gauge_;
 
+  // The engine is declared before the retrainer, so the retrainer (whose
+  // in-flight job may still swap into the engine) is destroyed first.
+  // Session lifetime needs no ordering help: engine and pending futures
+  // hold sessions by shared_ptr, and a session co-owns its delegated
+  // forecaster.
   std::unique_ptr<serve::BatchingEngine> engine_;
   std::unique_ptr<RollingRetrainer> retrainer_;
-  // The bootstrap generation: kept alive here for the same
-  // forecaster-outlives-session reason as in the retrainer.
-  FittedGeneration bootstrap_generation_;
   RetrainOutcome bootstrap_;
 
   struct PendingForecast {
     std::future<Tensor> future;
-    std::size_t due_tick = 0;
+    // Due-dating runs on the provider-tick clock (accepted + dropped), so a
+    // forecast whose target tick was dropped is discarded instead of being
+    // scored against a later complete tick.
+    std::size_t due_provider_tick = 0;
     std::uint64_t generation = 0;
   };
   std::deque<PendingForecast> pending_;

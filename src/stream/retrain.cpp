@@ -34,6 +34,15 @@ models::ForecastDataset build_dataset(const data::TimeSeriesFrame& frame,
   return ds;
 }
 
+void save_checkpoint(FittedGeneration& g, const RetrainOptions& options) {
+  if (options.checkpoint_dir.empty() || g.forecaster == nullptr) return;
+  const std::string path = options.checkpoint_dir + "/gen_" +
+                           std::to_string(g.outcome.generation) + ".ckpt";
+  g.outcome.checkpoint = g.forecaster->save(path);
+  if (g.outcome.checkpoint == models::CheckpointStatus::kOk)
+    g.outcome.checkpoint_path = path;
+}
+
 FittedGeneration fit_generation(const data::TimeSeriesFrame& frame,
                                 const OnlineNormalizer& normalizer,
                                 const RetrainOptions& options,
@@ -57,16 +66,12 @@ FittedGeneration fit_generation(const data::TimeSeriesFrame& frame,
       g.outcome.valid_loss =
           *std::min_element(valid_curve.begin(), valid_curve.end());
 
-    g.session = std::make_shared<serve::InferenceSession>(*forecaster);
+    // The session co-owns the forecaster while it delegates, so the live
+    // snapshot can never outlive the model backing it.
+    g.session = std::make_shared<serve::InferenceSession>(forecaster);
     g.forecaster = std::move(forecaster);
 
-    if (!options.checkpoint_dir.empty()) {
-      const std::string path = options.checkpoint_dir + "/gen_" +
-                               std::to_string(next_generation) + ".ckpt";
-      g.outcome.checkpoint = g.forecaster->save(path);
-      if (g.outcome.checkpoint == models::CheckpointStatus::kOk)
-        g.outcome.checkpoint_path = path;
-    }
+    save_checkpoint(g, options);
   } catch (const std::exception& e) {
     g.outcome.error = e.what();
     g.session.reset();
@@ -81,9 +86,17 @@ FittedGeneration fit_generation_gated(const data::TimeSeriesFrame& frame,
                                       const RetrainOptions& options,
                                       std::uint64_t next_generation,
                                       const std::string& reason) {
-  FittedGeneration best =
-      fit_generation(frame, normalizer, options, next_generation, reason);
-  if (options.max_valid_loss <= 0.0) return best;
+  if (options.max_valid_loss <= 0.0)
+    return fit_generation(frame, normalizer, options, next_generation, reason);
+
+  // Attempts fit without touching the per-generation checkpoint path: only
+  // the winner is saved, below, so a losing retry can never overwrite a
+  // better attempt's weights and gen_<N>.ckpt always matches
+  // checkpoint_path's claim.
+  RetrainOptions attempt_options = options;
+  attempt_options.checkpoint_dir.clear();
+  FittedGeneration best = fit_generation(frame, normalizer, attempt_options,
+                                         next_generation, reason);
 
   const std::size_t attempts = std::max<std::size_t>(options.fit_attempts, 1);
   double total_seconds = best.outcome.fit_seconds;
@@ -93,7 +106,7 @@ FittedGeneration fit_generation_gated(const data::TimeSeriesFrame& frame,
        (best.session == nullptr ||
         best.outcome.valid_loss > options.max_valid_loss);
        ++attempt) {
-    RetrainOptions retry = options;
+    RetrainOptions retry = attempt_options;
     retry.model.nn.seed += attempt;  // a different weight init basin
     FittedGeneration g =
         fit_generation(frame, normalizer, retry, next_generation, reason);
@@ -109,6 +122,10 @@ FittedGeneration fit_generation_gated(const data::TimeSeriesFrame& frame,
   best.outcome.quality_rejected =
       best.session != nullptr &&
       best.outcome.valid_loss > options.max_valid_loss;
+  // A rejected generation is never installed by the retrainer, so it leaves
+  // no gen_<N>.ckpt behind; installers that keep it anyway (bootstrap)
+  // checkpoint it themselves.
+  if (!best.outcome.quality_rejected) save_checkpoint(best, options);
   return best;
 }
 
@@ -229,8 +246,9 @@ void RollingRetrainer::run_job(data::TimeSeriesFrame history,
     obs::TraceSpan span("stream/swap");
     g.outcome.generation = engine_.swap_session(g.session);
     // Fence: once flush() returns, every request submitted before the swap
-    // has been delivered — readers finished on the old generation and the
-    // previous session/forecaster pair can be retired one swap later.
+    // has been delivered — readers finished on the old generation, whose
+    // session (and, for delegated models, the forecaster it co-owns) is
+    // then released by the last shared_ptr holder.
     engine_.flush();
   }
   g.outcome.swapped = true;
@@ -239,8 +257,6 @@ void RollingRetrainer::run_job(data::TimeSeriesFrame history,
   std::lock_guard<std::mutex> lock(mutex_);
   ++completed_;
   last_outcome_ = g.outcome;
-  previous_ = std::move(current_);
-  current_ = std::move(g);
 }
 
 }  // namespace rptcn::stream

@@ -68,13 +68,19 @@ struct RetrainOutcome {
   bool quality_rejected = false;     ///< every attempt failed max_valid_loss
 };
 
-/// A fitted generation: the forecaster must outlive the session for
-/// delegated models (ARIMA/XGBoost), so the two travel together.
+/// A fitted generation. The session co-owns the forecaster when it
+/// delegates (ARIMA/XGBoost), so holding the session alone is always
+/// lifetime-safe; the forecaster rides along here for checkpointing.
 struct FittedGeneration {
   std::shared_ptr<models::Forecaster> forecaster;
   std::shared_ptr<const serve::InferenceSession> session;
   RetrainOutcome outcome;
 };
+
+/// Write `g`'s weights to `<checkpoint_dir>/gen_<outcome.generation>.ckpt`,
+/// recording status and path in `g.outcome`. No-op when checkpointing is
+/// off or the fit failed.
+void save_checkpoint(FittedGeneration& g, const RetrainOptions& options);
 
 /// The retrainer's dataset recipe, exposed so tests (and the bootstrap fit)
 /// can reproduce bit-for-bit what a generation was trained on: transform
@@ -97,7 +103,11 @@ FittedGeneration fit_generation(const data::TimeSeriesFrame& frame,
 /// perturbed weight seed while the gate fails (up to fit_attempts fits) and
 /// returns the lowest-valid-loss attempt, outcome.quality_rejected set when
 /// even that one failed the gate. With the gate disabled this is exactly
-/// one fit_generation call.
+/// one fit_generation call. Under the gate only the winning attempt is
+/// checkpointed, and only when it passed — gen_<N>.ckpt always holds the
+/// weights outcome.checkpoint_path points at, never a losing retry's, and
+/// a rejected generation leaves no checkpoint behind (callers that install
+/// one anyway, like the bootstrap, save_checkpoint it themselves).
 FittedGeneration fit_generation_gated(const data::TimeSeriesFrame& frame,
                                       const OnlineNormalizer& normalizer,
                                       const RetrainOptions& options,
@@ -154,11 +164,6 @@ class RollingRetrainer {
   RetrainOutcome last_outcome_;
   std::uint64_t completed_ = 0;
   std::uint64_t failures_ = 0;
-  // The engine's live generation and its predecessor: in-flight batches may
-  // still hold the previous session, and delegated forecasters must outlive
-  // their sessions, so retirement is deferred by one swap.
-  FittedGeneration current_;
-  FittedGeneration previous_;
 
   ThreadPool pool_;  ///< one worker; declared last so jobs see live members
 };

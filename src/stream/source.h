@@ -104,6 +104,10 @@ class StreamSource {
   std::size_t ticks() const { return ticks_; }
   /// Incomplete ticks dropped.
   std::size_t dropped() const { return dropped_; }
+  /// Provider ticks consumed (accepted + dropped) — the clock forecast
+  /// due-dating runs on, so forecasts aimed at a dropped tick expire
+  /// instead of drifting onto the next complete one.
+  std::size_t provider_ticks() const { return ticks_ + dropped_; }
   /// True once `window` ticks are retained.
   bool ready(std::size_t window) const;
 

@@ -159,6 +159,26 @@ INSTANTIATE_TEST_SUITE_P(AllModels, ServeParity,
                                            "XGBoost", "RPTCN", "TCN",
                                            "BiLSTM"));
 
+TEST(ServeSession, DelegatedSessionCoOwnsItsForecaster) {
+  const auto ds = make_dataset();
+  std::shared_ptr<models::Forecaster> model =
+      models::make_forecaster("ARIMA", tiny_config());
+  model->fit(ds);
+
+  Tensor one({1, ds.test.inputs.dim(1), ds.test.inputs.dim(2)});
+  std::copy_n(ds.test.inputs.raw(), one.size(), one.raw());
+
+  auto session = std::make_shared<InferenceSession>(model);
+  const Tensor before = session->run(one);
+  // Dropping the caller's reference must not free the delegate: the session
+  // shares ownership, so teardown order can never dangle it.
+  model.reset();
+  const Tensor after = session->run(one);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t h = 0; h < before.size(); ++h)
+    EXPECT_EQ(after.raw()[h], before.raw()[h]);
+}
+
 TEST(ServeSession, RequiresFittedNet) {
   auto model = models::make_forecaster("RPTCN", tiny_config());
   EXPECT_THROW(InferenceSession{*model}, CheckError);

@@ -286,6 +286,27 @@ TEST(StreamDrift, MonitorAggregatesResidualDetectorsAndResets) {
   EXPECT_EQ(monitor.windowed_monitor().ratio(), 0.0);
 }
 
+TEST(StreamDrift, FireTickExposesCrossingStatistic) {
+  // On the tick a detector fires, update() resets its state — the exported
+  // gauges read last_statistic()/last_ratio(), which survive the reset and
+  // hold the value that actually crossed the threshold.
+  PageHinkley ph;
+  for (int i = 0; i < 200; ++i) ASSERT_FALSE(ph.update(0.1));
+  bool fired = false;
+  for (int i = 0; i < 50 && !fired; ++i) fired = ph.update(1.1);
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(ph.statistic(), 0.0);
+  EXPECT_GT(ph.last_statistic(), PageHinkleyOptions{}.lambda);
+
+  WindowedErrorMonitor wm;
+  for (int i = 0; i < 160; ++i) ASSERT_FALSE(wm.update(0.01));
+  fired = false;
+  for (int i = 0; i < 64 && !fired; ++i) fired = wm.update(0.1);
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(wm.ratio(), 0.0);
+  EXPECT_GT(wm.last_ratio(), WindowedErrorOptions{}.ratio_threshold);
+}
+
 TEST(StreamDrift, InputDetectorNamesTheDriftingIndicator) {
   DriftMonitor monitor({"cpu_util_percent", "mem_util_percent"});
   for (int i = 0; i < 200; ++i)
@@ -516,6 +537,20 @@ TEST(StreamRetrain, QualityGateRetriesAndRefusesBadFits) {
   EXPECT_TRUE(g.outcome.quality_rejected);
   EXPECT_EQ(g.outcome.attempts, 2u);
 
+  // A gate-rejected generation writes no gen_<N>.ckpt — only installed
+  // generations leave restorable state behind.
+  RetrainOptions reject_ck = tiny_retrain(200);
+  reject_ck.max_valid_loss = 1e-12;
+  reject_ck.fit_attempts = 2;
+  reject_ck.checkpoint_dir = ::testing::TempDir() + "never_created";
+  const FittedGeneration rj = fit_generation_gated(
+      source.history(200), source.normalizer(), reject_ck, 7, "test");
+  ASSERT_NE(rj.session, nullptr);
+  EXPECT_TRUE(rj.outcome.quality_rejected);
+  EXPECT_TRUE(rj.outcome.checkpoint_path.empty());
+  EXPECT_FALSE(
+      std::ifstream(reject_ck.checkpoint_dir + "/gen_7.ckpt").good());
+
   // A permissive gate fits exactly once and passes.
   gated.max_valid_loss = 1e9;
   const FittedGeneration ok = fit_generation_gated(
@@ -523,6 +558,33 @@ TEST(StreamRetrain, QualityGateRetriesAndRefusesBadFits) {
   ASSERT_NE(ok.session, nullptr);
   EXPECT_FALSE(ok.outcome.quality_rejected);
   EXPECT_EQ(ok.outcome.attempts, 1u);
+
+  // Under the gate the checkpoint is written once, after the retry loop,
+  // so gen_<N>.ckpt always holds the winning attempt's weights: the saved
+  // file restores to exactly what the returned session serves.
+  RetrainOptions pass_ck = tiny_retrain(200);
+  pass_ck.max_valid_loss = 1e9;
+  pass_ck.checkpoint_dir = ::testing::TempDir();
+  const FittedGeneration win = fit_generation_gated(
+      source.history(200), source.normalizer(), pass_ck, 9, "test");
+  ASSERT_NE(win.session, nullptr);
+  EXPECT_EQ(win.outcome.checkpoint, models::CheckpointStatus::kOk);
+  ASSERT_FALSE(win.outcome.checkpoint_path.empty());
+  auto restored = models::make_forecaster(pass_ck.model_name, pass_ck.model);
+  const models::ForecastDataset donor =
+      build_dataset(source.history(200), source.normalizer(), pass_ck);
+  ASSERT_EQ(restored->restore(donor, win.outcome.checkpoint_path),
+            models::CheckpointStatus::kOk);
+  serve::InferenceSession restored_session(*restored);
+  const Tensor lw = source.latest_window(pass_ck.window.window);
+  Tensor one({1, lw.dim(0), lw.dim(1)});
+  std::copy_n(lw.raw(), lw.size(), one.raw());
+  const Tensor live = win.session->run(one);
+  const Tensor ref = restored_session.run(one);
+  ASSERT_EQ(live.size(), ref.size());
+  for (std::size_t h = 0; h < ref.size(); ++h)
+    ASSERT_EQ(live.raw()[h], ref.raw()[h])
+        << "gated checkpoint diverged from the winning attempt";
 
   // Through the retrainer, a rejected fit must leave the engine generation
   // untouched (the incumbent keeps serving).
@@ -622,6 +684,69 @@ TEST(StreamPipeline, DetectsDriftRetrainsInBackgroundAndHotSwaps) {
   std::sort(ingest_times.begin(), ingest_times.end());
   const double p99 = ingest_times[ingest_times.size() * 99 / 100];
   EXPECT_LT(p99, 0.25) << "ingest p99 " << p99 << "s";
+}
+
+TEST(StreamPipeline, ForecastDueOnDroppedTickIsDiscarded) {
+  data::TimeSeriesFrame trace =
+      make_mutating_trace(regime_a(), regime_a(), 420, 0, 19);
+  // One incomplete tick well after bootstrap: the forecast aimed at it has
+  // no ground truth and must expire unscored, not be compared against the
+  // next complete tick.
+  trace.column_mut(trace.index_of("cpu_util_percent"))[350] =
+      std::numeric_limits<double>::quiet_NaN();
+
+  OnlinePipelineOptions opt = pipeline_options();
+  opt.retrain_on_drift = false;  // single generation, no swap interplay
+  OnlinePipeline loop(std::make_unique<ReplayProvider>(trace), opt);
+
+  std::size_t dropped = 0;
+  std::size_t residuals = 0;
+  std::size_t missing = 0;
+  bool expect_residual = false;
+  while (auto tick = loop.step()) {
+    if (tick->dropped) {
+      ++dropped;
+      continue;
+    }
+    if (expect_residual) {
+      if (tick->residual_ready)
+        ++residuals;
+      else
+        ++missing;
+    }
+    if (tick->predicted) expect_residual = true;
+  }
+
+  EXPECT_EQ(dropped, 1u);
+  // Exactly one residual is missing: the one whose target tick was dropped.
+  EXPECT_EQ(missing, 1u);
+  EXPECT_GT(residuals, 50u);
+}
+
+TEST(StreamPipeline, DelegatedModelSurvivesTeardownWithPendingForecast) {
+  const data::TimeSeriesFrame trace = single_regime_trace(480, 43);
+  OnlinePipelineOptions opt = pipeline_options();
+  opt.retrain.model_name = "ARIMA";
+  // Detectors off; the cadence alone drives background ARIMA retrains.
+  opt.drift.monitor_inputs = false;
+  opt.drift.residual_ph.lambda = 1e9;
+  opt.drift.windowed.ratio_threshold = 1e9;
+  opt.retrain_on_drift = false;
+  opt.retrain_cadence = 64;
+  {
+    OnlinePipeline loop(std::make_unique<ReplayProvider>(trace), opt);
+    // Run until a delegated-model generation has been swapped in, then
+    // destroy the pipeline with the newest forecast still pending: teardown
+    // drains it through sessions that co-own their forecasters, so no
+    // member-ordering accident can run a request against a freed delegate
+    // (ASan would flag the use-after-free this guards against).
+    while (auto tick = loop.step()) {
+      if (loop.retrainer() && loop.retrainer()->completed() >= 1 &&
+          tick->predicted)
+        break;
+    }
+    EXPECT_TRUE(loop.bootstrapped());
+  }
 }
 
 TEST(StreamPipeline, StaticBaselineNeverSwaps) {

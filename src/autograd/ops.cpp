@@ -287,32 +287,10 @@ Tensor conv1d_forward_direct(const Tensor& x, const Tensor& w, const Tensor* b,
   const std::size_t n = x.dim(0), cin = x.dim(1), t_in = x.dim(2);
   const std::size_t cout = w.dim(0), k = w.dim(2);
   Tensor y({n, cout, t_out});
-#pragma omp parallel for collapse(2) schedule(static) if (n * cout > 1 && kernel_parallelism_allowed())
-  for (std::size_t ni = 0; ni < n; ++ni) {
-    for (std::size_t co = 0; co < cout; ++co) {
-      float* yrow = y.raw() + (ni * cout + co) * t_out;
-      if (b != nullptr) {
-        const float bias = b->at(co);
-        for (std::size_t t = 0; t < t_out; ++t) yrow[t] = bias;
-      }
-      for (std::size_t ci = 0; ci < cin; ++ci) {
-        const float* xrow = x.raw() + (ni * cin + ci) * t_in;
-        const float* wrow = w.raw() + (co * cin + ci) * k;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const float wv = wrow[kk];
-          if (wv == 0.0f) continue;
-          // input offset of x relative to output index t
-          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
-                                     static_cast<std::ptrdiff_t>(pad);
-          std::size_t t_lo, t_hi;
-          tap_range(off, t_in, t_out, t_lo, t_hi);
-          for (std::size_t t = t_lo; t < t_hi; ++t)
-            yrow[t] += wv * xrow[static_cast<std::size_t>(
-                           static_cast<std::ptrdiff_t>(t) + off)];
-        }
-      }
-    }
-  }
+  fwd::conv1d_direct_strided(x.raw(), cin * t_in, t_in, w.raw(),
+                             b != nullptr ? b->raw() : nullptr, n, cin, t_in,
+                             cout, k, d, pad, t_out, y.raw(), cout * t_out,
+                             t_out);
   return y;
 }
 
@@ -381,31 +359,15 @@ std::size_t conv1d_chunk(std::size_t n, std::size_t ck, std::size_t t_out) {
   return std::min(n, std::max<std::size_t>(1, kConv1dChunkFloats / per_sample));
 }
 
-/// Causal-padding-aware im2col over a chunk of nc samples:
+/// Causal-padding-aware im2col over a chunk of nc sample-major samples:
 /// patches[(ci*K + kk), s*T_out + t] = x[s, ci, t + kk*d - pad], zero
-/// outside [0, T_in). Each (row, sample) segment is one shifted contiguous
-/// copy of an input row, so this is pure memcpy traffic.
+/// outside [0, T_in). Thin wrapper over the strided writer with the
+/// sample-major [N,Cin,T] strides.
 void im2col_chunk(const float* x, std::size_t nc, std::size_t cin,
                   std::size_t t_in, std::size_t k, std::size_t d,
                   std::size_t pad, std::size_t t_out, float* patches) {
-  const std::size_t nt = nc * t_out;
-  for (std::size_t ci = 0; ci < cin; ++ci) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      float* row = patches + (ci * k + kk) * nt;
-      const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
-                                 static_cast<std::ptrdiff_t>(pad);
-      std::size_t t_lo, t_hi;
-      tap_range(off, t_in, t_out, t_lo, t_hi);
-      for (std::size_t s = 0; s < nc; ++s) {
-        float* seg = row + s * t_out;
-        const float* xrow = x + (s * cin + ci) * t_in;
-        std::fill(seg, seg + t_lo, 0.0f);
-        std::copy(xrow + static_cast<std::ptrdiff_t>(t_lo) + off,
-                  xrow + static_cast<std::ptrdiff_t>(t_hi) + off, seg + t_lo);
-        std::fill(seg + t_hi, seg + t_out, 0.0f);
-      }
-    }
-  }
+  fwd::im2col_strided(x, cin * t_in, t_in, nc, cin, t_in, k, d, pad, t_out,
+                      patches);
 }
 
 /// Transpose of im2col_chunk: dx[s, ci, t + kk*d - pad] += cols[row, s, t].
@@ -684,6 +646,119 @@ Tensor slice_cols(const Tensor& x, std::size_t start, std::size_t count) {
   for (std::size_t i = 0; i < n; ++i)
     std::copy_n(x.raw() + i * f + start, count, out.raw() + i * count);
   return out;
+}
+
+Conv1dLowering conv1d_lowering(std::size_t n, std::size_t cin,
+                               std::size_t cout, std::size_t k,
+                               std::size_t t_in, std::size_t dilation,
+                               std::ptrdiff_t left_pad,
+                               std::size_t dispatch_n) {
+  RPTCN_CHECK(dilation >= 1, "conv1d dilation must be >= 1");
+  Conv1dLowering lo;
+  lo.pad = left_pad < 0 ? (k - 1) * dilation
+                        : static_cast<std::size_t>(left_pad);
+  const std::size_t k_reach = (k - 1) * dilation;
+  RPTCN_CHECK(t_in + lo.pad >= k_reach,
+              "conv1d: input too short for kernel reach " << k_reach);
+  lo.t_out = t_in + lo.pad - k_reach;
+  lo.use_gemm =
+      conv1d_use_gemm(dispatch_n != 0 ? dispatch_n : n, cin, cout, k, lo.t_out);
+  // Chunking always sees the true batch size (it bounds scratch, it does not
+  // pick a kernel), exactly as conv1d_forward_gemm computes it.
+  lo.chunk = lo.use_gemm ? conv1d_chunk(n, cin * k, lo.t_out) : 0;
+  return lo;
+}
+
+void im2col_strided(const float* x, std::size_t xs, std::size_t xc,
+                    std::size_t nc, std::size_t cin, std::size_t t_in,
+                    std::size_t k, std::size_t d, std::size_t pad,
+                    std::size_t t_out, float* patches) {
+  const std::size_t nt = nc * t_out;
+  for (std::size_t ci = 0; ci < cin; ++ci) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      float* row = patches + (ci * k + kk) * nt;
+      const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
+                                 static_cast<std::ptrdiff_t>(pad);
+      std::size_t t_lo, t_hi;
+      tap_range(off, t_in, t_out, t_lo, t_hi);
+      for (std::size_t s = 0; s < nc; ++s) {
+        float* seg = row + s * t_out;
+        const float* xrow = x + s * xs + ci * xc;
+        std::fill(seg, seg + t_lo, 0.0f);
+        std::copy(xrow + static_cast<std::ptrdiff_t>(t_lo) + off,
+                  xrow + static_cast<std::ptrdiff_t>(t_hi) + off, seg + t_lo);
+        std::fill(seg + t_hi, seg + t_out, 0.0f);
+      }
+    }
+  }
+}
+
+void conv1d_direct_strided(const float* x, std::size_t xs, std::size_t xc,
+                           const float* w, const float* b, std::size_t n,
+                           std::size_t cin, std::size_t t_in, std::size_t cout,
+                           std::size_t k, std::size_t d, std::size_t pad,
+                           std::size_t t_out, float* y, std::size_t ys,
+                           std::size_t yc, bool relu) {
+#pragma omp parallel for collapse(2) schedule(static) if (n * cout > 1 && kernel_parallelism_allowed())
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t co = 0; co < cout; ++co) {
+      float* yrow = y + ni * ys + co * yc;
+      // Unconditional prefill: arena rows (unlike fresh Tensors) are not
+      // zero-initialised, and rewriting zeros on the eager path is free.
+      const float bias = b != nullptr ? b[co] : 0.0f;
+      for (std::size_t t = 0; t < t_out; ++t) yrow[t] = bias;
+      for (std::size_t ci = 0; ci < cin; ++ci) {
+        const float* xrow = x + ni * xs + ci * xc;
+        const float* wrow = w + (co * cin + ci) * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float wv = wrow[kk];
+          if (wv == 0.0f) continue;
+          // input offset of x relative to output index t
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
+                                     static_cast<std::ptrdiff_t>(pad);
+          std::size_t t_lo, t_hi;
+          tap_range(off, t_in, t_out, t_lo, t_hi);
+          for (std::size_t t = t_lo; t < t_hi; ++t)
+            yrow[t] += wv * xrow[static_cast<std::size_t>(
+                           static_cast<std::ptrdiff_t>(t) + off)];
+        }
+      }
+      if (relu)
+        for (std::size_t t = 0; t < t_out; ++t)
+          yrow[t] = yrow[t] > 0.0f ? yrow[t] : 0.0f;
+    }
+  }
+}
+
+void conv1d_1x1_strided_serial(const float* x, std::size_t xs, std::size_t xc,
+                               const float* w, const float* b, std::size_t n,
+                               std::size_t cin, std::size_t cout,
+                               std::size_t t, float* y, std::size_t ys,
+                               std::size_t yc, bool relu) {
+  // Channel-major on both sides (sample stride == t) makes every channel
+  // row contiguous across the whole batch, collapsing the (sample, time)
+  // loops into one fused pass of n*t floats per (cout, cin) pair. The
+  // per-element accumulation sequence is the same either way.
+  const bool fused_rows = xs == t && ys == t;
+  const std::size_t rows = fused_rows ? 1 : n;
+  const std::size_t len = fused_rows ? n * t : t;
+  for (std::size_t co = 0; co < cout; ++co) {
+    const float* wrow = w + co * cin;  // [Cout, Cin, 1] weight layout
+    for (std::size_t ni = 0; ni < rows; ++ni) {
+      float* yrow = y + ni * ys + co * yc;
+      const float bias = b != nullptr ? b[co] : 0.0f;
+      for (std::size_t i = 0; i < len; ++i) yrow[i] = bias;
+      for (std::size_t ci = 0; ci < cin; ++ci) {
+        const float wv = wrow[ci];
+        if (wv == 0.0f) continue;
+        const float* xrow = x + ni * xs + ci * xc;
+        for (std::size_t i = 0; i < len; ++i) yrow[i] += wv * xrow[i];
+      }
+      if (relu)
+        for (std::size_t i = 0; i < len; ++i)
+          yrow[i] = yrow[i] > 0.0f ? yrow[i] : 0.0f;
+    }
+  }
 }
 
 }  // namespace fwd

@@ -128,6 +128,65 @@ Tensor concat_cols(const Tensor& a, const Tensor& b);
 /// Column slice of a 2-D activation: [N,F] -> [N,count] starting at `start`.
 Tensor slice_cols(const Tensor& x, std::size_t start, std::size_t count);
 
+// -- conv1d lowering internals, exposed for the graph planner -----------------
+// A captured plan must make exactly the dispatch decisions and run exactly
+// the kernels the eager conv makes, or the two executors stop being
+// bit-identical (the GEMM small/blocked paths round differently against a
+// bias-prefilled C). These entry points are that shared substrate.
+
+/// Shape-only lowering geometry for one conv1d call. `dispatch_n` as in
+/// fwd::conv1d (0 = true batch size, 1 = serving pin); `chunk` always uses
+/// the true batch size, mirroring conv1d_forward_gemm.
+struct Conv1dLowering {
+  bool use_gemm = false;  ///< im2col+GEMM vs direct loops
+  std::size_t pad = 0;    ///< resolved left padding
+  std::size_t t_out = 0;  ///< output time length
+  std::size_t chunk = 0;  ///< samples per im2col chunk (GEMM path)
+};
+Conv1dLowering conv1d_lowering(std::size_t n, std::size_t cin,
+                               std::size_t cout, std::size_t k,
+                               std::size_t t_in, std::size_t dilation,
+                               std::ptrdiff_t left_pad,
+                               std::size_t dispatch_n = 0);
+
+/// Causal-padding-aware im2col over nc samples with explicit input strides:
+/// patches[(ci*K + kk), s*T_out + t] = x[s*xs + ci*xc + (t + kk*d - pad)],
+/// zero outside [0, T_in). xs/xc express the input layout — sample-major
+/// [N,C,T] uses (C*T_in, T_in); the planner's channel-major [C, N*T_in]
+/// activations use (T_in, N*T_in). The eager kernels call this with the
+/// sample-major strides, so both executors share one loop body.
+void im2col_strided(const float* x, std::size_t xs, std::size_t xc,
+                    std::size_t nc, std::size_t cin, std::size_t t_in,
+                    std::size_t k, std::size_t d, std::size_t pad,
+                    std::size_t t_out, float* patches);
+
+/// Direct conv1d forward with explicit strides on input and output:
+/// y[s*ys + co*yc + t] = b[co] + sum w[co,ci,kk] * x[s*xs + ci*xc + t+kk*d-pad].
+/// b may be null (output rows are then zero-initialised). Identical loop
+/// body (and OpenMP policy) as the eager direct kernel — it IS the eager
+/// kernel, parameterised by layout.
+void conv1d_direct_strided(const float* x, std::size_t xs, std::size_t xc,
+                           const float* w, const float* b, std::size_t n,
+                           std::size_t cin, std::size_t t_in, std::size_t cout,
+                           std::size_t k, std::size_t d, std::size_t pad,
+                           std::size_t t_out, float* y, std::size_t ys,
+                           std::size_t yc, bool relu = false);
+
+/// Serial pointwise (k=1, pad=0) conv for the planned executor: every
+/// output element goes through the exact accumulation sequence of
+/// conv1d_direct_strided — bias first, then one add per input channel in
+/// ascending order with the zero-weight skip — so it is bit-identical to
+/// the eager direct kernel; only the scheduling differs (no OpenMP region,
+/// and channel-major rows on both sides collapse the sample/time loops
+/// into one contiguous pass of n*t floats per channel pair). The planner
+/// uses it because it knows at capture time that these convs are far too
+/// small to amortise a parallel-region fork. `relu` fuses the epilogue.
+void conv1d_1x1_strided_serial(const float* x, std::size_t xs, std::size_t xc,
+                               const float* w, const float* b, std::size_t n,
+                               std::size_t cin, std::size_t cout,
+                               std::size_t t, float* y, std::size_t ys,
+                               std::size_t yc, bool relu);
+
 }  // namespace fwd
 
 // -- reductions & losses ------------------------------------------------------------------

@@ -57,6 +57,10 @@ class RptcnPipeline {
 
   const models::TrainCurves& curves() const;
   const models::ForecastDataset& dataset() const;
+  /// The fitted forecaster (null before fit()/restore()). Non-const because
+  /// serving snapshots (serve::InferenceSession) read weights through the
+  /// forecaster's mutable accessors.
+  models::Forecaster* forecaster() { return forecaster_.get(); }
   const data::MinMaxScaler& scaler() const;
   const PipelineConfig& config() const { return config_; }
 

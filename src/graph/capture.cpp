@@ -1,0 +1,597 @@
+#include "graph/capture.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace rptcn::graph {
+
+namespace {
+
+using ag::fwd::Conv1dLowering;
+
+// NOTE on bit-identity: this translation unit is compiled WITHOUT the FMA
+// flags tensor_ops.cpp gets, so a*b followed by +c here can never contract
+// into a fused multiply-add — elementwise arithmetic emitted below matches
+// the eager per-kernel rounding exactly. Anything transcendental
+// (exp/tanh/softmax) and every GEMM is routed into tensor_ops.cpp /
+// autograd kernels so both executors run literally the same code.
+
+/// A planned 3-D activation [N, C, T] with explicit strides: element
+/// (s, ci, tt) lives at s*ss + ci*cs + tt. The external input is
+/// sample-major (ss = C*T, cs = T); planned intermediates are channel-major
+/// (ss = T, cs = N*T), which makes the conv GEMM's [Cout, N*T] output panel
+/// the activation itself — no per-(sample,channel) scatter.
+struct Act3 {
+  ValueId id = 0;
+  std::size_t n = 0, c = 0, t = 0;
+  std::size_t ss = 0;  ///< sample stride
+  std::size_t cs = 0;  ///< channel stride
+};
+
+/// A planned contiguous row-major 2-D activation [N, F].
+struct Act2 {
+  ValueId id = 0;
+  std::size_t n = 0, f = 0;
+};
+
+Act3 cm_act(GraphBuilder& g, std::size_t n, std::size_t c, std::size_t t) {
+  return {g.value(c * n * t), n, c, t, t, n * t};
+}
+
+/// Dilated causal conv (+ optional fused relu): any-stride src -> cm dst.
+/// Reproduces fwd::conv1d's lowering exactly: same GEMM-vs-direct decision
+/// (under opts.dispatch_n), same chunking on the true batch, same bias
+/// prefill, same gemm_accumulate shapes — so every float lands the same.
+Act3 emit_conv(GraphBuilder& g, const ConvSnap& conv, const Act3& src,
+               bool fuse_relu, std::size_t dispatch_n, const char* name) {
+  const std::size_t n = src.n, cin = src.c, t_in = src.t;
+  const std::size_t cout = conv.w.dim(0), k = conv.w.dim(2);
+  RPTCN_CHECK(conv.w.dim(1) == cin, "capture conv: channel mismatch");
+  const Conv1dLowering lo = ag::fwd::conv1d_lowering(
+      n, cin, cout, k, t_in, conv.dilation, conv.left_pad, dispatch_n);
+  Act3 dst = cm_act(g, n, cout, lo.t_out);
+  const std::size_t t_out = lo.t_out, pad = lo.pad, d = conv.dilation;
+  const std::size_t nt_all = n * t_out;
+  const bool has_bias = !conv.b.empty();
+
+  if (lo.use_gemm) {
+    const std::size_t ck = cin * k;
+    const std::size_t chunk = lo.chunk;
+    const bool whole = chunk >= n;  // GEMM writes the cm dst directly
+    const ValueId patches = g.value(ck * chunk * t_out);
+    EmitSpec spec;
+    spec.name = name;
+    spec.inputs = {src.id};
+    spec.outputs = {dst.id};
+    spec.scratch = {patches};
+    ValueId ybuf = EmitSpec::kNoAlias;
+    if (!whole) {
+      ybuf = g.value(cout * chunk * t_out);
+      spec.scratch.push_back(ybuf);
+    }
+    g.emit(std::move(spec),
+           [=, w = conv.w, b = conv.b](const Resolver& r) -> Operation {
+             auto src_p = r.cptr(src.id);
+             auto dst_p = r.ptr(dst.id);
+             auto patches_p = r.ptr(patches);
+             auto ybuf_p = whole ? std::function<float*(const ExecContext&)>()
+                                 : r.ptr(ybuf);
+             const std::size_t sss = src.ss, scs = src.cs;
+             return [=](const ExecContext& ctx) {
+               const float* x = src_p(ctx);
+               float* y = dst_p(ctx);
+               float* pt = patches_p(ctx);
+               const float* bp = has_bias ? b.raw() : nullptr;
+               for (std::size_t n0 = 0; n0 < n; n0 += chunk) {
+                 const std::size_t nc = std::min(chunk, n - n0);
+                 const std::size_t nt = nc * t_out;
+                 ag::fwd::im2col_strided(x + n0 * sss, sss, scs, nc, cin,
+                                         t_in, k, d, pad, t_out, pt);
+                 float* yb = whole ? y : ybuf_p(ctx);
+                 if (bp != nullptr) {
+                   for (std::size_t co = 0; co < cout; ++co)
+                     std::fill_n(yb + co * nt, nt, bp[co]);
+                 } else {
+                   std::fill_n(yb, cout * nt, 0.0f);
+                 }
+                 rptcn::gemm_accumulate(cout, nt, ck, w.raw(), ck, false, pt,
+                                        nt, false, yb);
+                 if (!whole)
+                   for (std::size_t co = 0; co < cout; ++co)
+                     for (std::size_t s = 0; s < nc; ++s)
+                       std::copy_n(yb + co * nt + s * t_out, t_out,
+                                   y + co * nt_all + (n0 + s) * t_out);
+               }
+               if (fuse_relu)
+                 for (std::size_t i = 0; i < cout * nt_all; ++i)
+                   y[i] = y[i] > 0.0f ? y[i] : 0.0f;
+             };
+           });
+  } else {
+    EmitSpec spec;
+    spec.name = name;
+    spec.inputs = {src.id};
+    spec.outputs = {dst.id};
+    // A conv the eager dispatch pins to the direct kernel is by definition
+    // below the GEMM flop cutoff — far too small to amortise an OpenMP
+    // fork per replay. Pointwise convs (the common pinned case: residual
+    // shortcuts, the FC-as-1x1-conv stage, attention scorers) go through
+    // the serial fused-row kernel; anything else runs the eager loop body
+    // with the relu epilogue folded in.
+    const bool pointwise = k == 1 && pad == 0;
+    g.emit(std::move(spec),
+           [=, w = conv.w, b = conv.b](const Resolver& r) -> Operation {
+             auto src_p = r.cptr(src.id);
+             auto dst_p = r.ptr(dst.id);
+             const std::size_t sss = src.ss, scs = src.cs;
+             return [=](const ExecContext& ctx) {
+               float* y = dst_p(ctx);
+               if (pointwise)
+                 ag::fwd::conv1d_1x1_strided_serial(
+                     src_p(ctx), sss, scs, w.raw(),
+                     has_bias ? b.raw() : nullptr, n, cin, cout, t_out, y,
+                     t_out, nt_all, fuse_relu);
+               else
+                 ag::fwd::conv1d_direct_strided(
+                     src_p(ctx), sss, scs, w.raw(),
+                     has_bias ? b.raw() : nullptr, n, cin, t_in, cout, k, d,
+                     pad, t_out, y, t_out, nt_all, fuse_relu);
+             };
+           });
+  }
+  return dst;
+}
+
+/// out = relu(res + f), channel-major, in place on f's block when the
+/// planner grants the alias (f dies here; element is read before written).
+Act3 emit_add_relu(GraphBuilder& g, const Act3& res, const Act3& f) {
+  RPTCN_CHECK(res.n == f.n && res.c == f.c && res.t == f.t,
+              "capture add_relu: shape mismatch");
+  Act3 out = cm_act(g, f.n, f.c, f.t);
+  EmitSpec spec;
+  spec.name = "add_relu";
+  spec.inputs = {res.id, f.id};
+  spec.outputs = {out.id};
+  spec.alias_target = f.id;
+  g.emit(std::move(spec), [=](const Resolver& r) -> Operation {
+    auto res_p = r.cptr(res.id);
+    auto f_p = r.cptr(f.id);
+    auto out_p = r.ptr(out.id);
+    const std::size_t n = f.n, c = f.c, t = f.t;
+    const std::size_t rss = res.ss, rcs = res.cs;
+    return [=](const ExecContext& ctx) {
+      const float* rp = res_p(ctx);
+      const float* fp = f_p(ctx);
+      float* op = out_p(ctx);
+      for (std::size_t ci = 0; ci < c; ++ci)
+        for (std::size_t s = 0; s < n; ++s) {
+          const float* rrow = rp + s * rss + ci * rcs;
+          const float* frow = fp + ci * n * t + s * t;
+          float* orow = op + ci * n * t + s * t;
+          for (std::size_t tt = 0; tt < t; ++tt) {
+            const float v = rrow[tt] + frow[tt];
+            orow[tt] = v > 0.0f ? v : 0.0f;
+          }
+        }
+    };
+  });
+  return out;
+}
+
+/// summary[s, ci] = time_slice(h, T-1) — the no-attention tail.
+Act2 emit_time_slice_last(GraphBuilder& g, const Act3& h) {
+  Act2 out{g.value(h.n * h.c), h.n, h.c};
+  EmitSpec spec;
+  spec.name = "time_slice";
+  spec.inputs = {h.id};
+  spec.outputs = {out.id};
+  g.emit(std::move(spec), [=](const Resolver& r) -> Operation {
+    auto h_p = r.cptr(h.id);
+    auto out_p = r.ptr(out.id);
+    const std::size_t n = h.n, c = h.c, t_last = h.t - 1;
+    const std::size_t hss = h.ss, hcs = h.cs;
+    return [=](const ExecContext& ctx) {
+      const float* hp = h_p(ctx);
+      float* op = out_p(ctx);
+      for (std::size_t s = 0; s < n; ++s)
+        for (std::size_t ci = 0; ci < c; ++ci)
+          op[s * c + ci] = hp[s * hss + ci * hcs + t_last];
+    };
+  });
+  return out;
+}
+
+/// Attention tail (paper eqs. 7/8): scorer conv -> softmax (in place) ->
+/// weighted temporal summary fused with the last-step residual:
+///   summary[s,ci] = (float)(sum_t (double)(a[s,t] * h[s,ci,t]))
+///                   + h[s,ci,T-1]
+/// The a*h product is stored to a named float before the double
+/// accumulation — exactly the rounding the eager mul_bcast_channel +
+/// sum_lastdim pair produces through its materialised intermediate.
+Act2 emit_attention_summary(GraphBuilder& g, const ConvSnap& scorer,
+                            const Act3& h, std::size_t dispatch_n) {
+  Act3 logits =
+      emit_conv(g, scorer, h, /*fuse_relu=*/false, dispatch_n, "attn_scorer");
+  RPTCN_CHECK(logits.c == 1 && logits.t == h.t,
+              "capture attention: scorer must be 1x1 over time");
+  // cm with C=1 is exactly n contiguous rows of t: softmax_rows in place.
+  const ValueId a = g.value(h.n * h.t);
+  EmitSpec sspec;
+  sspec.name = "softmax";
+  sspec.inputs = {logits.id};
+  sspec.outputs = {a};
+  sspec.alias_target = logits.id;
+  const std::size_t rows = h.n, t = h.t;
+  g.emit(std::move(sspec), [=](const Resolver& r) -> Operation {
+    auto in_p = r.cptr(logits.id);
+    auto out_p = r.ptr(a);
+    return [=](const ExecContext& ctx) {
+      rptcn::softmax_rows(in_p(ctx), out_p(ctx), rows, t);
+    };
+  });
+
+  Act2 out{g.value(h.n * h.c), h.n, h.c};
+  EmitSpec spec;
+  spec.name = "attn_summary";
+  spec.inputs = {a, h.id};
+  spec.outputs = {out.id};
+  g.emit(std::move(spec), [=](const Resolver& r) -> Operation {
+    auto a_p = r.cptr(a);
+    auto h_p = r.cptr(h.id);
+    auto out_p = r.ptr(out.id);
+    const std::size_t n = h.n, c = h.c, t_len = h.t;
+    const std::size_t hss = h.ss, hcs = h.cs;
+    return [=](const ExecContext& ctx) {
+      const float* ap = a_p(ctx);
+      const float* hp = h_p(ctx);
+      float* op = out_p(ctx);
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* arow = ap + s * t_len;
+        for (std::size_t ci = 0; ci < c; ++ci) {
+          const float* hrow = hp + s * hss + ci * hcs;
+          double acc = 0.0;
+          for (std::size_t tt = 0; tt < t_len; ++tt) {
+            const float p = arow[tt] * hrow[tt];  // float-rounded, as eager
+            acc += static_cast<double>(p);
+          }
+          op[s * c + ci] = static_cast<float>(acc) + hrow[t_len - 1];
+        }
+      }
+    };
+  });
+  return out;
+}
+
+/// y[dst] = x[N,in] * w[out,in]^T (+ bias post-add): matmul_nt semantics —
+/// zero-filled C, GEMM, then the bias loop, exactly as fwd::linear. On
+/// blocked-path shapes the weight is prepacked once at capture.
+void emit_linear(GraphBuilder& g, const LinearSnap& lin, const Act2& x,
+                 ValueId dst, const char* name) {
+  const std::size_t out_f = lin.w.dim(0), in_f = lin.w.dim(1);
+  RPTCN_CHECK(x.f == in_f, "capture linear: feature mismatch");
+  const std::size_t n = x.n;
+  const bool use_packed = rptcn::gemm_uses_blocked(n, out_f, in_f);
+  std::shared_ptr<const rptcn::PackedB> pb;
+  if (use_packed)
+    pb = std::make_shared<const rptcn::PackedB>(
+        rptcn::gemm_pack_b(lin.w.raw(), in_f, true, in_f, out_f));
+  const bool has_bias = !lin.b.empty();
+  EmitSpec spec;
+  spec.name = name;
+  spec.inputs = {x.id};
+  spec.outputs = {dst};
+  g.emit(std::move(spec),
+         [=, w = lin.w, b = lin.b](const Resolver& r) -> Operation {
+           auto x_p = r.cptr(x.id);
+           auto y_p = r.ptr(dst);
+           return [=](const ExecContext& ctx) {
+             const float* xp = x_p(ctx);
+             float* yp = y_p(ctx);
+             std::fill_n(yp, n * out_f, 0.0f);
+             if (pb != nullptr)
+               rptcn::gemm_accumulate_packed_b(n, out_f, in_f, xp, in_f,
+                                               false, *pb, yp);
+             else
+               rptcn::gemm_accumulate(n, out_f, in_f, xp, in_f, false,
+                                      w.raw(), in_f, true, yp);
+             if (has_bias) {
+               const float* bp = b.raw();
+               for (std::size_t i = 0; i < n; ++i)
+                 for (std::size_t j = 0; j < out_f; ++j)
+                   yp[i * out_f + j] += bp[j];
+             }
+           };
+         });
+}
+
+/// Unrolled LSTM over the time axis: per step, gather [x_t | h] -> fused
+/// gate GEMM (prepacked weights on blocked shapes) -> gate activations ->
+/// staged cell update mutating h/c in place. `reverse_time` reads step s at
+/// time T-1-s, replacing the eager path's time_reverse copy. Returns h.
+Act2 emit_lstm(GraphBuilder& g, const LstmSnap& lstm, const Act3& x,
+               bool reverse_time, const char* name) {
+  const std::size_t n = x.n, f_in = x.c, t_len = x.t, hid = lstm.hidden;
+  RPTCN_CHECK(hid > 0 && lstm.w.dim(0) == 4 * hid &&
+                  lstm.w.dim(1) == f_in + hid,
+              "capture lstm: weight shape mismatch");
+  const std::size_t in_f = f_in + hid, out4 = 4 * hid;
+
+  const ValueId h = g.value(n * hid);
+  const ValueId c = g.value(n * hid);
+  {
+    EmitSpec spec;
+    spec.name = std::string(name) + "_init";
+    spec.outputs = {h, c};
+    g.emit(std::move(spec), [=](const Resolver& r) -> Operation {
+      auto h_p = r.ptr(h);
+      auto c_p = r.ptr(c);
+      const std::size_t m = n * hid;
+      return [=](const ExecContext& ctx) {
+        std::fill_n(h_p(ctx), m, 0.0f);
+        std::fill_n(c_p(ctx), m, 0.0f);
+      };
+    });
+  }
+
+  const bool use_packed = rptcn::gemm_uses_blocked(n, out4, in_f);
+  std::shared_ptr<const rptcn::PackedB> pb;
+  if (use_packed)
+    pb = std::make_shared<const rptcn::PackedB>(
+        rptcn::gemm_pack_b(lstm.w.raw(), in_f, true, in_f, out4));
+
+  for (std::size_t step = 0; step < t_len; ++step) {
+    const std::size_t tt = reverse_time ? t_len - 1 - step : step;
+
+    // xh = [x(:, :, tt) | h] — the time_slice + concat_cols gather.
+    const ValueId xh = g.value(n * in_f);
+    {
+      EmitSpec spec;
+      spec.name = std::string(name) + "_xh";
+      spec.inputs = {x.id, h};
+      spec.outputs = {xh};
+      g.emit(std::move(spec), [=](const Resolver& r) -> Operation {
+        auto x_p = r.cptr(x.id);
+        auto h_p = r.cptr(h);
+        auto xh_p = r.ptr(xh);
+        const std::size_t xss = x.ss, xcs = x.cs;
+        return [=](const ExecContext& ctx) {
+          const float* xp = x_p(ctx);
+          const float* hp = h_p(ctx);
+          float* o = xh_p(ctx);
+          for (std::size_t s = 0; s < n; ++s) {
+            float* orow = o + s * in_f;
+            for (std::size_t ci = 0; ci < f_in; ++ci)
+              orow[ci] = xp[s * xss + ci * xcs + tt];
+            std::copy_n(hp + s * hid, hid, orow + f_in);
+          }
+        };
+      });
+    }
+
+    // pre = linear(xh, w, b): zero-fill, GEMM, bias post-add (fwd::linear).
+    const ValueId pre = g.value(n * out4);
+    {
+      EmitSpec spec;
+      spec.name = std::string(name) + "_gates";
+      spec.inputs = {xh};
+      spec.outputs = {pre};
+      g.emit(std::move(spec),
+             [=, w = lstm.w, b = lstm.b](const Resolver& r) -> Operation {
+               auto xh_p = r.cptr(xh);
+               auto pre_p = r.ptr(pre);
+               return [=](const ExecContext& ctx) {
+                 const float* xp = xh_p(ctx);
+                 float* yp = pre_p(ctx);
+                 std::fill_n(yp, n * out4, 0.0f);
+                 if (pb != nullptr)
+                   rptcn::gemm_accumulate_packed_b(n, out4, in_f, xp, in_f,
+                                                   false, *pb, yp);
+                 else
+                   rptcn::gemm_accumulate(n, out4, in_f, xp, in_f, false,
+                                          w.raw(), in_f, true, yp);
+                 const float* bp = b.raw();
+                 for (std::size_t i = 0; i < n; ++i)
+                   for (std::size_t j = 0; j < out4; ++j)
+                     yp[i * out4 + j] += bp[j];
+               };
+             });
+    }
+
+    // Gate activations: slice_cols gathers, then the shared transcendental
+    // kernels (sigmoid_inplace / tanh_inplace live in tensor_ops.cpp).
+    const ValueId vi = g.value(n * hid), vf = g.value(n * hid);
+    const ValueId vg = g.value(n * hid), vo = g.value(n * hid);
+    {
+      EmitSpec spec;
+      spec.name = std::string(name) + "_act";
+      spec.inputs = {pre};
+      spec.outputs = {vi, vf, vg, vo};
+      g.emit(std::move(spec), [=](const Resolver& r) -> Operation {
+        auto pre_p = r.cptr(pre);
+        auto i_p = r.ptr(vi), f_p = r.ptr(vf), g_p = r.ptr(vg),
+             o_p = r.ptr(vo);
+        const std::size_t m = n * hid;
+        return [=](const ExecContext& ctx) {
+          const float* pp = pre_p(ctx);
+          float* gates[4] = {i_p(ctx), f_p(ctx), g_p(ctx), o_p(ctx)};
+          for (std::size_t gi = 0; gi < 4; ++gi)
+            for (std::size_t s = 0; s < n; ++s)
+              std::copy_n(pp + s * out4 + gi * hid, hid,
+                          gates[gi] + s * hid);
+          rptcn::sigmoid_inplace(gates[0], m);
+          rptcn::sigmoid_inplace(gates[1], m);
+          rptcn::tanh_inplace(gates[2], m);
+          rptcn::sigmoid_inplace(gates[3], m);
+        };
+      });
+    }
+
+    // Cell update, staged through scratch rows so no multiply-add chain can
+    // contract across what the eager path stores as separate tensors:
+    //   c = f*c + i*g ; h = o * tanh(c)
+    const ValueId fc = g.value(n * hid), ig = g.value(n * hid),
+                  tc = g.value(n * hid);
+    {
+      EmitSpec spec;
+      spec.name = std::string(name) + "_cell";
+      spec.inputs = {vi, vf, vg, vo, c};
+      spec.outputs = {c, h};
+      spec.scratch = {fc, ig, tc};
+      g.emit(std::move(spec), [=](const Resolver& r) -> Operation {
+        auto i_p = r.cptr(vi), f_p = r.cptr(vf), g_p = r.cptr(vg),
+             o_p = r.cptr(vo);
+        auto c_p = r.ptr(c), h_p = r.ptr(h);
+        auto fc_p = r.ptr(fc), ig_p = r.ptr(ig), tc_p = r.ptr(tc);
+        const std::size_t m = n * hid;
+        return [=](const ExecContext& ctx) {
+          const float* ip = i_p(ctx);
+          const float* fp = f_p(ctx);
+          const float* gp = g_p(ctx);
+          const float* op = o_p(ctx);
+          float* cp = c_p(ctx);
+          float* hp = h_p(ctx);
+          float* fcp = fc_p(ctx);
+          float* igp = ig_p(ctx);
+          float* tcp = tc_p(ctx);
+          for (std::size_t j = 0; j < m; ++j) fcp[j] = fp[j] * cp[j];
+          for (std::size_t j = 0; j < m; ++j) igp[j] = ip[j] * gp[j];
+          for (std::size_t j = 0; j < m; ++j) cp[j] = fcp[j] + igp[j];
+          std::copy_n(cp, m, tcp);
+          rptcn::tanh_inplace(tcp, m);
+          for (std::size_t j = 0; j < m; ++j) hp[j] = op[j] * tcp[j];
+        };
+      });
+    }
+  }
+  return {h, n, hid};
+}
+
+/// cat = [a | b] rows — the concat_cols copy.
+Act2 emit_concat(GraphBuilder& g, const Act2& a, const Act2& b) {
+  RPTCN_CHECK(a.n == b.n, "capture concat: batch mismatch");
+  Act2 out{g.value(a.n * (a.f + b.f)), a.n, a.f + b.f};
+  EmitSpec spec;
+  spec.name = "concat";
+  spec.inputs = {a.id, b.id};
+  spec.outputs = {out.id};
+  g.emit(std::move(spec), [=](const Resolver& r) -> Operation {
+    auto a_p = r.cptr(a.id);
+    auto b_p = r.cptr(b.id);
+    auto out_p = r.ptr(out.id);
+    const std::size_t n = a.n, fa = a.f, fb = b.f;
+    return [=](const ExecContext& ctx) {
+      const float* ap = a_p(ctx);
+      const float* bp = b_p(ctx);
+      float* op = out_p(ctx);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::copy_n(ap + i * fa, fa, op + i * (fa + fb));
+        std::copy_n(bp + i * fb, fb, op + i * (fa + fb) + fa);
+      }
+    };
+  });
+  return out;
+}
+
+Act3 input_act(GraphBuilder& g, std::size_t n, std::size_t f, std::size_t t) {
+  return {g.input_value(), n, f, t, f * t, t};
+}
+
+}  // namespace
+
+std::shared_ptr<const Executable> capture(const RptcnSnap& snap, std::size_t n,
+                                          std::size_t f, std::size_t t,
+                                          const CaptureOptions& opts) {
+  const std::size_t horizon = snap.head.w.dim(0);
+  GraphBuilder g({n, f, t}, {n, horizon});
+  Act3 h = input_act(g, n, f, t);
+  for (const BlockSnap& block : snap.blocks) {
+    Act3 fwd = emit_conv(g, block.conv1, h, true, opts.dispatch_n, "conv1");
+    fwd = emit_conv(g, block.conv2, fwd, true, opts.dispatch_n, "conv2");
+    const Act3 res = block.shortcut ? emit_conv(g, *block.shortcut, h, false,
+                                                opts.dispatch_n, "shortcut")
+                                    : h;
+    h = emit_add_relu(g, res, fwd);  // eq. (5)
+  }
+  if (snap.fc) h = emit_conv(g, *snap.fc, h, true, opts.dispatch_n, "fc");
+  const Act2 summary =
+      snap.attention_scorer
+          ? emit_attention_summary(g, *snap.attention_scorer, h,
+                                   opts.dispatch_n)
+          : emit_time_slice_last(g, h);
+  emit_linear(g, snap.head, summary, g.output_value(), "head");
+  return g.finish();
+}
+
+std::shared_ptr<const Executable> capture(const LstmNetSnap& snap,
+                                          std::size_t n, std::size_t f,
+                                          std::size_t t,
+                                          const CaptureOptions& opts) {
+  (void)opts;
+  const std::size_t horizon = snap.head.w.dim(0);
+  GraphBuilder g({n, f, t}, {n, horizon});
+  const Act2 h = emit_lstm(g, snap.lstm, input_act(g, n, f, t), false, "lstm");
+  emit_linear(g, snap.head, h, g.output_value(), "head");
+  return g.finish();
+}
+
+std::shared_ptr<const Executable> capture(const BiLstmNetSnap& snap,
+                                          std::size_t n, std::size_t f,
+                                          std::size_t t,
+                                          const CaptureOptions& opts) {
+  (void)opts;
+  const std::size_t horizon = snap.head.w.dim(0);
+  GraphBuilder g({n, f, t}, {n, horizon});
+  const Act3 x = input_act(g, n, f, t);
+  const Act2 hf = emit_lstm(g, snap.fwd, x, false, "lstm_fwd");
+  const Act2 hb = emit_lstm(g, snap.bwd, x, true, "lstm_bwd");
+  emit_linear(g, snap.head, emit_concat(g, hf, hb), g.output_value(), "head");
+  return g.finish();
+}
+
+std::shared_ptr<const Executable> capture(const CnnLstmSnap& snap,
+                                          std::size_t n, std::size_t f,
+                                          std::size_t t,
+                                          const CaptureOptions& opts) {
+  const std::size_t horizon = snap.head.w.dim(0);
+  GraphBuilder g({n, f, t}, {n, horizon});
+  const Act3 h =
+      emit_conv(g, snap.conv, input_act(g, n, f, t), true, opts.dispatch_n,
+                "conv");
+  const Act2 hl = emit_lstm(g, snap.lstm, h, false, "lstm");
+  emit_linear(g, snap.head, hl, g.output_value(), "head");
+  return g.finish();
+}
+
+CaptureFn make_capture_fn(RptcnSnap snap, const CaptureOptions& opts) {
+  return [snap = std::move(snap), opts](std::size_t n, std::size_t f,
+                                        std::size_t t) {
+    return capture(snap, n, f, t, opts);
+  };
+}
+
+CaptureFn make_capture_fn(LstmNetSnap snap, const CaptureOptions& opts) {
+  return [snap = std::move(snap), opts](std::size_t n, std::size_t f,
+                                        std::size_t t) {
+    return capture(snap, n, f, t, opts);
+  };
+}
+
+CaptureFn make_capture_fn(BiLstmNetSnap snap, const CaptureOptions& opts) {
+  return [snap = std::move(snap), opts](std::size_t n, std::size_t f,
+                                        std::size_t t) {
+    return capture(snap, n, f, t, opts);
+  };
+}
+
+CaptureFn make_capture_fn(CnnLstmSnap snap, const CaptureOptions& opts) {
+  return [snap = std::move(snap), opts](std::size_t n, std::size_t f,
+                                        std::size_t t) {
+    return capture(snap, n, f, t, opts);
+  };
+}
+
+}  // namespace rptcn::graph

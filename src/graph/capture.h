@@ -1,0 +1,65 @@
+// Capture: trace one snapshot forward into a planned Executable.
+//
+// Each capture overload walks the same computation the eager runner in
+// snapshot.cpp performs for input shape [N, F, T], but instead of executing
+// it emits TensorOps against a GraphBuilder. The emitted ops re-use the
+// eager kernels (or the strided entry points that share their loop bodies),
+// make every shape-dependent dispatch decision at capture time with the
+// same rules the eager path applies per call, and keep float summation
+// orders unchanged — so a replay is bit-identical to the eager forward.
+//
+// What replays save over the eager runner:
+//  * one arena instead of a pool round-trip per intermediate (~2-5x fewer
+//    allocator interactions, planned liveness shares blocks);
+//  * 3-D activations kept channel-major, so the conv GEMM writes its
+//    output panel directly instead of scattering per (sample, channel);
+//  * fused epilogues: conv+relu, add+relu (in place, aliased), softmax in
+//    place, attention-weighted summary in one pass;
+//  * LSTM gate weights prepacked into the blocked GEMM's panel layout
+//    (gemm_pack_b) when the shape runs the blocked kernel;
+//  * zero per-call shape checks or dispatch branches.
+//
+// Dispatch pinning: CaptureOptions.dispatch_n plays the role of
+// ag::fwd::conv1d's dispatch_n. Serving captures use 1 (batch-invariant
+// coalescing, matching serve::Session); trainer eval captures use 0 so the
+// plan matches net.forward()'s true-batch dispatch.
+#pragma once
+
+#include "graph/plan.h"
+#include "graph/snapshot.h"
+
+namespace rptcn::graph {
+
+struct CaptureOptions {
+  /// Batch-size override for kernel dispatch decisions (conv GEMM-vs-direct
+  /// cutoffs): 1 pins the N=1 choice (serving), 0 uses the true N
+  /// (training-style eval). Chunking always uses the true N.
+  std::size_t dispatch_n = 1;
+};
+
+// -- capture one forward for input [n, f, t] ---------------------------------
+std::shared_ptr<const Executable> capture(const RptcnSnap& snap, std::size_t n,
+                                          std::size_t f, std::size_t t,
+                                          const CaptureOptions& opts = {});
+std::shared_ptr<const Executable> capture(const LstmNetSnap& snap,
+                                          std::size_t n, std::size_t f,
+                                          std::size_t t,
+                                          const CaptureOptions& opts = {});
+std::shared_ptr<const Executable> capture(const BiLstmNetSnap& snap,
+                                          std::size_t n, std::size_t f,
+                                          std::size_t t,
+                                          const CaptureOptions& opts = {});
+std::shared_ptr<const Executable> capture(const CnnLstmSnap& snap,
+                                          std::size_t n, std::size_t f,
+                                          std::size_t t,
+                                          const CaptureOptions& opts = {});
+
+// -- plan-cache factories -----------------------------------------------------
+// The returned CaptureFn owns a deep copy of the snapshot (weights baked
+// into the closures it emits), so the cache outlives the snapshot object.
+CaptureFn make_capture_fn(RptcnSnap snap, const CaptureOptions& opts = {});
+CaptureFn make_capture_fn(LstmNetSnap snap, const CaptureOptions& opts = {});
+CaptureFn make_capture_fn(BiLstmNetSnap snap, const CaptureOptions& opts = {});
+CaptureFn make_capture_fn(CnnLstmSnap snap, const CaptureOptions& opts = {});
+
+}  // namespace rptcn::graph

@@ -1,0 +1,223 @@
+// Static graph capture + ahead-of-time memory planning (JIT-lite executor).
+//
+// The serving forward is shape-static: for a fixed (model, batch shape) every
+// call runs the same ops on the same sizes. The tape-free runners in
+// snapshot.cpp still pay shape checks, dispatch branches, and a buffer-pool
+// round trip per intermediate on every call. This layer pays those costs
+// once:
+//
+//  * capture — trace one forward into an immutable flat list of TensorOps
+//    (capture.h), keyed by the input shape [N, F, T].
+//  * plan    — liveness analysis assigns every intermediate an offset in one
+//    contiguous arena. A value is live on [def, last_use]; non-overlapping
+//    lifetimes share arena bytes (first-fit free list, 16-float aligned),
+//    and an op whose input dies at the op itself may alias its output onto
+//    that input's block (in-place add+relu).
+//  * replay  — Executable::run binds {input, output, arena} and walks the
+//    op list. No shape checks, no dispatch, no per-op allocation.
+//
+// Bit-identity contract: a captured plan must produce bit-identical outputs
+// to the eager snapshot runner. Capture therefore re-uses the exact eager
+// kernels (or shares their loop bodies via the strided entry points in
+// ag::fwd / tensor_ops), makes the same GEMM small-vs-blocked dispatch
+// decisions ahead of time, and keeps every float summation order unchanged.
+// Fusions are restricted to ones that provably preserve rounding (no new
+// fma contraction across a stored intermediate). tests/test_graph.cpp gates
+// this op-by-op and end-to-end.
+//
+// Escape hatch: RPTCN_DISABLE_PLAN=1 (or set_planning_enabled(false)) makes
+// every plan-aware caller fall back to the eager runners.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rptcn::graph {
+
+/// Global planning switch. Defaults to on unless RPTCN_DISABLE_PLAN=1.
+bool planning_enabled();
+void set_planning_enabled(bool on);
+
+/// Bound buffers for one replay. `arena` holds every planned intermediate;
+/// `input`/`output` stay external so replays can write straight into
+/// caller-owned tensors.
+struct ExecContext {
+  const float* input = nullptr;
+  float* output = nullptr;
+  float* arena = nullptr;
+};
+
+/// One replay step: a closure over pre-resolved offsets and baked weights.
+using Operation = std::function<void(const ExecContext&)>;
+
+/// Flat dispatch record, one per captured op.
+struct TensorOp {
+  Operation op;
+  std::string name;            ///< kernel name for debugging / tests
+  std::size_t num_inputs = 0;  ///< fan-in, for plan introspection
+};
+
+/// Handle to a planned value inside a GraphBuilder trace.
+using ValueId = std::size_t;
+
+/// Where a planned value lives at replay time.
+enum class Loc { kInput, kOutput, kArena };
+
+/// Debug/test view of one planned value.
+struct ValueInfo {
+  Loc loc = Loc::kArena;
+  std::size_t off = 0;     ///< float offset within its region
+  std::size_t floats = 0;  ///< size
+  std::size_t def = 0;     ///< defining step
+  std::size_t last = 0;    ///< last step that reads or writes it
+  bool aliased = false;    ///< shares its block with the input it replaced
+};
+
+/// An immutable captured-and-planned forward. Thread-safe to replay
+/// concurrently: run() binds a per-call arena from the buffer pool, and the
+/// baked closures only read shared state (weights, offsets).
+class Executable {
+ public:
+  Executable(std::vector<TensorOp> steps, std::vector<ValueInfo> values,
+             std::vector<std::size_t> input_shape,
+             std::vector<std::size_t> output_shape, std::size_t arena_floats);
+
+  /// Replay: x must match input_shape() exactly (checked). Returns a fresh
+  /// output tensor of output_shape().
+  Tensor run(const Tensor& x) const;
+
+  const std::vector<std::size_t>& input_shape() const { return input_shape_; }
+  const std::vector<std::size_t>& output_shape() const {
+    return output_shape_;
+  }
+  std::size_t arena_floats() const { return arena_floats_; }
+  std::size_t step_count() const { return steps_.size(); }
+  const std::vector<TensorOp>& steps() const { return steps_; }
+  const std::vector<ValueInfo>& values() const { return values_; }
+
+ private:
+  std::vector<TensorOp> steps_;
+  std::vector<ValueInfo> values_;
+  std::vector<std::size_t> input_shape_;
+  std::vector<std::size_t> output_shape_;
+  std::size_t arena_floats_ = 0;
+};
+
+// -- capture-time graph construction ------------------------------------------
+// Emitters (capture.cpp) declare values and ops against a GraphBuilder; the
+// builder runs liveness + arena assignment in finish(), then bakes each op's
+// closure with the final offsets. Ops never see ValueIds at replay time.
+
+/// Resolves ValueIds to concrete pointers inside a bound ExecContext.
+/// Handed to MakeFn AFTER planning, so closures capture raw offsets.
+class Resolver {
+ public:
+  /// Pointer to a planned value's storage given the bound context.
+  /// The returned accessor is a plain offset dereference — safe to call
+  /// inside the op closure on every replay.
+  std::function<float*(const ExecContext&)> ptr(ValueId v) const;
+  std::function<const float*(const ExecContext&)> cptr(ValueId v) const;
+
+ private:
+  friend class GraphBuilder;
+  explicit Resolver(const std::vector<ValueInfo>* values) : values_(values) {}
+  const std::vector<ValueInfo>* values_;
+};
+
+/// Builds one op's replay closure once offsets are final.
+using MakeFn = std::function<Operation(const Resolver&)>;
+
+/// Declarative record of one op's data flow, consumed by the planner.
+struct EmitSpec {
+  std::string name;
+  std::vector<ValueId> inputs;   ///< values read (extends their liveness)
+  std::vector<ValueId> outputs;  ///< values defined (or mutated in place)
+  std::vector<ValueId> scratch;  ///< live only during this step
+  /// When set, try to place outputs[0] on this input's arena block (legal if
+  /// the alias target dies at this step and is at least as large). The op
+  /// must tolerate in == out.
+  ValueId alias_target = kNoAlias;
+  static constexpr ValueId kNoAlias = static_cast<ValueId>(-1);
+};
+
+class GraphBuilder {
+ public:
+  GraphBuilder(std::vector<std::size_t> input_shape,
+               std::vector<std::size_t> output_shape);
+
+  /// Declare the whole-input / whole-output values (loc kInput / kOutput).
+  ValueId input_value();
+  ValueId output_value();
+
+  /// Declare an arena value of `floats` elements.
+  ValueId value(std::size_t floats);
+
+  /// Append an op. `make` is invoked in finish() with the planned offsets.
+  void emit(EmitSpec spec, MakeFn make);
+
+  /// Run liveness + arena assignment, bake closures, and freeze.
+  std::shared_ptr<const Executable> finish();
+
+ private:
+  std::vector<std::size_t> input_shape_;
+  std::vector<std::size_t> output_shape_;
+  std::vector<ValueInfo> values_;
+  std::vector<EmitSpec> specs_;
+  std::vector<MakeFn> makes_;
+  ValueId input_id_ = 0;
+  ValueId output_id_ = 0;
+};
+
+// -- plan cache ---------------------------------------------------------------
+
+/// Captures a plan for one input shape [N, F, T].
+using CaptureFn = std::function<std::shared_ptr<const Executable>(
+    std::size_t n, std::size_t f, std::size_t t)>;
+
+/// Shape-keyed cache of Executables for one model snapshot. A hot-swap
+/// installs a new session (and with it a new PlanCache), so generation
+/// invalidation is structural: stale plans die with the session that owns
+/// them and can never serve a new generation's weights.
+class PlanCache {
+ public:
+  explicit PlanCache(CaptureFn capture);
+
+  /// Plan for shape [n, f, t]: cached, or captured under the lock (so a
+  /// shape is captured exactly once even under concurrent first calls).
+  std::shared_ptr<const Executable> get(std::size_t n, std::size_t f,
+                                        std::size_t t);
+
+  /// Shapes currently cached (for error messages and tests).
+  std::vector<std::array<std::size_t, 3>> shapes() const;
+
+  std::size_t size() const;
+
+  /// Bound on distinct shapes kept; oldest-inserted evicted beyond this.
+  static constexpr std::size_t kMaxPlans = 32;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::array<std::size_t, 3>& k) const {
+      std::size_t h = 1469598103934665603ull;
+      for (std::size_t v : k) h = (h ^ v) * 1099511628211ull;
+      return h;
+    }
+  };
+
+  CaptureFn capture_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::array<std::size_t, 3>,
+                     std::shared_ptr<const Executable>, KeyHash>
+      plans_;
+  std::vector<std::array<std::size_t, 3>> order_;  ///< insertion order
+};
+
+}  // namespace rptcn::graph

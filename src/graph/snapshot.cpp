@@ -1,4 +1,4 @@
-#include "serve/snapshot.h"
+#include "graph/snapshot.h"
 
 #include "autograd/ops.h"
 #include "nn/cnn_lstm.h"
@@ -6,7 +6,7 @@
 #include "nn/rptcn_net.h"
 #include "tensor/tensor_ops.h"
 
-namespace rptcn::serve {
+namespace rptcn::graph {
 
 namespace {
 
@@ -138,4 +138,4 @@ Tensor forward(const CnnLstmSnap& snap, const Tensor& x) {
   return linear_forward(snap.head, lstm_forward(snap.lstm, h));
 }
 
-}  // namespace rptcn::serve
+}  // namespace rptcn::graph

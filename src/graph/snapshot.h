@@ -1,0 +1,98 @@
+// Read-only weight snapshots for tape-free serving.
+//
+// A snapshot copies a fitted network's parameters into plain Tensors —
+// weight normalisation already folded into effective weights with the exact
+// arithmetic of ag::weight_norm — plus the tape-free forward runners that
+// consume them. The runners mirror the nets' eval-mode forward passes
+// through the ag::fwd kernels (the same functions the autograd ops call for
+// their forward values), so a snapshot forward is bit-identical to the
+// autograd forward without allocating a single Variable.
+//
+// Batch invariance: every eval-mode op is per-row deterministic, except the
+// Conv1d kAuto dispatch whose flop cutoff depends on the batch size N. The
+// runners therefore pin every conv's dispatch to its N=1 decision
+// (ag::fwd::conv1d dispatch_n=1), so a coalesced batch reproduces each
+// single-window forward bit-for-bit.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rptcn::nn {
+class Conv1d;
+class Lstm;
+class Linear;
+class RptcnNet;
+class LstmNet;
+class BiLstmNet;
+class CnnLstm;
+}  // namespace rptcn::nn
+
+namespace rptcn::graph {
+
+/// One Conv1d layer, weight norm pre-folded.
+struct ConvSnap {
+  Tensor w;  ///< [Cout, Cin, K] effective weight
+  Tensor b;  ///< [Cout]; empty when the layer has no bias
+  std::size_t dilation = 1;
+  std::ptrdiff_t left_pad = -1;  ///< -1 = causal (K-1)*dilation
+};
+
+struct LinearSnap {
+  Tensor w;  ///< [out, in]
+  Tensor b;  ///< [out]; empty when the layer has no bias
+};
+
+struct LstmSnap {
+  Tensor w;  ///< [4H, F+H] packed gate weights
+  Tensor b;  ///< [4H] packed gate biases
+  std::size_t hidden = 0;
+};
+
+/// One TCN residual block (Fig. 6): conv-relu-conv-relu + shortcut.
+/// Dropout layers vanish at eval time and are not snapshotted.
+struct BlockSnap {
+  ConvSnap conv1;
+  ConvSnap conv2;
+  std::optional<ConvSnap> shortcut;  ///< 1x1 conv when channel counts differ
+};
+
+struct RptcnSnap {
+  std::vector<BlockSnap> blocks;
+  std::optional<ConvSnap> fc;                ///< 1x1 per-timestep FC
+  std::optional<ConvSnap> attention_scorer;  ///< 1x1 scorer f_phi
+  LinearSnap head;
+};
+
+struct LstmNetSnap {
+  LstmSnap lstm;
+  LinearSnap head;
+};
+
+struct BiLstmNetSnap {
+  LstmSnap fwd;
+  LstmSnap bwd;
+  LinearSnap head;
+};
+
+struct CnnLstmSnap {
+  ConvSnap conv;
+  LstmSnap lstm;
+  LinearSnap head;
+};
+
+// -- snapshot builders (deep-copy the current parameter values) --------------
+RptcnSnap snapshot(const nn::RptcnNet& net);
+LstmNetSnap snapshot(const nn::LstmNet& net);
+BiLstmNetSnap snapshot(const nn::BiLstmNet& net);
+CnnLstmSnap snapshot(const nn::CnnLstm& net);
+
+// -- tape-free eval-mode forward runners: x [N, F, T] -> [N, horizon] --------
+Tensor forward(const RptcnSnap& snap, const Tensor& x);
+Tensor forward(const LstmNetSnap& snap, const Tensor& x);
+Tensor forward(const BiLstmNetSnap& snap, const Tensor& x);
+Tensor forward(const CnnLstmSnap& snap, const Tensor& x);
+
+}  // namespace rptcn::graph

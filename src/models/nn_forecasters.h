@@ -22,6 +22,12 @@ struct NnTrainConfig {
   std::uint64_t seed = 42;
   opt::Loss loss = opt::Loss::kMse;  ///< kPinball -> quantile forecaster
   float pinball_tau = 0.9f;
+  /// Run each epoch's validation pass through the planned executor
+  /// (graph capture + arena replay) instead of the tape forward. Loss
+  /// curves are bit-identical either way (the planned executor's
+  /// contract); this trades a per-epoch capture for faster evaluation on
+  /// large validation sets. Ignored while RPTCN_DISABLE_PLAN=1.
+  bool planned_eval = false;
   /// Per-epoch callbacks forwarded to opt::fit (borrowed; must outlive
   /// fit()). An opt::LoggingObserver restores the old `verbose` output.
   std::vector<opt::EpochObserver*> observers;

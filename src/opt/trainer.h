@@ -27,6 +27,9 @@ struct TrainData {
 /// forecaster (capacity-planning extension).
 enum class Loss { kMse, kMae, kPinball };
 
+/// Forward function type: batched inputs -> predictions.
+using ForwardFn = std::function<Variable(const Variable&)>;
+
 struct TrainOptions {
   Loss loss = Loss::kMse;
   float pinball_tau = 0.9f;        ///< only used with Loss::kPinball
@@ -43,6 +46,14 @@ struct TrainOptions {
   /// obs::enabled(), fit() additionally notifies the shared MetricsObserver
   /// whether or not it appears here.
   std::vector<EpochObserver*> observers;
+  /// Optional planned-executor hook for the per-epoch validation pass.
+  /// Invoked after each epoch's set_training(false), i.e. against the
+  /// freshly-updated weights; the returned forward replaces `forward` for
+  /// that evaluation only. Wired by models::fit_net when
+  /// NnTrainConfig.planned_eval is set (captures a graph::snapshot of the
+  /// epoch's weights and replays it through the planned executor — by the
+  /// bit-identity contract the loss curve is unchanged).
+  std::function<ForwardFn()> eval_forward_factory;
 };
 
 struct TrainHistory {
@@ -52,9 +63,6 @@ struct TrainHistory {
   double best_valid_loss = 0.0;
   bool stopped_early = false;
 };
-
-/// Forward function type: batched inputs -> predictions.
-using ForwardFn = std::function<Variable(const Variable&)>;
 
 /// Gather rows `index[...]` of a [S, ...] tensor into a new batch tensor.
 Tensor gather_rows(const Tensor& t, const std::vector<std::size_t>& index);

@@ -1,5 +1,7 @@
 #include "serve/session.h"
 
+#include <sstream>
+
 #include "models/nn_forecasters.h"
 
 namespace rptcn::serve {
@@ -38,6 +40,7 @@ InferenceSession::InferenceSession(models::Forecaster& forecaster)
     snap_ = serve::snapshot(net);
     horizon_ = net.options().horizon;
     input_features_ = net.options().input_features;
+    init_plans();
   };
   if (const auto* rptcn = dynamic_cast<const models::RptcnForecaster*>(&forecaster)) {
     take(require_net(rptcn->net(), name_));
@@ -60,28 +63,74 @@ InferenceSession::InferenceSession(const nn::RptcnNet& net)
     : name_("RPTCN"),
       horizon_(net.options().horizon),
       input_features_(net.options().input_features),
-      snap_(serve::snapshot(net)) {}
+      snap_(serve::snapshot(net)) {
+  init_plans();
+}
 
 InferenceSession::InferenceSession(const nn::LstmNet& net)
     : name_("LSTM"),
       horizon_(net.options().horizon),
       input_features_(net.options().input_features),
-      snap_(serve::snapshot(net)) {}
+      snap_(serve::snapshot(net)) {
+  init_plans();
+}
 
 InferenceSession::InferenceSession(const nn::BiLstmNet& net)
     : name_("BiLSTM"),
       horizon_(net.options().horizon),
       input_features_(net.options().input_features),
-      snap_(serve::snapshot(net)) {}
+      snap_(serve::snapshot(net)) {
+  init_plans();
+}
 
 InferenceSession::InferenceSession(const nn::CnnLstm& net)
     : name_("CNN-LSTM"),
       horizon_(net.options().horizon),
       input_features_(net.options().input_features),
-      snap_(serve::snapshot(net)) {}
+      snap_(serve::snapshot(net)) {
+  init_plans();
+}
+
+void InferenceSession::init_plans() {
+  // Capture closures deep-copy the snapshot's tensors, so the cache stays
+  // valid for the session's whole lifetime; serving captures pin conv
+  // dispatch to N=1 (CaptureOptions default), matching the eager runner's
+  // batch-invariance guarantee.
+  std::visit(
+      [this](const auto& snap) {
+        if constexpr (!std::is_same_v<std::decay_t<decltype(snap)>,
+                                      std::monostate>) {
+          plans_ = std::make_unique<graph::PlanCache>(
+              graph::make_capture_fn(snap));
+        }
+      },
+      snap_);
+}
+
+std::string InferenceSession::expected_shape() const {
+  std::ostringstream os;
+  os << "[N, ";
+  if (input_features_ != 0)
+    os << input_features_;
+  else
+    os << "F";
+  os << ", T]";
+  if (plans_ != nullptr) {
+    const auto shapes = plans_->shapes();
+    if (!shapes.empty()) {
+      os << " (captured plans:";
+      for (const auto& s : shapes)
+        os << " [" << s[0] << ", " << s[1] << ", " << s[2] << "]";
+      os << ")";
+    }
+  }
+  return os.str();
+}
 
 Tensor InferenceSession::run(const Tensor& inputs) const {
-  RPTCN_CHECK(inputs.rank() == 3, "InferenceSession::run expects [N,F,T], got "
+  RPTCN_CHECK(inputs.rank() == 3, "InferenceSession::run: model \""
+                                      << name_ << "\" expects "
+                                      << expected_shape() << ", got "
                                       << inputs.shape_string());
   if (delegate_ != nullptr) {
     std::lock_guard<std::mutex> lock(delegate_mutex_);
@@ -89,8 +138,11 @@ Tensor InferenceSession::run(const Tensor& inputs) const {
   }
   RPTCN_CHECK(input_features_ == 0 || inputs.dim(1) == input_features_,
               "InferenceSession: model \""
-                  << name_ << "\" expects " << input_features_
-                  << " features, got " << inputs.dim(1));
+                  << name_ << "\" expects " << expected_shape() << ", got "
+                  << inputs.shape_string());
+  if (plans_ != nullptr && graph::planning_enabled())
+    return plans_->get(inputs.dim(0), inputs.dim(1), inputs.dim(2))
+        ->run(inputs);
   return std::visit(
       [&](const auto& snap) -> Tensor {
         if constexpr (std::is_same_v<std::decay_t<decltype(snap)>,

@@ -14,6 +14,13 @@
 // shared_ptr<Forecaster> and the session shares ownership of the delegate,
 // so it can never dangle; with the reference constructor the forecaster
 // must outlive the session. Snapshotted sessions carry no reference back.
+// Planned execution: snapshotted sessions own a graph::PlanCache seeded
+// from their snapshot. run() replays the captured-and-planned executable
+// for the input's [N, F, T] (bit-identical to the eager runners; see
+// src/graph/plan.h), falling back to the eager forward when planning is
+// disabled (RPTCN_DISABLE_PLAN=1). Hot-swap safety is structural: the plan
+// cache lives and dies with its session, so a BatchingEngine swap installs
+// a fresh cache and stale plans can never see new weights.
 #pragma once
 
 #include <memory>
@@ -21,6 +28,8 @@
 #include <string>
 #include <variant>
 
+#include "graph/capture.h"
+#include "graph/plan.h"
 #include "serve/snapshot.h"
 
 namespace rptcn::models {
@@ -63,12 +72,20 @@ class InferenceSession {
   std::size_t input_features() const { return input_features_; }
 
  private:
+  /// Seed plans_ from the (just-assigned) snapshot variant.
+  void init_plans();
+  /// Expected input shape for error messages: "[N, F, T]" plus the shapes
+  /// already captured by the plan cache.
+  std::string expected_shape() const;
+
   std::string name_;
   std::size_t horizon_ = 0;
   std::size_t input_features_ = 0;
   std::variant<std::monostate, RptcnSnap, LstmNetSnap, BiLstmNetSnap,
                CnnLstmSnap>
       snap_;
+  /// Shape-keyed planned executables; null for delegated models.
+  std::unique_ptr<graph::PlanCache> plans_;
   models::Forecaster* delegate_ = nullptr;  ///< set iff snap_ is monostate
   /// Keeps `delegate_` alive when constructed from a shared_ptr.
   std::shared_ptr<models::Forecaster> owner_;

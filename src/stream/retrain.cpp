@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "obs/trace.h"
+#include "tensor/buffer_pool.h"
 
 namespace rptcn::stream {
 
@@ -253,6 +254,11 @@ void RollingRetrainer::run_job(data::TimeSeriesFrame history,
   }
   g.outcome.swapped = true;
   generation_gauge_.set(static_cast<double>(g.outcome.generation));
+  // The retired generation's planned executors strand their worst-case
+  // scratch in this thread's pool buckets (training tapes, capture arenas).
+  // Shrink the cache to half its bound so long-running pipelines do not
+  // accumulate one dead high-water mark per swap.
+  pool::trim(pool::kMaxCachedBytes / 2);
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++completed_;

@@ -43,7 +43,13 @@ struct PoolMetrics {
   obs::Counter& misses = obs::metrics().counter("tensor_pool/misses");
   obs::Counter& bytes_recycled =
       obs::metrics().counter("tensor_pool/bytes_recycled");
+  obs::Gauge& bytes_live = obs::metrics().gauge("tensor_pool/bytes_live");
 };
+
+/// Process-wide live-byte balance behind the tensor_pool/bytes_live gauge.
+/// Only touched while metrics are enabled, so the disabled hot path never
+/// contends on this shared line.
+std::atomic<std::int64_t> g_live_bytes{0};
 
 PoolMetrics& pool_metrics() {
   static PoolMetrics* m = new PoolMetrics();
@@ -73,6 +79,30 @@ ThreadCache* thread_cache() {
   return &holder.cache;
 }
 
+/// Record `bytes` handed out by acquire(): per-thread balance plus, while
+/// metrics are on, the process-wide bytes_live high-water gauge.
+void account_acquire(ThreadCache* tc, std::size_t bytes) {
+  if (tc != nullptr) {
+    tc->stats.live_bytes += static_cast<std::int64_t>(bytes);
+    if (tc->stats.live_bytes > tc->stats.live_bytes_high)
+      tc->stats.live_bytes_high = tc->stats.live_bytes;
+  }
+  if (obs::enabled()) {
+    const std::int64_t now =
+        g_live_bytes.fetch_add(static_cast<std::int64_t>(bytes),
+                               std::memory_order_relaxed) +
+        static_cast<std::int64_t>(bytes);
+    if (now > 0) pool_metrics().bytes_live.set_max(static_cast<double>(now));
+  }
+}
+
+void account_release(ThreadCache* tc, std::size_t bytes) {
+  if (tc != nullptr) tc->stats.live_bytes -= static_cast<std::int64_t>(bytes);
+  if (obs::enabled())
+    g_live_bytes.fetch_sub(static_cast<std::int64_t>(bytes),
+                           std::memory_order_relaxed);
+}
+
 }  // namespace
 
 bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
@@ -83,34 +113,39 @@ void set_enabled(bool on) {
 
 std::vector<float> acquire(std::size_t n) {
   if (n == 0) return {};
-  ThreadCache* tc = enabled() ? thread_cache() : nullptr;
+  ThreadCache* tc = thread_cache();
+  ThreadCache* cache = enabled() ? tc : nullptr;
   const std::size_t b = bucket_for_size(n);
-  if (tc != nullptr && b < kNumBuckets && !tc->buckets[b].empty()) {
-    std::vector<float> buf = std::move(tc->buckets[b].back());
-    tc->buckets[b].pop_back();
-    tc->cached_bytes -= buf.capacity() * sizeof(float);
-    ++tc->stats.hits;
-    --tc->stats.cached_buffers;
-    tc->stats.cached_bytes = tc->cached_bytes;
+  if (cache != nullptr && b < kNumBuckets && !cache->buckets[b].empty()) {
+    std::vector<float> buf = std::move(cache->buckets[b].back());
+    cache->buckets[b].pop_back();
+    cache->cached_bytes -= buf.capacity() * sizeof(float);
+    ++cache->stats.hits;
+    --cache->stats.cached_buffers;
+    cache->stats.cached_bytes = cache->cached_bytes;
     pool_metrics().hits.add(1);
     pool_metrics().bytes_recycled.add(n * sizeof(float));
+    account_acquire(tc, buf.capacity() * sizeof(float));
     buf.resize(n);  // capacity covers n: never reallocates
     return buf;
   }
-  if (tc != nullptr) ++tc->stats.misses;
+  if (cache != nullptr) ++cache->stats.misses;
   pool_metrics().misses.add(1);
   std::vector<float> buf;
   // Reserve the full bucket so the buffer re-enters the same bucket on
   // release; oversized requests get an exact allocation and are not cached.
   if (b < kNumBuckets) buf.reserve(bucket_capacity(b));
   buf.resize(n);
+  account_acquire(tc, buf.capacity() * sizeof(float));
   return buf;
 }
 
 void release(std::vector<float>&& buf) {
   std::vector<float> victim = std::move(buf);  // frees on every early return
-  if (victim.capacity() == 0 || !enabled()) return;
+  if (victim.capacity() == 0) return;
   ThreadCache* tc = thread_cache();
+  account_release(tc, victim.capacity() * sizeof(float));
+  if (!enabled()) return;
   if (tc == nullptr) return;
   // Bucket by capacity: the invariant is capacity >= bucket_capacity(b), so
   // a vector that did not come from acquire() (Tensor::from) is filed under
@@ -135,13 +170,22 @@ ThreadCacheStats thread_stats() {
   return tc != nullptr ? tc->stats : ThreadCacheStats{};
 }
 
-void clear_thread_cache() {
+void clear_thread_cache() { trim(0); }
+
+void trim(std::size_t keep_bytes) {
   ThreadCache* tc = thread_cache();
   if (tc == nullptr) return;
-  for (auto& bucket : tc->buckets) bucket.clear();
-  tc->cached_bytes = 0;
-  tc->stats.cached_buffers = 0;
-  tc->stats.cached_bytes = 0;
+  // Largest buckets first: those hold the bytes a retired execution plan is
+  // most likely to have stranded, and freeing one buys the most headroom.
+  for (std::size_t b = kNumBuckets; b-- > 0 && tc->cached_bytes > keep_bytes;) {
+    auto& bucket = tc->buckets[b];
+    while (!bucket.empty() && tc->cached_bytes > keep_bytes) {
+      tc->cached_bytes -= bucket.back().capacity() * sizeof(float);
+      bucket.pop_back();
+      --tc->stats.cached_buffers;
+    }
+  }
+  tc->stats.cached_bytes = tc->cached_bytes;
 }
 
 }  // namespace rptcn::pool

@@ -29,8 +29,14 @@
 //    allocation, for debugging suspected recycling bugs.
 //
 // Observability: hits, misses and bytes recycled are exported through the
-// obs::MetricsRegistry as tensor_pool/{hits,misses,bytes_recycled}; exact
-// per-thread numbers for tests come from thread_stats().
+// obs::MetricsRegistry as tensor_pool/{hits,misses,bytes_recycled}; a
+// tensor_pool/bytes_live gauge tracks (while metrics are enabled) the
+// high-water mark of bytes handed out by acquire() and not yet returned.
+// The accounting is approximate under buffer migration — a tensor released
+// on a different thread than it was acquired on still balances globally,
+// but a vector that never came from acquire() (Tensor::from) subtracts
+// without having added. Exact per-thread numbers for tests come from
+// thread_stats().
 #pragma once
 
 #include <cstddef>
@@ -65,11 +71,23 @@ struct ThreadCacheStats {
   std::uint64_t returns = 0;     ///< releases accepted into the cache
   std::size_t cached_buffers = 0;
   std::size_t cached_bytes = 0;
+  /// Bytes acquired minus bytes released on this thread. Signed: a thread
+  /// that releases buffers acquired elsewhere (futures handing tensors
+  /// across threads) legitimately goes negative.
+  std::int64_t live_bytes = 0;
+  std::int64_t live_bytes_high = 0;  ///< high-water of live_bytes
 };
 ThreadCacheStats thread_stats();
 
 /// Drop every buffer cached by the calling thread (tests / memory pressure).
 void clear_thread_cache();
+
+/// Shrink the calling thread's cache until it holds at most `keep_bytes`,
+/// freeing the largest buckets first (they are the ones a new execution
+/// plan most often strands: once an arena replaces per-op buffers, the
+/// worst-case im2col/activation buckets go permanently dead). trim(0) is
+/// clear_thread_cache().
+void trim(std::size_t keep_bytes = 0);
 
 /// RAII scratch buffer for kernels (im2col patches, packed panels):
 /// acquires on construction, releases on destruction, so per-call scratch

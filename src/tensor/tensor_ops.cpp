@@ -110,6 +110,17 @@ Tensor sigmoid(const Tensor& a) {
 Tensor tanh_t(const Tensor& a) {
   return unary(a, [](float x) { return std::tanh(x); });
 }
+
+void sigmoid_inplace(float* p, std::size_t n) {
+  // Same pipeline as sigmoid() above, minus the out-of-place negate.
+  for (std::size_t i = 0; i < n; ++i) p[i] = -p[i];
+  vexp_inplace(p, n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = 1.0f / (1.0f + p[i]);
+}
+
+void tanh_inplace(float* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) p[i] = std::tanh(p[i]);
+}
 Tensor exp_t(const Tensor& a) {
   Tensor out = a;
   vexp_inplace(out.raw(), out.size());
@@ -301,6 +312,48 @@ GemmMetrics& gemm_metrics() {
   return *m;
 }
 
+/// One row block of the blocked kernel: pack the A panel and drive the
+/// micro-kernel against an already-packed B k-panel. Shared by gemm and the
+/// prepacked-B replay so both paths execute the identical code (and thus
+/// the identical rounding sequence).
+void gemm_row_block(std::size_t i0, std::size_t mc, std::size_t n,
+                    std::size_t kc, std::size_t p0, const float* a,
+                    std::size_t lda, bool ta, const float* bpack, float* c) {
+  pool::Scratch apack(((mc + kMR - 1) / kMR) * kMR * kc);
+  pack_a(a, lda, ta, i0, p0, mc, kc, apack.data());
+  for (std::size_t jr = 0; jr < n; jr += kNR) {
+    const std::size_t nr = std::min(kNR, n - jr);
+    const float* bp = bpack + jr * kc;
+    for (std::size_t ir = 0; ir < mc; ir += kMR) {
+      const std::size_t mr = std::min(kMR, mc - ir);
+      float acc[kMR * kNR] = {0.0f};
+      micro_kernel(kc, apack.data() + ir * kc, bp, acc);
+      for (std::size_t r = 0; r < mr; ++r) {
+        float* crow = c + (i0 + ir + r) * n + jr;
+        for (std::size_t cc = 0; cc < nr; ++cc)
+          crow[cc] += acc[r * kNR + cc];
+      }
+    }
+  }
+}
+
+/// Analytic pack-traffic accounting for the blocked path (bytes_packed
+/// counter); b_side toggles whether the B panels count (they do not when a
+/// prepacked B is replayed).
+void count_packed_bytes(std::size_t m, std::size_t n, std::size_t k,
+                        bool b_side) {
+  const std::size_t n_panels = (n + kNR - 1) / kNR;
+  std::uint64_t packed_rows = 0;
+  for (std::size_t i0 = 0; i0 < m; i0 += kMC) {
+    const std::size_t mc = std::min(kMC, m - i0);
+    packed_rows += (mc + kMR - 1) / kMR * kMR;
+  }
+  if (b_side) packed_rows += n_panels * kNR;
+  gemm_metrics().bytes_packed.add(packed_rows *
+                                  static_cast<std::uint64_t>(k) *
+                                  sizeof(float));
+}
+
 /// C[m,n] += op(A) * op(B) with C zero-initialised by the caller.
 /// op is transpose iff ta/tb; lda/ldb are the *storage* leading dimensions.
 void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
@@ -316,19 +369,7 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
     return;
   }
   const std::size_t n_panels = (n + kNR - 1) / kNR;
-  if (metrics_on) {
-    // Packed traffic of the blocked path: every kc-panel of B is packed to
-    // n_panels * kNR columns, every row block of A to a kMR multiple; the
-    // kc's sum to k across panels.
-    std::uint64_t packed_rows = 0;
-    for (std::size_t i0 = 0; i0 < m; i0 += kMC) {
-      const std::size_t mc = std::min(kMC, m - i0);
-      packed_rows += (mc + kMR - 1) / kMR * kMR;
-    }
-    gemm_metrics().bytes_packed.add(
-        (packed_rows + n_panels * kNR) * static_cast<std::uint64_t>(k) *
-        sizeof(float));
-  }
+  if (metrics_on) count_packed_bytes(m, n, k, /*b_side=*/true);
   pool::Scratch bpack(kKC * n_panels * kNR);
   const std::size_t row_blocks = (m + kMC - 1) / kMC;
   const bool fan_out =
@@ -340,22 +381,7 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
     for (std::size_t blk = 0; blk < row_blocks; ++blk) {
       const std::size_t i0 = blk * kMC;
       const std::size_t mc = std::min(kMC, m - i0);
-      pool::Scratch apack(((mc + kMR - 1) / kMR) * kMR * kc);
-      pack_a(a, lda, ta, i0, p0, mc, kc, apack.data());
-      for (std::size_t jr = 0; jr < n; jr += kNR) {
-        const std::size_t nr = std::min(kNR, n - jr);
-        const float* bp = bpack.data() + jr * kc;
-        for (std::size_t ir = 0; ir < mc; ir += kMR) {
-          const std::size_t mr = std::min(kMR, mc - ir);
-          float acc[kMR * kNR] = {0.0f};
-          micro_kernel(kc, apack.data() + ir * kc, bp, acc);
-          for (std::size_t r = 0; r < mr; ++r) {
-            float* crow = c + (i0 + ir + r) * n + jr;
-            for (std::size_t cc = 0; cc < nr; ++cc)
-              crow[cc] += acc[r * kNR + cc];
-          }
-        }
-      }
+      gemm_row_block(i0, mc, n, kc, p0, a, lda, ta, bpack.data(), c);
     }
   }
 }
@@ -366,6 +392,62 @@ void gemm_accumulate(std::size_t m, std::size_t n, std::size_t k,
                      const float* a, std::size_t lda, bool trans_a,
                      const float* b, std::size_t ldb, bool trans_b, float* c) {
   gemm(m, n, k, a, lda, trans_a, b, ldb, trans_b, c);
+}
+
+bool gemm_uses_blocked(std::size_t m, std::size_t n, std::size_t k) {
+  return m * n * k > kSmallGemmFlops;
+}
+
+PackedB gemm_pack_b(const float* b, std::size_t ldb, bool trans_b,
+                    std::size_t k, std::size_t n) {
+  PackedB pb;
+  pb.k = k;
+  pb.n = n;
+  const std::size_t n_panels = (n + kNR - 1) / kNR;
+  std::size_t off = 0;
+  for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
+    const std::size_t kc = std::min(kKC, k - p0);
+    pb.panel_off.push_back(off);
+    off += n_panels * kNR * kc;
+  }
+  pb.data.resize(off);
+  std::size_t pi = 0;
+  for (std::size_t p0 = 0; p0 < k; p0 += kKC, ++pi) {
+    const std::size_t kc = std::min(kKC, k - p0);
+    pack_b(b, ldb, trans_b, p0, kc, n, pb.data.data() + pb.panel_off[pi]);
+  }
+  return pb;
+}
+
+void gemm_accumulate_packed_b(std::size_t m, std::size_t n, std::size_t k,
+                              const float* a, std::size_t lda, bool trans_a,
+                              const PackedB& b, float* c) {
+  RPTCN_CHECK(b.k == k && b.n == n, "packed B shape mismatch: packed ["
+                                        << b.k << ", " << b.n << "], GEMM ["
+                                        << k << ", " << n << "]");
+  RPTCN_CHECK(gemm_uses_blocked(m, n, k),
+              "gemm_accumulate_packed_b on a small shape: " << m << "x" << n
+                                                            << "x" << k);
+  const bool metrics_on = obs::enabled();
+  if (metrics_on) {
+    gemm_metrics().calls.add(1);
+    gemm_metrics().flops.add(2ull * m * n * k);
+    count_packed_bytes(m, n, k, /*b_side=*/false);
+  }
+  const std::size_t row_blocks = (m + kMC - 1) / kMC;
+  const bool fan_out =
+      m * n * k > kParallelGemmFlops && kernel_parallelism_allowed();
+  std::size_t pi = 0;
+  for (std::size_t p0 = 0; p0 < k; p0 += kKC, ++pi) {
+    const std::size_t kc = std::min(kKC, k - p0);
+    const float* bpack = b.data.data() + b.panel_off[pi];
+#pragma omp parallel for schedule(static) if (fan_out)
+    for (std::size_t blk = 0; blk < row_blocks; ++blk) {
+      const std::size_t i0 = blk * kMC;
+      const std::size_t mc = std::min(kMC, m - i0);
+      gemm_row_block(i0, mc, n, kc, p0, a, lda, trans_a, bpack, c);
+    }
+  }
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -420,27 +502,32 @@ Tensor matvec(const Tensor& a, const Tensor& x) {
   return y;
 }
 
-Tensor softmax_lastdim(const Tensor& a) {
-  RPTCN_CHECK(a.rank() >= 1, "softmax of rank-0 tensor");
-  const std::size_t last = a.shape().back();
-  const std::size_t rows = a.size() / last;
+void softmax_rows(const float* in, float* out, std::size_t rows,
+                  std::size_t last) {
   // Single output buffer, no temporaries: shift by the row max into `out`,
   // exponentiate in place through the shared kernel, then normalise.
-  Tensor out(a.shape());
-  const float* pa = a.raw();
-  float* po = out.raw();
+  // No __restrict here: the contract allows in == out (the row max is read
+  // before the first aliased write of each row).
   for (std::size_t r = 0; r < rows; ++r) {
-    const float* __restrict in = pa + r * last;
-    float* __restrict o = po + r * last;
-    float mx = in[0];
-    for (std::size_t j = 1; j < last; ++j) mx = std::max(mx, in[j]);
-    for (std::size_t j = 0; j < last; ++j) o[j] = in[j] - mx;
+    const float* pi = in + r * last;
+    float* o = out + r * last;
+    float mx = pi[0];
+    for (std::size_t j = 1; j < last; ++j) mx = std::max(mx, pi[j]);
+    for (std::size_t j = 0; j < last; ++j) o[j] = pi[j] - mx;
     vexp_inplace(o, last);
     double denom = 0.0;
     for (std::size_t j = 0; j < last; ++j) denom += o[j];
     const float inv = static_cast<float>(1.0 / denom);
     for (std::size_t j = 0; j < last; ++j) o[j] *= inv;
   }
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  RPTCN_CHECK(a.rank() >= 1, "softmax of rank-0 tensor");
+  const std::size_t last = a.shape().back();
+  const std::size_t rows = a.size() / last;
+  Tensor out(a.shape());
+  softmax_rows(a.raw(), out.raw(), rows, last);
   return out;
 }
 

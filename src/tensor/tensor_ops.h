@@ -69,6 +69,39 @@ void gemm_accumulate(std::size_t m, std::size_t n, std::size_t k,
                      const float* a, std::size_t lda, bool trans_a,
                      const float* b, std::size_t ldb, bool trans_b, float* c);
 
+/// True iff gemm_accumulate(m,n,k,...) takes the blocked packed path rather
+/// than the small-shape triple loop. Shape-only, never data-dependent; the
+/// graph planner uses it to decide ahead of time whether a prepacked operand
+/// is legal for a given batch shape (the two paths round differently when C
+/// is prefilled with a bias, so a plan must make the same choice the eager
+/// kernel makes).
+bool gemm_uses_blocked(std::size_t m, std::size_t n, std::size_t k);
+
+/// A GEMM B operand packed ahead of time into the blocked kernel's k-major
+/// column panels — byte-for-byte the layout pack_b produces per k-panel on
+/// the fly, so replaying through gemm_accumulate_packed_b is bit-identical
+/// to gemm_accumulate on the unpacked operand. Prepacking a weight matrix
+/// once (LSTM gate weights, linear heads) removes the per-call pack_b pass
+/// and its scratch acquire from every replay.
+struct PackedB {
+  std::vector<float> data;              ///< concatenated per-k-panel packs
+  std::vector<std::size_t> panel_off;   ///< float offset of each k-panel
+  std::size_t k = 0;                    ///< logical rows of op(B)
+  std::size_t n = 0;                    ///< logical cols of op(B)
+};
+
+/// Pack op(B)[k,n] (transpose applied iff trans_b, ldb = storage leading
+/// dimension) for gemm_accumulate_packed_b.
+PackedB gemm_pack_b(const float* b, std::size_t ldb, bool trans_b,
+                    std::size_t k, std::size_t n);
+
+/// gemm_accumulate with a prepacked B. Only valid on shapes where
+/// gemm_uses_blocked(m,n,k) holds (checked); bit-identical to the unpacked
+/// call on those shapes.
+void gemm_accumulate_packed_b(std::size_t m, std::size_t n, std::size_t k,
+                              const float* a, std::size_t lda, bool trans_a,
+                              const PackedB& b, float* c);
+
 /// C = A[m,k] * B[k,n]; blocked + packed, OpenMP over row blocks.
 Tensor matmul(const Tensor& a, const Tensor& b);
 /// C = A^T * B -> (k x n) given A[m,k], B[m,n]; same blocked kernel.
@@ -83,6 +116,21 @@ Tensor matvec(const Tensor& a, const Tensor& x);
 // -- softmax ---------------------------------------------------------------------
 /// Numerically stable softmax over the last dimension (any rank >= 1).
 Tensor softmax_lastdim(const Tensor& a);
+
+/// Raw row-wise kernel behind softmax_lastdim: `rows` independent rows of
+/// `last` elements, in == out allowed. Exposed so the planned executor runs
+/// the exact kernel (max-shift, shared exp, double-accumulated denominator)
+/// the eager path runs.
+void softmax_rows(const float* in, float* out, std::size_t rows,
+                  std::size_t last);
+
+/// Raw kernels behind sigmoid / tanh_t: p[i] = sigmoid(p[i]) (negate, shared
+/// exp kernel, one rational pass — the exact sigmoid() pipeline) and
+/// p[i] = tanh(p[i]). Exposed so the planned executor's fused LSTM gate op
+/// evaluates transcendentals in this translation unit, with the same
+/// compile flags and the same code paths as the eager ops.
+void sigmoid_inplace(float* p, std::size_t n);
+void tanh_inplace(float* p, std::size_t n);
 
 // -- comparison (for tests) --------------------------------------------------------
 /// True iff shapes match and every |a-b| <= atol + rtol*|b|.

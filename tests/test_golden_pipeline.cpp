@@ -13,15 +13,19 @@
 // and commit the rewritten tests/golden/rptcn_pipeline.csv.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "graph/plan.h"
+#include "serve/session.h"
 #include "trace/cluster.h"
 
 #ifndef RPTCN_GOLDEN_DIR
@@ -74,10 +78,10 @@ void write_golden(const std::string& path, const GoldenMap& golden) {
         << entry.rel_tol << '\n';
 }
 
-/// The fixed-seed trajectory: tiny simulated cluster, Mul-Exp scenario,
-/// 2-epoch RPTCN. Every knob is pinned; any observable drift comes from the
-/// code, not the configuration.
-std::map<std::string, double> run_trajectory() {
+/// The fixed-seed pipeline behind the trajectory: tiny simulated cluster,
+/// Mul-Exp scenario, 2-epoch RPTCN. Every knob is pinned; any observable
+/// drift comes from the code, not the configuration.
+std::unique_ptr<core::RptcnPipeline> fit_golden_pipeline() {
   trace::TraceConfig trace_cfg;
   trace_cfg.num_machines = 2;
   trace_cfg.duration_steps = 400;
@@ -97,8 +101,14 @@ std::map<std::string, double> run_trajectory() {
   cfg.model.rptcn.tcn.channels = {8, 8};
   cfg.model.rptcn.fc_dim = 8;
 
-  core::RptcnPipeline pipeline(cfg);
-  pipeline.fit(sim.machine_trace(0));
+  auto pipeline = std::make_unique<core::RptcnPipeline>(cfg);
+  pipeline->fit(sim.machine_trace(0));
+  return pipeline;
+}
+
+std::map<std::string, double> run_trajectory() {
+  const auto pipeline_ptr = fit_golden_pipeline();
+  core::RptcnPipeline& pipeline = *pipeline_ptr;
 
   const auto acc = pipeline.test_accuracy();
   const auto& curves = pipeline.curves();
@@ -151,6 +161,41 @@ TEST(GoldenPipeline, TrajectoryMatchesCommittedFixture) {
         << key << " drifted from the golden trajectory (allowed ±" << tol
         << "); if intentional, regenerate with RPTCN_UPDATE_GOLDEN=1";
   }
+}
+
+TEST(GoldenPipeline, PlannedServingIsBitIdenticalOnGoldenTrajectory) {
+  // End-to-end gate for the JIT-lite executor: serve the golden pipeline's
+  // fitted RPTCN (realistic feature count after PCC screening + Mul-Exp
+  // expansion) through an InferenceSession and require every planned batched
+  // row to be bit-identical to the eager single-window forward — the same
+  // contract test_graph.cpp checks on synthetic nets, here on the full
+  // Algorithm 1 data path.
+  const bool planning_was = graph::planning_enabled();
+  const auto pipeline = fit_golden_pipeline();
+  ASSERT_TRUE(pipeline->fitted());
+  serve::InferenceSession session(*pipeline->forecaster());
+
+  const auto& test = pipeline->dataset().test;
+  const std::size_t n = std::min<std::size_t>(6, test.samples());
+  const std::size_t f = test.inputs.dim(1);
+  const std::size_t t = test.inputs.dim(2);
+  ASSERT_GT(n, 0u);
+  Tensor batch({n, f, t});
+  std::copy_n(test.inputs.raw(), n * f * t, batch.raw());
+
+  graph::set_planning_enabled(true);
+  const Tensor planned = session.run(batch);
+
+  graph::set_planning_enabled(false);
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor one({1, f, t});
+    std::copy_n(test.inputs.raw() + i * f * t, f * t, one.raw());
+    const Tensor eager = session.run(one);
+    for (std::size_t h = 0; h < planned.dim(1); ++h)
+      ASSERT_EQ(planned.at(i, h), eager.at(0, h))
+          << "planned row " << i << " diverges from the eager forward";
+  }
+  graph::set_planning_enabled(planning_was);
 }
 
 TEST(GoldenPipeline, TrajectoryIsDeterministic) {

@@ -1,0 +1,428 @@
+// Tests for the JIT-lite executor (src/graph): arena planning invariants
+// (liveness sharing, no overlap while live, in-place aliasing), capture
+// parity against the eager snapshot runners for every supported net (the
+// bit-identity contract from plan.h), PlanCache behaviour (capture-once,
+// hit/miss counters, eviction), InferenceSession integration including the
+// RPTCN_DISABLE_PLAN-style fallback and shape-error messages, and the
+// trainer's planned_eval path. The "Graph" prefix is matched by the TSAN CI
+// job's -R filter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/timeseries.h"
+#include "data/windowing.h"
+#include "graph/capture.h"
+#include "graph/plan.h"
+#include "graph/snapshot.h"
+#include "models/nn_forecasters.h"
+#include "nn/cnn_lstm.h"
+#include "nn/lstm.h"
+#include "nn/rptcn_net.h"
+#include "obs/metrics.h"
+#include "serve/session.h"
+#include "tensor/tensor.h"
+
+namespace rptcn::graph {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t.raw()[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+void expect_same_bits(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  EXPECT_EQ(std::memcmp(a.raw(), b.raw(), a.size() * sizeof(float)), 0)
+      << "planned output is not bit-identical to the eager forward";
+}
+
+/// Restores the global planning switch (tests toggle it).
+class PlanningGuard {
+ public:
+  PlanningGuard() : was_(planning_enabled()) {}
+  ~PlanningGuard() { set_planning_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+/// Enables metric recording for the test body, restoring the old state.
+class ObsGuard {
+ public:
+  ObsGuard() : was_(obs::enabled()) { obs::set_enabled(true); }
+  ~ObsGuard() { obs::set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+/// Emits `dst[i] = src[i] + delta` over `len` floats.
+void emit_add_const(GraphBuilder& g, ValueId src, ValueId dst, std::size_t len,
+                    float delta, ValueId alias = EmitSpec::kNoAlias) {
+  EmitSpec spec;
+  spec.name = "add_const";
+  spec.inputs = {src};
+  spec.outputs = {dst};
+  spec.alias_target = alias;
+  g.emit(spec, [src, dst, len, delta](const Resolver& r) -> Operation {
+    auto in = r.cptr(src);
+    auto out = r.ptr(dst);
+    return [in, out, len, delta](const ExecContext& ctx) {
+      const float* s = in(ctx);
+      float* d = out(ctx);
+      for (std::size_t i = 0; i < len; ++i) d[i] = s[i] + delta;
+    };
+  });
+}
+
+/// Minimal executable: output = input (shape [n, f, t]). Used as a cheap
+/// CaptureFn for the PlanCache tests.
+std::shared_ptr<const Executable> copy_executable(std::size_t n, std::size_t f,
+                                                  std::size_t t) {
+  const std::size_t len = n * f * t;
+  GraphBuilder g({n, f, t}, {n, f, t});
+  const ValueId in = g.input_value();
+  const ValueId out = g.output_value();
+  emit_add_const(g, in, out, len, 0.0f);
+  return g.finish();
+}
+
+// -- planner invariants -------------------------------------------------------
+
+TEST(GraphPlanner, DeadBlocksAreReusedAcrossLifetimes) {
+  // in -> a -> b -> c -> out, 64 floats each. `a` dies once `b` is
+  // computed, so `c` (defined one step later) must land on `a`'s block, and
+  // the arena needs two blocks, not three.
+  const std::size_t len = 64;
+  GraphBuilder g({8, 8}, {8, 8});
+  const ValueId in = g.input_value();
+  const ValueId out = g.output_value();
+  const ValueId a = g.value(len);
+  const ValueId b = g.value(len);
+  const ValueId c = g.value(len);
+  emit_add_const(g, in, a, len, 1.0f);
+  emit_add_const(g, a, b, len, 1.0f);
+  emit_add_const(g, b, c, len, 1.0f);
+  emit_add_const(g, c, out, len, 1.0f);
+  const auto exec = g.finish();
+
+  const auto& vals = exec->values();
+  EXPECT_EQ(vals[a].loc, Loc::kArena);
+  EXPECT_EQ(vals[c].off, vals[a].off) << "dead block was not reused";
+  EXPECT_NE(vals[b].off, vals[a].off) << "simultaneously live blocks overlap";
+  EXPECT_EQ(exec->arena_floats(), 2 * len);
+  EXPECT_EQ(exec->step_count(), 4u);
+
+  // Reuse must not corrupt the dataflow: four chained increments, rounded
+  // exactly as the ops apply them.
+  const Tensor x = random_tensor({8, 8}, 11);
+  const Tensor y = exec->run(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    float expected = x.raw()[i];
+    for (int step = 0; step < 4; ++step) expected += 1.0f;
+    ASSERT_EQ(y.raw()[i], expected);
+  }
+}
+
+TEST(GraphPlanner, AliasedOutputSharesItsInputBlock) {
+  // in -> a; a -> b in place (a dies at the op); b -> out. One arena block.
+  const std::size_t len = 64;
+  GraphBuilder g({8, 8}, {8, 8});
+  const ValueId in = g.input_value();
+  const ValueId out = g.output_value();
+  const ValueId a = g.value(len);
+  const ValueId b = g.value(len);
+  emit_add_const(g, in, a, len, 1.0f);
+  emit_add_const(g, a, b, len, 2.0f, /*alias=*/a);
+  emit_add_const(g, b, out, len, 3.0f);
+  const auto exec = g.finish();
+
+  const auto& vals = exec->values();
+  EXPECT_TRUE(vals[b].aliased);
+  EXPECT_EQ(vals[b].off, vals[a].off);
+  EXPECT_EQ(exec->arena_floats(), len);
+
+  const Tensor x = random_tensor({8, 8}, 12);
+  const Tensor y = exec->run(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float expected = ((x.raw()[i] + 1.0f) + 2.0f) + 3.0f;
+    ASSERT_EQ(y.raw()[i], expected);
+  }
+}
+
+TEST(GraphPlanner, LiveArenaBlocksNeverOverlapInRealCapture) {
+  // The planner invariant on a real model graph: any two non-aliased arena
+  // values whose [def, last] lifetimes intersect must occupy disjoint byte
+  // ranges. (Aliased values share their target's block by design.)
+  nn::RptcnOptions opt;
+  opt.input_features = 3;
+  opt.tcn.channels = {6, 6};
+  opt.fc_dim = 6;
+  nn::RptcnNet net(opt);
+  const auto exec = capture(snapshot(net), 4, 3, 12);
+  const auto& vals = exec->values();
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    if (vals[i].loc != Loc::kArena || vals[i].aliased) continue;
+    for (std::size_t j = i + 1; j < vals.size(); ++j) {
+      if (vals[j].loc != Loc::kArena || vals[j].aliased) continue;
+      const bool lifetimes_intersect =
+          vals[i].def <= vals[j].last && vals[j].def <= vals[i].last;
+      if (!lifetimes_intersect) continue;
+      const bool disjoint = vals[i].off + vals[i].floats <= vals[j].off ||
+                            vals[j].off + vals[j].floats <= vals[i].off;
+      EXPECT_TRUE(disjoint) << "values " << i << " and " << j
+                            << " are live together but share arena bytes";
+    }
+    EXPECT_LE(vals[i].off + vals[i].floats, exec->arena_floats());
+  }
+}
+
+// -- capture parity (the bit-identity contract) -------------------------------
+
+template <typename Snap>
+void expect_capture_parity(const Snap& snap, std::size_t f, std::size_t t) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{5}}) {
+    const Tensor x = random_tensor({n, f, t}, 100 + n);
+    const Tensor eager = forward(snap, x);
+    const auto exec = capture(snap, n, f, t);
+    ASSERT_NE(exec, nullptr);
+    expect_same_bits(eager, exec->run(x));
+    // Replaying the same executable again (arena re-bound from the pool)
+    // must not be contaminated by the previous run.
+    expect_same_bits(eager, exec->run(x));
+    const Tensor x2 = random_tensor({n, f, t}, 200 + n);
+    expect_same_bits(forward(snap, x2), exec->run(x2));
+  }
+}
+
+TEST(GraphCapture, RptcnParityMatchesEagerRunner) {
+  nn::RptcnOptions opt;
+  opt.input_features = 3;
+  opt.tcn.channels = {6, 6, 6};  // dilations 1, 2, 4
+  opt.fc_dim = 6;
+  opt.seed = 21;
+  nn::RptcnNet net(opt);
+  expect_capture_parity(snapshot(net), 3, 12);
+}
+
+TEST(GraphCapture, TcnVariantParityWithoutAttentionOrFc) {
+  nn::RptcnOptions opt;
+  opt.input_features = 2;
+  opt.tcn.channels = {5, 7};  // channel change exercises the 1x1 shortcut
+  opt.use_attention = false;
+  opt.use_fc = false;
+  opt.seed = 22;
+  nn::RptcnNet net(opt);
+  expect_capture_parity(snapshot(net), 2, 10);
+}
+
+TEST(GraphCapture, LstmParityMatchesEagerRunner) {
+  nn::LstmNetOptions opt;
+  opt.input_features = 3;
+  opt.hidden = 8;
+  opt.horizon = 2;
+  opt.seed = 23;
+  nn::LstmNet net(opt);
+  expect_capture_parity(snapshot(net), 3, 12);
+}
+
+TEST(GraphCapture, BiLstmParityMatchesEagerRunner) {
+  nn::BiLstmNetOptions opt;
+  opt.input_features = 2;
+  opt.hidden = 6;
+  opt.seed = 24;
+  nn::BiLstmNet net(opt);
+  expect_capture_parity(snapshot(net), 2, 9);
+}
+
+TEST(GraphCapture, CnnLstmParityMatchesEagerRunner) {
+  nn::CnnLstmOptions opt;
+  opt.input_features = 3;
+  opt.conv_channels = 4;
+  opt.hidden = 8;
+  opt.seed = 25;
+  nn::CnnLstm net(opt);
+  expect_capture_parity(snapshot(net), 3, 12);
+}
+
+TEST(GraphCapture, TrueBatchDispatchMatchesNetForward) {
+  // dispatch_n = 0 (trainer eval): the plan must reproduce net.forward()'s
+  // true-batch conv dispatch, which at N=5 picks the GEMM lowering where
+  // the serving pin (dispatch_n = 1) would stay direct.
+  nn::RptcnOptions opt;
+  opt.input_features = 3;
+  opt.tcn.channels = {6, 6};
+  opt.fc_dim = 6;
+  opt.seed = 26;
+  nn::RptcnNet net(opt);
+  net.set_training(false);
+  NoGradScope no_grad;
+  const Tensor x = random_tensor({5, 3, 12}, 31);
+  const Tensor eager = net.forward(Variable(x)).value();
+  CaptureOptions copts;
+  copts.dispatch_n = 0;
+  const auto exec = capture(snapshot(net), 5, 3, 12, copts);
+  expect_same_bits(eager, exec->run(x));
+}
+
+// -- plan cache ---------------------------------------------------------------
+
+TEST(GraphPlanCache, CapturesOncePerShapeAndCountsHitsMisses) {
+  ObsGuard obs_on;
+  auto& hits = obs::metrics().counter("graph/plan_cache_hits");
+  auto& misses = obs::metrics().counter("graph/plan_cache_misses");
+  const auto h0 = hits.value();
+  const auto m0 = misses.value();
+
+  int captures = 0;
+  PlanCache cache([&](std::size_t n, std::size_t f, std::size_t t) {
+    ++captures;
+    return copy_executable(n, f, t);
+  });
+  const auto a = cache.get(1, 2, 8);
+  const auto b = cache.get(1, 2, 8);
+  const auto c = cache.get(2, 2, 8);
+  EXPECT_EQ(captures, 2);
+  EXPECT_EQ(a, b) << "second get of one shape must return the cached plan";
+  EXPECT_NE(a, c);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(hits.value() - h0, 1u);
+  EXPECT_EQ(misses.value() - m0, 2u);
+}
+
+TEST(GraphPlanCache, EvictsOldestShapeBeyondMaxPlans) {
+  PlanCache cache(copy_executable);
+  for (std::size_t t = 1; t <= PlanCache::kMaxPlans + 1; ++t) cache.get(1, 1, t);
+  EXPECT_EQ(cache.size(), PlanCache::kMaxPlans);
+  const auto shapes = cache.shapes();
+  const std::array<std::size_t, 3> oldest{1, 1, 1};
+  EXPECT_EQ(std::count(shapes.begin(), shapes.end(), oldest), 0)
+      << "oldest-inserted shape should have been evicted";
+  // The evicted shape is re-capturable (a fresh miss, not an error).
+  EXPECT_NE(cache.get(1, 1, 1), nullptr);
+}
+
+TEST(GraphMetrics, ReplaysAndArenaBytesAreRecorded) {
+  ObsGuard obs_on;
+  auto& replays = obs::metrics().counter("graph/replays");
+  const auto r0 = replays.value();
+  const auto exec = copy_executable(2, 3, 4);
+  const Tensor x = random_tensor({2, 3, 4}, 41);
+  (void)exec->run(x);
+  (void)exec->run(x);
+  EXPECT_EQ(replays.value() - r0, 2u);
+}
+
+// -- serving integration ------------------------------------------------------
+
+TEST(GraphSession, PlannedRunMatchesEagerFallback) {
+  PlanningGuard guard;
+  nn::RptcnOptions opt;
+  opt.input_features = 3;
+  opt.tcn.channels = {6, 6};
+  opt.fc_dim = 6;
+  opt.seed = 27;
+  nn::RptcnNet net(opt);
+  serve::InferenceSession session(net);
+  const Tensor x = random_tensor({2, 3, 12}, 51);
+
+  set_planning_enabled(true);
+  const Tensor planned = session.run(x);
+  set_planning_enabled(false);
+  const Tensor eager = session.run(x);
+  expect_same_bits(eager, planned);
+}
+
+TEST(GraphSession, ShapeErrorNamesExpectedAndCapturedShapes) {
+  PlanningGuard guard;
+  set_planning_enabled(true);
+  nn::RptcnOptions opt;
+  opt.input_features = 3;
+  opt.tcn.channels = {6, 6};
+  opt.fc_dim = 6;
+  nn::RptcnNet net(opt);
+  serve::InferenceSession session(net);
+  (void)session.run(random_tensor({1, 3, 12}, 61));  // seeds the plan cache
+
+  try {
+    (void)session.run(random_tensor({2, 4, 12}, 62));  // wrong F
+    FAIL() << "expected CheckError for wrong feature count";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("[N, 3, T]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("captured plans:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[1, 3, 12]"), std::string::npos) << msg;
+  }
+
+  EXPECT_THROW((void)session.run(random_tensor({4, 12}, 63)), CheckError);
+}
+
+// -- trainer planned_eval -----------------------------------------------------
+
+models::ForecastDataset trainer_dataset() {
+  Rng rng(17);
+  const std::size_t length = 160;
+  std::vector<double> target{0.5};
+  for (std::size_t i = 1; i < length; ++i)
+    target.push_back(std::clamp(
+        0.5 + 0.85 * (target.back() - 0.5) + rng.normal(0.0, 0.02), 0.0, 1.0));
+  data::TimeSeriesFrame frame;
+  frame.add("cpu", target);
+
+  data::WindowOptions wopt;
+  wopt.window = 12;
+  wopt.horizon = 1;
+  auto split = data::chrono_split(data::make_windows(frame, "cpu", wopt));
+
+  models::ForecastDataset ds;
+  ds.train = std::move(split.train);
+  ds.valid = std::move(split.valid);
+  ds.test = std::move(split.test);
+  ds.window = wopt.window;
+  ds.horizon = wopt.horizon;
+  ds.target_channel = 0;
+  ds.target_series = target;
+  ds.train_len = ds.train.samples() + wopt.window;
+  ds.valid_len = ds.valid.samples();
+  return ds;
+}
+
+TEST(GraphTrainer, PlannedEvalReproducesTapeLossCurves) {
+  // planned_eval routes each epoch's validation pass through a fresh
+  // capture; by the bit-identity contract the loss curves must match the
+  // tape evaluation exactly, double for double.
+  const auto ds = trainer_dataset();
+  models::NnTrainConfig cfg;
+  cfg.max_epochs = 2;
+  cfg.patience = 2;
+  cfg.seed = 9;
+  nn::RptcnOptions opt;
+  opt.tcn.channels = {4, 4};
+  opt.fc_dim = 4;
+
+  models::RptcnForecaster tape(cfg, opt);
+  tape.fit(ds);
+
+  cfg.planned_eval = true;
+  models::RptcnForecaster planned(cfg, opt);
+  planned.fit(ds);
+
+  ASSERT_EQ(tape.curves().valid_loss.size(), planned.curves().valid_loss.size());
+  for (std::size_t i = 0; i < tape.curves().valid_loss.size(); ++i)
+    EXPECT_EQ(tape.curves().valid_loss[i], planned.curves().valid_loss[i]);
+  ASSERT_EQ(tape.curves().train_loss.size(), planned.curves().train_loss.size());
+  for (std::size_t i = 0; i < tape.curves().train_loss.size(); ++i)
+    EXPECT_EQ(tape.curves().train_loss[i], planned.curves().train_loss[i]);
+}
+
+}  // namespace
+}  // namespace rptcn::graph

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <thread>
@@ -456,6 +458,90 @@ TEST(ServeEngine, FlushWaitsForEverythingSubmittedBefore) {
     EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
               std::future_status::ready)
         << "flush returned before a prior submission was delivered";
+}
+
+TEST(ServeEngine, HotSwapNeverReplaysStalePlans) {
+  // Plan-cache invalidation under swap is structural: each session owns its
+  // own PlanCache, so a swapped-in session can never replay a plan captured
+  // from the old weights. Stress it: two sessions with different weights, a
+  // fixed window set whose expected rows under both sessions are known (and
+  // whose shapes are already captured in both plan caches), concurrent
+  // submitters racing a swapper that alternates the live session. Every
+  // delivered row must be bit-identical to one session's expected row — a
+  // stale plan mixing old weights into a new generation would match
+  // neither. After the final swap + flush, only the final session's rows
+  // may appear.
+  auto opt_b = engine_net_options();
+  opt_b.seed = 14;  // different weights than engine_net_options()
+  nn::RptcnNet net_a(engine_net_options());
+  nn::RptcnNet net_b(opt_b);
+  auto sess_a = std::make_shared<InferenceSession>(net_a);
+  auto sess_b = std::make_shared<InferenceSession>(net_b);
+
+  constexpr std::size_t kWindows = 4;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 48;
+  Rng rng(77);
+  std::vector<Tensor> windows;
+  std::vector<Tensor> exp_a;  // [1, horizon] per window, also seeds plans
+  std::vector<Tensor> exp_b;
+  for (std::size_t i = 0; i < kWindows; ++i) {
+    windows.push_back(random_window(rng));
+    Tensor one({1, windows[i].dim(0), windows[i].dim(1)});
+    std::copy_n(windows[i].raw(), windows[i].size(), one.raw());
+    exp_a.push_back(sess_a->run(one));
+    exp_b.push_back(sess_b->run(one));
+  }
+  const auto row_matches = [](const Tensor& row, const Tensor& expected) {
+    for (std::size_t h = 0; h < row.dim(0); ++h)
+      if (row.at(h) != expected.at(0, h)) return false;
+    return true;
+  };
+
+  BatchingEngine engine(sess_a, {/*max_batch=*/8, /*max_delay_us=*/200,
+                                 /*workers=*/2});
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    bool use_b = true;
+    while (!stop.load()) {
+      engine.swap_session(use_b ? sess_b : sess_a);
+      use_b = !use_b;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  std::vector<std::vector<std::size_t>> indices(kThreads);
+  std::vector<std::vector<std::future<Tensor>>> futures(kThreads);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kThreads; ++c)
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t w = (c + i) % kWindows;
+        indices[c].push_back(w);
+        futures[c].push_back(engine.submit(windows[w]));
+      }
+    });
+  for (auto& th : clients) th.join();
+  stop.store(true);
+  swapper.join();
+  engine.flush();
+
+  for (std::size_t c = 0; c < kThreads; ++c)
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      const Tensor row = futures[c][i].get();
+      const std::size_t w = indices[c][i];
+      EXPECT_TRUE(row_matches(row, exp_a[w]) || row_matches(row, exp_b[w]))
+          << "row matches neither generation's weights — stale plan?";
+    }
+
+  // Fence: after swap + flush, later submissions see only the new session.
+  engine.swap_session(sess_b);
+  engine.flush();
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    const Tensor row = engine.submit(windows[w]).get();
+    EXPECT_TRUE(row_matches(row, exp_b[w]))
+        << "post-swap row did not come from the swapped-in session";
+  }
 }
 
 TEST(ServeEngine, ConcurrentSubmittersAllGetTheirOwnRow) {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "tensor/tensor_ops.h"
 
@@ -289,6 +290,69 @@ TEST(TensorOps, MatmulZeroEntriesDoNotChangeReductionOrder) {
       40, 24, 300, [&](std::size_t i, std::size_t p) { return a.at(i, p); },
       [&](std::size_t p, std::size_t j) { return b.at(p, j); }, want.raw());
   expect_bit_equal(matmul(a, b), want);
+}
+
+// ---------------------------------------------------------------------------
+// Prepacked-B GEMM (the graph planner bakes weight panels with gemm_pack_b
+// and replays through gemm_accumulate_packed_b; the planned executor's
+// bit-identity contract requires the packed call to match the unpacked one
+// exactly).
+// ---------------------------------------------------------------------------
+
+TEST(TensorOps, PackedBGemmBitExactVsUnpacked) {
+  // Blocked-path shapes only (the packed entry point rejects small ones),
+  // covering non-multiples of the micro-tile and a multi-k-panel reduction.
+  const std::vector<std::array<std::size_t, 3>> shapes = {
+      {24, 40, 32}, {65, 33, 70}, {8, 8, 600}, {31, 257, 40}};
+  for (const auto& [m, n, k] : shapes) {
+    ASSERT_TRUE(gemm_uses_blocked(m, n, k));
+    Rng rng(15);
+    const Tensor a = Tensor::randn({m, k}, rng);
+    const Tensor b = Tensor::randn({k, n}, rng);
+    const Tensor bias = Tensor::randn({m, n}, rng);
+
+    // Both calls accumulate onto the same non-zero prefill: the two paths
+    // must round identically even against a biased C.
+    Tensor unpacked = bias;
+    gemm_accumulate(m, n, k, a.raw(), k, false, b.raw(), n, false,
+                    unpacked.raw());
+    const PackedB pb = gemm_pack_b(b.raw(), n, false, k, n);
+    Tensor packed = bias;
+    gemm_accumulate_packed_b(m, n, k, a.raw(), k, false, pb, packed.raw());
+    expect_bit_equal(packed, unpacked);
+
+    // Transposed-B packing (linear layers store weights [out, in]).
+    const Tensor bt = Tensor::randn({n, k}, rng);
+    Tensor unpacked_t = bias;
+    gemm_accumulate(m, n, k, a.raw(), k, false, bt.raw(), k, true,
+                    unpacked_t.raw());
+    const PackedB pbt = gemm_pack_b(bt.raw(), k, true, k, n);
+    Tensor packed_t = bias;
+    gemm_accumulate_packed_b(m, n, k, a.raw(), k, false, pbt, packed_t.raw());
+    expect_bit_equal(packed_t, unpacked_t);
+  }
+}
+
+TEST(TensorOps, PackedBGemmRejectsSmallShapesAndMismatchedPacks) {
+  Rng rng(16);
+  const Tensor a = Tensor::randn({4, 4}, rng);
+  const Tensor b = Tensor::randn({4, 4}, rng);
+  Tensor c({4, 4});
+  ASSERT_FALSE(gemm_uses_blocked(4, 4, 4));
+  const PackedB pb = gemm_pack_b(b.raw(), 4, false, 4, 4);
+  // Small shapes take the single-pass kernel whose rounding differs from
+  // the blocked panels, so the packed entry point must refuse them rather
+  // than silently break bit-identity.
+  EXPECT_THROW(
+      gemm_accumulate_packed_b(4, 4, 4, a.raw(), 4, false, pb, c.raw()),
+      CheckError);
+
+  // A pack for the wrong logical shape is rejected before any arithmetic.
+  const Tensor big = Tensor::randn({64, 64}, rng);
+  Tensor cb({64, 64});
+  EXPECT_THROW(gemm_accumulate_packed_b(64, 64, 64, big.raw(), 64, false, pb,
+                                        cb.raw()),
+               CheckError);
 }
 
 }  // namespace

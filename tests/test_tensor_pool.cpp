@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
@@ -214,6 +215,79 @@ TEST_F(BufferPool, ClearThreadCacheDropsEverything) {
   pool::clear_thread_cache();
   EXPECT_EQ(pool::thread_stats().cached_buffers, 0u);
   EXPECT_EQ(pool::thread_stats().cached_bytes, 0u);
+}
+
+TEST_F(BufferPool, TrimFreesLargestBucketsFirst) {
+  // Two size classes cached: two small (128-float) and two large
+  // (8192-float) buffers.
+  auto s1 = pool::acquire(100);
+  auto s2 = pool::acquire(100);
+  auto l1 = pool::acquire(5000);
+  auto l2 = pool::acquire(5000);
+  pool::release(std::move(s1));
+  pool::release(std::move(s2));
+  pool::release(std::move(l1));
+  pool::release(std::move(l2));
+  ASSERT_GE(pool::thread_stats().cached_bytes, 2 * 8192 * sizeof(float));
+
+  // A budget that only fits the small bucket: trim must free the large
+  // buffers first and leave the small ones cached.
+  pool::trim(4 * 1024);
+  const auto trimmed = pool::thread_stats();
+  EXPECT_LE(trimmed.cached_bytes, 4 * 1024u);
+  EXPECT_EQ(trimmed.cached_buffers, 2u);
+
+  const auto before = pool::thread_stats();
+  auto s = pool::acquire(100);   // survived the trim -> cache hit
+  auto l = pool::acquire(5000);  // freed by the trim -> allocator miss
+  const auto after = pool::thread_stats();
+  EXPECT_EQ(after.hits - before.hits, 1u);
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  pool::release(std::move(s));
+  pool::release(std::move(l));
+
+  // trim(0) is clear_thread_cache().
+  pool::trim(0);
+  EXPECT_EQ(pool::thread_stats().cached_buffers, 0u);
+  EXPECT_EQ(pool::thread_stats().cached_bytes, 0u);
+}
+
+TEST_F(BufferPool, LiveBytesBalanceAcquireAndRelease) {
+  const auto base = pool::thread_stats();
+  auto a = pool::acquire(1000);
+  auto b = pool::acquire(5000);
+  const auto peak = pool::thread_stats();
+  EXPECT_GE(peak.live_bytes - base.live_bytes,
+            static_cast<std::int64_t>((1000 + 5000) * sizeof(float)));
+  EXPECT_GE(peak.live_bytes_high, peak.live_bytes);
+  pool::release(std::move(a));
+  pool::release(std::move(b));
+  const auto done = pool::thread_stats();
+  // Balanced acquire/release on one thread returns to the baseline, and the
+  // high-water mark never comes back down.
+  EXPECT_EQ(done.live_bytes, base.live_bytes);
+  EXPECT_GE(done.live_bytes_high, peak.live_bytes);
+}
+
+TEST_F(BufferPool, BytesLiveGaugeRecordsHighWaterWhileEnabled) {
+  const bool was_obs = obs::enabled();
+  obs::set_enabled(true);
+  auto& gauge = obs::metrics().gauge("tensor_pool/bytes_live");
+  const double g0 = gauge.value();
+  double g1 = 0.0;
+  {
+    auto big = pool::acquire(1u << 20);  // 4 MiB handed out
+    g1 = gauge.value();
+    pool::release(std::move(big));
+  }
+  // The gauge is a process-wide high-water mark: it must have seen the
+  // acquire and can never decrease, release included. (Its absolute value
+  // depends on what the rest of the process holds live, so the assertions
+  // stay relative.)
+  EXPECT_GE(g1, g0);
+  EXPECT_GT(g1, 0.0);
+  EXPECT_GE(gauge.value(), g1);
+  obs::set_enabled(was_obs);
 }
 
 }  // namespace

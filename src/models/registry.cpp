@@ -36,6 +36,30 @@ std::string joined_names() {
 
 }  // namespace
 
+void ForecasterSpec::validate() const {
+  const std::string key = lower(name);
+  for (const std::string& known : forecaster_names())
+    if (lower(known) == key) return;
+  RPTCN_CHECK(false, "ForecasterSpec.name is unknown: " << name << " (known: "
+                                                        << joined_names()
+                                                        << ")");
+}
+
+std::vector<ForecasterSpec> list_forecasters() {
+  std::vector<ForecasterSpec> specs;
+  specs.reserve(forecaster_names().size());
+  for (const std::string& name : forecaster_names()) {
+    ForecasterSpec spec;
+    spec.name = name;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::unique_ptr<Forecaster> make_forecaster(const ForecasterSpec& spec) {
+  return make_forecaster(spec.name, spec.config);
+}
+
 std::unique_ptr<Forecaster> make_forecaster(const std::string& name,
                                             const ModelConfig& config) {
   // Case-insensitive lookup: "rptcn" and "RPTCN" are the same model. The

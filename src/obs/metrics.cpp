@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -157,6 +158,62 @@ void Histogram::reset() {
   for (Shard& s : shards_) s.clear();
 }
 
+// -- Per-tenant label dimension ----------------------------------------------
+
+std::string tenant_metric_name(const std::string& name,
+                               const std::string& tenant) {
+  if (tenant.empty()) return name;
+  return name + "{tenant=" + tenant + "}";
+}
+
+std::string base_metric_name(const std::string& labeled) {
+  const std::size_t brace = labeled.find("{tenant=");
+  if (brace == std::string::npos || labeled.back() != '}') return labeled;
+  return labeled.substr(0, brace);
+}
+
+std::string metric_tenant(const std::string& labeled) {
+  const std::size_t brace = labeled.find("{tenant=");
+  if (brace == std::string::npos || labeled.back() != '}') return {};
+  const std::size_t start = brace + 8;  // past "{tenant="
+  return labeled.substr(start, labeled.size() - start - 1);
+}
+
+namespace {
+
+void merge_histograms(HistogramSnapshot& into, const HistogramSnapshot& from) {
+  if (into.buckets.empty()) into.buckets.assign(kHistogramBuckets, 0);
+  for (std::size_t i = 0; i < from.buckets.size() && i < into.buckets.size();
+       ++i)
+    into.buckets[i] += from.buckets[i];
+  if (from.count > 0) {
+    into.min = into.count > 0 ? std::min(into.min, from.min) : from.min;
+    into.max = into.count > 0 ? std::max(into.max, from.max) : from.max;
+  }
+  into.count += from.count;
+  into.sum += from.sum;
+}
+
+}  // namespace
+
+MetricsSnapshot rollup_tenants(const MetricsSnapshot& snap) {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  for (const auto& [name, v] : snap.counters)
+    counters[base_metric_name(name)] += v;
+  for (const auto& [name, v] : snap.gauges)
+    gauges[base_metric_name(name)] += v;
+  for (const auto& [name, h] : snap.histograms)
+    merge_histograms(histograms[base_metric_name(name)], h);
+  MetricsSnapshot out;
+  out.counters.assign(counters.begin(), counters.end());
+  out.gauges.assign(gauges.begin(), gauges.end());
+  out.histograms.reserve(histograms.size());
+  for (auto& [name, h] : histograms) out.histograms.emplace_back(name, std::move(h));
+  return out;
+}
+
 // -- MetricsRegistry ----------------------------------------------------------
 
 MetricsRegistry::MetricsRegistry() = default;
@@ -180,6 +237,21 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& tenant) {
+  return counter(tenant_metric_name(name, tenant));
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& tenant) {
+  return gauge(tenant_metric_name(name, tenant));
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& tenant) {
+  return histogram(tenant_metric_name(name, tenant));
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

@@ -134,6 +134,32 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 };
 
+// -- Per-tenant label dimension ----------------------------------------------
+//
+// Multi-tenant subsystems (the fleet layer's sharded engines, per-entity
+// drift monitors) register the same logical metric once per tenant. A
+// tenant-qualified series is stored under "<name>{tenant=<tenant>}"; the
+// empty tenant resolves to the plain name, so every pre-fleet call site
+// keeps its historical metric name and existing dashboards/tests are
+// untouched. rollup_tenants() collapses the label for fleet-wide views.
+
+/// "<name>{tenant=<tenant>}", or `name` unchanged when tenant is empty.
+/// Tenant values must not contain '{', '}' or '='.
+std::string tenant_metric_name(const std::string& name,
+                               const std::string& tenant);
+/// Inverse of tenant_metric_name: the base name ("serve/queue_depth" from
+/// "serve/queue_depth{tenant=shard3}"); unlabeled names pass through.
+std::string base_metric_name(const std::string& labeled);
+/// The tenant of a labeled name; "" for unlabeled names.
+std::string metric_tenant(const std::string& labeled);
+
+/// Collapse the tenant dimension of a snapshot: every "<base>{tenant=...}"
+/// series merges into its base name together with any unlabeled series of
+/// the same base. Counters and histograms sum (min/max merge); gauges sum,
+/// which reads as the fleet total for depth/level-style gauges — per-tenant
+/// values stay available in the unrolled snapshot.
+MetricsSnapshot rollup_tenants(const MetricsSnapshot& snap);
+
 class MetricsRegistry {
  public:
   MetricsRegistry();
@@ -145,6 +171,12 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  /// Tenant-labeled variants: find-or-create "<name>{tenant=<tenant>}" (the
+  /// plain name when tenant is empty). Same stability guarantees.
+  Counter& counter(const std::string& name, const std::string& tenant);
+  Gauge& gauge(const std::string& name, const std::string& tenant);
+  Histogram& histogram(const std::string& name, const std::string& tenant);
 
   MetricsSnapshot snapshot() const;
 

@@ -7,18 +7,40 @@
 
 namespace rptcn::serve {
 
+void EngineOptions::validate() const {
+  RPTCN_CHECK(max_batch >= 1, "EngineOptions.max_batch must be >= 1, got "
+                                  << max_batch);
+  RPTCN_CHECK(tenant.find_first_of("{}=") == std::string::npos,
+              "EngineOptions.tenant must not contain '{', '}' or '=': \""
+                  << tenant << "\"");
+}
+
 BatchingEngine::BatchingEngine(std::shared_ptr<const InferenceSession> session,
                                EngineOptions options)
-    : options_(options),
-      requests_(obs::metrics().counter("serve/requests")),
-      batches_(obs::metrics().counter("serve/batches")),
-      swaps_counter_(obs::metrics().counter("serve/swaps_total")),
-      queue_depth_(obs::metrics().gauge("serve/queue_depth")),
-      batch_size_(obs::metrics().histogram("serve/batch_size")),
-      queue_wait_(obs::metrics().histogram("serve/queue_wait_seconds")),
-      forward_time_(obs::metrics().histogram("serve/forward_seconds")) {
-  RPTCN_CHECK(session != nullptr, "BatchingEngine needs a session");
-  RPTCN_CHECK(options_.max_batch >= 1, "max_batch must be >= 1");
+    : BatchingEngine(std::move(session), std::move(options),
+                     /*allow_null_session=*/false) {}
+
+BatchingEngine::BatchingEngine(EngineOptions options)
+    : BatchingEngine(nullptr, std::move(options),
+                     /*allow_null_session=*/true) {}
+
+BatchingEngine::BatchingEngine(std::shared_ptr<const InferenceSession> session,
+                               EngineOptions options, bool allow_null_session)
+    : options_(std::move(options)),
+      requests_(obs::metrics().counter("serve/requests", options_.tenant)),
+      batches_(obs::metrics().counter("serve/batches", options_.tenant)),
+      swaps_counter_(
+          obs::metrics().counter("serve/swaps_total", options_.tenant)),
+      queue_depth_(obs::metrics().gauge("serve/queue_depth", options_.tenant)),
+      batch_size_(
+          obs::metrics().histogram("serve/batch_size", options_.tenant)),
+      queue_wait_(obs::metrics().histogram("serve/queue_wait_seconds",
+                                           options_.tenant)),
+      forward_time_(
+          obs::metrics().histogram("serve/forward_seconds", options_.tenant)) {
+  RPTCN_CHECK(allow_null_session || session != nullptr,
+              "BatchingEngine needs a session");
+  options_.validate();
   live_ = WeightSnapshot{std::move(session), 1};
   if (options_.workers == 0) options_.workers = 1;
   workers_.reserve(options_.workers);
@@ -36,16 +58,33 @@ BatchingEngine::~BatchingEngine() {
 }
 
 std::future<Tensor> BatchingEngine::submit(Tensor window) {
+  return enqueue(std::move(window), nullptr);
+}
+
+std::future<Tensor> BatchingEngine::submit(
+    Tensor window, std::shared_ptr<const InferenceSession> session) {
+  RPTCN_CHECK(session != nullptr,
+              "BatchingEngine::submit(window, session) needs a session");
+  return enqueue(std::move(window), std::move(session));
+}
+
+std::future<Tensor> BatchingEngine::enqueue(
+    Tensor window, std::shared_ptr<const InferenceSession> session) {
   RPTCN_CHECK(window.rank() == 2,
               "BatchingEngine::submit expects one window [F,T], got "
                   << window.shape_string());
   Pending p;
   p.window = std::move(window);
   p.enqueued = std::chrono::steady_clock::now();
+  p.session = std::move(session);
   std::future<Tensor> fut = p.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     RPTCN_CHECK(!stop_, "BatchingEngine::submit after shutdown began");
+    RPTCN_CHECK(p.session != nullptr || live_.session != nullptr,
+                "BatchingEngine::submit without a live session: a shard-mode "
+                "engine serves pinned sessions only (use submit(window, "
+                "session) or swap_session first)");
     queue_.push_back(std::move(p));
     ++submitted_;
     queue_depth_.set(static_cast<double>(queue_.size()));
@@ -128,23 +167,31 @@ void BatchingEngine::worker_loop() {
         });
         if (queue_.empty()) continue;  // another worker took everything
       }
-      // Coalesce a run of same-shape windows from the front; a shape change
-      // starts the next batch so every request still gets served.
+      // Coalesce a run of same-session, same-shape windows from the front; a
+      // shape or session change starts the next batch so every request still
+      // gets served. Default-session requests (null) form their own runs and
+      // resolve the live snapshot below — the single-tenant semantics.
       const std::vector<std::size_t> shape = queue_.front().window.shape();
+      const InferenceSession* pinned = queue_.front().session.get();
       while (!queue_.empty() && batch.size() < options_.max_batch &&
+             queue_.front().session.get() == pinned &&
              queue_.front().window.shape() == shape) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
       // The batch runs end-to-end on the generation it was coalesced under:
       // a concurrent swap_session() retires `live_` but this shared_ptr
-      // keeps the old snapshot alive until the batch delivers.
+      // keeps the old snapshot alive until the batch delivers. Pinned
+      // batches captured their session at submit and ignore the live one.
       snapshot = live_;
       in_flight_ += batch.size();
       queue_depth_.set(static_cast<double>(queue_.size()));
     }
     const std::size_t delivered = batch.size();
-    run_batch(batch, *snapshot.session);
+    const InferenceSession& session = batch.front().session != nullptr
+                                          ? *batch.front().session
+                                          : *snapshot.session;
+    run_batch(batch, session);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       in_flight_ -= delivered;

@@ -51,6 +51,15 @@ struct EngineOptions {
   std::size_t max_batch = 32;     ///< largest coalesced batch
   std::size_t max_delay_us = 200; ///< how long a lone request waits for peers
   std::size_t workers = 1;        ///< engine threads (>= 1; 0 clamps to 1)
+  /// Metrics tenant label: serve/* metrics register as
+  /// "serve/<metric>{tenant=<tenant>}" so N engines (fleet shards) never sum
+  /// or clobber each other. Empty keeps the historical unlabeled names —
+  /// the single-engine default.
+  std::string tenant;
+
+  /// Throws common::CheckError naming the offending field. Called by the
+  /// engine constructor; callers hand-building options can validate early.
+  void validate() const;
 };
 
 /// The engine's live model: an immutable session plus the monotone
@@ -77,6 +86,10 @@ class BatchingEngine {
  public:
   BatchingEngine(std::shared_ptr<const InferenceSession> session,
                  EngineOptions options = {});
+  /// Multi-tenant shard mode: no default session — every request must pin
+  /// its own via submit(window, session). The default-session submit()
+  /// throws until swap_session() installs one.
+  explicit BatchingEngine(EngineOptions options);
   /// Stops intake, drains every queued request, joins the workers. Futures
   /// obtained from submit() always complete.
   ~BatchingEngine();
@@ -86,6 +99,13 @@ class BatchingEngine {
   /// Enqueue one window [F, T]. The future delivers the forecast [horizon]
   /// or rethrows the batch's failure. Throws if the engine is stopping.
   std::future<Tensor> submit(Tensor window);
+
+  /// Enqueue one window pinned to `session` (fleet path: one shard engine
+  /// multiplexes many models). Pinned requests ignore the live snapshot and
+  /// hot-swaps entirely; workers coalesce runs of same-session, same-shape
+  /// requests, so entities sharing a snapshot still batch together.
+  std::future<Tensor> submit(Tensor window,
+                             std::shared_ptr<const InferenceSession> session);
 
   /// Atomically install a new session as the next generation and return
   /// that generation. Batches already coalesced finish on the snapshot they
@@ -119,7 +139,16 @@ class BatchingEngine {
     Tensor window;
     std::promise<Tensor> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Pinned session (fleet path); null = resolve the live snapshot when
+    /// the batch is coalesced, exactly the single-tenant semantics.
+    std::shared_ptr<const InferenceSession> session;
   };
+
+  BatchingEngine(std::shared_ptr<const InferenceSession> session,
+                 EngineOptions options, bool allow_null_session);
+
+  std::future<Tensor> enqueue(Tensor window,
+                              std::shared_ptr<const InferenceSession> session);
 
   void worker_loop();
   /// Runs one coalesced batch on `session`; returns requests delivered.

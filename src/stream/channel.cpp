@@ -1,0 +1,80 @@
+#include "stream/channel.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rptcn::stream {
+
+void ChannelOptions::validate() const {
+  RPTCN_CHECK(capacity > 0, "ChannelOptions.capacity must be >= 1");
+}
+
+IngestChannel::IngestChannel(std::vector<std::string> names,
+                             ChannelOptions options)
+    : names_(std::move(names)) {
+  options.validate();
+  RPTCN_CHECK(!names_.empty(), "IngestChannel needs at least one feature");
+  normalizer_ = OnlineNormalizer(names_, options.normalizer);
+  rings_.reserve(names_.size());
+  for (std::size_t f = 0; f < names_.size(); ++f)
+    rings_.emplace_back(options.capacity);
+}
+
+bool IngestChannel::ingest(const std::vector<double>& row) {
+  RPTCN_CHECK(row.size() == names_.size(),
+              "IngestChannel::ingest got " << row.size() << " values for "
+                                           << names_.size() << " features");
+  for (const double v : row) {
+    if (std::isnan(v)) {
+      // Same rule as data::clean_drop_incomplete: the whole tick vanishes.
+      ++dropped_;
+      return false;
+    }
+  }
+  normalizer_.observe(row);
+  for (std::size_t f = 0; f < names_.size(); ++f) rings_[f].push(row[f]);
+  ++ticks_;
+  return true;
+}
+
+bool IngestChannel::ready(std::size_t window) const {
+  return !rings_.empty() && rings_.front().size() >= window;
+}
+
+double IngestChannel::latest_raw(std::size_t f) const {
+  RPTCN_CHECK(f < rings_.size(), "latest_raw: feature index out of range");
+  return rings_[f].back();
+}
+
+double IngestChannel::latest_norm(std::size_t f) const {
+  return normalizer_.normalize(f, latest_raw(f));
+}
+
+Tensor IngestChannel::latest_window(std::size_t window) const {
+  RPTCN_CHECK(ready(window), "latest_window(" << window << ") but only "
+                                              << rings_.front().size()
+                                              << " ticks retained");
+  Tensor out({names_.size(), window});
+  for (std::size_t f = 0; f < names_.size(); ++f) {
+    const RingBuffer<double>& ring = rings_[f];
+    const std::size_t first = ring.size() - window;
+    float* dst = out.raw() + f * window;
+    for (std::size_t t = 0; t < window; ++t)
+      dst[t] = static_cast<float>(normalizer_.normalize(f, ring[first + t]));
+  }
+  return out;
+}
+
+data::TimeSeriesFrame IngestChannel::history(std::size_t count) const {
+  RPTCN_CHECK(!rings_.empty() && count <= rings_.front().size(),
+              "history(" << count << ") but only "
+                         << (rings_.empty() ? 0 : rings_.front().size())
+                         << " ticks retained");
+  data::TimeSeriesFrame out;
+  for (std::size_t f = 0; f < names_.size(); ++f)
+    out.add(names_[f], rings_[f].tail(count));
+  return out;
+}
+
+}  // namespace rptcn::stream

@@ -107,16 +107,36 @@ void WindowedErrorMonitor::reset() {
 // DriftMonitor
 // ---------------------------------------------------------------------------
 
+void DriftOptions::validate() const {
+  RPTCN_CHECK(residual_ph.lambda > 0.0,
+              "DriftOptions.residual_ph.lambda must be positive");
+  RPTCN_CHECK(input_ph.lambda > 0.0,
+              "DriftOptions.input_ph.lambda must be positive");
+  RPTCN_CHECK(windowed.short_window > 0 &&
+                  windowed.long_window >= windowed.short_window,
+              "DriftOptions.windowed needs 0 < short_window <= long_window");
+  RPTCN_CHECK(windowed.ratio_threshold > 1.0,
+              "DriftOptions.windowed.ratio_threshold must exceed 1");
+  RPTCN_CHECK(tenant.find_first_of("{}=") == std::string::npos,
+              "DriftOptions.tenant must not contain '{', '}' or '=': \""
+                  << tenant << "\"");
+}
+
 DriftMonitor::DriftMonitor(std::vector<std::string> features,
                            DriftOptions options)
     : features_(std::move(features)),
       options_(options),
       residual_ph_(options.residual_ph),
       windowed_(options.windowed),
-      drift_events_(obs::metrics().counter("stream/drift_events")),
-      input_events_(obs::metrics().counter("stream/drift_input_events")),
-      residual_stat_(obs::metrics().gauge("stream/drift_residual_stat")),
-      error_ratio_(obs::metrics().gauge("stream/drift_error_ratio")) {
+      drift_events_(
+          obs::metrics().counter("stream/drift_events", options.tenant)),
+      input_events_(
+          obs::metrics().counter("stream/drift_input_events", options.tenant)),
+      residual_stat_(
+          obs::metrics().gauge("stream/drift_residual_stat", options.tenant)),
+      error_ratio_(
+          obs::metrics().gauge("stream/drift_error_ratio", options.tenant)) {
+  options_.validate();
   RPTCN_CHECK(!features_.empty(), "DriftMonitor needs at least one feature");
   input_ph_.reserve(features_.size());
   for (std::size_t i = 0; i < features_.size(); ++i)

@@ -105,6 +105,14 @@ struct DriftOptions {
   WindowedErrorOptions windowed;    ///< over the same residuals
   PageHinkleyOptions input_ph;      ///< per input indicator, over values
   bool monitor_inputs = true;
+  /// Metrics tenant label for the stream/drift_* series; without it N
+  /// monitors (one per fleet entity) would sum their event counters and
+  /// clobber each other's statistic gauges. Empty keeps the historical
+  /// unlabeled names.
+  std::string tenant;
+
+  /// Throws common::CheckError naming the offending field.
+  void validate() const;
 };
 
 /// Per-indicator drift aggregation + obs:: export:

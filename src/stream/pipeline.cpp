@@ -14,18 +14,43 @@ std::size_t effective_warmup(const OnlinePipelineOptions& options) {
   return options.warmup != 0 ? options.warmup : options.retrain.history;
 }
 
+/// One tenant field namespaces the whole loop: sub-options with an empty
+/// tenant inherit the pipeline's.
+OnlinePipelineOptions with_tenant(OnlinePipelineOptions options) {
+  if (!options.tenant.empty()) {
+    if (options.source.tenant.empty()) options.source.tenant = options.tenant;
+    if (options.drift.tenant.empty()) options.drift.tenant = options.tenant;
+    if (options.retrain.tenant.empty())
+      options.retrain.tenant = options.tenant;
+    if (options.engine.tenant.empty()) options.engine.tenant = options.tenant;
+  }
+  return options;
+}
+
 }  // namespace
+
+void OnlinePipelineOptions::validate() const {
+  source.validate();
+  drift.validate();
+  retrain.validate();
+  engine.validate();
+  RPTCN_CHECK(effective_warmup(*this) >
+                  retrain.window.window + retrain.window.horizon,
+              "PipelineOptions.warmup must exceed window + horizon so the "
+              "bootstrap fit has at least one supervised sample");
+  RPTCN_CHECK(tenant.find_first_of("{}=") == std::string::npos,
+              "PipelineOptions.tenant must not contain '{', '}' or '=': \""
+                  << tenant << "\"");
+}
 
 OnlinePipeline::OnlinePipeline(std::unique_ptr<TickProvider> provider,
                                OnlinePipelineOptions options)
-    : options_(std::move(options)),
+    : options_(with_tenant(std::move(options))),
       source_(std::move(provider), options_.source),
       drift_(source_.names(), options_.drift),
-      staleness_gauge_(obs::metrics().gauge("stream/staleness_ticks")) {
-  RPTCN_CHECK(effective_warmup(options_) >
-                  options_.retrain.window.window + options_.retrain.window.horizon,
-              "warmup must exceed window + horizon so the bootstrap fit has "
-              "at least one supervised sample");
+      staleness_gauge_(
+          obs::metrics().gauge("stream/staleness_ticks", options_.tenant)) {
+  options_.validate();
   norm_row_.resize(source_.features(), 0.0);
 }
 

@@ -54,7 +54,20 @@ struct OnlinePipelineOptions {
   /// deployment ships scaler and weights frozen together, and that is the
   /// baseline an adaptive pipeline must be compared against.
   bool freeze_normalizer_at_bootstrap = false;
+  /// Metrics tenant label. The pipeline copies it into every sub-option
+  /// (source/drift/retrain/engine) whose own tenant is empty, so one field
+  /// namespaces the whole loop — N pipelines side by side never collide on
+  /// stream/* or serve/* metric names.
+  std::string tenant;
+
+  /// Throws common::CheckError naming the offending field (recurses into
+  /// the sub-option validators).
+  void validate() const;
 };
+
+/// The construction-API name: serve/stream/fleet constructors all take
+/// <X>Options aggregates, and fleet code spells this one PipelineOptions.
+using PipelineOptions = OnlinePipelineOptions;
 
 /// What one step() observed.
 struct TickOutcome {

@@ -11,6 +11,19 @@
 
 namespace rptcn::stream {
 
+void RetrainOptions::validate() const {
+  RPTCN_CHECK(history > window.window + window.horizon,
+              "RetrainOptions.history must exceed window + horizon");
+  RPTCN_CHECK(train_frac > 0.0 && valid_frac >= 0.0 &&
+                  train_frac + valid_frac <= 1.0,
+              "RetrainOptions.train_frac/valid_frac must satisfy "
+              "0 < train_frac, 0 <= valid_frac, train_frac + valid_frac <= 1");
+  RPTCN_CHECK(fit_attempts >= 1, "RetrainOptions.fit_attempts must be >= 1");
+  RPTCN_CHECK(tenant.find_first_of("{}=") == std::string::npos,
+              "RetrainOptions.tenant must not contain '{', '}' or '=': \""
+                  << tenant << "\"");
+}
+
 models::ForecastDataset build_dataset(const data::TimeSeriesFrame& frame,
                                       const OnlineNormalizer& normalizer,
                                       const RetrainOptions& options) {
@@ -134,15 +147,18 @@ RollingRetrainer::RollingRetrainer(serve::BatchingEngine& engine,
                                    RetrainOptions options)
     : engine_(engine),
       options_(std::move(options)),
-      retrains_counter_(obs::metrics().counter("stream/retrains_total")),
-      failures_counter_(obs::metrics().counter("stream/retrain_failures_total")),
-      swap_aborts_counter_(obs::metrics().counter("stream/swap_aborts_total")),
-      retrain_seconds_(obs::metrics().histogram("stream/retrain_seconds")),
-      generation_gauge_(obs::metrics().gauge("stream/generation")),
+      retrains_counter_(
+          obs::metrics().counter("stream/retrains_total", options_.tenant)),
+      failures_counter_(obs::metrics().counter("stream/retrain_failures_total",
+                                               options_.tenant)),
+      swap_aborts_counter_(
+          obs::metrics().counter("stream/swap_aborts_total", options_.tenant)),
+      retrain_seconds_(
+          obs::metrics().histogram("stream/retrain_seconds", options_.tenant)),
+      generation_gauge_(
+          obs::metrics().gauge("stream/generation", options_.tenant)),
       pool_(1) {
-  RPTCN_CHECK(options_.history >
-                  options_.window.window + options_.window.horizon,
-              "RetrainOptions.history must exceed window + horizon");
+  options_.validate();
 }
 
 RollingRetrainer::~RollingRetrainer() {

@@ -52,6 +52,12 @@ struct RetrainOptions {
   /// shipping such a generation costs far more than one extra fit. 0 = off.
   double max_valid_loss = 0.0;
   std::size_t fit_attempts = 2;      ///< total tries while the gate fails
+  /// Metrics tenant label for the stream/retrain* series and the generation
+  /// gauge (empty keeps the historical unlabeled names).
+  std::string tenant;
+
+  /// Throws common::CheckError naming the offending field.
+  void validate() const;
 };
 
 struct RetrainOutcome {

@@ -19,7 +19,35 @@ std::size_t indicator_index(const std::string& name) {
   return 0;  // unreachable
 }
 
+/// Kept feature names: the explicit list, or all eight in Table-I order.
+std::vector<std::string> resolve_names(const SourceOptions& options) {
+  if (!options.features.empty()) return options.features;
+  const auto& all = trace::indicator_names();
+  return {all.begin(), all.end()};
+}
+
+ChannelOptions channel_options(const SourceOptions& options) {
+  ChannelOptions c;
+  c.capacity = options.capacity;
+  c.normalizer = options.normalizer;
+  return c;
+}
+
+/// Validation hook for the member-initializer list (members initialize
+/// before the constructor body could call validate()).
+const SourceOptions& validated(const SourceOptions& options) {
+  options.validate();
+  return options;
+}
+
 }  // namespace
+
+void SourceOptions::validate() const {
+  RPTCN_CHECK(capacity > 0, "SourceOptions.capacity must be >= 1");
+  RPTCN_CHECK(tenant.find_first_of("{}=") == std::string::npos,
+              "SourceOptions.tenant must not contain '{', '}' or '=': \""
+                  << tenant << "\"");
+}
 
 // ---------------------------------------------------------------------------
 // Providers
@@ -89,24 +117,18 @@ data::TimeSeriesFrame make_mutating_trace(const trace::WorkloadParams& params_a,
 StreamSource::StreamSource(std::unique_ptr<TickProvider> provider,
                            SourceOptions options)
     : provider_(std::move(provider)),
-      ticks_counter_(obs::metrics().counter("stream/ticks_total")),
-      dropped_counter_(obs::metrics().counter("stream/ticks_dropped")),
-      ingest_hist_(obs::metrics().histogram("stream/ingest_seconds")) {
+      ticks_counter_(obs::metrics().counter("stream/ticks_total",
+                                            validated(options).tenant)),
+      dropped_counter_(
+          obs::metrics().counter("stream/ticks_dropped", options.tenant)),
+      ingest_hist_(
+          obs::metrics().histogram("stream/ingest_seconds", options.tenant)),
+      channel_(resolve_names(options), channel_options(options)) {
   RPTCN_CHECK(provider_ != nullptr, "StreamSource needs a provider");
-  RPTCN_CHECK(options.capacity > 0, "StreamSource needs capacity >= 1");
-  names_ = options.features;
-  if (names_.empty()) {
-    const auto& all = trace::indicator_names();
-    names_.assign(all.begin(), all.end());
-  }
-  feature_index_.reserve(names_.size());
-  for (const std::string& name : names_)
+  feature_index_.reserve(channel_.features());
+  for (const std::string& name : channel_.names())
     feature_index_.push_back(indicator_index(name));
-  normalizer_ = OnlineNormalizer(names_, options.normalizer);
-  rings_.reserve(names_.size());
-  for (std::size_t f = 0; f < names_.size(); ++f)
-    rings_.emplace_back(options.capacity);
-  row_.resize(names_.size());
+  row_.resize(channel_.features());
 }
 
 bool StreamSource::poll() {
@@ -118,21 +140,12 @@ bool StreamSource::poll() {
     exhausted_ = true;
     return false;
   }
-  bool complete = true;
-  for (std::size_t f = 0; f < names_.size(); ++f) {
+  for (std::size_t f = 0; f < row_.size(); ++f)
     row_[f] = sample->values[feature_index_[f]];
-    if (std::isnan(row_[f])) complete = false;
-  }
-  if (!complete) {
-    // Same rule as data::clean_drop_incomplete: the whole tick vanishes.
-    ++dropped_;
+  if (channel_.ingest(row_))
+    ticks_counter_.add(1);
+  else
     dropped_counter_.add(1);
-    return true;
-  }
-  normalizer_.observe(row_);
-  for (std::size_t f = 0; f < names_.size(); ++f) rings_[f].push(row_[f]);
-  ++ticks_;
-  ticks_counter_.add(1);
   return true;
 }
 
@@ -140,45 +153,6 @@ std::size_t StreamSource::ingest(std::size_t max_ticks) {
   std::size_t consumed = 0;
   while (consumed < max_ticks && poll()) ++consumed;
   return consumed;
-}
-
-bool StreamSource::ready(std::size_t window) const {
-  return !rings_.empty() && rings_.front().size() >= window;
-}
-
-double StreamSource::latest_raw(std::size_t f) const {
-  RPTCN_CHECK(f < rings_.size(), "latest_raw: feature index out of range");
-  return rings_[f].back();
-}
-
-double StreamSource::latest_norm(std::size_t f) const {
-  return normalizer_.normalize(f, latest_raw(f));
-}
-
-Tensor StreamSource::latest_window(std::size_t window) const {
-  RPTCN_CHECK(ready(window), "latest_window(" << window << ") but only "
-                                              << rings_.front().size()
-                                              << " ticks retained");
-  Tensor out({names_.size(), window});
-  for (std::size_t f = 0; f < names_.size(); ++f) {
-    const RingBuffer<double>& ring = rings_[f];
-    const std::size_t first = ring.size() - window;
-    float* dst = out.raw() + f * window;
-    for (std::size_t t = 0; t < window; ++t)
-      dst[t] = static_cast<float>(normalizer_.normalize(f, ring[first + t]));
-  }
-  return out;
-}
-
-data::TimeSeriesFrame StreamSource::history(std::size_t count) const {
-  RPTCN_CHECK(!rings_.empty() && count <= rings_.front().size(),
-              "history(" << count << ") but only "
-                         << (rings_.empty() ? 0 : rings_.front().size())
-                         << " ticks retained");
-  data::TimeSeriesFrame out;
-  for (std::size_t f = 0; f < names_.size(); ++f)
-    out.add(names_[f], rings_[f].tail(count));
-  return out;
 }
 
 }  // namespace rptcn::stream

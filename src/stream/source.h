@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "obs/metrics.h"
+#include "stream/channel.h"
 #include "stream/normalizer.h"
 #include "stream/ring_buffer.h"
 #include "tensor/tensor.h"
@@ -85,6 +86,12 @@ struct SourceOptions {
   std::vector<std::string> features;
   std::size_t capacity = 4096;  ///< ring depth (bounds history())
   NormalizerOptions normalizer;
+  /// Metrics tenant label for stream/ticks_* and stream/ingest_seconds
+  /// (empty keeps the historical unlabeled names).
+  std::string tenant;
+
+  /// Throws common::CheckError naming the offending field.
+  void validate() const;
 };
 
 class StreamSource {
@@ -101,35 +108,43 @@ class StreamSource {
 
   bool exhausted() const { return exhausted_; }
   /// Complete ticks accepted into the rings.
-  std::size_t ticks() const { return ticks_; }
+  std::size_t ticks() const { return channel_.ticks(); }
   /// Incomplete ticks dropped.
-  std::size_t dropped() const { return dropped_; }
+  std::size_t dropped() const { return channel_.dropped(); }
   /// Provider ticks consumed (accepted + dropped) — the clock forecast
   /// due-dating runs on, so forecasts aimed at a dropped tick expire
   /// instead of drifting onto the next complete one.
-  std::size_t provider_ticks() const { return ticks_ + dropped_; }
+  std::size_t provider_ticks() const { return ticks() + dropped(); }
   /// True once `window` ticks are retained.
-  bool ready(std::size_t window) const;
+  bool ready(std::size_t window) const { return channel_.ready(window); }
 
-  std::size_t features() const { return names_.size(); }
-  const std::vector<std::string>& names() const { return names_; }
+  std::size_t features() const { return channel_.features(); }
+  const std::vector<std::string>& names() const { return channel_.names(); }
 
   /// Newest raw / normalised value of feature `f` (target is f = 0).
-  double latest_raw(std::size_t f) const;
-  double latest_norm(std::size_t f) const;
+  double latest_raw(std::size_t f) const { return channel_.latest_raw(f); }
+  double latest_norm(std::size_t f) const { return channel_.latest_norm(f); }
 
   /// Trailing `window` ticks, normalised under the *current* normalizer
   /// state, as a [F, window] float tensor ready for InferenceSession::run.
-  Tensor latest_window(std::size_t window) const;
+  Tensor latest_window(std::size_t window) const {
+    return channel_.latest_window(window);
+  }
 
   /// Copy of the trailing `count` raw ticks as a frame (feature order, the
   /// retrainer's input). Requires count <= retained ticks.
-  data::TimeSeriesFrame history(std::size_t count) const;
+  data::TimeSeriesFrame history(std::size_t count) const {
+    return channel_.history(count);
+  }
 
-  const OnlineNormalizer& normalizer() const { return normalizer_; }
+  const OnlineNormalizer& normalizer() const { return channel_.normalizer(); }
   /// Pin the scaler state (see OnlineNormalizer::freeze). Raw ingestion into
   /// the rings continues; only normalisation bounds stop following the data.
-  void freeze_normalizer() { normalizer_.freeze(); }
+  void freeze_normalizer() { channel_.freeze_normalizer(); }
+
+  /// The push-based per-entity core (rings + normalizer) the source pulls
+  /// into — shared with the fleet layer, which owns one per entity.
+  const IngestChannel& channel() const { return channel_; }
 
  private:
   std::unique_ptr<TickProvider> provider_;
@@ -137,13 +152,9 @@ class StreamSource {
   obs::Counter& ticks_counter_;
   obs::Counter& dropped_counter_;
   obs::Histogram& ingest_hist_;
-  std::vector<std::string> names_;
   std::vector<std::size_t> feature_index_;  ///< indicator enum index per kept column
-  OnlineNormalizer normalizer_;
-  std::vector<RingBuffer<double>> rings_;   ///< raw values, one per feature
+  IngestChannel channel_;
   std::vector<double> row_;                 ///< scratch, avoids per-tick alloc
-  std::size_t ticks_ = 0;
-  std::size_t dropped_ = 0;
   bool exhausted_ = false;
 };
 

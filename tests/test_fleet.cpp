@@ -1,0 +1,538 @@
+// Fleet-layer tests: deterministic sharding, snapshot dedup across a
+// cohort (and the splinter onto a private generation under live ingest),
+// retrain-scheduler priority / dedup / budget / queue bounds, admission
+// backpressure, and the typed-options construction API (named validation
+// errors, FleetBuilder, registry ForecasterSpec).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "fleet/builder.h"
+#include "fleet/manager.h"
+#include "fleet/options.h"
+#include "fleet/scheduler.h"
+#include "models/registry.h"
+#include "stream/source.h"
+#include "trace/workload_model.h"
+
+namespace rptcn::fleet {
+namespace {
+
+const std::vector<std::string> kFeatures = {"cpu_util_percent",
+                                            "mem_util_percent"};
+
+trace::WorkloadParams regime_a() {
+  trace::WorkloadParams p;
+  p.base_level = 0.25;
+  p.diurnal_amplitude = 0.10;
+  p.noise_sigma = 0.03;
+  p.ar_coefficient = 0.85;
+  p.mutation_rate = 0.0;
+  p.burst_rate = 0.0;
+  return p;
+}
+
+trace::WorkloadParams regime_b() {
+  trace::WorkloadParams p = regime_a();
+  p.base_level = 0.65;
+  p.diurnal_amplitude = 0.03;
+  p.noise_sigma = 0.08;
+  p.ar_coefficient = 0.55;
+  return p;
+}
+
+data::TimeSeriesFrame regime_trace(const trace::WorkloadParams& params,
+                                   std::size_t length, std::uint64_t seed) {
+  return stream::make_mutating_trace(params, params, length, 0, seed);
+}
+
+/// ARIMA keeps fleet fits fast — the fleet layer under test is routing and
+/// lifecycle, not model quality.
+models::ForecasterSpec arima_spec() {
+  models::ForecasterSpec spec;
+  spec.name = "ARIMA";
+  return spec;
+}
+
+/// Small-window fleet defaults every test starts from.
+FleetOptions tiny_fleet_options(const std::string& tenant) {
+  FleetOptions o;
+  o.features = kFeatures;
+  o.shards = 2;
+  o.workers = 2;
+  o.retrain.model_name = "ARIMA";
+  o.retrain.history = 200;
+  o.retrain.window.window = 16;
+  o.retrain.window.horizon = 1;
+  o.retrain.min_ticks_between = 0;
+  o.tenant = tenant;
+  return o;
+}
+
+/// Push frame rows [from, to) into one entity, retrying on backpressure —
+/// functional tests want every tick processed, not shed.
+void ingest_blocking(FleetManager& fleet, const std::string& id,
+                     const data::TimeSeriesFrame& frame, std::size_t from,
+                     std::size_t to) {
+  const auto& cpu = frame.column("cpu_util_percent");
+  const auto& mem = frame.column("mem_util_percent");
+  for (std::size_t t = from; t < to; ++t) {
+    for (;;) {
+      const Admission verdict = fleet.ingest(id, {cpu[t], mem[t]});
+      if (verdict == Admission::kAccepted) break;
+      ASSERT_TRUE(verdict == Admission::kQueueFull ||
+                  verdict == Admission::kBacklogFull)
+          << admission_name(verdict);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Placement
+// ---------------------------------------------------------------------------
+
+TEST(FleetHash, Fnv1aKnownVectorsAndDeterminism) {
+  // Published FNV-1a 64-bit vectors: the offset basis for "", 0xaf63dc4c
+  // 8601ec8c for "a" — placement must be stable across runs and platforms.
+  EXPECT_EQ(FleetManager::entity_hash(""), 14695981039346656037ULL);
+  EXPECT_EQ(FleetManager::entity_hash("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(FleetManager::entity_hash("entity-7"),
+            FleetManager::entity_hash("entity-7"));
+  EXPECT_NE(FleetManager::entity_hash("entity-7"),
+            FleetManager::entity_hash("entity-8"));
+}
+
+TEST(FleetSharding, DeterministicAcrossManagersAndMatchesStats) {
+  FleetOptions o = tiny_fleet_options("shard-det");
+  o.shards = 4;
+  FleetManager a(o);
+  FleetManager b(o);
+  for (int i = 0; i < 64; ++i) {
+    EntitySpec spec;
+    spec.id = "m-" + std::to_string(i);
+    spec.model = arima_spec();
+    a.add_entity(spec);
+    b.add_entity(spec);
+  }
+  std::vector<std::size_t> population(4, 0);
+  for (int i = 0; i < 64; ++i) {
+    const std::string id = "m-" + std::to_string(i);
+    EXPECT_EQ(a.shard_of(id), b.shard_of(id));
+    EXPECT_EQ(a.entity_stats(id).shard, a.shard_of(id));
+    EXPECT_EQ(a.shard_of(id), FleetManager::entity_hash(id) % 4);
+    ++population[a.shard_of(id)];
+  }
+  // FNV-1a spreads 64 sequential ids over 4 shards without emptying any.
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_GT(population[k], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cohorts: snapshot dedup and the splinter path
+// ---------------------------------------------------------------------------
+
+TEST(FleetCohort, BootstrapSharesOneSnapshotAcrossMembers) {
+  FleetOptions o = tiny_fleet_options("dedup");
+  auto fleet = FleetBuilder()
+                   .options(o)
+                   .add_cohort("web", arima_spec(), 6, "web-")
+                   .build();
+  EXPECT_EQ(fleet->entity_count(), 6u);
+
+  const auto frame = regime_trace(regime_a(), 240, 11);
+  const stream::RetrainOutcome out = fleet->bootstrap_cohort("web", frame);
+  EXPECT_TRUE(out.error.empty()) << out.error;
+
+  const FleetStats stats = fleet->stats();
+  EXPECT_EQ(stats.entities, 6u);
+  // The dedup invariant: one immutable session object for the cohort.
+  EXPECT_EQ(stats.unique_snapshots, 1u);
+  for (const std::string& id : fleet->entity_ids()) {
+    const EntityStats es = fleet->entity_stats(id);
+    EXPECT_EQ(es.generation, 1u);
+    EXPECT_TRUE(es.shares_cohort_session);
+    EXPECT_EQ(es.cohort, "web");
+    EXPECT_EQ(es.ticks, 240u) << "seeded history";
+  }
+}
+
+TEST(FleetCohort, LateJoinerInheritsCohortSession) {
+  FleetOptions o = tiny_fleet_options("late-join");
+  auto fleet = FleetBuilder()
+                   .options(o)
+                   .add_cohort("web", arima_spec(), 2, "web-")
+                   .build();
+  fleet->bootstrap_cohort("web", regime_trace(regime_a(), 240, 12));
+
+  EntitySpec late;
+  late.id = "web-late";
+  late.cohort = "web";
+  late.model = arima_spec();
+  fleet->add_entity(late);
+
+  EXPECT_EQ(fleet->entity_stats("web-late").generation, 1u);
+  EXPECT_TRUE(fleet->entity_stats("web-late").shares_cohort_session);
+  EXPECT_EQ(fleet->stats().unique_snapshots, 1u);
+}
+
+TEST(FleetCohort, DriftSplintersOneEntityOntoPrivateGeneration) {
+  FleetOptions o = tiny_fleet_options("splinter");
+  o.workers = 2;
+  o.retrain_workers = 1;
+  // Aggressive detectors so the regime shift fires within ~tens of ticks.
+  o.drift.residual_ph.lambda = 0.05;
+  o.drift.residual_ph.min_samples = 5;
+  o.drift.input_ph.lambda = 0.05;
+  o.drift.input_ph.min_samples = 5;
+  auto fleet = FleetBuilder()
+                   .options(o)
+                   .add_cohort("web", arima_spec(), 4, "web-")
+                   .build();
+  fleet->bootstrap_cohort("web", regime_trace(regime_a(), 240, 13));
+  ASSERT_EQ(fleet->stats().unique_snapshots, 1u);
+
+  // Drift storm on web-0 only; the rest of the cohort keeps serving the
+  // shared snapshot while ingest and the retrain run concurrently.
+  const auto storm = regime_trace(regime_b(), 160, 14);
+  ingest_blocking(*fleet, "web-0", storm, 0, 160);
+  fleet->drain();
+  fleet->scheduler().wait_idle();
+
+  const EntityStats hit = fleet->entity_stats("web-0");
+  EXPECT_GT(hit.drift_events, 0u);
+  EXPECT_GE(hit.retrains, 1u);
+  EXPECT_GE(hit.generation, 2u);
+  EXPECT_FALSE(hit.shares_cohort_session);
+  for (const std::string& id : {"web-1", "web-2", "web-3"}) {
+    const EntityStats calm = fleet->entity_stats(id);
+    EXPECT_EQ(calm.generation, 1u) << id;
+    EXPECT_TRUE(calm.shares_cohort_session) << id;
+  }
+  // One private generation + the shared cohort snapshot.
+  EXPECT_EQ(fleet->stats().unique_snapshots, 2u);
+  EXPECT_GE(fleet->stats().retrains_completed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Ingest, forecasting, latency recording
+// ---------------------------------------------------------------------------
+
+TEST(FleetIngest, ForecastsEveryTickAndRecordsLatencies) {
+  FleetOptions o = tiny_fleet_options("ingest");
+  auto fleet = FleetBuilder()
+                   .options(o)
+                   .add_cohort("web", arima_spec(), 3, "web-")
+                   .build();
+  fleet->bootstrap_cohort("web", regime_trace(regime_a(), 240, 15));
+
+  const auto live = regime_trace(regime_a(), 30, 16);
+  for (const std::string& id : fleet->entity_ids())
+    ingest_blocking(*fleet, id, live, 0, 30);
+  fleet->drain();
+
+  const FleetStats stats = fleet->stats();
+  EXPECT_EQ(stats.ticks_accepted, 90u);
+  EXPECT_EQ(stats.queued_ticks, 0u);
+  // Seeded history means the window is ready from the first live tick.
+  EXPECT_EQ(stats.forecasts, 90u);
+  EXPECT_EQ(stats.forecast_failures, 0u);
+  EXPECT_EQ(fleet->latencies_seconds().size(), 90u);
+  for (const double s : fleet->latencies_seconds()) EXPECT_GE(s, 0.0);
+
+  const EntityStats es = fleet->entity_stats("web-0");
+  EXPECT_EQ(es.forecasts, 30u);
+  EXPECT_GT(es.mean_abs_residual, 0.0);
+}
+
+TEST(FleetIngest, UnknownEntityIsRejectedByName) {
+  FleetOptions o = tiny_fleet_options("unknown");
+  FleetManager fleet(o);
+  EXPECT_EQ(fleet.ingest("nobody", {0.1, 0.2}), Admission::kUnknownEntity);
+  EXPECT_EQ(fleet.stats().ticks_rejected, 1u);
+  EXPECT_STREQ(admission_name(Admission::kAccepted), "accepted");
+  EXPECT_STREQ(admission_name(Admission::kQueueFull), "queue_full");
+  EXPECT_STREQ(admission_name(Admission::kBacklogFull), "backlog_full");
+  EXPECT_STREQ(admission_name(Admission::kUnknownEntity), "unknown_entity");
+  EXPECT_STREQ(admission_name(Admission::kStopped), "stopped");
+}
+
+TEST(FleetIngest, BackpressureShedsInsteadOfBuffering) {
+  FleetOptions o = tiny_fleet_options("backpressure");
+  o.workers = 1;
+  o.max_queued_ticks = 64;
+  o.max_entity_backlog = 4;
+  // Each forecast waits out the coalescing delay, pinning worker throughput
+  // far below the tight ingest loop below.
+  o.engine.max_delay_us = 5000;
+  auto fleet = FleetBuilder()
+                   .options(o)
+                   .add_cohort("web", arima_spec(), 1, "web-")
+                   .build();
+  fleet->bootstrap_cohort("web", regime_trace(regime_a(), 240, 17));
+
+  const auto live = regime_trace(regime_a(), 200, 18);
+  const auto& cpu = live.column("cpu_util_percent");
+  const auto& mem = live.column("mem_util_percent");
+  std::size_t accepted = 0, backlog_full = 0;
+  for (std::size_t t = 0; t < 200; ++t) {
+    switch (fleet->ingest("web-0", {cpu[t], mem[t]})) {
+      case Admission::kAccepted: ++accepted; break;
+      case Admission::kBacklogFull: ++backlog_full; break;
+      default: FAIL() << "unexpected admission verdict"; break;
+    }
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(backlog_full, 0u);
+  EXPECT_EQ(accepted + backlog_full, 200u);
+  EXPECT_EQ(fleet->stats().ticks_rejected, backlog_full);
+  EXPECT_EQ(fleet->entity_stats("web-0").rejected, backlog_full);
+  fleet->drain();
+  EXPECT_EQ(fleet->stats().queued_ticks, 0u);
+}
+
+TEST(FleetIngest, GlobalQueueBoundShedsAcrossEntities) {
+  FleetOptions o = tiny_fleet_options("queue-bound");
+  o.workers = 1;
+  o.max_queued_ticks = 2;
+  o.max_entity_backlog = 8;
+  o.engine.max_delay_us = 5000;
+  auto fleet = FleetBuilder()
+                   .options(o)
+                   .add_cohort("web", arima_spec(), 4, "web-")
+                   .build();
+  fleet->bootstrap_cohort("web", regime_trace(regime_a(), 240, 19));
+
+  const auto live = regime_trace(regime_a(), 40, 20);
+  const auto& cpu = live.column("cpu_util_percent");
+  const auto& mem = live.column("mem_util_percent");
+  std::size_t queue_full = 0;
+  for (std::size_t t = 0; t < 40; ++t)
+    for (const std::string& id : {"web-0", "web-1", "web-2", "web-3"})
+      if (fleet->ingest(id, {cpu[t], mem[t]}) == Admission::kQueueFull)
+        ++queue_full;
+  EXPECT_GT(queue_full, 0u);
+  fleet->drain();
+}
+
+// ---------------------------------------------------------------------------
+// RetrainScheduler
+// ---------------------------------------------------------------------------
+
+TEST(FleetScheduler, DispatchesByPriorityWithDedupRaise) {
+  SchedulerOptions so;
+  so.workers = 1;
+  so.max_queue = 16;
+  so.tenant = "sched-prio";
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> started{0};
+  RetrainScheduler sched(so, [&](const RetrainRequest& r) {
+    if (started.fetch_add(1) == 0) opened.wait();  // hold the first dispatch
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(r.entity);
+  });
+
+  ASSERT_TRUE(sched.request({"blocker", 10.0, "t"}));
+  while (sched.stats().inflight == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(sched.request({"low-a", 1.0, "t"}));
+  ASSERT_TRUE(sched.request({"low-b", 1.0, "t"}));
+  ASSERT_TRUE(sched.request({"high", 5.0, "t"}));
+  // Re-request raises low-a's priority in place — no duplicate slot.
+  ASSERT_TRUE(sched.request({"low-a", 7.0, "t"}));
+  EXPECT_EQ(sched.stats().queued, 3u);
+  gate.set_value();
+  sched.wait_idle();
+
+  const std::vector<std::string> expected = {"blocker", "low-a", "high",
+                                             "low-b"};
+  EXPECT_EQ(order, expected);
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.reprioritized, 1u);
+  EXPECT_EQ(stats.rejected_full, 0u);
+}
+
+TEST(FleetScheduler, BoundedQueueRejectsOverflow) {
+  SchedulerOptions so;
+  so.workers = 1;
+  so.max_queue = 2;
+  so.tenant = "sched-bound";
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  RetrainScheduler sched(so, [&](const RetrainRequest&) { opened.wait(); });
+
+  ASSERT_TRUE(sched.request({"inflight", 1.0, "t"}));
+  while (sched.stats().inflight == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(sched.request({"q1", 1.0, "t"}));
+  EXPECT_TRUE(sched.request({"q2", 1.0, "t"}));
+  EXPECT_FALSE(sched.request({"q3", 1.0, "t"}));
+  // A queued entity re-request is a dedup hit, never a rejection.
+  EXPECT_TRUE(sched.request({"q1", 2.0, "t"}));
+  EXPECT_EQ(sched.stats().rejected_full, 1u);
+  gate.set_value();
+  sched.wait_idle();
+  EXPECT_EQ(sched.stats().completed, 3u);
+}
+
+TEST(FleetScheduler, ConcurrencyNeverExceedsBudget) {
+  SchedulerOptions so;
+  so.workers = 3;
+  so.max_queue = 32;
+  so.tenant = "sched-budget";
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  RetrainScheduler sched(so, [&](const RetrainRequest&) {
+    const int now = running.fetch_add(1) + 1;
+    int prev = peak.load();
+    while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    running.fetch_sub(1);
+  });
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(sched.request({"e-" + std::to_string(i),
+                               static_cast<double>(i), "t"}));
+  sched.wait_idle();
+  EXPECT_EQ(sched.stats().completed, 10u);
+  EXPECT_LE(peak.load(), 3);
+  EXPECT_GE(peak.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Construction API: named validation errors, builder, registry specs
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+std::string check_error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(FleetOptionsApi, ValidationNamesTheOffendingField) {
+  EXPECT_NE(check_error_of([] {
+              FleetOptions o;
+              o.shards = 0;
+              o.validate();
+            }).find("FleetOptions.shards"),
+            std::string::npos);
+  EXPECT_NE(check_error_of([] {
+              FleetOptions o;
+              o.workers = 0;
+              o.validate();
+            }).find("FleetOptions.workers"),
+            std::string::npos);
+  EXPECT_NE(check_error_of([] {
+              FleetOptions o;
+              o.max_entity_backlog = 0;
+              o.validate();
+            }).find("FleetOptions.max_entity_backlog"),
+            std::string::npos);
+  EXPECT_NE(check_error_of([] {
+              FleetOptions o;
+              o.tenant = "bad{tenant}";
+              o.validate();
+            }).find("FleetOptions.tenant"),
+            std::string::npos);
+  // Ring depth must retain a forecast window.
+  EXPECT_NE(check_error_of([] {
+              FleetOptions o;
+              o.channel.capacity = 8;
+              o.retrain.window.window = 16;
+              o.validate();
+            }).find("channel.capacity"),
+            std::string::npos);
+  // Sub-option validators recurse with their own field names.
+  EXPECT_NE(check_error_of([] {
+              FleetOptions o;
+              o.engine.max_batch = 0;
+              o.validate();
+            }).find("EngineOptions.max_batch"),
+            std::string::npos);
+}
+
+TEST(FleetOptionsApi, EntitySpecValidatesIdAndModel) {
+  EXPECT_NE(check_error_of([] {
+              EntitySpec s;
+              s.validate();
+            }).find("EntitySpec.id"),
+            std::string::npos);
+  const std::string err = check_error_of([] {
+    EntitySpec s;
+    s.id = "ok";
+    s.model.name = "NotAModel";
+    s.validate();
+  });
+  // The unknown-name error keeps the full known-names list.
+  EXPECT_NE(err.find("NotAModel"), std::string::npos);
+  EXPECT_NE(err.find("RPTCN"), std::string::npos);
+  EXPECT_NE(err.find("ARIMA"), std::string::npos);
+}
+
+TEST(FleetOptionsApi, BuilderValidatesBeforeStartingAnything) {
+  EXPECT_THROW(FleetBuilder().shards(0).build(), CheckError);
+  EXPECT_THROW(FleetBuilder()
+                   .add_entity([] {
+                     EntitySpec s;
+                     s.id = "x";
+                     s.model.name = "nope";
+                     return s;
+                   }())
+                   .build(),
+               CheckError);
+}
+
+TEST(FleetOptionsApi, BuilderSingleEntityIsTheNEqualsOneCase) {
+  FleetOptions o = tiny_fleet_options("solo");
+  EntitySpec solo;
+  solo.id = "solo-0";
+  solo.model = arima_spec();
+  auto fleet = FleetBuilder()
+                   .options(o)
+                   .shards(1)
+                   .workers(1)
+                   .add_entity(solo)
+                   .build();
+  EXPECT_EQ(fleet->entity_count(), 1u);
+  // An id-only entity is a private cohort of one: bootstrap by cohort = id.
+  fleet->bootstrap_cohort("solo-0", regime_trace(regime_a(), 240, 21));
+  const auto live = regime_trace(regime_a(), 20, 22);
+  ingest_blocking(*fleet, "solo-0", live, 0, 20);
+  fleet->drain();
+  EXPECT_EQ(fleet->entity_stats("solo-0").forecasts, 20u);
+  EXPECT_EQ(fleet->stats().unique_snapshots, 1u);
+}
+
+TEST(FleetRegistry, ListForecastersMirrorsTheFactoryNames) {
+  const auto specs = models::list_forecasters();
+  const auto& names = models::forecaster_names();
+  ASSERT_EQ(specs.size(), names.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].name, names[i]);
+    EXPECT_NO_THROW(specs[i].validate());
+  }
+  // A typed spec builds exactly what the (name, config) factory builds.
+  models::ForecasterSpec spec;
+  spec.name = "ARIMA";
+  const auto built = models::make_forecaster(spec);
+  ASSERT_NE(built, nullptr);
+  EXPECT_EQ(built->name(), models::make_forecaster("ARIMA", {})->name());
+}
+
+}  // namespace
+}  // namespace rptcn::fleet

@@ -28,6 +28,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "fleet/builder.h"
 #include "fleet/manager.h"
 #include "obs/metrics.h"
+#include "stream/retrain.h"
 #include "stream/source.h"
 
 namespace rptcn {
@@ -93,6 +95,61 @@ models::ForecasterSpec cohort_spec(std::size_t cohort) {
     spec.name = "ARIMA";
   }
   return spec;
+}
+
+/// Latency of one background retrain fit — the storm's unit of work for the
+/// NN cohorts — tape vs the planned training step (ISSUE 8). A storm's
+/// refit burst drains through `retrain_workers` fit slots, so per-fit
+/// seconds is the number that bounds how fast splintered entities converge
+/// back onto fresh generations.
+struct RetrainFitResult {
+  double tape_seconds = 0.0;
+  double planned_seconds = 0.0;
+  double speedup = 0.0;
+  bool ok = false;
+};
+
+RetrainFitResult run_retrain_fit_bench() {
+  const data::TimeSeriesFrame full =
+      stream::make_mutating_trace(regime_a(), regime_a(), 300, 0, 23);
+  stream::StreamSource source(
+      std::make_unique<stream::ReplayProvider>(full),
+      stream::SourceOptions{{"cpu_util_percent", "mem_util_percent"}, 512, {}});
+  while (source.poll()) {
+  }
+  stream::RetrainOptions ropt;
+  ropt.model_name = "RPTCN";
+  ropt.model = cohort_spec(0).config;  // the NN cohorts' fit recipe
+  ropt.history = 240;
+  ropt.window.window = 16;
+  ropt.window.horizon = 1;
+  const data::TimeSeriesFrame history = source.history(ropt.history);
+
+  constexpr std::size_t kFitRepeats = 3;
+  RetrainFitResult r;
+  r.ok = true;
+
+  ropt.model.nn.planned_step = false;
+  Stopwatch tape_watch;
+  for (std::size_t i = 0; i < kFitRepeats; ++i) {
+    const stream::FittedGeneration g = stream::fit_generation(
+        history, source.normalizer(), ropt, i + 1, "bench-tape");
+    if (g.session == nullptr) r.ok = false;
+  }
+  r.tape_seconds = tape_watch.elapsed_seconds() / kFitRepeats;
+
+  ropt.model.nn.planned_step = true;
+  Stopwatch planned_watch;
+  for (std::size_t i = 0; i < kFitRepeats; ++i) {
+    const stream::FittedGeneration g = stream::fit_generation(
+        history, source.normalizer(), ropt, i + 1, "bench-planned");
+    if (g.session == nullptr) r.ok = false;
+  }
+  r.planned_seconds = planned_watch.elapsed_seconds() / kFitRepeats;
+
+  r.speedup =
+      r.planned_seconds > 0.0 ? r.tape_seconds / r.planned_seconds : 0.0;
+  return r;
 }
 
 fleet::FleetOptions fleet_options(const BenchConfig& cfg) {
@@ -230,6 +287,11 @@ int run(int argc, char** argv) {
             << " cohorts over " << cfg.shards << " engine shards, "
             << cfg.workers << " ingest workers, retrain budget "
             << cfg.retrain_workers << "\n\n";
+
+  const RetrainFitResult refit = run_retrain_fit_bench();
+  std::cout << "retrain fit (NN cohort recipe): tape " << refit.tape_seconds
+            << " s, planned " << refit.planned_seconds << " s, speedup "
+            << refit.speedup << "x\n\n";
 
   // --- Build --------------------------------------------------------------
   fleet::FleetBuilder builder;
@@ -430,6 +492,10 @@ int run(int argc, char** argv) {
       << "  \"tick_to_forecast_seconds\": {\"count\": " << lat.size()
       << ", \"mean\": " << lat_mean << ", \"p50\": " << p50
       << ", \"p99\": " << p99 << ", \"max\": " << lat_max << "},\n"
+      << "  \"retrain_fit_seconds\": {\"tape\": " << refit.tape_seconds
+      << ", \"planned\": " << refit.planned_seconds
+      << ", \"speedup_planned_vs_tape\": " << refit.speedup
+      << ", \"fit_ok\": " << (refit.ok ? "true" : "false") << "},\n"
       << "  \"gates\": {\"p99_gate_seconds\": " << cfg.p99_gate_s
       << ", \"p99_ok\": " << (p99_ok ? "true" : "false")
       << ", \"min_ingest_ratio\": " << cfg.min_ingest_ratio

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "autograd/trace.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -44,6 +45,29 @@ void check_defined(const Variable& v, const char* op) {
   RPTCN_CHECK(v.defined(), op << ": undefined operand");
 }
 
+/// Pass-through that appends a trace record when a trace::Recording is
+/// active. Operand slots are positional; undefined operands (e.g. a missing
+/// bias) leave their slot null.
+Variable rec(trace::OpKind kind, Variable result,
+             std::initializer_list<const Variable*> ins, std::size_t a = 0,
+             std::size_t b = 0, float scalar = 0.0f) {
+  if (trace::active()) {
+    trace::OpRecord r;
+    r.kind = kind;
+    r.result = result.node();
+    std::size_t slot = 0;
+    for (const Variable* v : ins) {
+      if (v != nullptr && v->defined()) r.in[slot] = v->node();
+      ++slot;
+    }
+    r.a = a;
+    r.b = b;
+    r.scalar = scalar;
+    trace::record(std::move(r));
+  }
+  return result;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -54,12 +78,15 @@ Variable add(const Variable& a, const Variable& b) {
   check_defined(a, "add");
   check_defined(b, "add");
   Tensor out = rptcn::add(a.value(), b.value());
-  return make_node(std::move(out), {a, b}, "add", [a, b] {
-    return [an = a.node(), bn = b.node()](Node& self) {
-      if (an->requires_grad) an->accumulate(self.grad);
-      if (bn->requires_grad) bn->accumulate(self.grad);
-    };
-  });
+  return rec(trace::OpKind::kAdd,
+             make_node(std::move(out), {a, b}, "add",
+                       [a, b] {
+                         return [an = a.node(), bn = b.node()](Node& self) {
+                           if (an->requires_grad) an->accumulate(self.grad);
+                           if (bn->requires_grad) bn->accumulate(self.grad);
+                         };
+                       }),
+             {&a, &b});
 }
 
 Variable sub(const Variable& a, const Variable& b) {
@@ -78,12 +105,18 @@ Variable mul(const Variable& a, const Variable& b) {
   check_defined(a, "mul");
   check_defined(b, "mul");
   Tensor out = rptcn::mul(a.value(), b.value());
-  return make_node(std::move(out), {a, b}, "mul", [a, b] {
-    return [an = a.node(), bn = b.node()](Node& self) {
-      if (an->requires_grad) an->accumulate(rptcn::mul(self.grad, bn->value));
-      if (bn->requires_grad) bn->accumulate(rptcn::mul(self.grad, an->value));
-    };
-  });
+  return rec(
+      trace::OpKind::kMul,
+      make_node(std::move(out), {a, b}, "mul",
+                [a, b] {
+                  return [an = a.node(), bn = b.node()](Node& self) {
+                    if (an->requires_grad)
+                      an->accumulate(rptcn::mul(self.grad, bn->value));
+                    if (bn->requires_grad)
+                      bn->accumulate(rptcn::mul(self.grad, an->value));
+                  };
+                }),
+      {&a, &b});
 }
 
 Variable add_scalar(const Variable& a, float s) {
@@ -130,7 +163,8 @@ Variable linear(const Variable& x, const Variable& w, const Variable& b) {
   check_defined(w, "linear");
   Tensor out =
       fwd::linear(x.value(), w.value(), b.defined() ? &b.value() : nullptr);
-  return make_node(std::move(out), {x, w, b}, "linear", [x, w, b] {
+  return rec(trace::OpKind::kLinear,
+             make_node(std::move(out), {x, w, b}, "linear", [x, w, b] {
     return [xn = x.node(), wn = w.node(),
             bn = b.defined() ? b.node() : nullptr](Node& self) {
       // y = x w^T + b: dx = dy w; dw = dy^T x; db = colsum(dy).
@@ -141,7 +175,8 @@ Variable linear(const Variable& x, const Variable& w, const Variable& b) {
       if (bn && bn->requires_grad)
         bn->accumulate(rptcn::sum_cols(self.grad));
     };
-  });
+  }),
+             {&x, &w, &b});
 }
 
 // ---------------------------------------------------------------------------
@@ -151,46 +186,56 @@ Variable linear(const Variable& x, const Variable& w, const Variable& b) {
 Variable relu(const Variable& a) {
   check_defined(a, "relu");
   Tensor out = rptcn::relu(a.value());
-  return make_node(std::move(out), {a}, "relu", [a] {
-    return [an = a.node()](Node& self) {
-      Tensor g = self.grad;
-      const auto pv = an->value.data();
-      auto pg = g.data();
-      for (std::size_t i = 0; i < pg.size(); ++i)
-        if (pv[i] <= 0.0f) pg[i] = 0.0f;
-      an->accumulate(g);
-    };
-  });
+  return rec(trace::OpKind::kRelu,
+             make_node(std::move(out), {a}, "relu",
+                       [a] {
+                         return [an = a.node()](Node& self) {
+                           Tensor g = self.grad;
+                           const auto pv = an->value.data();
+                           auto pg = g.data();
+                           for (std::size_t i = 0; i < pg.size(); ++i)
+                             if (pv[i] <= 0.0f) pg[i] = 0.0f;
+                           an->accumulate(g);
+                         };
+                       }),
+             {&a});
 }
 
 Variable sigmoid(const Variable& a) {
   check_defined(a, "sigmoid");
   Tensor out = rptcn::sigmoid(a.value());
-  return make_node(std::move(out), {a}, "sigmoid", [a] {
-    return [an = a.node()](Node& self) {
-      // dx = dy * s * (1 - s), where s is the forward output.
-      Tensor g = self.grad;
-      const auto ps = self.value.data();
-      auto pg = g.data();
-      for (std::size_t i = 0; i < pg.size(); ++i)
-        pg[i] *= ps[i] * (1.0f - ps[i]);
-      an->accumulate(g);
-    };
-  });
+  return rec(trace::OpKind::kSigmoid,
+             make_node(std::move(out), {a}, "sigmoid",
+                       [a] {
+                         return [an = a.node()](Node& self) {
+                           // dx = dy * s * (1 - s), s the forward output.
+                           Tensor g = self.grad;
+                           const auto ps = self.value.data();
+                           auto pg = g.data();
+                           for (std::size_t i = 0; i < pg.size(); ++i)
+                             pg[i] *= ps[i] * (1.0f - ps[i]);
+                           an->accumulate(g);
+                         };
+                       }),
+             {&a});
 }
 
 Variable tanh_v(const Variable& a) {
   check_defined(a, "tanh");
   Tensor out = rptcn::tanh_t(a.value());
-  return make_node(std::move(out), {a}, "tanh", [a] {
-    return [an = a.node()](Node& self) {
-      Tensor g = self.grad;
-      const auto ps = self.value.data();
-      auto pg = g.data();
-      for (std::size_t i = 0; i < pg.size(); ++i) pg[i] *= 1.0f - ps[i] * ps[i];
-      an->accumulate(g);
-    };
-  });
+  return rec(trace::OpKind::kTanh,
+             make_node(std::move(out), {a}, "tanh",
+                       [a] {
+                         return [an = a.node()](Node& self) {
+                           Tensor g = self.grad;
+                           const auto ps = self.value.data();
+                           auto pg = g.data();
+                           for (std::size_t i = 0; i < pg.size(); ++i)
+                             pg[i] *= 1.0f - ps[i] * ps[i];
+                           an->accumulate(g);
+                         };
+                       }),
+             {&a});
 }
 
 // ---------------------------------------------------------------------------
@@ -297,60 +342,16 @@ Tensor conv1d_forward_direct(const Tensor& x, const Tensor& w, const Tensor* b,
 /// dx[n,ci,t+off] += w[co,ci,k] * dy[n,co,t] — transpose of the forward.
 void conv1d_dx_direct(const Tensor& dy, const Tensor& w, Tensor& dx,
                       std::size_t d, std::size_t pad) {
-  const std::size_t n = dx.dim(0), cin = dx.dim(1), t_in = dx.dim(2);
-  const std::size_t cout = w.dim(0), k = w.dim(2);
-  const std::size_t t_out = dy.dim(2);
-#pragma omp parallel for schedule(static) if (n > 1 && kernel_parallelism_allowed())
-  for (std::size_t ni = 0; ni < n; ++ni) {
-    for (std::size_t co = 0; co < cout; ++co) {
-      const float* gyrow = dy.raw() + (ni * cout + co) * t_out;
-      for (std::size_t ci = 0; ci < cin; ++ci) {
-        float* dxrow = dx.raw() + (ni * cin + ci) * t_in;
-        const float* wrow = w.raw() + (co * cin + ci) * k;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const float wv = wrow[kk];
-          if (wv == 0.0f) continue;
-          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
-                                     static_cast<std::ptrdiff_t>(pad);
-          std::size_t t_lo, t_hi;
-          tap_range(off, t_in, t_out, t_lo, t_hi);
-          for (std::size_t t = t_lo; t < t_hi; ++t)
-            dxrow[static_cast<std::size_t>(static_cast<std::ptrdiff_t>(t) +
-                                           off)] += wv * gyrow[t];
-        }
-      }
-    }
-  }
+  fwd::conv1d_dx_direct_raw(dy.raw(), w.raw(), dx.dim(0), dx.dim(1),
+                            dx.dim(2), w.dim(0), w.dim(2), d, pad, dy.dim(2),
+                            dx.raw());
 }
 
 /// dw[co,ci,k] += sum_{n,t} dy[n,co,t] * x[n,ci,t+off].
 void conv1d_dw_direct(const Tensor& dy, const Tensor& x, Tensor& dw,
                       std::size_t d, std::size_t pad) {
-  const std::size_t n = x.dim(0), cin = x.dim(1), t_in = x.dim(2);
-  const std::size_t cout = dw.dim(0), k = dw.dim(2);
-  const std::size_t t_out = dy.dim(2);
-#pragma omp parallel for schedule(static) if (cout > 1 && kernel_parallelism_allowed())
-  for (std::size_t co = 0; co < cout; ++co) {
-    for (std::size_t ni = 0; ni < n; ++ni) {
-      const float* gyrow = dy.raw() + (ni * cout + co) * t_out;
-      for (std::size_t ci = 0; ci < cin; ++ci) {
-        const float* xrow = x.raw() + (ni * cin + ci) * t_in;
-        float* dwrow = dw.raw() + (co * cin + ci) * k;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
-                                     static_cast<std::ptrdiff_t>(pad);
-          std::size_t t_lo, t_hi;
-          tap_range(off, t_in, t_out, t_lo, t_hi);
-          double s = 0.0;
-          for (std::size_t t = t_lo; t < t_hi; ++t)
-            s += static_cast<double>(gyrow[t]) *
-                 xrow[static_cast<std::size_t>(
-                     static_cast<std::ptrdiff_t>(t) + off)];
-          dwrow[kk] += static_cast<float>(s);
-        }
-      }
-    }
-  }
+  fwd::conv1d_dw_direct_raw(dy.raw(), x.raw(), x.dim(0), x.dim(1), x.dim(2),
+                            dw.dim(0), dw.dim(2), d, pad, dy.dim(2), dw.raw());
 }
 
 /// Number of samples per im2col chunk for a given patch-row length.
@@ -396,13 +397,12 @@ void col2im_chunk_add(const float* cols, std::size_t nc, std::size_t cin,
 
 /// Gather dy[n0+s, co, t] into the chunk layout dyg[co, s*T_out + t]
 /// (contiguous row copies).
-void gather_dy_chunk(const Tensor& dy, std::size_t n0, std::size_t nc,
-                     float* dyg) {
-  const std::size_t cout = dy.dim(1), t_out = dy.dim(2);
+void gather_dy_chunk(const float* dy, std::size_t cout, std::size_t t_out,
+                     std::size_t n0, std::size_t nc, float* dyg) {
   const std::size_t nt = nc * t_out;
   for (std::size_t s = 0; s < nc; ++s)
     for (std::size_t co = 0; co < cout; ++co)
-      std::copy_n(dy.raw() + ((n0 + s) * cout + co) * t_out, t_out,
+      std::copy_n(dy + ((n0 + s) * cout + co) * t_out, t_out,
                   dyg + co * nt + s * t_out);
 }
 
@@ -410,75 +410,23 @@ Tensor conv1d_forward_gemm(const Tensor& x, const Tensor& w, const Tensor* b,
                            std::size_t d, std::size_t pad, std::size_t t_out) {
   const std::size_t n = x.dim(0), cin = x.dim(1), t_in = x.dim(2);
   const std::size_t cout = w.dim(0), k = w.dim(2);
-  const std::size_t ck = cin * k;
   Tensor y({n, cout, t_out});
-  const std::size_t chunk = conv1d_chunk(n, ck, t_out);
-  pool::Scratch patches(ck * chunk * t_out);
-  pool::Scratch ybuf(cout * chunk * t_out);
-  for (std::size_t n0 = 0; n0 < n; n0 += chunk) {
-    const std::size_t nc = std::min(chunk, n - n0);
-    const std::size_t nt = nc * t_out;
-    im2col_chunk(x.raw() + n0 * cin * t_in, nc, cin, t_in, k, d, pad, t_out,
-                 patches.data());
-    if (b != nullptr) {
-      for (std::size_t co = 0; co < cout; ++co)
-        std::fill_n(ybuf.data() + co * nt, nt, b->at(co));
-    } else {
-      std::fill_n(ybuf.data(), cout * nt, 0.0f);
-    }
-    // Y[co, s·T+t] += W2[co, ci·K+kk] · patches[ci·K+kk, s·T+t]
-    gemm_accumulate(cout, nt, ck, w.raw(), ck, false, patches.data(), nt,
-                    false, ybuf.data());
-    for (std::size_t s = 0; s < nc; ++s)
-      for (std::size_t co = 0; co < cout; ++co)
-        std::copy_n(ybuf.data() + co * nt + s * t_out, t_out,
-                    y.raw() + ((n0 + s) * cout + co) * t_out);
-  }
+  fwd::conv1d_forward_gemm_raw(x.raw(), w.raw(),
+                               b != nullptr ? b->raw() : nullptr, n, cin, t_in,
+                               cout, k, d, pad, t_out, y.raw());
   return y;
 }
 
 void conv1d_dx_gemm(const Tensor& dy, const Tensor& w, Tensor& dx,
                     std::size_t d, std::size_t pad) {
-  const std::size_t n = dx.dim(0), cin = dx.dim(1), t_in = dx.dim(2);
-  const std::size_t cout = w.dim(0), k = w.dim(2);
-  const std::size_t t_out = dy.dim(2);
-  const std::size_t ck = cin * k;
-  const std::size_t chunk = conv1d_chunk(n, ck, t_out);
-  pool::Scratch cols(ck * chunk * t_out);
-  pool::Scratch dyg(cout * chunk * t_out);
-  for (std::size_t n0 = 0; n0 < n; n0 += chunk) {
-    const std::size_t nc = std::min(chunk, n - n0);
-    const std::size_t nt = nc * t_out;
-    gather_dy_chunk(dy, n0, nc, dyg.data());
-    std::fill_n(cols.data(), ck * nt, 0.0f);
-    // cols[ci·K+kk, s·T+t] += W2ᵀ[ci·K+kk, co] · dY[co, s·T+t]
-    gemm_accumulate(ck, nt, cout, w.raw(), ck, true, dyg.data(), nt, false,
-                    cols.data());
-    col2im_chunk_add(cols.data(), nc, cin, t_in, k, d, pad, t_out,
-                     dx.raw() + n0 * cin * t_in);
-  }
+  fwd::conv1d_dx_gemm_raw(dy.raw(), w.raw(), dx.dim(0), dx.dim(1), dx.dim(2),
+                          w.dim(0), w.dim(2), d, pad, dy.dim(2), dx.raw());
 }
 
 void conv1d_dw_gemm(const Tensor& dy, const Tensor& x, Tensor& dw,
                     std::size_t d, std::size_t pad) {
-  const std::size_t n = x.dim(0), cin = x.dim(1), t_in = x.dim(2);
-  const std::size_t cout = dw.dim(0), k = dw.dim(2);
-  const std::size_t t_out = dy.dim(2);
-  const std::size_t ck = cin * k;
-  const std::size_t chunk = conv1d_chunk(n, ck, t_out);
-  pool::Scratch patches(ck * chunk * t_out);
-  pool::Scratch dyg(cout * chunk * t_out);
-  for (std::size_t n0 = 0; n0 < n; n0 += chunk) {
-    const std::size_t nc = std::min(chunk, n - n0);
-    const std::size_t nt = nc * t_out;
-    im2col_chunk(x.raw() + n0 * cin * t_in, nc, cin, t_in, k, d, pad, t_out,
-                 patches.data());
-    gather_dy_chunk(dy, n0, nc, dyg.data());
-    // dW2[co, ci·K+kk] += dY[co, s·T+t] · patchesᵀ[s·T+t, ci·K+kk];
-    // chunks accumulate in fixed n0 order — deterministic.
-    gemm_accumulate(cout, ck, nt, dyg.data(), nt, false, patches.data(), nt,
-                    true, dw.raw());
-  }
+  fwd::conv1d_dw_gemm_raw(dy.raw(), x.raw(), x.dim(0), x.dim(1), x.dim(2),
+                          dw.dim(0), dw.dim(2), d, pad, dy.dim(2), dw.raw());
 }
 
 /// Shared weight-norm forward. `norms_out`, when non-null, receives the
@@ -761,6 +709,207 @@ void conv1d_1x1_strided_serial(const float* x, std::size_t xs, std::size_t xc,
   }
 }
 
+bool conv1d_uses_gemm(std::size_t n, std::size_t cin, std::size_t cout,
+                      std::size_t k, std::size_t t_out) {
+  return conv1d_use_gemm(n, cin, cout, k, t_out);
+}
+
+void conv1d_forward_gemm_raw(const float* x, const float* w, const float* b,
+                             std::size_t n, std::size_t cin, std::size_t t_in,
+                             std::size_t cout, std::size_t k, std::size_t d,
+                             std::size_t pad, std::size_t t_out, float* y) {
+  const std::size_t ck = cin * k;
+  const std::size_t chunk = conv1d_chunk(n, ck, t_out);
+  pool::Scratch patches(ck * chunk * t_out);
+  pool::Scratch ybuf(cout * chunk * t_out);
+  for (std::size_t n0 = 0; n0 < n; n0 += chunk) {
+    const std::size_t nc = std::min(chunk, n - n0);
+    const std::size_t nt = nc * t_out;
+    im2col_chunk(x + n0 * cin * t_in, nc, cin, t_in, k, d, pad, t_out,
+                 patches.data());
+    if (b != nullptr) {
+      for (std::size_t co = 0; co < cout; ++co)
+        std::fill_n(ybuf.data() + co * nt, nt, b[co]);
+    } else {
+      std::fill_n(ybuf.data(), cout * nt, 0.0f);
+    }
+    // Y[co, s·T+t] += W2[co, ci·K+kk] · patches[ci·K+kk, s·T+t]
+    gemm_accumulate(cout, nt, ck, w, ck, false, patches.data(), nt, false,
+                    ybuf.data());
+    for (std::size_t s = 0; s < nc; ++s)
+      for (std::size_t co = 0; co < cout; ++co)
+        std::copy_n(ybuf.data() + co * nt + s * t_out, t_out,
+                    y + ((n0 + s) * cout + co) * t_out);
+  }
+}
+
+void conv1d_dx_direct_raw(const float* dy, const float* w, std::size_t n,
+                          std::size_t cin, std::size_t t_in, std::size_t cout,
+                          std::size_t k, std::size_t d, std::size_t pad,
+                          std::size_t t_out, float* dx) {
+#pragma omp parallel for schedule(static) if (n > 1 && kernel_parallelism_allowed())
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t co = 0; co < cout; ++co) {
+      const float* gyrow = dy + (ni * cout + co) * t_out;
+      for (std::size_t ci = 0; ci < cin; ++ci) {
+        float* dxrow = dx + (ni * cin + ci) * t_in;
+        const float* wrow = w + (co * cin + ci) * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float wv = wrow[kk];
+          if (wv == 0.0f) continue;
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
+                                     static_cast<std::ptrdiff_t>(pad);
+          std::size_t t_lo, t_hi;
+          tap_range(off, t_in, t_out, t_lo, t_hi);
+          for (std::size_t t = t_lo; t < t_hi; ++t)
+            dxrow[static_cast<std::size_t>(static_cast<std::ptrdiff_t>(t) +
+                                           off)] += wv * gyrow[t];
+        }
+      }
+    }
+  }
+}
+
+void conv1d_dx_gemm_raw(const float* dy, const float* w, std::size_t n,
+                        std::size_t cin, std::size_t t_in, std::size_t cout,
+                        std::size_t k, std::size_t d, std::size_t pad,
+                        std::size_t t_out, float* dx) {
+  const std::size_t ck = cin * k;
+  const std::size_t chunk = conv1d_chunk(n, ck, t_out);
+  pool::Scratch cols(ck * chunk * t_out);
+  pool::Scratch dyg(cout * chunk * t_out);
+  for (std::size_t n0 = 0; n0 < n; n0 += chunk) {
+    const std::size_t nc = std::min(chunk, n - n0);
+    const std::size_t nt = nc * t_out;
+    gather_dy_chunk(dy, cout, t_out, n0, nc, dyg.data());
+    std::fill_n(cols.data(), ck * nt, 0.0f);
+    // cols[ci·K+kk, s·T+t] += W2ᵀ[ci·K+kk, co] · dY[co, s·T+t]
+    gemm_accumulate(ck, nt, cout, w, ck, true, dyg.data(), nt, false,
+                    cols.data());
+    col2im_chunk_add(cols.data(), nc, cin, t_in, k, d, pad, t_out,
+                     dx + n0 * cin * t_in);
+  }
+}
+
+void conv1d_dw_direct_raw(const float* dy, const float* x, std::size_t n,
+                          std::size_t cin, std::size_t t_in, std::size_t cout,
+                          std::size_t k, std::size_t d, std::size_t pad,
+                          std::size_t t_out, float* dw) {
+#pragma omp parallel for schedule(static) if (cout > 1 && kernel_parallelism_allowed())
+  for (std::size_t co = 0; co < cout; ++co) {
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      const float* gyrow = dy + (ni * cout + co) * t_out;
+      for (std::size_t ci = 0; ci < cin; ++ci) {
+        const float* xrow = x + (ni * cin + ci) * t_in;
+        float* dwrow = dw + (co * cin + ci) * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
+                                     static_cast<std::ptrdiff_t>(pad);
+          std::size_t t_lo, t_hi;
+          tap_range(off, t_in, t_out, t_lo, t_hi);
+          double s = 0.0;
+          for (std::size_t t = t_lo; t < t_hi; ++t)
+            s += static_cast<double>(gyrow[t]) *
+                 xrow[static_cast<std::size_t>(
+                     static_cast<std::ptrdiff_t>(t) + off)];
+          dwrow[kk] += static_cast<float>(s);
+        }
+      }
+    }
+  }
+}
+
+void conv1d_dw_gemm_raw(const float* dy, const float* x, std::size_t n,
+                        std::size_t cin, std::size_t t_in, std::size_t cout,
+                        std::size_t k, std::size_t d, std::size_t pad,
+                        std::size_t t_out, float* dw) {
+  const std::size_t ck = cin * k;
+  const std::size_t chunk = conv1d_chunk(n, ck, t_out);
+  pool::Scratch patches(ck * chunk * t_out);
+  pool::Scratch dyg(cout * chunk * t_out);
+  for (std::size_t n0 = 0; n0 < n; n0 += chunk) {
+    const std::size_t nc = std::min(chunk, n - n0);
+    const std::size_t nt = nc * t_out;
+    im2col_chunk(x + n0 * cin * t_in, nc, cin, t_in, k, d, pad, t_out,
+                 patches.data());
+    gather_dy_chunk(dy, cout, t_out, n0, nc, dyg.data());
+    // dW2[co, ci·K+kk] += dY[co, s·T+t] · patchesᵀ[s·T+t, ci·K+kk];
+    // chunks accumulate in fixed n0 order — deterministic.
+    gemm_accumulate(cout, ck, nt, dyg.data(), nt, false, patches.data(), nt,
+                    true, dw);
+  }
+}
+
+void conv1d_db_raw(const float* dy, std::size_t n, std::size_t cout,
+                   std::size_t t_out, float* db) {
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t co = 0; co < cout; ++co) {
+      const float* gyrow = dy + (ni * cout + co) * t_out;
+      double s = 0.0;
+      for (std::size_t t = 0; t < t_out; ++t) s += gyrow[t];
+      db[co] += static_cast<float>(s);
+    }
+}
+
+bool conv1d_gemm_single_chunk(std::size_t n, std::size_t cin, std::size_t k,
+                              std::size_t t_out) {
+  return conv1d_chunk(n, cin * k, t_out) >= n;
+}
+
+void conv1d_im2col_full(const float* x, std::size_t n, std::size_t cin,
+                        std::size_t t_in, std::size_t k, std::size_t d,
+                        std::size_t pad, std::size_t t_out, float* patches) {
+  im2col_chunk(x, n, cin, t_in, k, d, pad, t_out, patches);
+}
+
+void conv1d_gather_dy_full(const float* dy, std::size_t n, std::size_t cout,
+                           std::size_t t_out, float* dyg) {
+  gather_dy_chunk(dy, cout, t_out, 0, n, dyg);
+}
+
+void conv1d_forward_gemm_prepatched(const float* patches, const float* w,
+                                    const float* b, std::size_t n,
+                                    std::size_t cin, std::size_t cout,
+                                    std::size_t k, std::size_t t_out,
+                                    float* y) {
+  const std::size_t ck = cin * k;
+  const std::size_t nt = n * t_out;
+  pool::Scratch ybuf(cout * nt);
+  if (b != nullptr) {
+    for (std::size_t co = 0; co < cout; ++co)
+      std::fill_n(ybuf.data() + co * nt, nt, b[co]);
+  } else {
+    std::fill_n(ybuf.data(), cout * nt, 0.0f);
+  }
+  gemm_accumulate(cout, nt, ck, w, ck, false, patches, nt, false, ybuf.data());
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t co = 0; co < cout; ++co)
+      std::copy_n(ybuf.data() + co * nt + s * t_out, t_out,
+                  y + (s * cout + co) * t_out);
+}
+
+void conv1d_dx_gemm_pregathered(const float* dyg, const float* w,
+                                std::size_t n, std::size_t cin,
+                                std::size_t t_in, std::size_t cout,
+                                std::size_t k, std::size_t d, std::size_t pad,
+                                std::size_t t_out, float* dx) {
+  const std::size_t ck = cin * k;
+  const std::size_t nt = n * t_out;
+  pool::Scratch cols(ck * nt);
+  std::fill_n(cols.data(), ck * nt, 0.0f);
+  gemm_accumulate(ck, nt, cout, w, ck, true, dyg, nt, false, cols.data());
+  col2im_chunk_add(cols.data(), n, cin, t_in, k, d, pad, t_out, dx);
+}
+
+void conv1d_dw_gemm_prepatched(const float* dyg, const float* patches,
+                               std::size_t n, std::size_t cin,
+                               std::size_t cout, std::size_t k,
+                               std::size_t t_out, float* dw) {
+  const std::size_t ck = cin * k;
+  const std::size_t nt = n * t_out;
+  gemm_accumulate(cout, ck, nt, dyg, nt, false, patches, nt, true, dw);
+}
+
 }  // namespace fwd
 
 void set_conv1d_impl(Conv1dImpl impl) {
@@ -782,7 +931,9 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
   const std::size_t pad = left_pad < 0 ? (k - 1) * dilation
                                        : static_cast<std::size_t>(left_pad);
   const std::size_t d = dilation;
-  return make_node(std::move(out), {x, w, b}, "conv1d", [x, w, b, d, pad] {
+  return rec(
+      trace::OpKind::kConv1d,
+      make_node(std::move(out), {x, w, b}, "conv1d", [x, w, b, d, pad] {
     return [xn = x.node(), wn = w.node(),
             bn = b.defined() ? b.node() : nullptr, d, pad](Node& self) {
       const Tensor& xv = xn->value;
@@ -824,7 +975,8 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
         bn->accumulate(db);
       }
     };
-  });
+  }),
+      {&x, &w, &b}, d, pad);
 }
 
 // ---------------------------------------------------------------------------
@@ -839,8 +991,9 @@ Variable weight_norm(const Variable& v, const Variable& g) {
   const std::size_t cout = v.dim(0);
   const std::size_t row = v.size() / cout;
 
-  return make_node(std::move(out), {v, g}, "weight_norm",
-                   [v, g, norms = std::move(norms), row, cout] {
+  return rec(trace::OpKind::kWeightNorm,
+             make_node(std::move(out), {v, g}, "weight_norm",
+                       [v, g, norms = std::move(norms), row, cout] {
     return [vn = v.node(), gn = g.node(), norms, row, cout](Node& self) {
       const float* pv = vn->value.raw();
       const float* pg = self.grad.raw();
@@ -865,7 +1018,8 @@ Variable weight_norm(const Variable& v, const Variable& g) {
       if (vn->requires_grad) vn->accumulate(dv);
       if (gn->requires_grad) gn->accumulate(dg);
     };
-  });
+  }),
+             {&v, &g});
 }
 
 // ---------------------------------------------------------------------------
@@ -887,10 +1041,24 @@ Variable dropout(const Variable& x, float p, Rng& rng, bool training) {
   check_defined(x, "dropout");
   RPTCN_CHECK(p >= 0.0f && p < 1.0f, "dropout p must be in [0,1)");
   if (!training || p == 0.0f) return x;
+  const bool tracing = trace::active();
+  Rng rng_before{0};
+  if (tracing) rng_before = rng;  // stream state before this op's draws
   const float scale = 1.0f / (1.0f - p);
   Tensor mask(x.value().shape());
   for (auto& m : mask.data()) m = rng.bernoulli(p) ? 0.0f : scale;
-  return apply_mask(x, std::move(mask), "dropout");
+  Variable out = apply_mask(x, std::move(mask), "dropout");
+  if (tracing) {
+    trace::OpRecord r;
+    r.kind = trace::OpKind::kDropout;
+    r.result = out.node();
+    r.in[0] = x.node();
+    r.scalar = p;
+    r.rng = &rng;
+    r.rng_before = rng_before;
+    trace::record(std::move(r));
+  }
+  return out;
 }
 
 Variable spatial_dropout(const Variable& x, float p, Rng& rng, bool training) {
@@ -898,6 +1066,9 @@ Variable spatial_dropout(const Variable& x, float p, Rng& rng, bool training) {
   RPTCN_CHECK(x.value().rank() == 3, "spatial_dropout expects [N,C,T]");
   RPTCN_CHECK(p >= 0.0f && p < 1.0f, "dropout p must be in [0,1)");
   if (!training || p == 0.0f) return x;
+  const bool tracing = trace::active();
+  Rng rng_before{0};
+  if (tracing) rng_before = rng;
   const std::size_t n = x.dim(0), c = x.dim(1), t = x.dim(2);
   const float scale = 1.0f / (1.0f - p);
   Tensor mask({n, c, t});
@@ -907,7 +1078,18 @@ Variable spatial_dropout(const Variable& x, float p, Rng& rng, bool training) {
       float* row = mask.raw() + (ni * c + ci) * t;
       for (std::size_t ti = 0; ti < t; ++ti) row[ti] = m;
     }
-  return apply_mask(x, std::move(mask), "spatial_dropout");
+  Variable out = apply_mask(x, std::move(mask), "spatial_dropout");
+  if (tracing) {
+    trace::OpRecord r;
+    r.kind = trace::OpKind::kSpatialDropout;
+    r.result = out.node();
+    r.in[0] = x.node();
+    r.scalar = p;
+    r.rng = &rng;
+    r.rng_before = rng_before;
+    trace::record(std::move(r));
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -917,7 +1099,8 @@ Variable spatial_dropout(const Variable& x, float p, Rng& rng, bool training) {
 Variable softmax_lastdim_v(const Variable& a) {
   check_defined(a, "softmax");
   Tensor out = rptcn::softmax_lastdim(a.value());
-  return make_node(std::move(out), {a}, "softmax", [a] {
+  return rec(trace::OpKind::kSoftmaxLastdim,
+             make_node(std::move(out), {a}, "softmax", [a] {
     return [an = a.node()](Node& self) {
       // Rowwise: dx_i = s_i * (g_i - sum_j g_j s_j).
       const Tensor& s = self.value;
@@ -937,14 +1120,16 @@ Variable softmax_lastdim_v(const Variable& a) {
       }
       an->accumulate(dx);
     };
-  });
+  }),
+             {&a});
 }
 
 Variable mul_bcast_channel(const Variable& a, const Variable& z) {
   check_defined(a, "mul_bcast_channel");
   check_defined(z, "mul_bcast_channel");
   Tensor out = fwd::mul_bcast_channel(a.value(), z.value());
-  return make_node(std::move(out), {a, z}, "mul_bcast_channel", [a, z] {
+  return rec(trace::OpKind::kMulBcastChannel,
+             make_node(std::move(out), {a, z}, "mul_bcast_channel", [a, z] {
     return [an = a.node(), zn = z.node()](Node& self) {
       const Tensor& av = an->value;
       const Tensor& zv = zn->value;
@@ -977,14 +1162,16 @@ Variable mul_bcast_channel(const Variable& a, const Variable& z) {
         zn->accumulate(dz);
       }
     };
-  });
+  }),
+             {&a, &z});
 }
 
 Variable sum_lastdim(const Variable& a) {
   check_defined(a, "sum_lastdim");
   Tensor out = fwd::sum_lastdim(a.value());
   const std::size_t t = a.dim(2);
-  return make_node(std::move(out), {a}, "sum_lastdim", [a, t] {
+  return rec(trace::OpKind::kSumLastdim,
+             make_node(std::move(out), {a}, "sum_lastdim", [a, t] {
     return [an = a.node(), t](Node& self) {
       const std::size_t nb = self.grad.dim(0), cb = self.grad.dim(1);
       Tensor dx(an->value.shape());
@@ -996,22 +1183,27 @@ Variable sum_lastdim(const Variable& a) {
         }
       an->accumulate(dx);
     };
-  });
+  }),
+             {&a});
 }
 
 Variable time_slice(const Variable& x, std::size_t t) {
   check_defined(x, "time_slice");
   Tensor out = fwd::time_slice(x.value(), t);
-  return make_node(std::move(out), {x}, "time_slice", [x, t] {
-    return [xn = x.node(), t](Node& self) {
-      Tensor dx = Tensor::zeros(xn->value.shape());
-      const std::size_t nb = self.grad.dim(0), cb = self.grad.dim(1);
-      for (std::size_t ni = 0; ni < nb; ++ni)
-        for (std::size_t ci = 0; ci < cb; ++ci)
-          dx.at(ni, ci, t) = self.grad.at(ni, ci);
-      xn->accumulate(dx);
-    };
-  });
+  return rec(trace::OpKind::kTimeSlice,
+             make_node(std::move(out), {x}, "time_slice",
+                       [x, t] {
+                         return [xn = x.node(), t](Node& self) {
+                           Tensor dx = Tensor::zeros(xn->value.shape());
+                           const std::size_t nb = self.grad.dim(0),
+                                             cb = self.grad.dim(1);
+                           for (std::size_t ni = 0; ni < nb; ++ni)
+                             for (std::size_t ci = 0; ci < cb; ++ci)
+                               dx.at(ni, ci, t) = self.grad.at(ni, ci);
+                           xn->accumulate(dx);
+                         };
+                       }),
+             {&x}, t);
 }
 
 // ---------------------------------------------------------------------------
@@ -1021,11 +1213,15 @@ Variable time_slice(const Variable& x, std::size_t t) {
 Variable time_reverse(const Variable& x) {
   check_defined(x, "time_reverse");
   Tensor out = fwd::time_reverse(x.value());
-  return make_node(std::move(out), {x}, "time_reverse", [x] {
-    return [xn = x.node()](Node& self) {
-      xn->accumulate(fwd::time_reverse(self.grad));  // involution
-    };
-  });
+  return rec(trace::OpKind::kTimeReverse,
+             make_node(std::move(out), {x}, "time_reverse",
+                       [x] {
+                         return [xn = x.node()](Node& self) {
+                           // involution
+                           xn->accumulate(fwd::time_reverse(self.grad));
+                         };
+                       }),
+             {&x});
 }
 
 Variable concat_cols(const Variable& a, const Variable& b) {
@@ -1033,7 +1229,8 @@ Variable concat_cols(const Variable& a, const Variable& b) {
   check_defined(b, "concat_cols");
   Tensor out = fwd::concat_cols(a.value(), b.value());
   const std::size_t fa = a.dim(1), fb = b.dim(1);
-  return make_node(std::move(out), {a, b}, "concat_cols", [a, b, fa, fb] {
+  return rec(trace::OpKind::kConcatCols,
+             make_node(std::move(out), {a, b}, "concat_cols", [a, b, fa, fb] {
     return [an = a.node(), bn = b.node(), fa, fb](Node& self) {
       const std::size_t rows = self.grad.dim(0);
       if (an->requires_grad) {
@@ -1050,23 +1247,28 @@ Variable concat_cols(const Variable& a, const Variable& b) {
         bn->accumulate(db);
       }
     };
-  });
+  }),
+             {&a, &b});
 }
 
 Variable slice_cols(const Variable& x, std::size_t start, std::size_t count) {
   check_defined(x, "slice_cols");
   Tensor out = fwd::slice_cols(x.value(), start, count);
   const std::size_t f = x.dim(1);
-  return make_node(std::move(out), {x}, "slice_cols", [x, start, count, f] {
-    return [xn = x.node(), start, count, f](Node& self) {
-      const std::size_t rows = self.grad.dim(0);
-      Tensor dx = Tensor::zeros(xn->value.shape());
-      for (std::size_t i = 0; i < rows; ++i)
-        std::copy_n(self.grad.raw() + i * count, count,
-                    dx.raw() + i * f + start);
-      xn->accumulate(dx);
-    };
-  });
+  return rec(trace::OpKind::kSliceCols,
+             make_node(std::move(out), {x}, "slice_cols",
+                       [x, start, count, f] {
+                         return [xn = x.node(), start, count,
+                                 f](Node& self) {
+                           const std::size_t rows = self.grad.dim(0);
+                           Tensor dx = Tensor::zeros(xn->value.shape());
+                           for (std::size_t i = 0; i < rows; ++i)
+                             std::copy_n(self.grad.raw() + i * count, count,
+                                         dx.raw() + i * f + start);
+                           xn->accumulate(dx);
+                         };
+                       }),
+             {&x}, start, count);
 }
 
 // ---------------------------------------------------------------------------
@@ -1110,7 +1312,8 @@ Variable mse_loss(const Variable& pred, const Tensor& target) {
     }
   }
   Tensor out = Tensor::scalar(static_cast<float>(acc / static_cast<double>(n)));
-  return make_node(std::move(out), {pred}, "mse_loss", [pred, target, n] {
+  return rec(trace::OpKind::kMseLoss,
+             make_node(std::move(out), {pred}, "mse_loss", [pred, target, n] {
     return [pn = pred.node(), target, n](Node& self) {
       const float g = self.grad.item() * 2.0f / static_cast<float>(n);
       Tensor dx(pn->value.shape());
@@ -1120,7 +1323,8 @@ Variable mse_loss(const Variable& pred, const Tensor& target) {
       for (std::size_t i = 0; i < n; ++i) pd[i] = g * (pp[i] - pt[i]);
       pn->accumulate(dx);
     };
-  });
+  }),
+             {&pred});
 }
 
 Variable mae_loss(const Variable& pred, const Tensor& target) {
@@ -1137,7 +1341,8 @@ Variable mae_loss(const Variable& pred, const Tensor& target) {
       acc += std::fabs(static_cast<double>(pp[i]) - pt[i]);
   }
   Tensor out = Tensor::scalar(static_cast<float>(acc / static_cast<double>(n)));
-  return make_node(std::move(out), {pred}, "mae_loss", [pred, target, n] {
+  return rec(trace::OpKind::kMaeLoss,
+             make_node(std::move(out), {pred}, "mae_loss", [pred, target, n] {
     return [pn = pred.node(), target, n](Node& self) {
       const float g = self.grad.item() / static_cast<float>(n);
       Tensor dx(pn->value.shape());
@@ -1150,7 +1355,8 @@ Variable mae_loss(const Variable& pred, const Tensor& target) {
       }
       pn->accumulate(dx);
     };
-  });
+  }),
+             {&pred});
 }
 
 Variable pinball_loss(const Variable& pred, const Tensor& target, float tau) {
@@ -1171,8 +1377,9 @@ Variable pinball_loss(const Variable& pred, const Tensor& target, float tau) {
     }
   }
   Tensor out = Tensor::scalar(static_cast<float>(acc / static_cast<double>(n)));
-  return make_node(std::move(out), {pred}, "pinball_loss",
-                   [pred, target, tau, n] {
+  return rec(trace::OpKind::kPinballLoss,
+             make_node(std::move(out), {pred}, "pinball_loss",
+                       [pred, target, tau, n] {
     return [pn = pred.node(), target, tau, n](Node& self) {
       // d/dyhat of rho_tau(y - yhat): -tau if y > yhat, (1 - tau) if y < yhat.
       const float g = self.grad.item() / static_cast<float>(n);
@@ -1186,7 +1393,8 @@ Variable pinball_loss(const Variable& pred, const Tensor& target, float tau) {
       }
       pn->accumulate(dx);
     };
-  });
+  }),
+             {&pred}, 0, 0, tau);
 }
 
 }  // namespace rptcn::ag

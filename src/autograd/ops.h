@@ -187,6 +187,84 @@ void conv1d_1x1_strided_serial(const float* x, std::size_t xs, std::size_t xc,
                                std::size_t t, float* y, std::size_t ys,
                                std::size_t yc, bool relu);
 
+// -- raw conv1d kernels for the planned training step -------------------------
+// Sample-major [N,C,T] layouts throughout. These are the loop bodies of the
+// eager tape kernels (forward GEMM path, dX, dW, db), hoisted out of their
+// Tensor wrappers so the planned training step can run them against arena
+// pointers: same translation unit, same loops, bit-identical results.
+// dX, dW and db ACCUMULATE into their outputs; callers zero-fill first,
+// exactly as the tape closures allocate Tensor::zeros.
+
+/// Shape-only GEMM-vs-direct dispatch (honours set_conv1d_impl), the same
+/// predicate fwd::conv1d and the backward closures evaluate per call.
+bool conv1d_uses_gemm(std::size_t n, std::size_t cin, std::size_t cout,
+                      std::size_t k, std::size_t t_out);
+void conv1d_forward_gemm_raw(const float* x, const float* w, const float* b,
+                             std::size_t n, std::size_t cin, std::size_t t_in,
+                             std::size_t cout, std::size_t k, std::size_t d,
+                             std::size_t pad, std::size_t t_out, float* y);
+void conv1d_dx_direct_raw(const float* dy, const float* w, std::size_t n,
+                          std::size_t cin, std::size_t t_in, std::size_t cout,
+                          std::size_t k, std::size_t d, std::size_t pad,
+                          std::size_t t_out, float* dx);
+void conv1d_dx_gemm_raw(const float* dy, const float* w, std::size_t n,
+                        std::size_t cin, std::size_t t_in, std::size_t cout,
+                        std::size_t k, std::size_t d, std::size_t pad,
+                        std::size_t t_out, float* dx);
+void conv1d_dw_direct_raw(const float* dy, const float* x, std::size_t n,
+                          std::size_t cin, std::size_t t_in, std::size_t cout,
+                          std::size_t k, std::size_t d, std::size_t pad,
+                          std::size_t t_out, float* dw);
+void conv1d_dw_gemm_raw(const float* dy, const float* x, std::size_t n,
+                        std::size_t cin, std::size_t t_in, std::size_t cout,
+                        std::size_t k, std::size_t d, std::size_t pad,
+                        std::size_t t_out, float* dw);
+/// db[co] += per-(sample, channel) double row-sums of dy, in (n, co) order.
+void conv1d_db_raw(const float* dy, std::size_t n, std::size_t cout,
+                   std::size_t t_out, float* db);
+
+// -- single-chunk prepatched conv1d GEMM kernels ------------------------------
+// The chunked GEMM kernels above each rebuild their own patch matrix
+// (forward, dW) and dy gather (dX, dW) from x/dy on every call. When the
+// whole batch fits one im2col chunk, those intermediates are pure functions
+// of x and dy with layouts that do not depend on the consumer — so a planned
+// program can materialise each ONCE per step and feed all three GEMMs. The
+// kernels below are the single-chunk bodies of the *_raw kernels with the
+// rebuild hoisted out: same fills, same gemm_accumulate calls with identical
+// operand layouts, same scatter order — bit-identical by construction.
+// Callers must check conv1d_gemm_single_chunk first; the prepatched kernels
+// assume nt = n * t_out.
+
+/// True when conv1d_chunk covers the whole batch in one chunk, i.e. the
+/// chunked kernels would run exactly one (im2col, GEMM) round.
+bool conv1d_gemm_single_chunk(std::size_t n, std::size_t cin, std::size_t k,
+                              std::size_t t_out);
+/// patches[(ci*K+kk), s*T_out+t] = x[s,ci,t+kk*d-pad] for the whole batch.
+void conv1d_im2col_full(const float* x, std::size_t n, std::size_t cin,
+                        std::size_t t_in, std::size_t k, std::size_t d,
+                        std::size_t pad, std::size_t t_out, float* patches);
+/// dyg[co, s*T_out+t] = dy[s,co,t] for the whole batch.
+void conv1d_gather_dy_full(const float* dy, std::size_t n, std::size_t cout,
+                           std::size_t t_out, float* dyg);
+/// Forward from a prebuilt patch matrix: bias fill, one GEMM, scatter to y.
+void conv1d_forward_gemm_prepatched(const float* patches, const float* w,
+                                    const float* b, std::size_t n,
+                                    std::size_t cin, std::size_t cout,
+                                    std::size_t k, std::size_t t_out, float* y);
+/// dX from a pregathered dy: Wᵀ·dY into a column buffer, then col2im adds
+/// into dx (caller zero-fills dx, as with conv1d_dx_gemm_raw).
+void conv1d_dx_gemm_pregathered(const float* dyg, const float* w,
+                                std::size_t n, std::size_t cin,
+                                std::size_t t_in, std::size_t cout,
+                                std::size_t k, std::size_t d, std::size_t pad,
+                                std::size_t t_out, float* dx);
+/// dW from pregathered dy and prebuilt patches: one GEMM accumulating into
+/// dw (caller zero-fills, as with conv1d_dw_gemm_raw).
+void conv1d_dw_gemm_prepatched(const float* dyg, const float* patches,
+                               std::size_t n, std::size_t cin,
+                               std::size_t cout, std::size_t k,
+                               std::size_t t_out, float* dw);
+
 }  // namespace fwd
 
 // -- reductions & losses ------------------------------------------------------------------

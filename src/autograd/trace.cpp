@@ -1,0 +1,29 @@
+#include "autograd/trace.h"
+
+#include "common/check.h"
+
+namespace rptcn::ag::trace {
+
+namespace {
+thread_local TapeTrace* g_sink = nullptr;
+}  // namespace
+
+bool active() { return g_sink != nullptr; }
+
+void record(OpRecord r) {
+  if (g_sink != nullptr) g_sink->ops.push_back(std::move(r));
+}
+
+void record_backward(Node* n) {
+  if (g_sink != nullptr) g_sink->backward_order.push_back(n);
+}
+
+Recording::Recording(TapeTrace* sink) {
+  RPTCN_CHECK(g_sink == nullptr, "trace::Recording scopes do not nest");
+  RPTCN_CHECK(sink != nullptr, "trace::Recording needs a sink");
+  g_sink = sink;
+}
+
+Recording::~Recording() { g_sink = nullptr; }
+
+}  // namespace rptcn::ag::trace

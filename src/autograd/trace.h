@@ -1,0 +1,89 @@
+// Tape trace: introspection hooks the planned training step compiles from.
+//
+// When a Recording is active on the current thread, every supported ag:: op
+// appends one OpRecord describing the node it built (kind, operands, scalar
+// payload, RNG stream state for dropout), and Variable::backward appends the
+// nodes whose backward closures actually fire, in firing order. The planned
+// training-step compiler (graph/train.cpp) walks both lists to re-emit the
+// exact same arithmetic as flat TensorOps.
+//
+// Ops without a record (anything not in OpKind) simply leave a gap: the
+// compiler treats any non-leaf node it cannot resolve to a record as
+// unsupported and falls back to the eager step. Recording costs one
+// thread-local load per op when inactive.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/rng.h"
+
+namespace rptcn::ag::trace {
+
+using autograd::Node;
+using NodePtr = std::shared_ptr<autograd::Node>;
+
+enum class OpKind {
+  kAdd,
+  kMul,
+  kLinear,
+  kRelu,
+  kSigmoid,
+  kTanh,
+  kConv1d,
+  kWeightNorm,
+  kDropout,
+  kSpatialDropout,
+  kSoftmaxLastdim,
+  kMulBcastChannel,
+  kSumLastdim,
+  kTimeSlice,
+  kTimeReverse,
+  kConcatCols,
+  kSliceCols,
+  kMseLoss,
+  kMaeLoss,
+  kPinballLoss,
+};
+
+struct OpRecord {
+  OpKind kind = OpKind::kAdd;
+  NodePtr result;
+  std::array<NodePtr, 3> in{};  // operand nodes; unused slots stay null
+  std::size_t a = 0;            // conv1d: dilation; slice_cols: start;
+                                // time_slice: t
+  std::size_t b = 0;            // conv1d: pad flag (1 = causal); slice_cols:
+                                // count
+  float scalar = 0.0f;          // dropout: p; pinball: tau
+  Rng* rng = nullptr;           // dropout: the net's stream (stable address)
+  Rng rng_before{0};            // dropout: stream state before this op drew
+};
+
+struct TapeTrace {
+  std::vector<OpRecord> ops;            // forward, in execution order
+  std::vector<Node*> backward_order;    // closures fired, in firing order
+};
+
+/// True when a Recording is active on this thread.
+bool active();
+
+/// Append a forward record (no-op when inactive).
+void record(OpRecord r);
+
+/// Append a backward-order entry (no-op when inactive).
+void record_backward(Node* n);
+
+/// RAII scope that routes record()/record_backward() into `sink`.
+/// Scopes do not nest; constructing a second one on the same thread throws.
+class Recording {
+ public:
+  explicit Recording(TapeTrace* sink);
+  ~Recording();
+  Recording(const Recording&) = delete;
+  Recording& operator=(const Recording&) = delete;
+};
+
+}  // namespace rptcn::ag::trace

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "autograd/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace rptcn {
@@ -111,7 +112,10 @@ void Variable::backward(const Tensor& seed) {
   // Post-order puts parents before children; sweep children-first.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     autograd::Node* n = *it;
-    if (n->backward_fn && n->grad_initialized) n->backward_fn(*n);
+    if (n->backward_fn && n->grad_initialized) {
+      ag::trace::record_backward(n);
+      n->backward_fn(*n);
+    }
   }
 }
 

@@ -113,8 +113,11 @@ std::function<float*(const ExecContext&)> Resolver::ptr(ValueId v) const {
   const ValueInfo& info = (*values_)[v];
   const std::size_t off = info.off;
   RPTCN_CHECK(info.loc != Loc::kInput, "planned graph: input is read-only");
+  RPTCN_CHECK(info.loc != Loc::kTarget, "planned graph: target is read-only");
   if (info.loc == Loc::kOutput)
     return [off](const ExecContext& c) { return c.output + off; };
+  if (info.loc == Loc::kGrads)
+    return [off](const ExecContext& c) { return c.grads + off; };
   return [off](const ExecContext& c) { return c.arena + off; };
 }
 
@@ -130,6 +133,14 @@ std::function<const float*(const ExecContext&)> Resolver::cptr(
     case Loc::kOutput:
       return [off](const ExecContext& c) {
         return static_cast<const float*>(c.output + off);
+      };
+    case Loc::kTarget:
+      return [off](const ExecContext& c) {
+        return static_cast<const float*>(c.target + off);
+      };
+    case Loc::kGrads:
+      return [off](const ExecContext& c) {
+        return static_cast<const float*>(c.grads + off);
       };
     case Loc::kArena:
     default:
@@ -159,6 +170,24 @@ ValueId GraphBuilder::output_value() { return output_id_; }
 ValueId GraphBuilder::value(std::size_t floats) {
   RPTCN_CHECK(floats > 0, "planned value must be non-empty");
   values_.push_back({Loc::kArena, 0, floats, kNpos, 0, false});
+  return values_.size() - 1;
+}
+
+ValueId GraphBuilder::target_value(std::size_t floats) {
+  if (target_id_ != kNoValue) {
+    RPTCN_CHECK(values_[target_id_].floats == floats,
+                "target_value size changed within one program");
+    return target_id_;
+  }
+  RPTCN_CHECK(floats > 0, "target value must be non-empty");
+  values_.push_back({Loc::kTarget, 0, floats, 0, 0, false});
+  target_id_ = values_.size() - 1;
+  return target_id_;
+}
+
+ValueId GraphBuilder::grads_value(std::size_t off, std::size_t floats) {
+  RPTCN_CHECK(floats > 0, "grads value must be non-empty");
+  values_.push_back({Loc::kGrads, off, floats, 0, 0, false});
   return values_.size() - 1;
 }
 

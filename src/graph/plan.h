@@ -48,11 +48,16 @@ void set_planning_enabled(bool on);
 
 /// Bound buffers for one replay. `arena` holds every planned intermediate;
 /// `input`/`output` stay external so replays can write straight into
-/// caller-owned tensors.
+/// caller-owned tensors. Training programs additionally bind `target` (the
+/// batch labels, read-only) and `grads` (one contiguous slab holding every
+/// parameter gradient at the optimizer's slab offsets); forward-only
+/// programs leave both null.
 struct ExecContext {
   const float* input = nullptr;
   float* output = nullptr;
   float* arena = nullptr;
+  const float* target = nullptr;
+  float* grads = nullptr;
 };
 
 /// One replay step: a closure over pre-resolved offsets and baked weights.
@@ -68,8 +73,10 @@ struct TensorOp {
 /// Handle to a planned value inside a GraphBuilder trace.
 using ValueId = std::size_t;
 
-/// Where a planned value lives at replay time.
-enum class Loc { kInput, kOutput, kArena };
+/// Where a planned value lives at replay time. kTarget/kGrads only appear in
+/// training programs; the arena planner ignores both (fixed external
+/// storage), like kInput/kOutput.
+enum class Loc { kInput, kOutput, kArena, kTarget, kGrads };
 
 /// Debug/test view of one planned value.
 struct ValueInfo {
@@ -160,6 +167,14 @@ class GraphBuilder {
   /// Declare an arena value of `floats` elements.
   ValueId value(std::size_t floats);
 
+  /// Declare the training-target value (loc kTarget, read-only at replay).
+  /// One per program; repeated calls return the same id.
+  ValueId target_value(std::size_t floats);
+
+  /// Declare one parameter's gradient segment inside the bound grad slab at
+  /// a fixed float offset (the optimizer's slab layout). Not arena-planned.
+  ValueId grads_value(std::size_t off, std::size_t floats);
+
   /// Append an op. `make` is invoked in finish() with the planned offsets.
   void emit(EmitSpec spec, MakeFn make);
 
@@ -174,6 +189,8 @@ class GraphBuilder {
   std::vector<MakeFn> makes_;
   ValueId input_id_ = 0;
   ValueId output_id_ = 0;
+  static constexpr ValueId kNoValue = static_cast<ValueId>(-1);
+  ValueId target_id_ = kNoValue;
 };
 
 // -- plan cache ---------------------------------------------------------------

@@ -1,0 +1,55 @@
+// Planned training step: capture forward + backward + Adam into one
+// JIT-lite program (ISSUE 8).
+//
+// The eager training loop rebuilds the autograd tape every batch: node and
+// closure allocations, shape checks, dispatch branches, and a buffer-pool
+// round trip per intermediate and per gradient. For a fixed batch shape the
+// step is completely static, so all of that is capture-time work:
+//
+//  * probe   — run ONE eager step under an ag::trace::Recording. The probe
+//    IS that batch's training step (no duplicated work on fallback); the
+//    trace records every forward op and the backward closures' firing order.
+//  * compile — re-emit the trace as flat TensorOps against a GraphBuilder:
+//    forward values and intermediate gradients share one liveness-planned
+//    arena; parameter gradients land in the Adam optimizer's contiguous
+//    slab at its own offsets; weight-side GEMM operands are prepacked once
+//    per replay and reused across the step (LSTM gate weights are consumed
+//    once per timestep in forward and again in backward).
+//  * verify  — rewind the dropout RNG streams to their pre-probe state,
+//    replay the program on the probe batch, and demand bitwise equality of
+//    the loss and of every parameter gradient against the tape's. Only a
+//    program that passes is cached; a mismatch pins the shape to the eager
+//    path.
+//  * replay  — each following batch runs the flat program, then
+//    clip_grad_slab + Adam::step_planned over the slab. Bit-identical loss
+//    curves vs the eager loop are the contract (tests/test_graph_train.cpp).
+//
+// Invalidation: nn::Module::weights_version() is recorded at capture and
+// checked every step. Out-of-plan parameter mutations (checkpoint restore,
+// best-epoch rollback, hot-swap loads) bump it and drop every cached
+// program — prepacked operands and captured RNG stream structure die with
+// them. In-plan Adam updates do not bump it; packs are refreshed from the
+// live parameter tensors at the top of every replay instead.
+//
+// Escape hatches: RPTCN_DISABLE_PLAN=1 (or set_planning_enabled(false))
+// makes step() decline every batch; NnTrainConfig.planned_step=false keeps
+// the factory from being wired at all.
+#pragma once
+
+#include <memory>
+
+#include "nn/module.h"
+#include "opt/trainer.h"
+
+namespace rptcn::graph {
+
+/// Build the planned training step for one fit() call, or nullptr to train
+/// eagerly. Requirements: `optimizer` is an opt::Adam whose parameter list
+/// matches model.parameters() element-for-element (the slab layout and the
+/// clip reduction order both follow it), and planning is enabled. Wired into
+/// opt::TrainOptions::planned_step_factory by models::fit_net.
+std::shared_ptr<opt::PlannedStep> make_planned_step(
+    nn::Module& model, const opt::ForwardFn& forward, opt::Optimizer& optimizer,
+    const opt::TrainOptions& options);
+
+}  // namespace rptcn::graph

@@ -8,6 +8,7 @@
 #include "graph/capture.h"
 #include "graph/plan.h"
 #include "graph/snapshot.h"
+#include "graph/train.h"
 
 namespace rptcn::models {
 
@@ -60,6 +61,8 @@ TrainCurves fit_net(Net& net, const NnTrainConfig& cfg,
   opt::Adam adam(net.parameters(), cfg.learning_rate);
   const auto forward = [&net](const Variable& x) { return net.forward(x); };
   opt::TrainOptions options = make_train_options(cfg);
+  if (cfg.planned_step && graph::planning_enabled())
+    options.planned_step_factory = graph::make_planned_step;
   if (cfg.planned_eval && graph::planning_enabled()) {
     options.eval_forward_factory = [&net]() -> opt::ForwardFn {
       // Fresh capture per epoch: the weights just changed. dispatch_n=0

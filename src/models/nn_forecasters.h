@@ -28,6 +28,13 @@ struct NnTrainConfig {
   /// contract); this trades a per-epoch capture for faster evaluation on
   /// large validation sets. Ignored while RPTCN_DISABLE_PLAN=1.
   bool planned_eval = false;
+  /// Run each training batch through the planned full-step executor
+  /// (graph::make_planned_step): forward + backward + clip + Adam replayed
+  /// as one flat program per batch shape. Loss curves and final weights are
+  /// bit-identical to the eager tape (verified per shape at capture; a
+  /// mismatching shape silently trains eagerly). Ignored while
+  /// RPTCN_DISABLE_PLAN=1.
+  bool planned_step = true;
   /// Per-epoch callbacks forwarded to opt::fit (borrowed; must outlive
   /// fit()). An opt::LoggingObserver restores the old `verbose` output.
   std::vector<opt::EpochObserver*> observers;

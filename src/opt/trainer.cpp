@@ -26,7 +26,6 @@ Tensor gather_rows(const Tensor& t, const std::vector<std::size_t>& index) {
   return out;
 }
 
-namespace {
 Variable apply_loss(const Variable& pred, const Tensor& target, Loss loss,
                     float pinball_tau) {
   switch (loss) {
@@ -40,7 +39,6 @@ Variable apply_loss(const Variable& pred, const Tensor& target, Loss loss,
   RPTCN_CHECK(false, "bad loss enum");
   return {};
 }
-}  // namespace
 
 double evaluate_loss(const ForwardFn& forward, const TrainData& data,
                      std::size_t batch_size, Loss loss, float pinball_tau) {
@@ -83,6 +81,7 @@ void restore(nn::Module& model,
   RPTCN_CHECK(params.size() == snap.size(), "snapshot size mismatch");
   for (std::size_t i = 0; i < params.size(); ++i)
     params[i].second.mutable_value() = snap[i].second;
+  model.bump_weights_version();
 }
 
 }  // namespace
@@ -109,6 +108,13 @@ TrainHistory fit(nn::Module& model, const ForwardFn& forward,
   const float base_lr = optimizer.lr();
   auto params = model.parameters();
 
+  // Planned training step (ISSUE 8): when the factory produces an executor,
+  // each batch goes through it; a declined batch falls back to the eager
+  // sequence below, which is bit-identical by contract.
+  std::shared_ptr<PlannedStep> planned;
+  if (options.planned_step_factory)
+    planned = options.planned_step_factory(model, forward, optimizer, options);
+
   for (std::size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
     Stopwatch epoch_watch;
     if (options.schedule != nullptr)
@@ -128,8 +134,18 @@ TrainHistory fit(nn::Module& model, const ForwardFn& forward,
           std::min(start + options.batch_size, order.size());
       const std::vector<std::size_t> idx(order.begin() + start,
                                          order.begin() + end);
-      const Variable x(gather_rows(train.inputs, idx));
       const Tensor y = gather_rows(train.targets, idx);
+      if (planned != nullptr) {
+        float planned_loss = 0.0f;
+        if (planned->step(gather_rows(train.inputs, idx), y, &planned_loss)) {
+          epoch_loss += static_cast<double>(planned_loss) *
+                        static_cast<double>(idx.size());
+          seen += idx.size();
+          ++batches;
+          continue;
+        }
+      }
+      const Variable x(gather_rows(train.inputs, idx));
 
       optimizer.zero_grad();
       const Variable pred = forward(x);
@@ -144,6 +160,7 @@ TrainHistory fit(nn::Module& model, const ForwardFn& forward,
       seen += idx.size();
       ++batches;
     }
+    if (planned != nullptr) planned->on_epoch_end();
     history.train_loss.push_back(epoch_loss / static_cast<double>(seen));
 
     model.set_training(false);

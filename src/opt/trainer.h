@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "nn/module.h"
@@ -30,6 +31,29 @@ enum class Loss { kMse, kMae, kPinball };
 /// Forward function type: batched inputs -> predictions.
 using ForwardFn = std::function<Variable(const Variable&)>;
 
+struct TrainOptions;
+
+/// One fully-fused optimisation step: forward, loss, backward, clip and
+/// optimizer update in a single call. Implementations (graph::TrainStep)
+/// capture the tape into a planned program and replay it; the contract is
+/// bit-identical losses and weights vs the eager loop in fit().
+class PlannedStep {
+ public:
+  virtual ~PlannedStep() = default;
+  /// Run one step on batch (x [N,F,T], y [N,horizon]). Returns false if the
+  /// step could not run at all (the caller then runs the eager path for this
+  /// batch); on success writes the batch loss to *loss_out.
+  virtual bool step(Tensor x, const Tensor& y, float* loss_out) = 0;
+  /// End-of-epoch housekeeping (arena reuse stats, buffer-pool trims).
+  virtual void on_epoch_end() {}
+};
+
+/// Builds the PlannedStep for one fit() call, or nullptr to train eagerly
+/// (e.g. when the optimizer is not Adam or planning is disabled).
+using PlannedStepFactory = std::function<std::shared_ptr<PlannedStep>(
+    nn::Module& model, const ForwardFn& forward, Optimizer& optimizer,
+    const TrainOptions& options)>;
+
 struct TrainOptions {
   Loss loss = Loss::kMse;
   float pinball_tau = 0.9f;        ///< only used with Loss::kPinball
@@ -54,6 +78,14 @@ struct TrainOptions {
   /// epoch's weights and replays it through the planned executor — by the
   /// bit-identity contract the loss curve is unchanged).
   std::function<ForwardFn()> eval_forward_factory;
+  /// Optional planned training step (ISSUE 8). Invoked once at the start of
+  /// fit(); when it returns non-null, each batch goes through
+  /// PlannedStep::step instead of the eager forward/backward/clip/step
+  /// sequence (falling back per batch when step() declines). Wired by
+  /// models::fit_net when NnTrainConfig.planned_step is set; bit-identical
+  /// loss curves are part of the contract, enforced by the implementation's
+  /// replay self-check.
+  PlannedStepFactory planned_step_factory;
 };
 
 struct TrainHistory {
@@ -66,6 +98,11 @@ struct TrainHistory {
 
 /// Gather rows `index[...]` of a [S, ...] tensor into a new batch tensor.
 Tensor gather_rows(const Tensor& t, const std::vector<std::size_t>& index);
+
+/// The trainer's loss dispatch, shared with PlannedStep implementations so
+/// the captured objective is the very op sequence fit() would run.
+Variable apply_loss(const Variable& pred, const Tensor& target, Loss loss,
+                    float pinball_tau);
 
 /// Mean MSE of `forward` over a dataset (no gradients, eval mode is the
 /// caller's responsibility).

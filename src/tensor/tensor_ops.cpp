@@ -156,9 +156,11 @@ float max_abs(const Tensor& a) {
   return m;
 }
 
-float norm2(const Tensor& a) {
+float norm2(const Tensor& a) { return norm2_raw(a.raw(), a.size()); }
+
+float norm2_raw(const float* p, std::size_t n) {
   double s = 0.0;
-  for (float v : a.data()) s += static_cast<double>(v) * v;
+  for (std::size_t i = 0; i < n; ++i) s += static_cast<double>(p[i]) * p[i];
   return static_cast<float>(std::sqrt(s));
 }
 

@@ -53,6 +53,10 @@ float mean(const Tensor& a);
 float max_abs(const Tensor& a);
 /// L2 norm of all elements.
 float norm2(const Tensor& a);
+/// L2 norm of a raw span. norm2 delegates here; callers that hold gradient
+/// slabs instead of Tensors (the planned training step) use it directly so
+/// the double accumulation is the one this translation unit compiles.
+float norm2_raw(const float* p, std::size_t n);
 /// Row sums of a 2-D tensor -> rank-1 [rows].
 Tensor sum_rows(const Tensor& a);
 /// Column sums of a 2-D tensor -> rank-1 [cols].

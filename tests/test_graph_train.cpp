@@ -1,0 +1,417 @@
+// Tests for the planned training step (src/graph/train.*): bitwise parity
+// of the captured forward+backward+Adam program against the eager tape loop
+// — per-step parameter updates, whole-fit loss curves and final predictions
+// for every registry net — plus WeightsVersion invalidation of cached
+// programs, the planning-disabled and non-Adam factory declines, the
+// capture/replay/fallback metrics, and the stream retrain path (a planned-
+// trained hot-swapped generation must be bit-identical to a tape-trained
+// one). The "Graph" prefix is matched by the TSAN CI job's -R filter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "data/timeseries.h"
+#include "data/windowing.h"
+#include "graph/plan.h"
+#include "graph/train.h"
+#include "models/nn_forecasters.h"
+#include "nn/cnn_lstm.h"
+#include "nn/lstm.h"
+#include "nn/rptcn_net.h"
+#include "obs/metrics.h"
+#include "opt/optimizer.h"
+#include "opt/trainer.h"
+#include "serve/engine.h"
+#include "stream/retrain.h"
+#include "stream/source.h"
+#include "tensor/tensor.h"
+
+namespace rptcn::graph {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t.raw()[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+/// Restores the global planning switch (tests toggle it).
+class PlanningGuard {
+ public:
+  PlanningGuard() : was_(planning_enabled()) {}
+  ~PlanningGuard() { set_planning_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+/// Enables metric recording for the test body, restoring the old state.
+class ObsGuard {
+ public:
+  ObsGuard() : was_(obs::enabled()) { obs::set_enabled(true); }
+  ~ObsGuard() { obs::set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+void expect_params_same_bits(nn::Module& a, nn::Module& b) {
+  const auto pa = a.named_parameters();
+  const auto pb = b.named_parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const Tensor& ta = pa[i].second.value();
+    const Tensor& tb = pb[i].second.value();
+    ASSERT_EQ(ta.size(), tb.size());
+    EXPECT_EQ(std::memcmp(ta.raw(), tb.raw(), ta.size() * sizeof(float)), 0)
+        << "parameter " << pa[i].first
+        << " diverged between planned and eager training";
+  }
+}
+
+/// One eager training batch, exactly the fallback sequence in opt::fit.
+float eager_step(nn::Module& net, const opt::ForwardFn& forward,
+                 opt::Adam& adam, std::vector<Variable>& params,
+                 const Tensor& x, const Tensor& y,
+                 const opt::TrainOptions& options) {
+  adam.zero_grad();
+  const Variable pred = forward(Variable(x));
+  Variable loss = opt::apply_loss(pred, y, options.loss, options.pinball_tau);
+  loss.backward();
+  if (options.clip_norm > 0.0f) opt::clip_grad_norm(params, options.clip_norm);
+  adam.step();
+  return loss.value().item();
+}
+
+// -- per-step parity ----------------------------------------------------------
+
+TEST(GraphTrainStep, StepSequenceBitMatchesEagerAdamUpdates) {
+  ObsGuard obs_on;
+  nn::RptcnOptions opt;
+  opt.input_features = 3;
+  opt.tcn.channels = {6, 6};
+  opt.fc_dim = 6;
+  opt.seed = 77;
+  nn::RptcnNet planned_net(opt);
+  nn::RptcnNet eager_net(opt);  // identical init and dropout stream
+  planned_net.set_training(true);
+  eager_net.set_training(true);
+
+  opt::TrainOptions options;
+  options.loss = opt::Loss::kMse;
+  options.clip_norm = 1.0f;
+  opt::Adam planned_adam(planned_net.parameters(), 1e-3f);
+  opt::Adam eager_adam(eager_net.parameters(), 1e-3f);
+  std::vector<Variable> eager_params = eager_net.parameters();
+  const opt::ForwardFn planned_fwd = [&](const Variable& v) {
+    return planned_net.forward(v);
+  };
+  const opt::ForwardFn eager_fwd = [&](const Variable& v) {
+    return eager_net.forward(v);
+  };
+
+  auto step = make_planned_step(planned_net, planned_fwd, planned_adam, options);
+  ASSERT_NE(step, nullptr);
+
+  const std::uint64_t captures0 =
+      obs::metrics().counter("graph/train_captures").value();
+  const std::uint64_t replays0 =
+      obs::metrics().counter("graph/train_replays").value();
+
+  // Batch 1 captures (the probe is the step), batches 2..4 replay.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const Tensor x = random_tensor({4, 3, 12}, 300 + i);
+    const Tensor y = random_tensor({4, 1}, 400 + i);
+    float planned_loss = -1.0f;
+    ASSERT_TRUE(step->step(x, y, &planned_loss));
+    const float eager_loss =
+        eager_step(eager_net, eager_fwd, eager_adam, eager_params, x, y,
+                   options);
+    EXPECT_EQ(planned_loss, eager_loss) << "batch " << i;
+    expect_params_same_bits(planned_net, eager_net);
+  }
+
+  EXPECT_EQ(obs::metrics().counter("graph/train_captures").value() - captures0,
+            1u)
+      << "one shape must be captured exactly once";
+  EXPECT_EQ(obs::metrics().counter("graph/train_replays").value() - replays0,
+            3u);
+  EXPECT_GT(obs::metrics().gauge("graph/train_arena_bytes").value(), 0.0);
+}
+
+TEST(GraphTrainStep, PinballLossStepMatchesEager) {
+  nn::LstmNetOptions opt;
+  opt.input_features = 2;
+  opt.hidden = 6;
+  opt.seed = 78;
+  nn::LstmNet planned_net(opt);
+  nn::LstmNet eager_net(opt);
+  planned_net.set_training(true);
+  eager_net.set_training(true);
+
+  opt::TrainOptions options;
+  options.loss = opt::Loss::kPinball;
+  options.pinball_tau = 0.9f;
+  options.clip_norm = 0.5f;
+  opt::Adam planned_adam(planned_net.parameters(), 2e-3f);
+  opt::Adam eager_adam(eager_net.parameters(), 2e-3f);
+  std::vector<Variable> eager_params = eager_net.parameters();
+  const opt::ForwardFn planned_fwd = [&](const Variable& v) {
+    return planned_net.forward(v);
+  };
+  const opt::ForwardFn eager_fwd = [&](const Variable& v) {
+    return eager_net.forward(v);
+  };
+  auto step = make_planned_step(planned_net, planned_fwd, planned_adam, options);
+  ASSERT_NE(step, nullptr);
+
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const Tensor x = random_tensor({3, 2, 10}, 500 + i);
+    const Tensor y = random_tensor({3, 1}, 600 + i);
+    float planned_loss = -1.0f;
+    ASSERT_TRUE(step->step(x, y, &planned_loss));
+    EXPECT_EQ(planned_loss, eager_step(eager_net, eager_fwd, eager_adam,
+                                       eager_params, x, y, options));
+    expect_params_same_bits(planned_net, eager_net);
+  }
+}
+
+// -- invalidation and escape hatches ------------------------------------------
+
+TEST(GraphTrainStep, WeightsVersionBumpDropsCachedPrograms) {
+  ObsGuard obs_on;
+  nn::LstmNetOptions opt;
+  opt.input_features = 2;
+  opt.hidden = 5;
+  opt.seed = 79;
+  nn::LstmNet net(opt);
+  net.set_training(true);
+  opt::TrainOptions options;
+  opt::Adam adam(net.parameters(), 1e-3f);
+  const opt::ForwardFn fwd = [&](const Variable& v) { return net.forward(v); };
+  auto step = make_planned_step(net, fwd, adam, options);
+  ASSERT_NE(step, nullptr);
+
+  const auto captures = [&] {
+    return obs::metrics().counter("graph/train_captures").value();
+  };
+  const Tensor x = random_tensor({2, 2, 8}, 700);
+  const Tensor y = random_tensor({2, 1}, 701);
+  const std::uint64_t c0 = captures();
+  float loss = 0.0f;
+  ASSERT_TRUE(step->step(x, y, &loss));  // capture
+  ASSERT_TRUE(step->step(x, y, &loss));  // replay
+  EXPECT_EQ(captures() - c0, 1u);
+
+  // An out-of-plan weight mutation (checkpoint restore, hot-swap, rollback)
+  // bumps the version; the next step must re-capture, not replay stale
+  // prepacked operands.
+  net.bump_weights_version();
+  ASSERT_TRUE(step->step(x, y, &loss));
+  EXPECT_EQ(captures() - c0, 2u) << "version bump did not drop the program";
+}
+
+TEST(GraphTrainStep, FactoryDeclinesWhenPlanningDisabledOrNotAdam) {
+  nn::LstmNetOptions opt;
+  opt.input_features = 2;
+  opt.hidden = 4;
+  nn::LstmNet net(opt);
+  opt::TrainOptions options;
+  const opt::ForwardFn fwd = [&](const Variable& v) { return net.forward(v); };
+
+  opt::Sgd sgd(net.parameters(), 1e-2f);
+  EXPECT_EQ(make_planned_step(net, fwd, sgd, options), nullptr)
+      << "only Adam has the slab layout the planned step fuses against";
+
+  PlanningGuard guard;
+  set_planning_enabled(false);
+  opt::Adam adam(net.parameters(), 1e-3f);
+  EXPECT_EQ(make_planned_step(net, fwd, adam, options), nullptr);
+}
+
+// -- whole-fit parity for every registry net ----------------------------------
+
+models::ForecastDataset trainer_dataset() {
+  Rng rng(17);
+  const std::size_t length = 160;
+  std::vector<double> target{0.5};
+  for (std::size_t i = 1; i < length; ++i)
+    target.push_back(std::clamp(
+        0.5 + 0.85 * (target.back() - 0.5) + rng.normal(0.0, 0.02), 0.0, 1.0));
+  data::TimeSeriesFrame frame;
+  frame.add("cpu", target);
+
+  data::WindowOptions wopt;
+  wopt.window = 12;
+  wopt.horizon = 1;
+  auto split = data::chrono_split(data::make_windows(frame, "cpu", wopt));
+
+  models::ForecastDataset ds;
+  ds.train = std::move(split.train);
+  ds.valid = std::move(split.valid);
+  ds.test = std::move(split.test);
+  ds.window = wopt.window;
+  ds.horizon = wopt.horizon;
+  ds.target_channel = 0;
+  ds.target_series = target;
+  ds.train_len = ds.train.samples() + wopt.window;
+  ds.valid_len = ds.valid.samples();
+  return ds;
+}
+
+/// Fits `Forecaster` twice — planned training step on and off — and demands
+/// identical loss curves (double for double) and bit-identical predictions.
+template <typename Forecaster, typename Options>
+void expect_fit_parity(const Options& arch) {
+  ObsGuard obs_on;
+  const auto ds = trainer_dataset();
+  models::NnTrainConfig cfg;
+  cfg.max_epochs = 2;
+  cfg.patience = 2;
+  cfg.seed = 5;
+
+  cfg.planned_step = false;
+  Forecaster tape(cfg, arch);
+  tape.fit(ds);
+
+  const std::uint64_t captures0 =
+      obs::metrics().counter("graph/train_captures").value();
+  const std::uint64_t fallbacks0 =
+      obs::metrics().counter("graph/train_fallbacks").value();
+  cfg.planned_step = true;
+  Forecaster planned(cfg, arch);
+  planned.fit(ds);
+  EXPECT_GT(obs::metrics().counter("graph/train_captures").value(), captures0)
+      << "planned fit never captured a program for this net";
+  EXPECT_EQ(obs::metrics().counter("graph/train_fallbacks").value(), fallbacks0)
+      << "some batch shape failed capture and fell back to the tape";
+
+  ASSERT_EQ(tape.curves().train_loss.size(),
+            planned.curves().train_loss.size());
+  for (std::size_t i = 0; i < tape.curves().train_loss.size(); ++i)
+    EXPECT_EQ(tape.curves().train_loss[i], planned.curves().train_loss[i])
+        << "train loss diverged at epoch " << i;
+  ASSERT_EQ(tape.curves().valid_loss.size(),
+            planned.curves().valid_loss.size());
+  for (std::size_t i = 0; i < tape.curves().valid_loss.size(); ++i)
+    EXPECT_EQ(tape.curves().valid_loss[i], planned.curves().valid_loss[i])
+        << "valid loss diverged at epoch " << i;
+
+  const Tensor probe = random_tensor({3, 1, 12}, 900);
+  const Tensor a = tape.predict(probe);
+  const Tensor b = planned.predict(probe);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.raw(), b.raw(), a.size() * sizeof(float)), 0)
+      << "final weights diverged between planned and eager fits";
+}
+
+TEST(GraphTrainStep, RptcnFitBitMatchesEagerFit) {
+  nn::RptcnOptions opt;
+  opt.tcn.channels = {4, 4};
+  opt.fc_dim = 4;
+  expect_fit_parity<models::RptcnForecaster>(opt);
+}
+
+TEST(GraphTrainStep, LstmFitBitMatchesEagerFit) {
+  nn::LstmNetOptions opt;
+  opt.hidden = 6;
+  expect_fit_parity<models::LstmForecaster>(opt);
+}
+
+TEST(GraphTrainStep, BiLstmFitBitMatchesEagerFit) {
+  nn::BiLstmNetOptions opt;
+  opt.hidden = 5;
+  expect_fit_parity<models::BiLstmForecaster>(opt);
+}
+
+TEST(GraphTrainStep, CnnLstmFitBitMatchesEagerFit) {
+  nn::CnnLstmOptions opt;
+  opt.conv_channels = 4;
+  opt.hidden = 6;
+  expect_fit_parity<models::CnnLstmForecaster>(opt);
+}
+
+// -- stream retrain / hot-swap ------------------------------------------------
+
+trace::WorkloadParams steady_params() {
+  trace::WorkloadParams p;
+  p.base_level = 0.25;
+  p.diurnal_amplitude = 0.10;
+  p.noise_sigma = 0.03;
+  p.ar_coefficient = 0.85;
+  p.mutation_rate = 0.0;
+  p.burst_rate = 0.0;
+  return p;
+}
+
+stream::RetrainOptions tiny_retrain() {
+  stream::RetrainOptions r;
+  r.model_name = "RPTCN";
+  r.model.nn.max_epochs = 2;
+  r.model.nn.patience = 2;
+  r.model.nn.seed = 9;
+  r.model.rptcn.tcn.channels = {6, 6};
+  r.model.rptcn.fc_dim = 6;
+  r.history = 200;
+  r.window.window = 16;
+  r.window.horizon = 1;
+  r.min_ticks_between = 0;
+  return r;
+}
+
+TEST(GraphTrainStep, PlannedRetrainHotSwapBitMatchesTapeTrained) {
+  const std::vector<std::string> features = {"cpu_util_percent",
+                                             "mem_util_percent"};
+  const data::TimeSeriesFrame full =
+      stream::make_mutating_trace(steady_params(), steady_params(), 260, 0, 29);
+  stream::StreamSource source(std::make_unique<stream::ReplayProvider>(full),
+                              stream::SourceOptions{features, 512, {}});
+  while (source.poll()) {
+  }
+  const data::TimeSeriesFrame history = source.history(200);
+  const stream::OnlineNormalizer& norm = source.normalizer();
+
+  // Reference: a tape-trained generation on the identical history.
+  stream::RetrainOptions eager_opt = tiny_retrain();
+  eager_opt.model.nn.planned_step = false;
+  stream::FittedGeneration ref =
+      stream::fit_generation(history, norm, eager_opt, 1, "tape");
+  ASSERT_NE(ref.session, nullptr) << ref.outcome.error;
+
+  // Live path: bootstrap + RollingRetrainer with the planned step on
+  // (the default), hot-swapping generation 2 into the engine.
+  stream::RetrainOptions planned_opt = tiny_retrain();
+  ASSERT_TRUE(planned_opt.model.nn.planned_step);
+  stream::FittedGeneration g0 =
+      stream::fit_generation(history, norm, planned_opt, 1, "bootstrap");
+  ASSERT_NE(g0.session, nullptr) << g0.outcome.error;
+  serve::BatchingEngine engine(g0.session, {});
+  stream::RollingRetrainer retrainer(engine, planned_opt);
+  ASSERT_TRUE(retrainer.request(history, norm, "test", 200));
+  retrainer.wait_idle();
+  const stream::RetrainOutcome outcome = retrainer.last();
+  ASSERT_TRUE(outcome.error.empty()) << outcome.error;
+  ASSERT_TRUE(outcome.swapped);
+
+  // The hot-swapped planned-trained weights must predict exactly what the
+  // tape-trained reference predicts: planned training is invisible to
+  // everything downstream of fit.
+  const Tensor lw = source.latest_window(planned_opt.window.window);
+  Tensor one({1, lw.dim(0), lw.dim(1)});
+  std::copy_n(lw.raw(), lw.size(), one.raw());
+  const Tensor live = engine.session()->run(one);
+  const Tensor tape = ref.session->run(one);
+  ASSERT_EQ(live.size(), tape.size());
+  for (std::size_t h = 0; h < tape.size(); ++h)
+    ASSERT_EQ(live.raw()[h], tape.raw()[h])
+        << "planned-trained hot-swap diverged from tape training at " << h;
+}
+
+}  // namespace
+}  // namespace rptcn::graph

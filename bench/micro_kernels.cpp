@@ -16,6 +16,8 @@
 #include "nn/attention.h"
 #include "nn/lstm.h"
 #include "nn/tcn.h"
+#include "tensor/dispatch.h"
+#include "tensor/quant.h"
 #include "tensor/tensor_ops.h"
 #include "trace/cluster.h"
 
@@ -352,6 +354,82 @@ GridTiming time_grid() {
   return t;
 }
 
+/// Per-tier measurements for the "dispatch" BENCH section. The tier is
+/// forced through the test hook around each measurement and restored by the
+/// caller.
+struct TierPerf {
+  KernelArch arch = KernelArch::kScalar;
+  double gemm_gflops_256 = 0.0;  ///< float 256^3 matmul
+  double exp_gelems = 0.0;       ///< vexp elements/s (64k buffer), 1e9
+  double tanh_gelems = 0.0;
+  double int8_gops_256 = 0.0;    ///< int8 256^3 GEMM, 1e9 mul-adds x2 /s
+};
+
+double elementwise_gelems(void (*kernel)(float*, std::size_t)) {
+  Rng rng(21);
+  const std::size_t n = 65536;
+  const Tensor src = Tensor::randn({n}, rng);
+  std::vector<float> buf(n);
+  const auto run = [&] {
+    std::copy_n(src.raw(), n, buf.data());
+    kernel(buf.data(), n);
+    benchmark::DoNotOptimize(buf.data());
+  };
+  run();  // warm-up
+  Stopwatch watch;
+  std::size_t iters = 0;
+  while (watch.elapsed_seconds() < 0.1) {
+    run();
+    ++iters;
+  }
+  return static_cast<double>(n) * iters / watch.elapsed_seconds() / 1e9;
+}
+
+double int8_gemm_gops() {
+  Rng rng(22);
+  const std::size_t n = 256;
+  std::vector<std::int8_t> a(n * n), b(n * n);
+  for (auto& v : a)
+    v = static_cast<std::int8_t>(rng.uniform_int(0, 254) - 127);
+  for (auto& v : b)
+    v = static_cast<std::int8_t>(rng.uniform_int(0, 254) - 127);
+  std::vector<std::int32_t> c(n * n);
+  const auto run = [&] {
+    gemm_s8_nt(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  };
+  run();  // warm-up
+  Stopwatch watch;
+  std::size_t iters = 0;
+  while (watch.elapsed_seconds() < 0.2) {
+    run();
+    ++iters;
+  }
+  const double ops = 2.0 * static_cast<double>(n) * n * n * iters;
+  return ops / watch.elapsed_seconds() / 1e9;
+}
+
+TierPerf measure_tier(KernelArch arch) {
+  set_kernel_arch_for_testing(arch);
+  TierPerf p;
+  p.arch = arch;
+  p.gemm_gflops_256 = gemm_gflops("matmul");
+  p.exp_gelems = elementwise_gelems(kernels().vexp);
+  p.tanh_gelems = elementwise_gelems(kernels().vtanh);
+  p.int8_gops_256 = int8_gemm_gops();
+  return p;
+}
+
+/// Every tier this binary can run here, ascending (scalar always first).
+std::vector<KernelArch> runnable_tiers() {
+  std::vector<KernelArch> tiers{KernelArch::kScalar};
+  if (best_supported_arch() >= KernelArch::kAvx2)
+    tiers.push_back(KernelArch::kAvx2);
+  if (best_supported_arch() >= KernelArch::kAvx512)
+    tiers.push_back(KernelArch::kAvx512);
+  return tiers;
+}
+
 void emit_kernels_json() {
   const double mm = gemm_gflops("matmul");
   const double tn = gemm_gflops("tn");
@@ -365,8 +443,43 @@ void emit_kernels_json() {
       grid.parallel_seconds > 0.0 ? grid.serial_seconds / grid.parallel_seconds
                                   : 0.0;
 
+  // Per-tier sweep: force each compiled+supported tier, measure, restore.
+  const KernelArch active = kernel_arch();
+  std::vector<TierPerf> tiers;
+  for (KernelArch arch : runnable_tiers()) tiers.push_back(measure_tier(arch));
+  set_kernel_arch_for_testing(active);
+  const TierPerf& scalar_perf = tiers.front();
+  const TierPerf& best_perf = tiers.back();
+  const double simd_speedup =
+      scalar_perf.gemm_gflops_256 > 0.0
+          ? best_perf.gemm_gflops_256 / scalar_perf.gemm_gflops_256
+          : 0.0;
+  const double int8_speedup =
+      best_perf.gemm_gflops_256 > 0.0
+          ? best_perf.int8_gops_256 / best_perf.gemm_gflops_256
+          : 0.0;
+
   std::ofstream out("BENCH_kernels.json");
   out << "{\n"
+      << "  \"dispatch\": {\n"
+      << "    \"active_arch\": \"" << kernel_arch_name(active) << "\",\n"
+      << "    \"best_arch\": \"" << kernel_arch_name(best_supported_arch())
+      << "\",\n"
+      << "    \"cpu_flags\": \"" << cpu_flags_string() << "\",\n"
+      << "    \"tiers\": {\n";
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    const TierPerf& p = tiers[i];
+    out << "      \"" << kernel_arch_name(p.arch) << "\": {\n"
+        << "        \"gemm_256_gflops\": " << p.gemm_gflops_256 << ",\n"
+        << "        \"exp_gelems_per_s\": " << p.exp_gelems << ",\n"
+        << "        \"tanh_gelems_per_s\": " << p.tanh_gelems << ",\n"
+        << "        \"int8_gemm_256_gops\": " << p.int8_gops_256 << "\n"
+        << "      }" << (i + 1 < tiers.size() ? "," : "") << "\n";
+  }
+  out << "    },\n"
+      << "    \"speedup_best_vs_scalar_gemm256\": " << simd_speedup << ",\n"
+      << "    \"speedup_int8_vs_f32_gemm256\": " << int8_speedup << "\n"
+      << "  },\n"
       << "  \"gemm_size\": 256,\n"
       << "  \"gflops\": {\n"
       << "    \"matmul\": " << mm << ",\n"
@@ -393,7 +506,10 @@ void emit_kernels_json() {
             << " GFLOP/s; conv1d im2col speedup " << conv_speedup
             << "x; grid speedup " << speedup << "x on "
             << grid.parallel_jobs << " workers (bit_identical="
-            << (grid.bit_identical ? "true" : "false") << ")\n";
+            << (grid.bit_identical ? "true" : "false") << ")\n"
+            << "[json] dispatch: active=" << kernel_arch_name(active)
+            << " best-vs-scalar GEMM " << simd_speedup << "x; int8-vs-f32 "
+            << int8_speedup << "x (" << cpu_flags_string() << ")\n";
 }
 
 }  // namespace

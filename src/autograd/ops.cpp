@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/dispatch.h"
 #include "tensor/tensor_ops.h"
 
 namespace rptcn::ag {
@@ -621,24 +622,9 @@ void im2col_strided(const float* x, std::size_t xs, std::size_t xc,
                     std::size_t nc, std::size_t cin, std::size_t t_in,
                     std::size_t k, std::size_t d, std::size_t pad,
                     std::size_t t_out, float* patches) {
-  const std::size_t nt = nc * t_out;
-  for (std::size_t ci = 0; ci < cin; ++ci) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      float* row = patches + (ci * k + kk) * nt;
-      const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk * d) -
-                                 static_cast<std::ptrdiff_t>(pad);
-      std::size_t t_lo, t_hi;
-      tap_range(off, t_in, t_out, t_lo, t_hi);
-      for (std::size_t s = 0; s < nc; ++s) {
-        float* seg = row + s * t_out;
-        const float* xrow = x + s * xs + ci * xc;
-        std::fill(seg, seg + t_lo, 0.0f);
-        std::copy(xrow + static_cast<std::ptrdiff_t>(t_lo) + off,
-                  xrow + static_cast<std::ptrdiff_t>(t_hi) + off, seg + t_lo);
-        std::fill(seg + t_hi, seg + t_out, 0.0f);
-      }
-    }
-  }
+  // Dispatched patch writer (tensor/dispatch.h). Pure data movement, so
+  // every tier is exact; the body lives in tensor/kernels_detail.h.
+  kernels().im2col(x, xs, xc, nc, cin, t_in, k, d, pad, t_out, patches);
 }
 
 void conv1d_direct_strided(const float* x, std::size_t xs, std::size_t xc,

@@ -1,0 +1,108 @@
+#include "serve/quant.h"
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace rptcn::serve {
+
+namespace {
+
+QLinearSnap quantize_linear(const LinearSnap& s) {
+  QLinearSnap q;
+  q.w = quantize_rows_symmetric(s.w.raw(), s.w.dim(0), s.w.dim(1));
+  q.b = s.b;
+  return q;
+}
+
+QLstmSnap quantize_lstm(const LstmSnap& s) {
+  QLstmSnap q;
+  q.w = quantize_rows_symmetric(s.w.raw(), s.w.dim(0), s.w.dim(1));
+  q.b = s.b;
+  q.hidden = s.hidden;
+  return q;
+}
+
+/// y[N, out] = dequant(int8_gemm(quant(x), qw)) + b. One dynamic symmetric
+/// activation scale per call (whole batch), so a coalesced batch and a lone
+/// row can round differently — the quantized path trades the float path's
+/// batch invariance for throughput, which is why its accuracy is gated
+/// rather than assumed.
+Tensor qlinear_forward(const QuantizedMatrix& qw, const Tensor& b,
+                       const Tensor& x) {
+  const std::size_t n = x.dim(0), in = x.dim(1), out = qw.rows;
+  RPTCN_CHECK(in == qw.cols, "quantized linear: input features "
+                                 << in << " != weight cols " << qw.cols);
+  const float a_scale = symmetric_scale(x.raw(), n * in);
+  std::vector<std::int8_t> qa(n * in);
+  quantize_with_scale(x.raw(), n * in, a_scale, qa.data());
+  std::vector<std::int32_t> acc(n * out);
+  gemm_s8_nt(n, out, in, qa.data(), qw.data.data(), acc.data());
+  Tensor y({n, out});
+  dequantize_bias(acc.data(), n, out, a_scale, qw.scales.data(),
+                  b.empty() ? nullptr : b.raw(), y.raw());
+  return y;
+}
+
+/// Mirror of graph's lstm_forward with the gate GEMM quantized per step;
+/// gate nonlinearities and the cell update stay float (dispatched kernels).
+Tensor qlstm_forward(const QLstmSnap& s, const Tensor& x) {
+  const std::size_t n = x.dim(0), t_len = x.dim(2), hid = s.hidden;
+  Tensor h = Tensor::zeros({n, hid});
+  Tensor c = Tensor::zeros({n, hid});
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const Tensor xt = ag::fwd::time_slice(x, t);    // [N, F]
+    const Tensor xh = ag::fwd::concat_cols(xt, h);  // [N, F+H]
+    const Tensor pre = qlinear_forward(s.w, s.b, xh);  // [N, 4H]
+    const Tensor i = rptcn::sigmoid(ag::fwd::slice_cols(pre, 0, hid));
+    const Tensor f = rptcn::sigmoid(ag::fwd::slice_cols(pre, hid, hid));
+    const Tensor g = rptcn::tanh_t(ag::fwd::slice_cols(pre, 2 * hid, hid));
+    const Tensor o = rptcn::sigmoid(ag::fwd::slice_cols(pre, 3 * hid, hid));
+    c = rptcn::add(rptcn::mul(f, c), rptcn::mul(i, g));
+    h = rptcn::mul(o, rptcn::tanh_t(c));
+  }
+  return h;
+}
+
+Tensor qhead_forward(const QLinearSnap& head, const Tensor& h) {
+  return qlinear_forward(head.w, head.b, h);
+}
+
+/// Pinned-dispatch float conv forward, same as the float runner's.
+Tensor conv_forward(const ConvSnap& s, const Tensor& x) {
+  return ag::fwd::conv1d(x, s.w, s.b.empty() ? nullptr : &s.b, s.dilation,
+                         s.left_pad, /*dispatch_n=*/1);
+}
+
+}  // namespace
+
+QLstmNetSnap quantize(const LstmNetSnap& snap) {
+  return {quantize_lstm(snap.lstm), quantize_linear(snap.head)};
+}
+
+QBiLstmNetSnap quantize(const BiLstmNetSnap& snap) {
+  return {quantize_lstm(snap.fwd), quantize_lstm(snap.bwd),
+          quantize_linear(snap.head)};
+}
+
+QCnnLstmSnap quantize(const CnnLstmSnap& snap) {
+  return {snap.conv, quantize_lstm(snap.lstm), quantize_linear(snap.head)};
+}
+
+Tensor forward(const QLstmNetSnap& snap, const Tensor& x) {
+  return qhead_forward(snap.head, qlstm_forward(snap.lstm, x));
+}
+
+Tensor forward(const QBiLstmNetSnap& snap, const Tensor& x) {
+  const Tensor h_fwd = qlstm_forward(snap.fwd, x);
+  const Tensor h_bwd = qlstm_forward(snap.bwd, ag::fwd::time_reverse(x));
+  return qhead_forward(snap.head, ag::fwd::concat_cols(h_fwd, h_bwd));
+}
+
+Tensor forward(const QCnnLstmSnap& snap, const Tensor& x) {
+  const Tensor h = rptcn::relu(conv_forward(snap.conv, x));
+  return qhead_forward(snap.head, qlstm_forward(snap.lstm, h));
+}
+
+}  // namespace rptcn::serve

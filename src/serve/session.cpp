@@ -27,20 +27,23 @@ models::Forecaster& require_forecaster(
 
 }  // namespace
 
-InferenceSession::InferenceSession(std::shared_ptr<models::Forecaster> forecaster)
-    : InferenceSession(require_forecaster(forecaster)) {
+InferenceSession::InferenceSession(std::shared_ptr<models::Forecaster> forecaster,
+                                   SessionOptions options)
+    : InferenceSession(require_forecaster(forecaster), options) {
   // Only delegating sessions need the keep-alive; a snapshot is
   // self-contained and holding the forecaster would double its weights.
   if (delegate_ != nullptr) owner_ = std::move(forecaster);
 }
 
-InferenceSession::InferenceSession(models::Forecaster& forecaster)
+InferenceSession::InferenceSession(models::Forecaster& forecaster,
+                                   SessionOptions options)
     : name_(forecaster.name()) {
-  const auto take = [this](const auto& net) {
+  const auto take = [this, &options](const auto& net) {
     snap_ = serve::snapshot(net);
     horizon_ = net.options().horizon;
     input_features_ = net.options().input_features;
-    init_plans();
+    if (options.quantized) init_quantized();
+    if (!quantized()) init_plans();
   };
   if (const auto* rptcn = dynamic_cast<const models::RptcnForecaster*>(&forecaster)) {
     take(require_net(rptcn->net(), name_));
@@ -59,36 +62,59 @@ InferenceSession::InferenceSession(models::Forecaster& forecaster)
   }
 }
 
-InferenceSession::InferenceSession(const nn::RptcnNet& net)
+InferenceSession::InferenceSession(const nn::RptcnNet& net,
+                                   SessionOptions options)
     : name_("RPTCN"),
       horizon_(net.options().horizon),
       input_features_(net.options().input_features),
       snap_(serve::snapshot(net)) {
+  if (options.quantized) init_quantized();  // no-op: RPTCN stays float
   init_plans();
 }
 
-InferenceSession::InferenceSession(const nn::LstmNet& net)
+InferenceSession::InferenceSession(const nn::LstmNet& net,
+                                   SessionOptions options)
     : name_("LSTM"),
       horizon_(net.options().horizon),
       input_features_(net.options().input_features),
       snap_(serve::snapshot(net)) {
-  init_plans();
+  if (options.quantized) init_quantized();
+  if (!quantized()) init_plans();
 }
 
-InferenceSession::InferenceSession(const nn::BiLstmNet& net)
+InferenceSession::InferenceSession(const nn::BiLstmNet& net,
+                                   SessionOptions options)
     : name_("BiLSTM"),
       horizon_(net.options().horizon),
       input_features_(net.options().input_features),
       snap_(serve::snapshot(net)) {
-  init_plans();
+  if (options.quantized) init_quantized();
+  if (!quantized()) init_plans();
 }
 
-InferenceSession::InferenceSession(const nn::CnnLstm& net)
+InferenceSession::InferenceSession(const nn::CnnLstm& net,
+                                   SessionOptions options)
     : name_("CNN-LSTM"),
       horizon_(net.options().horizon),
       input_features_(net.options().input_features),
       snap_(serve::snapshot(net)) {
-  init_plans();
+  if (options.quantized) init_quantized();
+  if (!quantized()) init_plans();
+}
+
+void InferenceSession::init_quantized() {
+  // Quantize the GEMM-shaped weights of the LSTM-family snapshots; RPTCN
+  // (conv-bound) and delegated models fall through with qsnap_ left empty —
+  // quantized() then reports the truth. The float snap_ is kept: it is the
+  // reference the accuracy tests compare against, and horizon/feature
+  // metadata lives there.
+  if (const auto* lstm = std::get_if<LstmNetSnap>(&snap_)) {
+    qsnap_ = serve::quantize(*lstm);
+  } else if (const auto* bilstm = std::get_if<BiLstmNetSnap>(&snap_)) {
+    qsnap_ = serve::quantize(*bilstm);
+  } else if (const auto* cnnlstm = std::get_if<CnnLstmSnap>(&snap_)) {
+    qsnap_ = serve::quantize(*cnnlstm);
+  }
 }
 
 void InferenceSession::init_plans() {
@@ -140,6 +166,19 @@ Tensor InferenceSession::run(const Tensor& inputs) const {
               "InferenceSession: model \""
                   << name_ << "\" expects " << expected_shape() << ", got "
                   << inputs.shape_string());
+  if (!std::holds_alternative<std::monostate>(qsnap_)) {
+    return std::visit(
+        [&](const auto& qsnap) -> Tensor {
+          if constexpr (std::is_same_v<std::decay_t<decltype(qsnap)>,
+                                       std::monostate>) {
+            RPTCN_CHECK(false, "InferenceSession: no quantized snapshot");
+            return Tensor();  // unreachable; silences -Wreturn-type
+          } else {
+            return serve::forward(qsnap, inputs);
+          }
+        },
+        qsnap_);
+  }
   if (plans_ != nullptr && graph::planning_enabled())
     return plans_->get(inputs.dim(0), inputs.dim(1), inputs.dim(2))
         ->run(inputs);

@@ -30,6 +30,7 @@
 
 #include "graph/capture.h"
 #include "graph/plan.h"
+#include "serve/quant.h"
 #include "serve/snapshot.h"
 
 namespace rptcn::models {
@@ -38,24 +39,41 @@ class Forecaster;
 
 namespace rptcn::serve {
 
+/// Construction-time serving options.
+struct SessionOptions {
+  /// Serve through the int8 quantized snapshot (serve/quant.h) instead of
+  /// the float planned path. Applies to the LSTM-family nets; the
+  /// conv-bound RPTCN net ignores the request and serves float32 (check
+  /// quantized() for what actually engaged). Quantized runs bypass the
+  /// plan cache: the planned replay's prepacked-GEMM advantage is subsumed
+  /// by the pre-quantized weights, and the int8 runner is eager.
+  bool quantized = false;
+};
+
 class InferenceSession {
  public:
   /// Snapshot a fitted forecaster (any registry model). Neural forecasters
   /// must have been fit() or restore()d first.
-  explicit InferenceSession(models::Forecaster& forecaster);
+  explicit InferenceSession(models::Forecaster& forecaster,
+                            SessionOptions options = {});
 
   /// Same, but the session co-owns the forecaster while it delegates
   /// (non-tensor models) — the delegate cannot be freed under a live
   /// session no matter how the caller sequences teardown. Snapshotted
   /// models release the forecaster immediately; the snapshot is
   /// self-contained.
-  explicit InferenceSession(std::shared_ptr<models::Forecaster> forecaster);
+  explicit InferenceSession(std::shared_ptr<models::Forecaster> forecaster,
+                            SessionOptions options = {});
 
   // Direct snapshots of a network, for callers that own the net itself.
-  explicit InferenceSession(const nn::RptcnNet& net);
-  explicit InferenceSession(const nn::LstmNet& net);
-  explicit InferenceSession(const nn::BiLstmNet& net);
-  explicit InferenceSession(const nn::CnnLstm& net);
+  explicit InferenceSession(const nn::RptcnNet& net,
+                            SessionOptions options = {});
+  explicit InferenceSession(const nn::LstmNet& net,
+                            SessionOptions options = {});
+  explicit InferenceSession(const nn::BiLstmNet& net,
+                            SessionOptions options = {});
+  explicit InferenceSession(const nn::CnnLstm& net,
+                            SessionOptions options = {});
 
   InferenceSession(const InferenceSession&) = delete;
   InferenceSession& operator=(const InferenceSession&) = delete;
@@ -70,10 +88,16 @@ class InferenceSession {
   std::size_t horizon() const { return horizon_; }
   /// Expected feature count F; 0 when unknown (delegated models).
   std::size_t input_features() const { return input_features_; }
+  /// True iff run() actually serves the int8 quantized path. False when
+  /// quantization was not requested, the model has no quantizable snapshot
+  /// (delegated models), or the net is RPTCN (conv-bound, stays float).
+  bool quantized() const { return !std::holds_alternative<std::monostate>(qsnap_); }
 
  private:
   /// Seed plans_ from the (just-assigned) snapshot variant.
   void init_plans();
+  /// Build qsnap_ from snap_ when options request quantized serving.
+  void init_quantized();
   /// Expected input shape for error messages: "[N, F, T]" plus the shapes
   /// already captured by the plan cache.
   std::string expected_shape() const;
@@ -84,6 +108,10 @@ class InferenceSession {
   std::variant<std::monostate, RptcnSnap, LstmNetSnap, BiLstmNetSnap,
                CnnLstmSnap>
       snap_;
+  /// Int8 twin of snap_, populated iff quantized serving engaged; run()
+  /// prefers it over the planned float path.
+  std::variant<std::monostate, QLstmNetSnap, QBiLstmNetSnap, QCnnLstmSnap>
+      qsnap_;
   /// Shape-keyed planned executables; null for delegated models.
   std::unique_ptr<graph::PlanCache> plans_;
   models::Forecaster* delegate_ = nullptr;  ///< set iff snap_ is monostate

@@ -82,7 +82,8 @@ FittedGeneration fit_generation(const data::TimeSeriesFrame& frame,
 
     // The session co-owns the forecaster while it delegates, so the live
     // snapshot can never outlive the model backing it.
-    g.session = std::make_shared<serve::InferenceSession>(forecaster);
+    g.session = std::make_shared<serve::InferenceSession>(
+        forecaster, serve::SessionOptions{options.quantized_serving});
     g.forecaster = std::move(forecaster);
 
     save_checkpoint(g, options);

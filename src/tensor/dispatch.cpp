@@ -1,0 +1,165 @@
+// Runtime kernel tier resolution. See dispatch.h for the contract.
+
+#include "tensor/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace rptcn {
+
+// Per-tier accessors, defined in kernels_{scalar,avx2,avx512}.cpp. A tier
+// that was not compiled in (missing compiler support or RPTCN_SIMD=OFF)
+// returns nullptr.
+const KernelTable* kernel_table_scalar();
+const KernelTable* kernel_table_avx2();
+const KernelTable* kernel_table_avx512();
+
+namespace {
+
+const KernelTable* table_for(KernelArch arch) {
+  switch (arch) {
+    case KernelArch::kScalar:
+      return kernel_table_scalar();
+    case KernelArch::kAvx2:
+      return kernel_table_avx2();
+    case KernelArch::kAvx512:
+      return kernel_table_avx512();
+  }
+  return nullptr;
+}
+
+bool host_supports(KernelArch arch) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (arch) {
+    case KernelArch::kScalar:
+      return true;
+    case KernelArch::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case KernelArch::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+  }
+  return false;
+#else
+  return arch == KernelArch::kScalar;
+#endif
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+std::mutex g_resolve_mu;
+
+const KernelTable* resolve_active() {
+  const KernelArch best = best_supported_arch();
+  const KernelArch pick =
+      resolve_arch(std::getenv("RPTCN_FORCE_ARCH"), best);
+  const KernelTable* table = table_for(pick);
+  RPTCN_CHECK(table != nullptr, "kernel tier resolved to a table that is "
+                                "not compiled in");
+  return table;
+}
+
+}  // namespace
+
+const char* kernel_arch_name(KernelArch arch) {
+  switch (arch) {
+    case KernelArch::kScalar:
+      return "scalar";
+    case KernelArch::kAvx2:
+      return "avx2";
+    case KernelArch::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool cpu_supports(KernelArch arch) { return host_supports(arch); }
+
+KernelArch best_supported_arch() {
+  for (KernelArch arch : {KernelArch::kAvx512, KernelArch::kAvx2}) {
+    if (host_supports(arch) && table_for(arch) != nullptr) return arch;
+  }
+  return KernelArch::kScalar;
+}
+
+KernelArch resolve_arch(const char* forced, KernelArch best) {
+  if (forced == nullptr || *forced == '\0') return best;
+  KernelArch want;
+  if (std::strcmp(forced, "scalar") == 0) {
+    want = KernelArch::kScalar;
+  } else if (std::strcmp(forced, "avx2") == 0) {
+    want = KernelArch::kAvx2;
+  } else if (std::strcmp(forced, "avx512") == 0) {
+    want = KernelArch::kAvx512;
+  } else {
+    RPTCN_WARN("RPTCN_FORCE_ARCH='" << forced
+                                    << "' not recognised (want "
+                                       "scalar|avx2|avx512); using "
+                                    << kernel_arch_name(best));
+    return best;
+  }
+  if (want > best) {
+    RPTCN_WARN("RPTCN_FORCE_ARCH=" << forced
+                                   << " unavailable on this host/build; "
+                                      "clamping to "
+                                   << kernel_arch_name(best));
+    return best;
+  }
+  return want;
+}
+
+const KernelTable& kernels() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    std::lock_guard<std::mutex> lock(g_resolve_mu);
+    table = g_active.load(std::memory_order_relaxed);
+    if (table == nullptr) {
+      table = resolve_active();
+      g_active.store(table, std::memory_order_release);
+    }
+  }
+  return *table;
+}
+
+KernelArch kernel_arch() { return kernels().arch; }
+
+std::string cpu_flags_string() {
+  std::ostringstream out;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports requires literal arguments.
+  out << "avx2=" << (__builtin_cpu_supports("avx2") ? 1 : 0)
+      << " fma=" << (__builtin_cpu_supports("fma") ? 1 : 0)
+      << " avx512f=" << (__builtin_cpu_supports("avx512f") ? 1 : 0)
+      << " avx512bw=" << (__builtin_cpu_supports("avx512bw") ? 1 : 0)
+      << " avx512dq=" << (__builtin_cpu_supports("avx512dq") ? 1 : 0)
+      << " avx512vl=" << (__builtin_cpu_supports("avx512vl") ? 1 : 0);
+#else
+  out << "non-x86";
+#endif
+  out << " compiled:scalar";
+  if (kernel_table_avx2() != nullptr) out << ",avx2";
+  if (kernel_table_avx512() != nullptr) out << ",avx512";
+  return out.str();
+}
+
+void set_kernel_arch_for_testing(KernelArch arch) {
+  const KernelTable* table = table_for(arch);
+  RPTCN_CHECK(table != nullptr, "kernel tier not compiled into this binary");
+  RPTCN_CHECK(host_supports(arch), "kernel tier not supported by this CPU");
+  std::lock_guard<std::mutex> lock(g_resolve_mu);
+  g_active.store(table, std::memory_order_release);
+}
+
+void redetect_kernel_arch_for_testing() {
+  std::lock_guard<std::mutex> lock(g_resolve_mu);
+  g_active.store(resolve_active(), std::memory_order_release);
+}
+
+}  // namespace rptcn

@@ -1,0 +1,74 @@
+#include "tensor/quant.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/dispatch.h"
+
+namespace rptcn {
+
+namespace {
+
+std::int8_t quantize_one(float x, float inv_scale) {
+  float q = std::nearbyintf(x * inv_scale);
+  // Clamp with NaN-squashing comparisons (a NaN weight quantizes to 0
+  // rather than poisoning the int cast with UB).
+  q = q < 127.0f ? q : 127.0f;
+  q = q > -127.0f ? q : -127.0f;
+  return static_cast<std::int8_t>(q);
+}
+
+}  // namespace
+
+float symmetric_scale(const float* x, std::size_t n) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > m) m = a;  // NaN compares false: ignored, like the zero case
+  }
+  return m > 0.0f ? m / 127.0f : 1.0f;
+}
+
+void quantize_with_scale(const float* x, std::size_t n, float scale,
+                         std::int8_t* q) {
+  RPTCN_CHECK(scale > 0.0f, "quantize_with_scale: scale must be positive");
+  const float inv = 1.0f / scale;
+  for (std::size_t i = 0; i < n; ++i) q[i] = quantize_one(x[i], inv);
+}
+
+QuantizedMatrix quantize_rows_symmetric(const float* w, std::size_t rows,
+                                        std::size_t cols) {
+  QuantizedMatrix qm;
+  qm.rows = rows;
+  qm.cols = cols;
+  qm.data.resize(rows * cols);
+  qm.scales.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* row = w + i * cols;
+    const float scale = symmetric_scale(row, cols);
+    qm.scales[i] = scale;
+    quantize_with_scale(row, cols, scale, qm.data.data() + i * cols);
+  }
+  return qm;
+}
+
+void gemm_s8_nt(std::size_t m, std::size_t n, std::size_t k,
+                const std::int8_t* a, const std::int8_t* b, std::int32_t* c) {
+  kernels().gemm_s8(m, n, k, a, b, c);
+}
+
+void dequantize_bias(const std::int32_t* c, std::size_t m, std::size_t n,
+                     float a_scale, const float* w_scales, const float* bias,
+                     float* out) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int32_t* crow = c + i * n;
+    float* orow = out + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float s = a_scale * w_scales[j];
+      const float v = static_cast<float>(crow[j]) * s;
+      orow[j] = bias != nullptr ? v + bias[j] : v;
+    }
+  }
+}
+
+}  // namespace rptcn

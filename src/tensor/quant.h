@@ -1,0 +1,60 @@
+// Int8 symmetric quantization primitives for the inference-only quantized
+// serving path (serve/quant.h).
+//
+// Scheme: weights are quantized per OUTPUT CHANNEL (per row of the [out, in]
+// weight matrix) with a symmetric scale s_j = max|w_j|/127, q = clamp(
+// round(w/s_j), -127, 127); activations are quantized dynamically per GEMM
+// call with one symmetric scale for the whole batch. The int8 GEMM
+// accumulates exactly in int32 (s8 x s8 products through the dispatched
+// kernel — see tensor/dispatch.h), and the dequantize step folds
+// s_act * s_w[j] and the float bias back in one pass. Rounding ties use
+// nearbyintf (round-to-nearest-even, the current FP environment default) so
+// quantization itself is deterministic and tier-independent; two
+// quantizations of the same weights are byte-identical.
+//
+// The [-127, 127] clamp (not -128) keeps the scheme symmetric: q and -q are
+// both representable, so sign-flipped weights quantize to sign-flipped
+// codes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rptcn {
+
+/// A row-major [rows, cols] int8 matrix with one symmetric scale per row.
+/// dequant(i, j) = static_cast<float>(data[i*cols+j]) * scales[i].
+struct QuantizedMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::int8_t> data;  ///< [rows, cols]
+  std::vector<float> scales;      ///< [rows]
+};
+
+/// Quantize a row-major [rows, cols] float matrix per row (per output
+/// channel for an [out, in] weight matrix). An all-zero (or all-NaN-free
+/// zero-magnitude) row gets scale 1.0f and all-zero codes — the degenerate
+/// case stays exact.
+QuantizedMatrix quantize_rows_symmetric(const float* w, std::size_t rows,
+                                        std::size_t cols);
+
+/// One symmetric scale for n values: max|x|/127, or 1.0f when max|x| == 0.
+float symmetric_scale(const float* x, std::size_t n);
+
+/// q[i] = clamp(round(x[i]/scale), -127, 127) with round-to-nearest-even.
+void quantize_with_scale(const float* x, std::size_t n, float scale,
+                         std::int8_t* q);
+
+/// C[m,n] (int32, overwritten) = A[m,k] x B[n,k]^T on int8 operands through
+/// the dispatched kernel. Exact in every tier.
+void gemm_s8_nt(std::size_t m, std::size_t n, std::size_t k,
+                const std::int8_t* a, const std::int8_t* b, std::int32_t* c);
+
+/// out[i*n+j] = float(c[i*n+j]) * (a_scale * w_scales[j]) + bias[j]
+/// (bias == nullptr -> no bias). The combined scale is formed once per
+/// column in float, so the pass is deterministic and tier-independent.
+void dequantize_bias(const std::int32_t* c, std::size_t m, std::size_t n,
+                     float a_scale, const float* w_scales, const float* bias,
+                     float* out);
+
+}  // namespace rptcn

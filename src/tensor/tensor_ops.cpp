@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/dispatch.h"
 
 namespace rptcn {
 
@@ -47,10 +48,10 @@ Tensor unary(const Tensor& a, F&& f) {
 /// The one stabilised exponential kernel: out[i] = exp(out[i]) in place.
 /// softmax_lastdim writes row-max-shifted inputs into its output buffer and
 /// exponentiates here; exp_t and sigmoid reuse the same loop so every
-/// transcendental path in the library goes through one kernel.
-void vexp_inplace(float* __restrict p, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) p[i] = std::exp(p[i]);
-}
+/// transcendental path in the library goes through one kernel — the
+/// dispatched polynomial vexp (tensor/dispatch.h), bit-identical in every
+/// arch tier and independent of libm.
+void vexp_inplace(float* p, std::size_t n) { kernels().vexp(p, n); }
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
@@ -108,7 +109,9 @@ Tensor sigmoid(const Tensor& a) {
   return out;
 }
 Tensor tanh_t(const Tensor& a) {
-  return unary(a, [](float x) { return std::tanh(x); });
+  Tensor out = a;
+  kernels().vtanh(out.raw(), out.size());
+  return out;
 }
 
 void sigmoid_inplace(float* p, std::size_t n) {
@@ -118,9 +121,7 @@ void sigmoid_inplace(float* p, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) p[i] = 1.0f / (1.0f + p[i]);
 }
 
-void tanh_inplace(float* p, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) p[i] = std::tanh(p[i]);
-}
+void tanh_inplace(float* p, std::size_t n) { kernels().vtanh(p, n); }
 Tensor exp_t(const Tensor& a) {
   Tensor out = a;
   vexp_inplace(out.raw(), out.size());
@@ -188,116 +189,41 @@ Tensor sum_cols(const Tensor& a) {
 // ---------------------------------------------------------------------------
 // GEMM: one blocked, packed, register-tiled kernel serving all three layout
 // variants (NN, TN, NT). The input layout only affects the packing routines;
-// the micro-kernel is branch-free and identical everywhere.
+// the micro-kernel is branch-free and identical everywhere. The micro-kernel
+// and pack routines themselves come from the runtime-dispatched KernelTable
+// (tensor/dispatch.h): scalar 8x8, avx2 8x8 intrinsics, avx512 16x16 — all
+// bit-identical per element.
 //
 // Structure (BLIS-style, scaled to L1/L2 on a laptop-class core):
 //   * K is split into kKC panels; for each panel the B block [kc x n] is
-//     packed once into column panels of width kNR (k-major);
+//     packed once into column panels of width kt.nr (k-major);
 //   * rows are split into kMC blocks (OpenMP over row blocks — this is the
 //     only parallel axis, so every C element is written by exactly one
 //     thread and results are bit-identical for any thread count);
 //   * each row block packs its A panel [mc x kc] into row panels of height
-//     kMR (k-major) and runs the kMR x kNR micro-kernel.
+//     kt.mr (k-major) and runs the kt.mr x kt.nr micro-kernel.
 //
 // Determinism contract: per C element the reduction order is k ascending
 // within a panel, panels ascending, each product folded with a single
-// rounding via std::fma. No data-dependent branches, no atomic reductions.
+// rounding via fma. Tile geometry only changes which elements are computed
+// together, never the per-element sequence, so results are identical across
+// tiers too. No data-dependent branches, no atomic reductions.
 // tests/test_tensor_ops.cpp checks bit-exact equality against a reference
-// triple loop that mirrors this reduction order.
+// triple loop that mirrors this reduction order;
+// tests/test_kernel_dispatch.cpp checks it across tiers.
 namespace {
 
-constexpr std::size_t kMR = 8;    // micro-kernel rows
-constexpr std::size_t kNR = 8;    // micro-kernel cols
 constexpr std::size_t kMC = 64;   // row-block height (A panel rows)
 constexpr std::size_t kKC = 256;  // k-panel depth
+// Largest micro-tile any tier registers (avx512 is 16x16); sizes the
+// stack accumulator in gemm_row_block.
+constexpr std::size_t kMaxTileElems = 16 * 16;
 // Below this flop count the packing overhead dominates; use the simple
 // branch-free triple loop. Shape-dependent dispatch only — never
 // data-dependent.
 constexpr std::size_t kSmallGemmFlops = 1u << 13;
 // OpenMP fan-out threshold for the blocked path.
 constexpr std::size_t kParallelGemmFlops = 1u << 16;
-
-/// Element accessor abstraction: A(i,p) with optional transpose.
-inline float at_maybe_t(const float* p, std::size_t ld, bool trans,
-                        std::size_t i, std::size_t j) {
-  return trans ? p[j * ld + i] : p[i * ld + j];
-}
-
-/// Pack A[mc x kc] (logical, transpose applied) into row panels of height
-/// kMR, k-major inside each panel; short panels are zero-padded.
-void pack_a(const float* a, std::size_t lda, bool trans, std::size_t i0,
-            std::size_t p0, std::size_t mc, std::size_t kc, float* buf) {
-  for (std::size_t ir = 0; ir < mc; ir += kMR) {
-    const std::size_t mr = std::min(kMR, mc - ir);
-    float* panel = buf + ir * kc;
-    for (std::size_t p = 0; p < kc; ++p) {
-      for (std::size_t r = 0; r < mr; ++r)
-        panel[p * kMR + r] = at_maybe_t(a, lda, trans, i0 + ir + r, p0 + p);
-      for (std::size_t r = mr; r < kMR; ++r) panel[p * kMR + r] = 0.0f;
-    }
-  }
-}
-
-/// Pack B[kc x n] (logical, transpose applied) into column panels of width
-/// kNR, k-major inside each panel; short panels are zero-padded.
-void pack_b(const float* b, std::size_t ldb, bool trans, std::size_t p0,
-            std::size_t kc, std::size_t n, float* buf) {
-  for (std::size_t jr = 0; jr < n; jr += kNR) {
-    const std::size_t nr = std::min(kNR, n - jr);
-    float* panel = buf + jr * kc;
-    for (std::size_t p = 0; p < kc; ++p) {
-      for (std::size_t c = 0; c < nr; ++c)
-        panel[p * kNR + c] = at_maybe_t(b, ldb, trans, p0 + p, jr + c);
-      for (std::size_t c = nr; c < kNR; ++c) panel[p * kNR + c] = 0.0f;
-    }
-  }
-}
-
-/// kMR x kNR register tile: acc[r][c] = sum_p fma(Ap[p][r], Bp[p][c]).
-/// Processed in strips of 4 rows so each strip's four kNR-wide accumulators
-/// stay in vector registers across the whole k loop (the full 8x8 tile
-/// spills with GCC). Branch-free; zero-padded packing makes edge tiles safe
-/// to compute in full.
-void micro_kernel(std::size_t kc, const float* ap, const float* bp,
-                  float* acc /* kMR*kNR, zeroed */) {
-  static_assert(kMR % 4 == 0);
-  for (std::size_t r0 = 0; r0 < kMR; r0 += 4) {
-    float a0[kNR] = {0.0f}, a1[kNR] = {0.0f};
-    float a2[kNR] = {0.0f}, a3[kNR] = {0.0f};
-    for (std::size_t p = 0; p < kc; ++p) {
-      const float* arow = ap + p * kMR + r0;
-      const float* brow = bp + p * kNR;
-      const float v0 = arow[0], v1 = arow[1], v2 = arow[2], v3 = arow[3];
-      for (std::size_t c = 0; c < kNR; ++c) {
-        a0[c] = std::fma(v0, brow[c], a0[c]);
-        a1[c] = std::fma(v1, brow[c], a1[c]);
-        a2[c] = std::fma(v2, brow[c], a2[c]);
-        a3[c] = std::fma(v3, brow[c], a3[c]);
-      }
-    }
-    for (std::size_t c = 0; c < kNR; ++c) {
-      acc[(r0 + 0) * kNR + c] = a0[c];
-      acc[(r0 + 1) * kNR + c] = a1[c];
-      acc[(r0 + 2) * kNR + c] = a2[c];
-      acc[(r0 + 3) * kNR + c] = a3[c];
-    }
-  }
-}
-
-/// Simple branch-free triple loop for tiny shapes (same reduction order:
-/// k ascending, fma per product), accumulating into zero-initialised C.
-void gemm_small(std::size_t m, std::size_t n, std::size_t k, const float* a,
-                std::size_t lda, bool ta, const float* b, std::size_t ldb,
-                bool tb, float* c) {
-  for (std::size_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = at_maybe_t(a, lda, ta, i, p);
-      for (std::size_t j = 0; j < n; ++j)
-        crow[j] = std::fma(av, at_maybe_t(b, ldb, tb, p, j), crow[j]);
-    }
-  }
-}
 
 /// Registry handles for the GEMM counters, resolved once. Accounting is
 /// computed analytically before the blocked loops so the hot path (and the
@@ -318,22 +244,23 @@ GemmMetrics& gemm_metrics() {
 /// micro-kernel against an already-packed B k-panel. Shared by gemm and the
 /// prepacked-B replay so both paths execute the identical code (and thus
 /// the identical rounding sequence).
-void gemm_row_block(std::size_t i0, std::size_t mc, std::size_t n,
-                    std::size_t kc, std::size_t p0, const float* a,
-                    std::size_t lda, bool ta, const float* bpack, float* c) {
-  pool::Scratch apack(((mc + kMR - 1) / kMR) * kMR * kc);
-  pack_a(a, lda, ta, i0, p0, mc, kc, apack.data());
-  for (std::size_t jr = 0; jr < n; jr += kNR) {
-    const std::size_t nr = std::min(kNR, n - jr);
+void gemm_row_block(const KernelTable& kt, std::size_t i0, std::size_t mc,
+                    std::size_t n, std::size_t kc, std::size_t p0,
+                    const float* a, std::size_t lda, bool ta,
+                    const float* bpack, float* c) {
+  pool::Scratch apack(((mc + kt.mr - 1) / kt.mr) * kt.mr * kc);
+  kt.pack_a(a, lda, ta, i0, p0, mc, kc, apack.data());
+  for (std::size_t jr = 0; jr < n; jr += kt.nr) {
+    const std::size_t nr = std::min(kt.nr, n - jr);
     const float* bp = bpack + jr * kc;
-    for (std::size_t ir = 0; ir < mc; ir += kMR) {
-      const std::size_t mr = std::min(kMR, mc - ir);
-      float acc[kMR * kNR] = {0.0f};
-      micro_kernel(kc, apack.data() + ir * kc, bp, acc);
+    for (std::size_t ir = 0; ir < mc; ir += kt.mr) {
+      const std::size_t mr = std::min(kt.mr, mc - ir);
+      float acc[kMaxTileElems];
+      kt.micro_kernel(kc, apack.data() + ir * kc, bp, acc);
       for (std::size_t r = 0; r < mr; ++r) {
         float* crow = c + (i0 + ir + r) * n + jr;
         for (std::size_t cc = 0; cc < nr; ++cc)
-          crow[cc] += acc[r * kNR + cc];
+          crow[cc] += acc[r * kt.nr + cc];
       }
     }
   }
@@ -342,15 +269,15 @@ void gemm_row_block(std::size_t i0, std::size_t mc, std::size_t n,
 /// Analytic pack-traffic accounting for the blocked path (bytes_packed
 /// counter); b_side toggles whether the B panels count (they do not when a
 /// prepacked B is replayed).
-void count_packed_bytes(std::size_t m, std::size_t n, std::size_t k,
-                        bool b_side) {
-  const std::size_t n_panels = (n + kNR - 1) / kNR;
+void count_packed_bytes(const KernelTable& kt, std::size_t m, std::size_t n,
+                        std::size_t k, bool b_side) {
+  const std::size_t n_panels = (n + kt.nr - 1) / kt.nr;
   std::uint64_t packed_rows = 0;
   for (std::size_t i0 = 0; i0 < m; i0 += kMC) {
     const std::size_t mc = std::min(kMC, m - i0);
-    packed_rows += (mc + kMR - 1) / kMR * kMR;
+    packed_rows += (mc + kt.mr - 1) / kt.mr * kt.mr;
   }
-  if (b_side) packed_rows += n_panels * kNR;
+  if (b_side) packed_rows += n_panels * kt.nr;
   gemm_metrics().bytes_packed.add(packed_rows *
                                   static_cast<std::uint64_t>(k) *
                                   sizeof(float));
@@ -361,29 +288,30 @@ void count_packed_bytes(std::size_t m, std::size_t n, std::size_t k,
 void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
           std::size_t lda, bool ta, const float* b, std::size_t ldb, bool tb,
           float* c) {
+  const KernelTable& kt = kernels();
   const bool metrics_on = obs::enabled();
   if (metrics_on) {
     gemm_metrics().calls.add(1);
     gemm_metrics().flops.add(2ull * m * n * k);
   }
   if (m * n * k <= kSmallGemmFlops) {
-    gemm_small(m, n, k, a, lda, ta, b, ldb, tb, c);
+    kt.gemm_small(m, n, k, a, lda, ta, b, ldb, tb, c);
     return;
   }
-  const std::size_t n_panels = (n + kNR - 1) / kNR;
-  if (metrics_on) count_packed_bytes(m, n, k, /*b_side=*/true);
-  pool::Scratch bpack(kKC * n_panels * kNR);
+  const std::size_t n_panels = (n + kt.nr - 1) / kt.nr;
+  if (metrics_on) count_packed_bytes(kt, m, n, k, /*b_side=*/true);
+  pool::Scratch bpack(kKC * n_panels * kt.nr);
   const std::size_t row_blocks = (m + kMC - 1) / kMC;
   const bool fan_out =
       m * n * k > kParallelGemmFlops && kernel_parallelism_allowed();
   for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
     const std::size_t kc = std::min(kKC, k - p0);
-    pack_b(b, ldb, tb, p0, kc, n, bpack.data());
+    kt.pack_b(b, ldb, tb, p0, kc, n, bpack.data());
 #pragma omp parallel for schedule(static) if (fan_out)
     for (std::size_t blk = 0; blk < row_blocks; ++blk) {
       const std::size_t i0 = blk * kMC;
       const std::size_t mc = std::min(kMC, m - i0);
-      gemm_row_block(i0, mc, n, kc, p0, a, lda, ta, bpack.data(), c);
+      gemm_row_block(kt, i0, mc, n, kc, p0, a, lda, ta, bpack.data(), c);
     }
   }
 }
@@ -402,21 +330,23 @@ bool gemm_uses_blocked(std::size_t m, std::size_t n, std::size_t k) {
 
 PackedB gemm_pack_b(const float* b, std::size_t ldb, bool trans_b,
                     std::size_t k, std::size_t n) {
+  const KernelTable& kt = kernels();
   PackedB pb;
   pb.k = k;
   pb.n = n;
-  const std::size_t n_panels = (n + kNR - 1) / kNR;
+  pb.nr = kt.nr;
+  const std::size_t n_panels = (n + kt.nr - 1) / kt.nr;
   std::size_t off = 0;
   for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
     const std::size_t kc = std::min(kKC, k - p0);
     pb.panel_off.push_back(off);
-    off += n_panels * kNR * kc;
+    off += n_panels * kt.nr * kc;
   }
   pb.data.resize(off);
   std::size_t pi = 0;
   for (std::size_t p0 = 0; p0 < k; p0 += kKC, ++pi) {
     const std::size_t kc = std::min(kKC, k - p0);
-    pack_b(b, ldb, trans_b, p0, kc, n, pb.data.data() + pb.panel_off[pi]);
+    kt.pack_b(b, ldb, trans_b, p0, kc, n, pb.data.data() + pb.panel_off[pi]);
   }
   return pb;
 }
@@ -424,9 +354,14 @@ PackedB gemm_pack_b(const float* b, std::size_t ldb, bool trans_b,
 void gemm_accumulate_packed_b(std::size_t m, std::size_t n, std::size_t k,
                               const float* a, std::size_t lda, bool trans_a,
                               const PackedB& b, float* c) {
+  const KernelTable& kt = kernels();
   RPTCN_CHECK(b.k == k && b.n == n, "packed B shape mismatch: packed ["
                                         << b.k << ", " << b.n << "], GEMM ["
                                         << k << ", " << n << "]");
+  RPTCN_CHECK(b.nr == kt.nr,
+              "packed B panel width " << b.nr << " does not match the active "
+              "kernel tier's " << kt.nr << " (" << kernel_arch_name(kt.arch)
+              << "); repack after switching tiers");
   RPTCN_CHECK(gemm_uses_blocked(m, n, k),
               "gemm_accumulate_packed_b on a small shape: " << m << "x" << n
                                                             << "x" << k);
@@ -434,7 +369,7 @@ void gemm_accumulate_packed_b(std::size_t m, std::size_t n, std::size_t k,
   if (metrics_on) {
     gemm_metrics().calls.add(1);
     gemm_metrics().flops.add(2ull * m * n * k);
-    count_packed_bytes(m, n, k, /*b_side=*/false);
+    count_packed_bytes(kt, m, n, k, /*b_side=*/false);
   }
   const std::size_t row_blocks = (m + kMC - 1) / kMC;
   const bool fan_out =
@@ -447,7 +382,7 @@ void gemm_accumulate_packed_b(std::size_t m, std::size_t n, std::size_t k,
     for (std::size_t blk = 0; blk < row_blocks; ++blk) {
       const std::size_t i0 = blk * kMC;
       const std::size_t mc = std::min(kMC, m - i0);
-      gemm_row_block(i0, mc, n, kc, p0, a, lda, trans_a, bpack, c);
+      gemm_row_block(kt, i0, mc, n, kc, p0, a, lda, trans_a, bpack, c);
     }
   }
 }

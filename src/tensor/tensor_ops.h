@@ -2,9 +2,10 @@
 //
 // These kernels are the numeric substrate shared by the autograd layer and
 // the classical baselines. The three GEMM variants (NN/TN/NT) share one
-// blocked, packed, register-tiled kernel (8x8 fma micro-kernel, OpenMP over
-// row blocks); the elementwise kernels are simple loops the compiler
-// vectorises. All kernels are branch-free on data and bit-deterministic for
+// blocked, packed, register-tiled kernel whose micro-kernel, pack routines,
+// and transcendental loops come from the runtime-dispatched KernelTable
+// (tensor/dispatch.h: scalar / avx2 / avx512 tiers, bit-identical across
+// tiers). All kernels are branch-free on data and bit-deterministic for
 // any thread count: parallelism is only ever over disjoint output rows, and
 // per-element reduction order is fixed. Kernel-level OpenMP collapses to one
 // thread while the experiment worker pool is saturated (see
@@ -92,6 +93,11 @@ struct PackedB {
   std::vector<std::size_t> panel_off;   ///< float offset of each k-panel
   std::size_t k = 0;                    ///< logical rows of op(B)
   std::size_t n = 0;                    ///< logical cols of op(B)
+  /// Panel width (nr) of the kernel tier that packed this operand. The
+  /// layout is tier-dependent (avx512 packs 16-wide panels); replay checks
+  /// it against the active tier and fails loudly on a mismatch, so packs
+  /// cannot silently survive a test-hook arch switch.
+  std::size_t nr = 0;
 };
 
 /// Pack op(B)[k,n] (transpose applied iff trans_b, ldb = storage leading

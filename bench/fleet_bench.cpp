@@ -111,7 +111,7 @@ struct RetrainFitResult {
 
 RetrainFitResult run_retrain_fit_bench() {
   const data::TimeSeriesFrame full =
-      stream::make_mutating_trace(regime_a(), regime_a(), 300, 0, 23);
+      stream::make_mutating_trace(regime_a(), regime_a(), 300, 0, 23).frame;
   stream::StreamSource source(
       std::make_unique<stream::ReplayProvider>(full),
       stream::SourceOptions{{"cpu_util_percent", "mem_util_percent"}, 512, {}});
@@ -323,9 +323,11 @@ int run(int argc, char** argv) {
   for (std::size_t c = 0; c < cfg.cohorts; ++c) {
     const bool storms = c == storm_cohort;
     traces.push_back(stream::make_mutating_trace(
-        regime_a(), storms ? regime_b() : regime_a(),
-        kBootstrapTicks + cfg.ticks + (storms ? 0 : cfg.storm_ticks),
-        storms ? cfg.storm_ticks : 0, cfg.seed + c));
+                         regime_a(), storms ? regime_b() : regime_a(),
+                         kBootstrapTicks + cfg.ticks +
+                             (storms ? 0 : cfg.storm_ticks),
+                         storms ? cfg.storm_ticks : 0, cfg.seed + c)
+                         .frame);
   }
 
   // --- Phase 1: cohort bootstrap (snapshot dedup) -------------------------

@@ -322,8 +322,16 @@ int run(int argc, char** argv) {
             << " regime-B ticks (mutation at tick " << cfg.pre << "), seed "
             << cfg.seed << "\n\n";
 
-  const data::TimeSeriesFrame trace = stream::make_mutating_trace(
+  // The returned schedule pins the flip tick; asserting it against --pre
+  // keeps the scoring-window split honest if the generator ever changes.
+  const stream::MutatingTrace mutating = stream::make_mutating_trace(
       regime_a(), regime_b(), cfg.pre, cfg.post, cfg.seed);
+  if (!mutating.mutations.empty() &&
+      mutating.mutations.front().tick != cfg.pre) {
+    std::cerr << "mutation schedule disagrees with --pre\n";
+    return 1;
+  }
+  const data::TimeSeriesFrame& trace = mutating.frame;
 
   std::cout << "[static]   frozen bootstrap snapshot...\n";
   const RunReport frozen =

@@ -57,7 +57,7 @@ int run(int argc, char** argv) {
   regime_b.ar_coefficient = 0.65;
 
   const data::TimeSeriesFrame trace =
-      stream::make_mutating_trace(regime_a, regime_b, pre, post, seed);
+      stream::make_mutating_trace(regime_a, regime_b, pre, post, seed).frame;
 
   // The recipe bench/stream_bench.cpp converged on (see the comments there):
   // full 40-epoch fits (they run in the background), trailing history long

@@ -363,6 +363,14 @@ void FleetManager::process_tick(Entity& e, QueuedTick tick) {
         p.due_provider_tick = e.channel.ticks() + e.channel.dropped() + 1;
         p.generation = e.generation;
         e.pending = p;
+        EntityForecast f;
+        f.entity = e.spec.id;
+        f.predicted_norm = p.predicted_norm;
+        f.predicted_raw =
+            e.channel.normalizer().denormalize(0, p.predicted_norm);
+        f.generation = e.generation;
+        f.tick = e.channel.ticks();
+        e.last_forecast = std::move(f);
         ++e.forecasts;
         forecasts_.fetch_add(1, std::memory_order_relaxed);
         forecasts_counter_.add(1);
@@ -583,7 +591,32 @@ EntityStats FleetManager::entity_stats(const std::string& id) const {
                             ? 0.0
                             : e->residual_sum /
                                   static_cast<double>(e->residuals_scored);
+  if (e->last_forecast.has_value()) {
+    s.has_forecast = true;
+    s.last_forecast_norm = e->last_forecast->predicted_norm;
+    s.last_forecast_raw = e->last_forecast->predicted_raw;
+  }
   return s;
+}
+
+std::vector<EntityForecast> FleetManager::latest_forecasts() const {
+  std::vector<Entity*> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    all.reserve(entities_.size());
+    for (const auto& [id, e] : entities_) all.push_back(e.get());
+  }
+  std::vector<EntityForecast> out;
+  out.reserve(all.size());
+  for (Entity* e : all) {
+    std::lock_guard<std::mutex> state(e->state_mutex);
+    if (e->last_forecast.has_value()) out.push_back(*e->last_forecast);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EntityForecast& a, const EntityForecast& b) {
+              return a.entity < b.entity;
+            });
+  return out;
 }
 
 FleetStats FleetManager::stats() const {

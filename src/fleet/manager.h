@@ -75,6 +75,21 @@ struct EntityStats {
   std::string last_drift_reason;
   double last_residual = 0.0;      ///< newest one-step |residual| (norm)
   double mean_abs_residual = 0.0;  ///< running mean over scored forecasts
+  bool has_forecast = false;       ///< a forecast has been delivered
+  double last_forecast_norm = 0.0; ///< newest next-tick target forecast
+  double last_forecast_raw = 0.0;  ///< same, denormalised to raw units
+};
+
+/// One entity's newest delivered forecast — the sched layer's input. The
+/// raw value is denormalised under the entity's normalizer state at
+/// delivery time, so with a frozen normalizer it is exactly what the
+/// single-tenant stack would report.
+struct EntityForecast {
+  std::string entity;
+  double predicted_norm = 0.0;  ///< target feature, normalised
+  double predicted_raw = 0.0;   ///< target feature, raw units
+  std::uint64_t generation = 0; ///< model generation that produced it
+  std::uint64_t tick = 0;       ///< entity channel tick it was issued at
 };
 
 /// Point-in-time view of the fleet.
@@ -149,6 +164,10 @@ class FleetManager {
 
   EntityStats entity_stats(const std::string& id) const;
   FleetStats stats() const;
+  /// Newest delivered forecast for every entity that has one, sorted by
+  /// entity id (deterministic). The bulk read the scheduling layer drives
+  /// allocation from — one lock round-trip instead of N entity_stats calls.
+  std::vector<EntityForecast> latest_forecasts() const;
   /// Copy of every recorded tick-to-forecast latency (seconds), for exact
   /// quantiles. Empty when record_latencies is off.
   std::vector<double> latencies_seconds() const;
@@ -198,6 +217,10 @@ class FleetManager {
       std::uint64_t generation = 0;
     };
     std::optional<PendingForecast> pending;
+
+    /// Newest delivered forecast (guarded by state_mutex); kept after
+    /// `pending` is harvested so readers always see the latest issue.
+    std::optional<EntityForecast> last_forecast;
 
     // Stats (guarded by state_mutex except `rejected`, under mutex_).
     std::uint64_t rejected = 0;

@@ -1,0 +1,113 @@
+#include "sched/cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rptcn::sched {
+
+namespace {
+
+/// Float headroom for capacity checks: a request that sums to capacity
+/// through different addition orders must not flap between feasible and
+/// infeasible on the last ulp.
+constexpr double kCapacityEps = 1e-9;
+
+bool fits(double used, double need, double capacity) {
+  return used + need <= capacity + kCapacityEps;
+}
+
+}  // namespace
+
+ClusterModel::ClusterModel(std::vector<MachineSpec> machines)
+    : machines_(std::move(machines)),
+      cpu_used_(machines_.size(), 0.0),
+      mem_used_(machines_.size(), 0.0) {
+  RPTCN_CHECK(!machines_.empty(), "ClusterModel needs >= 1 machine");
+  for (const MachineSpec& m : machines_)
+    RPTCN_CHECK(m.cpu > 0.0 && m.mem > 0.0,
+                "machine capacities must be positive");
+}
+
+PackResult ClusterModel::pack(const std::vector<Allocation>& allocations) {
+  // Decreasing-cpu order (mem, then id tiebreaks): FFD's approximation
+  // guarantee plus a placement that is a pure function of the request set.
+  std::vector<const Allocation*> order;
+  order.reserve(allocations.size());
+  for (const Allocation& a : allocations) {
+    RPTCN_CHECK(a.cpu >= 0.0 && a.mem >= 0.0,
+                "negative allocation for entity " << a.entity);
+    order.push_back(&a);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Allocation* a, const Allocation* b) {
+              if (a->cpu != b->cpu) return a->cpu > b->cpu;
+              if (a->mem != b->mem) return a->mem > b->mem;
+              return a->entity < b->entity;
+            });
+
+  std::fill(cpu_used_.begin(), cpu_used_.end(), 0.0);
+  std::fill(mem_used_.begin(), mem_used_.end(), 0.0);
+  std::unordered_map<std::string, std::size_t> next;
+  next.reserve(order.size());
+
+  PackResult result;
+  for (const Allocation* a : order) {
+    RPTCN_CHECK(next.find(a->entity) == next.end(),
+                "entity placed twice in one pack: " << a->entity);
+    std::size_t chosen = kUnplaced;
+    // Sticky pass: the machine the entity already occupies, if it still
+    // has room, wins — a move costs a migration.
+    const auto prev = placement_.find(a->entity);
+    const std::size_t prev_machine =
+        prev == placement_.end() ? kUnplaced : prev->second;
+    if (prev_machine != kUnplaced &&
+        fits(cpu_used_[prev_machine], a->cpu, machines_[prev_machine].cpu) &&
+        fits(mem_used_[prev_machine], a->mem, machines_[prev_machine].mem)) {
+      chosen = prev_machine;
+    } else {
+      for (std::size_t m = 0; m < machines_.size(); ++m) {
+        if (fits(cpu_used_[m], a->cpu, machines_[m].cpu) &&
+            fits(mem_used_[m], a->mem, machines_[m].mem)) {
+          chosen = m;
+          break;
+        }
+      }
+    }
+    if (chosen == kUnplaced) {
+      result.feasible = false;
+      result.unplaced.push_back(a->entity);
+      continue;
+    }
+    cpu_used_[chosen] += a->cpu;
+    mem_used_[chosen] += a->mem;
+    next[a->entity] = chosen;
+    if (prev_machine != kUnplaced && prev_machine != chosen)
+      ++result.migrations;
+  }
+  std::sort(result.unplaced.begin(), result.unplaced.end());
+
+  placement_ = std::move(next);
+  std::vector<bool> hosts(machines_.size(), false);
+  for (const auto& [entity, m] : placement_) hosts[m] = true;
+  for (std::size_t m = 0; m < machines_.size(); ++m)
+    if (hosts[m]) ++result.machines_used;
+  return result;
+}
+
+std::size_t ClusterModel::placement_of(const std::string& entity) const {
+  const auto it = placement_.find(entity);
+  return it == placement_.end() ? kUnplaced : it->second;
+}
+
+double ClusterModel::cpu_used(std::size_t m) const {
+  RPTCN_CHECK(m < machines_.size(), "no such machine: " << m);
+  return cpu_used_[m];
+}
+
+double ClusterModel::mem_used(std::size_t m) const {
+  RPTCN_CHECK(m < machines_.size(), "no such machine: " << m);
+  return mem_used_[m];
+}
+
+}  // namespace rptcn::sched

@@ -1,0 +1,75 @@
+// ClusterModel: machines, placements, and the first-fit-decreasing packer.
+//
+// The scheduling layer models a cluster as a fixed set of machines with
+// cpu/mem capacity 1.0 each (allocations are fractions of one machine).
+// pack() places a full allocation set every decision round with a sticky
+// first-fit-decreasing heuristic: entities are sorted by decreasing cpu
+// request (mem, then id as tiebreaks, so placement is a pure function of
+// the request set), each entity first tries the machine it already sits on
+// — a move is a migration, and migrations are priced by the cost model —
+// and falls back to the lowest-index machine with room. Entities that fit
+// nowhere are reported unplaced; the caller scores them as fully
+// under-provisioned rather than silently over-packing a machine.
+//
+// Invariants (enforced in tests/test_sched.cpp): no machine is ever loaded
+// past its capacity, no entity is placed twice, and packing the identical
+// request set twice yields bit-identical placements and zero migrations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rptcn::sched {
+
+/// One machine's capacity. Allocations are fractions of these totals.
+struct MachineSpec {
+  double cpu = 1.0;
+  double mem = 1.0;
+};
+
+/// One entity's provisioned share for the current decision round.
+struct Allocation {
+  std::string entity;
+  double cpu = 0.0;  ///< fraction of one machine's cpu capacity
+  double mem = 0.0;  ///< fraction of one machine's mem capacity
+};
+
+/// Outcome of one pack() round.
+struct PackResult {
+  bool feasible = true;             ///< every entity found a machine
+  std::vector<std::string> unplaced;  ///< entities that fit nowhere
+  std::size_t migrations = 0;       ///< placed entities that changed machine
+  std::size_t machines_used = 0;    ///< machines hosting >= 1 entity
+};
+
+class ClusterModel {
+ public:
+  static constexpr std::size_t kUnplaced = static_cast<std::size_t>(-1);
+
+  explicit ClusterModel(std::vector<MachineSpec> machines);
+
+  std::size_t machines() const { return machines_.size(); }
+
+  /// Place every allocation (FFD, sticky to the previous placement).
+  /// Replaces the cluster's placement state; an entity absent from
+  /// `allocations` is evicted. Deterministic: identical request sequences
+  /// produce identical placements regardless of input order.
+  PackResult pack(const std::vector<Allocation>& allocations);
+
+  /// Machine hosting `entity` after the last pack(), or kUnplaced.
+  std::size_t placement_of(const std::string& entity) const;
+
+  /// Load on machine `m` after the last pack().
+  double cpu_used(std::size_t m) const;
+  double mem_used(std::size_t m) const;
+
+ private:
+  std::vector<MachineSpec> machines_;
+  std::vector<double> cpu_used_;
+  std::vector<double> mem_used_;
+  std::unordered_map<std::string, std::size_t> placement_;
+};
+
+}  // namespace rptcn::sched

@@ -1,0 +1,30 @@
+#include "sched/fleet_source.h"
+
+#include "common/check.h"
+
+namespace rptcn::sched {
+
+FleetForecastSource::FleetForecastSource(fleet::FleetManager& manager,
+                                         std::string entity)
+    : manager_(manager),
+      entity_(std::move(entity)),
+      name_("fleet:" + entity_) {
+  // Fail at bind time, not at the first decision round.
+  manager_.entity_stats(entity_);
+}
+
+ResourceForecast FleetForecastSource::forecast(
+    const data::TimeSeriesFrame& history) {
+  const fleet::EntityStats stats = manager_.entity_stats(entity_);
+  RPTCN_CHECK(stats.has_forecast,
+              "fleet has not delivered a forecast for entity " << entity_
+                                                               << " yet");
+  ResourceForecast f;
+  f.cpu = stats.last_forecast_raw;
+  RPTCN_CHECK(history.has("mem_util_percent") && history.length() > 0,
+              "forecast history needs a non-empty mem_util_percent column");
+  f.mem = history.column("mem_util_percent").back();
+  return f;
+}
+
+}  // namespace rptcn::sched

@@ -1,0 +1,44 @@
+// FleetForecastSource: the fleet layer's per-entity forecasts as a
+// sched::ForecastSource.
+//
+// The fleet stack already produces a next-tick CPU forecast per entity
+// (FleetManager records the newest delivered one; see
+// FleetManager::latest_forecasts). This adapter closes the integration
+// loop: the scheduler pulls that forecast instead of fitting its own
+// model, so the same generations that drive drift detection and hot-swap
+// also drive allocation. Memory stays the naive last observed value, like
+// every other source (CPU is the forecast target).
+//
+// The adapter is pull-based and non-blocking: forecast() reads whatever
+// the fleet delivered most recently. Callers sequence ingest/drain
+// themselves — in the closed-loop tests the pattern is ingest the tick,
+// drain(), then decide.
+#pragma once
+
+#include <string>
+
+#include "fleet/manager.h"
+#include "sched/forecast.h"
+
+namespace rptcn::sched {
+
+class FleetForecastSource final : public ForecastSource {
+ public:
+  /// The manager must outlive the source. `entity` must be registered.
+  FleetForecastSource(fleet::FleetManager& manager, std::string entity);
+
+  const std::string& name() const override { return name_; }
+  /// CPU = the fleet's newest delivered forecast for the entity (raw
+  /// units); throws common::CheckError if none has been delivered yet —
+  /// schedule only after the fleet has forecast at least once.
+  ResourceForecast forecast(const data::TimeSeriesFrame& history) override;
+
+  const std::string& entity() const { return entity_; }
+
+ private:
+  fleet::FleetManager& manager_;
+  std::string entity_;
+  std::string name_;
+};
+
+}  // namespace rptcn::sched

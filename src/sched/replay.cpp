@@ -1,0 +1,81 @@
+#include "sched/replay.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rptcn::sched {
+
+void CostModel::validate() const {
+  RPTCN_CHECK(over_unit_cost >= 0.0 && under_unit_cost >= 0.0 &&
+                  violation_cost >= 0.0 && migration_cost >= 0.0 &&
+                  scale_event_cost >= 0.0,
+              "CostModel prices must be >= 0");
+}
+
+ReplayEvaluator::ReplayEvaluator(CostModel cost) : cost_(cost) {
+  cost_.validate();
+}
+
+ReplayEvaluator::TickAgg& ReplayEvaluator::at(std::size_t tick) {
+  if (tick >= ticks_.size()) ticks_.resize(tick + 1);
+  return ticks_[tick];
+}
+
+bool ReplayEvaluator::observe(std::size_t tick, const ResourceForecast& demand,
+                              const Allocation& allocation) {
+  TickAgg& agg = at(tick);
+  ++agg.entity_ticks;
+  const double cpu_demand = std::max(demand.cpu, 0.0);
+  const double mem_demand = std::max(demand.mem, 0.0);
+  agg.over += std::max(allocation.cpu - cpu_demand, 0.0) +
+              std::max(allocation.mem - mem_demand, 0.0);
+  agg.under += std::max(cpu_demand - allocation.cpu, 0.0) +
+               std::max(mem_demand - allocation.mem, 0.0);
+  const bool violated =
+      cpu_demand > allocation.cpu || mem_demand > allocation.mem;
+  if (violated) ++agg.violations;
+  return violated;
+}
+
+void ReplayEvaluator::record_migrations(std::size_t tick, std::size_t count) {
+  at(tick).migrations += count;
+}
+
+void ReplayEvaluator::record_scale_events(std::size_t tick,
+                                          std::size_t count) {
+  at(tick).scale_events += count;
+}
+
+ReplayScore ReplayEvaluator::score() const {
+  return score_window(0, ticks_.size());
+}
+
+ReplayScore ReplayEvaluator::score_window(std::size_t begin,
+                                          std::size_t end) const {
+  ReplayScore s;
+  const std::size_t stop = std::min(end, ticks_.size());
+  for (std::size_t t = begin; t < stop; ++t) {
+    const TickAgg& agg = ticks_[t];
+    s.entity_ticks += agg.entity_ticks;
+    s.violations += agg.violations;
+    s.migrations += agg.migrations;
+    s.scale_events += agg.scale_events;
+    s.over_integral += agg.over;
+    s.under_integral += agg.under;
+  }
+  s.violation_rate = s.entity_ticks == 0
+                         ? 0.0
+                         : static_cast<double>(s.violations) /
+                               static_cast<double>(s.entity_ticks);
+  s.over_cost = s.over_integral * cost_.over_unit_cost;
+  s.under_cost = s.under_integral * cost_.under_unit_cost;
+  s.violation_cost = static_cast<double>(s.violations) * cost_.violation_cost;
+  s.migration_cost = static_cast<double>(s.migrations) * cost_.migration_cost;
+  s.scale_cost = static_cast<double>(s.scale_events) * cost_.scale_event_cost;
+  s.total_cost = s.over_cost + s.under_cost + s.violation_cost +
+                 s.migration_cost + s.scale_cost;
+  return s;
+}
+
+}  // namespace rptcn::sched

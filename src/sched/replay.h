@@ -1,0 +1,96 @@
+// ReplayEvaluator: score provisioning decisions against trace actuals.
+//
+// The evaluation method is replay (Gritsenko-style): the allocator commits
+// a decision from forecasts alone, then the trace's actual demand for the
+// same ticks is replayed against it. Per entity-tick the evaluator
+// accumulates the over-provision integral (allocated minus used, idle
+// capacity) and the under-provision integral (demand minus allocation,
+// starved capacity), flags an SLA violation whenever either resource's
+// demand exceeds its allocation, and folds in the decision churn
+// (migrations, scale events) the loop reports.
+//
+// Costs are asymmetric a la Goyal: a starved capacity-tick defaults to 8x
+// the price of an idle one, because under-provisioning degrades the
+// workload while over-provisioning only wastes rent. The per-tick
+// aggregation is kept, so score_window() can price any sub-range — the
+// drift benches score the post-flip window separately to isolate what
+// adaptive retraining buys.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/cluster.h"
+#include "sched/forecast.h"
+
+namespace rptcn::sched {
+
+/// Asymmetric provisioning prices (arbitrary cost units).
+struct CostModel {
+  double over_unit_cost = 1.0;    ///< per idle capacity-tick (cpu or mem)
+  double under_unit_cost = 8.0;   ///< per starved capacity-tick
+  double violation_cost = 0.05;   ///< flat per violated entity-tick
+  double migration_cost = 0.5;    ///< per entity move between machines
+  double scale_event_cost = 0.1;  ///< per allocation change
+
+  /// Throws common::CheckError naming the offending field.
+  void validate() const;
+};
+
+/// Aggregate score over a tick range.
+struct ReplayScore {
+  std::size_t entity_ticks = 0;  ///< scored (entity, tick) pairs
+  std::size_t violations = 0;    ///< entity-ticks with demand > allocation
+  double violation_rate = 0.0;   ///< violations / entity_ticks
+  double over_integral = 0.0;    ///< sum of idle capacity (cpu + mem)
+  double under_integral = 0.0;   ///< sum of starved capacity (cpu + mem)
+  std::size_t migrations = 0;
+  std::size_t scale_events = 0;
+
+  double over_cost = 0.0;
+  double under_cost = 0.0;
+  double violation_cost = 0.0;
+  double migration_cost = 0.0;
+  double scale_cost = 0.0;
+  double total_cost = 0.0;
+};
+
+class ReplayEvaluator {
+ public:
+  explicit ReplayEvaluator(CostModel cost = {});
+
+  /// Score one entity-tick: `demand` is the actual (fraction of machine
+  /// capacity), `allocation` what the allocator had committed for this
+  /// tick. Returns true when the tick violated (demand > allocation on
+  /// either resource).
+  bool observe(std::size_t tick, const ResourceForecast& demand,
+               const Allocation& allocation);
+
+  /// Fold decision churn into `tick`'s aggregates.
+  void record_migrations(std::size_t tick, std::size_t count);
+  void record_scale_events(std::size_t tick, std::size_t count);
+
+  /// Score over every observed tick.
+  ReplayScore score() const;
+  /// Score over ticks in [begin, end).
+  ReplayScore score_window(std::size_t begin, std::size_t end) const;
+
+  const CostModel& cost_model() const { return cost_; }
+
+ private:
+  struct TickAgg {
+    std::size_t entity_ticks = 0;
+    std::size_t violations = 0;
+    std::size_t migrations = 0;
+    std::size_t scale_events = 0;
+    double over = 0.0;
+    double under = 0.0;
+  };
+
+  TickAgg& at(std::size_t tick);
+
+  CostModel cost_;
+  std::vector<TickAgg> ticks_;  ///< indexed by tick
+};
+
+}  // namespace rptcn::sched

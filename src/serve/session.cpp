@@ -159,6 +159,7 @@ Tensor InferenceSession::run(const Tensor& inputs) const {
                                       << expected_shape() << ", got "
                                       << inputs.shape_string());
   if (delegate_ != nullptr) {
+    runs_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(delegate_mutex_);
     return delegate_->predict(inputs);
   }
@@ -166,7 +167,10 @@ Tensor InferenceSession::run(const Tensor& inputs) const {
               "InferenceSession: model \""
                   << name_ << "\" expects " << expected_shape() << ", got "
                   << inputs.shape_string());
+  runs_.fetch_add(1, std::memory_order_relaxed);
   if (!std::holds_alternative<std::monostate>(qsnap_)) {
+    plan_bypass_.fetch_add(1, std::memory_order_relaxed);
+    plan_bypass_counter_.add(1);
     return std::visit(
         [&](const auto& qsnap) -> Tensor {
           if constexpr (std::is_same_v<std::decay_t<decltype(qsnap)>,

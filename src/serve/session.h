@@ -23,6 +23,8 @@
 // a fresh cache and stale plans can never see new weights.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,6 +32,7 @@
 
 #include "graph/capture.h"
 #include "graph/plan.h"
+#include "obs/metrics.h"
 #include "serve/quant.h"
 #include "serve/snapshot.h"
 
@@ -46,8 +49,19 @@ struct SessionOptions {
   /// conv-bound RPTCN net ignores the request and serves float32 (check
   /// quantized() for what actually engaged). Quantized runs bypass the
   /// plan cache: the planned replay's prepacked-GEMM advantage is subsumed
-  /// by the pre-quantized weights, and the int8 runner is eager.
+  /// by the pre-quantized weights, and the int8 runner is eager. Each such
+  /// bypass bumps the process-wide `serve/plan_bypass_quantized` counter
+  /// and the session's stats().plan_bypass_quantized, so the perf cliff is
+  /// observable rather than silent.
   bool quantized = false;
+};
+
+/// Per-session run accounting (monotonic since construction).
+struct SessionStats {
+  std::uint64_t runs = 0;  ///< run() calls that dispatched a forward
+  /// run() calls that served the eager int8 path instead of a planned
+  /// executable. Equals `runs` on a quantized session, 0 otherwise.
+  std::uint64_t plan_bypass_quantized = 0;
 };
 
 class InferenceSession {
@@ -93,6 +107,15 @@ class InferenceSession {
   /// (delegated models), or the net is RPTCN (conv-bound, stays float).
   bool quantized() const { return !std::holds_alternative<std::monostate>(qsnap_); }
 
+  /// Snapshot of this session's run accounting. Thread-safe; counts relaxed
+  /// (a concurrent reader may be one run behind a racing writer).
+  SessionStats stats() const {
+    SessionStats s;
+    s.runs = runs_.load(std::memory_order_relaxed);
+    s.plan_bypass_quantized = plan_bypass_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   /// Seed plans_ from the (just-assigned) snapshot variant.
   void init_plans();
@@ -118,6 +141,11 @@ class InferenceSession {
   /// Keeps `delegate_` alive when constructed from a shared_ptr.
   std::shared_ptr<models::Forecaster> owner_;
   mutable std::mutex delegate_mutex_;
+  mutable std::atomic<std::uint64_t> runs_{0};
+  mutable std::atomic<std::uint64_t> plan_bypass_{0};
+  // Registry handles are process-lifetime stable; resolved once here.
+  obs::Counter& plan_bypass_counter_ =
+      obs::metrics().counter("serve/plan_bypass_quantized");
 };
 
 }  // namespace rptcn::serve

@@ -50,7 +50,7 @@ trace::WorkloadParams regime_b() {
 
 data::TimeSeriesFrame regime_trace(const trace::WorkloadParams& params,
                                    std::size_t length, std::uint64_t seed) {
-  return stream::make_mutating_trace(params, params, length, 0, seed);
+  return stream::make_mutating_trace(params, params, length, 0, seed).frame;
 }
 
 /// ARIMA keeps fleet fits fast — the fleet layer under test is routing and
@@ -408,6 +408,59 @@ TEST(FleetScheduler, ConcurrencyNeverExceedsBudget) {
   EXPECT_EQ(sched.stats().completed, 10u);
   EXPECT_LE(peak.load(), 3);
   EXPECT_GE(peak.load(), 1);
+}
+
+TEST(FleetScheduler, BudgetExhaustionFilesHighSeverityAndRunsItFirst) {
+  // Every fit slot busy + a new high-severity drift fire: the request must
+  // be latched (accepted, queued), and must run ahead of earlier
+  // lower-severity requests the moment a slot frees.
+  SchedulerOptions so;
+  so.workers = 2;
+  so.max_queue = 16;
+  so.tenant = "sched-exhaust";
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  std::promise<void> gate_a;
+  std::promise<void> gate_b;
+  std::shared_future<void> opened_a = gate_a.get_future().share();
+  std::shared_future<void> opened_b = gate_b.get_future().share();
+  RetrainScheduler sched(so, [&](const RetrainRequest& r) {
+    if (r.entity == "blocker-a") opened_a.wait();
+    if (r.entity == "blocker-b") opened_b.wait();
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(r.entity);
+  });
+
+  ASSERT_TRUE(sched.request({"blocker-a", 10.0, "drift"}));
+  ASSERT_TRUE(sched.request({"blocker-b", 10.0, "drift"}));
+  while (sched.stats().inflight < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Budget exhausted. Lower-severity requests land first, then the
+  // high-severity fire; all three must latch, none may run yet.
+  ASSERT_TRUE(sched.request({"low-1", 1.0, "cadence"}));
+  ASSERT_TRUE(sched.request({"low-2", 2.0, "cadence"}));
+  ASSERT_TRUE(sched.request({"high", 9.0, "drift"}));
+  SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.inflight, 2u);
+  EXPECT_EQ(stats.queued, 3u);
+  EXPECT_EQ(stats.accepted, 5u);
+  EXPECT_EQ(stats.completed, 0u);
+
+  // Free exactly one slot: the lone freed worker must drain the latch in
+  // severity order, high first, while blocker-b still holds its slot.
+  gate_a.set_value();
+  while (sched.stats().completed < 4)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  gate_b.set_value();
+  sched.wait_idle();
+
+  const std::vector<std::string> expected = {"blocker-a", "high", "low-2",
+                                             "low-1", "blocker-b"};
+  EXPECT_EQ(order, expected);
+  stats = sched.stats();
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.rejected_full, 0u);
 }
 
 // ---------------------------------------------------------------------------

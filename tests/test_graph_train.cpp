@@ -369,7 +369,8 @@ TEST(GraphTrainStep, PlannedRetrainHotSwapBitMatchesTapeTrained) {
   const std::vector<std::string> features = {"cpu_util_percent",
                                              "mem_util_percent"};
   const data::TimeSeriesFrame full =
-      stream::make_mutating_trace(steady_params(), steady_params(), 260, 0, 29);
+      stream::make_mutating_trace(steady_params(), steady_params(), 260, 0, 29)
+          .frame;
   stream::StreamSource source(std::make_unique<stream::ReplayProvider>(full),
                               stream::SourceOptions{features, 512, {}});
   while (source.poll()) {

@@ -208,6 +208,15 @@ TEST(Quant, LstmSessionServesInt8CloseToFloat) {
   const Tensor again = q.run(x);
   EXPECT_EQ(std::memcmp(yq.raw(), again.raw(), yq.size() * sizeof(float)),
             0);
+
+  // Every quantized run bypassed the plan cache, and says so; the float
+  // session served planned executables and reports zero bypasses.
+  const serve::SessionStats qs = q.stats();
+  EXPECT_EQ(qs.runs, 2u);
+  EXPECT_EQ(qs.plan_bypass_quantized, 2u);
+  const serve::SessionStats fs = fp32.stats();
+  EXPECT_EQ(fs.runs, 1u);
+  EXPECT_EQ(fs.plan_bypass_quantized, 0u);
 }
 
 TEST(Quant, BiLstmSessionServesInt8CloseToFloat) {
@@ -256,6 +265,8 @@ TEST(Quant, RptcnSessionIgnoresQuantizationAndSaysSo) {
   EXPECT_EQ(std::memcmp(yq.raw(), yf.raw(), yq.size() * sizeof(float)), 0)
       << "the declined-quantization session must serve the float path "
          "bit-identically";
+  EXPECT_EQ(q.stats().plan_bypass_quantized, 0u)
+      << "a declined quantization request must not count as a plan bypass";
 }
 
 TEST(Quant, QuantizedServingIsBitIdenticalAcrossTiers) {

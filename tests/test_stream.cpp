@@ -54,7 +54,7 @@ trace::WorkloadParams regime_b() {
 
 data::TimeSeriesFrame single_regime_trace(std::size_t length,
                                           std::uint64_t seed) {
-  return make_mutating_trace(regime_a(), regime_a(), length, 0, seed);
+  return make_mutating_trace(regime_a(), regime_a(), length, 0, seed).frame;
 }
 
 /// Tiny RPTCN: the stream tests need fitted weights fast, not accuracy.
@@ -652,7 +652,7 @@ OnlinePipelineOptions pipeline_options() {
 
 TEST(StreamPipeline, DetectsDriftRetrainsInBackgroundAndHotSwaps) {
   const data::TimeSeriesFrame trace =
-      make_mutating_trace(regime_a(), regime_b(), 420, 320, 7);
+      make_mutating_trace(regime_a(), regime_b(), 420, 320, 7).frame;
   OnlinePipeline loop(std::make_unique<ReplayProvider>(trace),
                       pipeline_options());
 
@@ -688,7 +688,7 @@ TEST(StreamPipeline, DetectsDriftRetrainsInBackgroundAndHotSwaps) {
 
 TEST(StreamPipeline, ForecastDueOnDroppedTickIsDiscarded) {
   data::TimeSeriesFrame trace =
-      make_mutating_trace(regime_a(), regime_a(), 420, 0, 19);
+      make_mutating_trace(regime_a(), regime_a(), 420, 0, 19).frame;
   // One incomplete tick well after bootstrap: the forecast aimed at it has
   // no ground truth and must expire unscored, not be compared against the
   // next complete tick.
@@ -751,7 +751,7 @@ TEST(StreamPipeline, DelegatedModelSurvivesTeardownWithPendingForecast) {
 
 TEST(StreamPipeline, StaticBaselineNeverSwaps) {
   const data::TimeSeriesFrame trace =
-      make_mutating_trace(regime_a(), regime_b(), 360, 120, 7);
+      make_mutating_trace(regime_a(), regime_b(), 360, 120, 7).frame;
   OnlinePipelineOptions opt = pipeline_options();
   opt.retrain_on_drift = false;
   OnlinePipeline loop(std::make_unique<ReplayProvider>(trace), opt);
@@ -779,6 +779,75 @@ TEST(StreamPipeline, CadenceRetrainsWithoutAnyDrift) {
   ASSERT_NE(loop.retrainer(), nullptr);
   EXPECT_GE(loop.retrainer()->completed(), 1u);
   EXPECT_GE(loop.engine()->generation(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation schedules
+// ---------------------------------------------------------------------------
+
+TEST(StreamMutation, ScheduleRecordsFlipTickAndMagnitude) {
+  const MutatingTrace t = make_mutating_trace(regime_a(), regime_b(), 100,
+                                              50, /*seed=*/7);
+  EXPECT_EQ(t.frame.length(), 150u);
+  ASSERT_EQ(t.mutations.size(), 1u);
+  EXPECT_EQ(t.mutations[0].tick, 100u);
+  EXPECT_DOUBLE_EQ(t.mutations[0].base_level_delta,
+                   regime_b().base_level - regime_a().base_level);
+
+  // A trace that never flips has an empty schedule.
+  const MutatingTrace flat = make_mutating_trace(regime_a(), regime_b(), 120,
+                                                 0, /*seed=*/7);
+  EXPECT_EQ(flat.frame.length(), 120u);
+  EXPECT_TRUE(flat.mutations.empty());
+}
+
+TEST(StreamMutation, RegimeStormSchedulesEveryBoundaryWithDistinctSeeds) {
+  const MutatingTrace storm = make_regime_trace(
+      {{regime_a(), 100}, {regime_b(), 50}, {regime_a(), 60}}, /*seed=*/21);
+  EXPECT_EQ(storm.frame.length(), 210u);
+  ASSERT_EQ(storm.mutations.size(), 2u);
+  EXPECT_EQ(storm.mutations[0].tick, 100u);
+  EXPECT_EQ(storm.mutations[1].tick, 150u);
+  EXPECT_DOUBLE_EQ(storm.mutations[0].base_level_delta,
+                   regime_b().base_level - regime_a().base_level);
+  EXPECT_DOUBLE_EQ(storm.mutations[1].base_level_delta,
+                   regime_a().base_level - regime_b().base_level);
+
+  // Segments 0 and 2 share params but must run under distinct seeds — an
+  // A-B-A storm whose A legs replayed identical samples would hand drift
+  // detectors a rerun, not a storm.
+  const auto& cpu = storm.frame.column("cpu_util_percent");
+  bool differs = false;
+  for (std::size_t t = 0; t < 60 && !differs; ++t)
+    differs = cpu[t] != cpu[150 + t];
+  EXPECT_TRUE(differs);
+
+  // Zero-step segments are skipped without scheduling a flip, and the seed
+  // derivation is positional: the two-regime helper's bit pattern is what a
+  // three-segment schedule with an empty middle leg produces.
+  const MutatingTrace with_gap = make_regime_trace(
+      {{regime_a(), 100}, {regime_b(), 0}, {regime_a(), 60}}, /*seed=*/21);
+  EXPECT_EQ(with_gap.frame.length(), 160u);
+  ASSERT_EQ(with_gap.mutations.size(), 1u);
+  EXPECT_EQ(with_gap.mutations[0].tick, 100u);
+  EXPECT_DOUBLE_EQ(with_gap.mutations[0].base_level_delta, 0.0);
+}
+
+TEST(StreamMutation, TwoSegmentScheduleKeepsHistoricalBitPattern) {
+  // The struct-returning generator must emit the exact frame the original
+  // two-regime helper did: prefix = a fresh regime-a model under `seed`,
+  // suffix = a fresh regime-b model under `seed ^ golden-ratio`.
+  const MutatingTrace t =
+      make_mutating_trace(regime_a(), regime_b(), 40, 30, /*seed=*/91);
+  trace::WorkloadModel before(regime_a(), 91);
+  trace::WorkloadModel after(regime_b(), 91 ^ 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = 0; i < 70; ++i) {
+    const trace::IndicatorSample s =
+        i < 40 ? before.step(0.3) : after.step(0.3);
+    for (std::size_t f = 0; f < trace::kIndicatorCount; ++f)
+      EXPECT_EQ(t.frame.column(f)[i], s.values[f])
+          << "tick " << i << " indicator " << f;
+  }
 }
 
 }  // namespace
